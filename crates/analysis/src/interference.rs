@@ -1,0 +1,137 @@
+//! CPU-side interference of the LET tasks (§V-C).
+//!
+//! Under the proposed protocol the LET task of core `P_k` executes one
+//! *segment* per DMA transfer touching `M_k`: programming the transfer
+//! (`o_DP`) and, after the copy, the completion ISR (`o_ISR`). Both run at
+//! the highest priority and preempt application tasks. Following §V-C, each
+//! transfer's segment pair is modelled as an independent sporadic task with
+//! WCET `o_DP + o_ISR` and a minimum inter-arrival equal to the smallest
+//! gap between consecutive issues of that transfer.
+
+use letdma_model::let_semantics::{comm_instants, comms_at};
+use letdma_model::{System, TimeNs, TransferSchedule};
+
+use crate::rta::SporadicInterferer;
+
+/// Derives the sporadic interference channels of the LET tasks for a given
+/// transfer schedule: one channel per s₀ transfer group, on the core owning
+/// the group's local memory.
+///
+/// Groups issued only once per horizon get the horizon as period.
+///
+/// # Examples
+///
+/// ```
+/// use letdma_analysis::interference::let_task_segments;
+/// use letdma_model::SystemBuilder;
+/// use letdma_opt::heuristic_solution;
+///
+/// let mut b = SystemBuilder::new(2);
+/// let p = b.task("p").period_ms(5).core_index(0).add()?;
+/// let c = b.task("c").period_ms(5).core_index(1).add()?;
+/// b.label("l").size(64).writer(p).reader(c).add()?;
+/// let sys = b.build()?;
+/// let sol = heuristic_solution(&sys, false)?;
+///
+/// let segments = let_task_segments(&sys, &sol.schedule);
+/// assert_eq!(segments.len(), 2); // one write group on P0, one read on P1
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn let_task_segments(
+    system: &System,
+    schedule: &TransferSchedule,
+) -> Vec<SporadicInterferer> {
+    let instants = comm_instants(system);
+    let horizon = system.comm_horizon();
+    let wcet = system.costs().o_dp() + system.costs().o_isr();
+    let mut segments = Vec::new();
+    for (g, transfer) in schedule.transfers().iter().enumerate() {
+        // Occurrence instants of this group (nonempty restriction).
+        let occurrences: Vec<TimeNs> = instants
+            .iter()
+            .copied()
+            .filter(|&t| {
+                let needed = comms_at(system, t);
+                transfer.restricted_to(&needed).is_some()
+            })
+            .collect();
+        if occurrences.is_empty() {
+            continue;
+        }
+        let core = transfer
+            .local_memory()
+            .core()
+            .expect("transfers have a local side");
+        // Minimum inter-arrival including the wrap-around to the next
+        // horizon repetition.
+        let mut min_gap = horizon + occurrences[0] - *occurrences.last().expect("nonempty");
+        for w in occurrences.windows(2) {
+            let gap = w[1] - w[0];
+            if gap < min_gap {
+                min_gap = gap;
+            }
+        }
+        let _ = g;
+        segments.push(SporadicInterferer {
+            core,
+            period: min_gap,
+            wcet,
+        });
+    }
+    segments
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use letdma_model::{CoreId, SystemBuilder};
+
+    #[test]
+    fn segments_follow_group_periodicity() {
+        // 5 ms pair and 10 ms pair, heuristic-style schedule built by hand.
+        let mut b = SystemBuilder::new(2);
+        let p1 = b.task("p1").period_ms(5).core_index(0).add().unwrap();
+        let c1 = b.task("c1").period_ms(5).core_index(1).add().unwrap();
+        let p2 = b.task("p2").period_ms(10).core_index(0).add().unwrap();
+        let c2 = b.task("c2").period_ms(10).core_index(1).add().unwrap();
+        let fast = b.label("fast").size(8).writer(p1).reader(c1).add().unwrap();
+        let slow = b.label("slow").size(8).writer(p2).reader(c2).add().unwrap();
+        let sys = b.build().unwrap();
+        use letdma_model::{Communication, DmaTransfer, TransferSchedule};
+        let schedule = TransferSchedule::new(vec![
+            DmaTransfer::new(&sys, vec![Communication::write(p1, fast)]),
+            DmaTransfer::new(&sys, vec![Communication::write(p2, slow)]),
+            DmaTransfer::new(&sys, vec![Communication::read(fast, c1)]),
+            DmaTransfer::new(&sys, vec![Communication::read(slow, c2)]),
+        ]);
+        let segments = let_task_segments(&sys, &schedule);
+        assert_eq!(segments.len(), 4);
+        // Fast groups recur every 5 ms, slow ones every 10 ms.
+        let fast_w = &segments[0];
+        assert_eq!(fast_w.core, CoreId::new(0));
+        assert_eq!(fast_w.period, TimeNs::from_ms(5));
+        let slow_w = &segments[1];
+        assert_eq!(slow_w.period, TimeNs::from_ms(10));
+        assert_eq!(segments[2].core, CoreId::new(1));
+        // WCET is o_DP + o_ISR (paper defaults: 3.36 + 10 µs).
+        assert_eq!(fast_w.wcet, TimeNs::from_ns(13_360));
+    }
+
+    #[test]
+    fn single_occurrence_group_uses_horizon() {
+        let mut b = SystemBuilder::new(2);
+        let p = b.task("p").period_ms(10).core_index(0).add().unwrap();
+        let c = b.task("c").period_ms(10).core_index(1).add().unwrap();
+        let l = b.label("l").size(8).writer(p).reader(c).add().unwrap();
+        let sys = b.build().unwrap();
+        use letdma_model::{Communication, DmaTransfer, TransferSchedule};
+        let schedule = TransferSchedule::new(vec![
+            DmaTransfer::new(&sys, vec![Communication::write(p, l)]),
+            DmaTransfer::new(&sys, vec![Communication::read(l, c)]),
+        ]);
+        let segments = let_task_segments(&sys, &schedule);
+        assert_eq!(segments.len(), 2);
+        assert_eq!(segments[0].period, TimeNs::from_ms(10));
+    }
+}

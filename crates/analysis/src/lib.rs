@@ -1,0 +1,46 @@
+//! # letdma-analysis
+//!
+//! Schedulability analysis supporting the LET-DMA reproduction (§V-C and
+//! §VII of *Pazzaglia et al., DAC 2021*):
+//!
+//! * [`rta`] — worst-case response-time analysis for partitioned preemptive
+//!   fixed-priority periodic tasks with release jitter, plus arbitrary
+//!   sporadic interference channels;
+//! * [`interference`] — the LET tasks' CPU-side segments (DMA programming
+//!   and completion ISRs) modelled as sporadic interferers, one per DMA
+//!   transfer group;
+//! * [`sensitivity`] — the paper's procedure for deriving data-acquisition
+//!   deadlines: `γ_i = α·S_i` from the zero-jitter slack, re-checked with
+//!   `J_i = γ_i`.
+//!
+//! # Examples
+//!
+//! Derive the paper's `α = 0.2` acquisition deadlines for a small system:
+//!
+//! ```
+//! use letdma_analysis::sensitivity::{apply_gammas, derive_gammas};
+//! use letdma_model::SystemBuilder;
+//!
+//! let mut b = SystemBuilder::new(1);
+//! b.task("control").period_ms(10).core_index(0).wcet_us(2_000).add()?;
+//! let mut system = b.build()?;
+//!
+//! let result = derive_gammas(&system, 20, &[])?;
+//! assert!(result.schedulable);
+//! apply_gammas(&mut system, &result);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod holistic;
+pub mod interference;
+pub mod rta;
+pub mod sensitivity;
+
+pub use holistic::analyze_deployment;
+pub use interference::let_task_segments;
+pub use rta::{analyze, AnalysisReport, SporadicInterferer, TaskAnalysis};
+pub use sensitivity::{apply_gammas, derive_gammas, SensitivityError, SensitivityResult};

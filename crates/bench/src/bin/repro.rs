@@ -1,0 +1,69 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p letdma-bench --bin repro -- all
+//! cargo run --release -p letdma-bench --bin repro -- fig1
+//! cargo run --release -p letdma-bench --bin repro -- fig2 --budget 60
+//! cargo run --release -p letdma-bench --bin repro -- table1 --budget 120
+//! cargo run --release -p letdma-bench --bin repro -- alpha-sweep
+//! ```
+//!
+//! `--budget <seconds>` bounds each MILP solve (default 30 s; the paper
+//! used a 1 h CPLEX timeout on a 40-core Xeon).
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use letdma_bench::{alpha_sweep, fig1, fig2, table1};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut budget = Duration::from_secs(30);
+    let mut command: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--budget" => {
+                let Some(value) = iter.next() else {
+                    eprintln!("--budget needs a value in seconds");
+                    return ExitCode::FAILURE;
+                };
+                match value.parse::<u64>() {
+                    Ok(secs) => budget = Duration::from_secs(secs),
+                    Err(_) => {
+                        eprintln!("invalid budget `{value}`");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            other if command.is_none() => command = Some(other.to_owned()),
+            other => {
+                eprintln!("unexpected argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let command = command.unwrap_or_else(|| "all".to_owned());
+
+    match command.as_str() {
+        "fig1" => print!("{}", fig1::run(budget)),
+        "fig2" => print!("{}", fig2::render(&fig2::run(budget))),
+        "table1" => print!("{}", table1::render(&table1::run(budget))),
+        "alpha-sweep" => print!("{}", alpha_sweep::render(&alpha_sweep::run(budget))),
+        "all" => {
+            println!("== Fig. 1 =================================================");
+            print!("{}", fig1::run(budget));
+            println!("\n== Fig. 2 =================================================");
+            print!("{}", fig2::render(&fig2::run(budget)));
+            println!("\n== Table I ================================================");
+            print!("{}", table1::render(&table1::run(budget)));
+            println!("\n== α sweep ================================================");
+            print!("{}", alpha_sweep::render(&alpha_sweep::run(budget)));
+        }
+        other => {
+            eprintln!("unknown command `{other}` (use fig1|fig2|table1|alpha-sweep|all)");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

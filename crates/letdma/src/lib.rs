@@ -1,0 +1,83 @@
+//! # letdma
+//!
+//! A complete Rust implementation of **"Optimal Memory Allocation and
+//! Scheduling for DMA Data Transfers under the LET Paradigm"**
+//! (Pazzaglia, Casini, Biondi, Di Natale — DAC 2021).
+//!
+//! The Logical Execution Time (LET) paradigm makes inter-core communication
+//! time-deterministic by pinning reads and writes to period boundaries. On
+//! multicore automotive platforms the copies between core-local scratchpads
+//! and the global memory can be offloaded to a DMA engine — but each DMA
+//! transfer moves a *contiguous* block, so performance hinges on how labels
+//! are laid out in memory and how communications are grouped and ordered
+//! into transfers. This workspace implements the paper's protocol and its
+//! MILP-based joint optimizer, plus everything needed to evaluate them:
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`model`] | Platform/task/label model, LET semantics (skip rules, Algorithm 1), transfers, layouts, conformance checking |
+//! | [`milp`] | A self-contained MILP solver (simplex + branch and bound) replacing the paper's CPLEX |
+//! | [`opt`] | The §VI formulation (Constraints 1–10, three objectives), a constructive heuristic and solution validation |
+//! | [`sim`] | Discrete-event simulation of the proposed protocol and the three Giotto baselines |
+//! | [`analysis`] | Response-time analysis with jitter and the §VII sensitivity procedure |
+//! | [`waters`] | The WATERS 2019 case study (synthetic reconstruction) and a random workload generator |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use letdma::model::SystemBuilder;
+//! use letdma::opt::{optimize, OptConfig};
+//! use letdma::sim::{simulate, Approach, SimConfig};
+//!
+//! // Two cores, one camera pipeline crossing them.
+//! let mut b = SystemBuilder::new(2);
+//! let camera = b.task("camera").period_ms(33).core_index(0).add()?;
+//! let fusion = b.task("fusion").period_ms(66).core_index(1).add()?;
+//! b.label("frame").size(64 * 1024).writer(camera).reader(fusion).add()?;
+//! let system = b.build()?;
+//!
+//! // Jointly derive the memory layout and the DMA transfer schedule …
+//! let solution = optimize(&system, &OptConfig::default())?;
+//!
+//! // … and simulate the protocol over one hyperperiod.
+//! let report = simulate(
+//!     &system,
+//!     Some(&solution.schedule),
+//!     &SimConfig::for_approach(Approach::ProposedDma),
+//! )?;
+//! assert!(report.is_clean());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// System model and LET semantics (re-export of [`letdma_model`]).
+pub mod model {
+    pub use letdma_model::*;
+}
+
+/// Self-contained MILP solver (re-export of [`milp`]).
+pub mod milp {
+    pub use milp::*;
+}
+
+/// The §VI optimization problem (re-export of [`letdma_opt`]).
+pub mod opt {
+    pub use letdma_opt::*;
+}
+
+/// Discrete-event protocol simulation (re-export of [`letdma_sim`]).
+pub mod sim {
+    pub use letdma_sim::*;
+}
+
+/// Schedulability analysis (re-export of [`letdma_analysis`]).
+pub mod analysis {
+    pub use letdma_analysis::*;
+}
+
+/// Case-study and random workloads (re-export of [`waters2019`]).
+pub mod waters {
+    pub use waters2019::*;
+}

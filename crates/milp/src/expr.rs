@@ -1,0 +1,477 @@
+//! Linear expressions over model variables.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// A variable handle returned by [`crate::Model`] when a variable is added.
+///
+/// `Var` is a cheap copyable index; it is only meaningful together with the
+/// model that created it.
+///
+/// # Examples
+///
+/// ```
+/// use milp::Model;
+///
+/// let mut m = Model::new();
+/// let x = m.add_binary("x");
+/// let y = m.add_binary("y");
+/// let expr = 2.0 * x + y - 1.0;
+/// assert_eq!(expr.coefficient(x), 2.0);
+/// assert_eq!(expr.constant(), -1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// The dense column index of this variable in its model.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A linear expression `Σ cᵢ·xᵢ + k`.
+///
+/// Expressions are built with the usual `+`, `-` and `*` operators from
+/// [`Var`]s and `f64` scalars; like terms are combined eagerly so an
+/// expression is always in canonical (sorted, deduplicated) form.
+///
+/// # Examples
+///
+/// ```
+/// use milp::{LinExpr, Model};
+///
+/// let mut m = Model::new();
+/// let x = m.add_binary("x");
+/// let y = m.add_binary("y");
+///
+/// let e = 3.0 * x + 2.0 * y + x; // combines to 4x + 2y
+/// assert_eq!(e.coefficient(x), 4.0);
+///
+/// let sum: LinExpr = [x, y].iter().map(|&v| LinExpr::from(v)).sum();
+/// assert_eq!(sum.coefficient(y), 1.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinExpr {
+    /// Sorted, zero-free coefficient map.
+    terms: BTreeMap<Var, f64>,
+    constant: f64,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An expression consisting of the single constant `k`.
+    #[must_use]
+    pub fn constant_term(k: f64) -> Self {
+        Self {
+            terms: BTreeMap::new(),
+            constant: k,
+        }
+    }
+
+    /// Builds `Σ coeff·var` from an iterator of `(var, coeff)` pairs.
+    #[must_use]
+    pub fn weighted_sum<I: IntoIterator<Item = (Var, f64)>>(pairs: I) -> Self {
+        let mut e = Self::new();
+        for (v, c) in pairs {
+            e.add_term(v, c);
+        }
+        e
+    }
+
+    /// Adds `coeff · var` in place.
+    pub fn add_term(&mut self, var: Var, coeff: f64) {
+        if coeff == 0.0 {
+            return;
+        }
+        let entry = self.terms.entry(var).or_insert(0.0);
+        *entry += coeff;
+        if *entry == 0.0 {
+            self.terms.remove(&var);
+        }
+    }
+
+    /// Adds a constant in place.
+    pub fn add_constant(&mut self, k: f64) {
+        self.constant += k;
+    }
+
+    /// The coefficient of `var` (zero when absent).
+    #[must_use]
+    pub fn coefficient(&self, var: Var) -> f64 {
+        self.terms.get(&var).copied().unwrap_or(0.0)
+    }
+
+    /// The constant term `k`.
+    #[must_use]
+    pub fn constant(&self) -> f64 {
+        self.constant
+    }
+
+    /// Iterates over the nonzero `(var, coeff)` terms in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, f64)> + '_ {
+        self.terms.iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// Number of nonzero terms.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// `true` when the expression has no variable terms (it may still have a
+    /// nonzero constant).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Evaluates the expression for the given variable assignment.
+    ///
+    /// `values[i]` is the value of the variable with index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced variable index is out of range.
+    #[must_use]
+    pub fn evaluate(&self, values: &[f64]) -> f64 {
+        self.constant
+            + self
+                .terms
+                .iter()
+                .map(|(v, c)| c * values[v.index()])
+                .sum::<f64>()
+    }
+
+    /// Builds the comparison `self ≤ rhs` as a model constraint body.
+    #[must_use]
+    pub fn le(self, rhs: impl Into<LinExpr>) -> crate::model::Comparison {
+        crate::model::Comparison::new(self, crate::model::Sense::Le, rhs.into())
+    }
+
+    /// Builds the comparison `self ≥ rhs`.
+    #[must_use]
+    pub fn ge(self, rhs: impl Into<LinExpr>) -> crate::model::Comparison {
+        crate::model::Comparison::new(self, crate::model::Sense::Ge, rhs.into())
+    }
+
+    /// Builds the comparison `self = rhs`.
+    #[must_use]
+    pub fn eq(self, rhs: impl Into<LinExpr>) -> crate::model::Comparison {
+        crate::model::Comparison::new(self, crate::model::Sense::Eq, rhs.into())
+    }
+}
+
+impl From<Var> for LinExpr {
+    fn from(v: Var) -> Self {
+        let mut e = Self::new();
+        e.add_term(v, 1.0);
+        e
+    }
+}
+
+impl From<f64> for LinExpr {
+    fn from(k: f64) -> Self {
+        Self::constant_term(k)
+    }
+}
+
+impl Add for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: LinExpr) -> LinExpr {
+        for (v, c) in rhs.terms {
+            self.add_term(v, c);
+        }
+        self.constant += rhs.constant;
+        self
+    }
+}
+
+impl AddAssign for LinExpr {
+    fn add_assign(&mut self, rhs: LinExpr) {
+        for (v, c) in rhs.terms {
+            self.add_term(v, c);
+        }
+        self.constant += rhs.constant;
+    }
+}
+
+impl Sub for LinExpr {
+    type Output = LinExpr;
+    fn sub(self, rhs: LinExpr) -> LinExpr {
+        self + (-rhs)
+    }
+}
+
+impl SubAssign for LinExpr {
+    fn sub_assign(&mut self, rhs: LinExpr) {
+        *self += -rhs;
+    }
+}
+
+impl Neg for LinExpr {
+    type Output = LinExpr;
+    fn neg(mut self) -> LinExpr {
+        for c in self.terms.values_mut() {
+            *c = -*c;
+        }
+        self.constant = -self.constant;
+        self
+    }
+}
+
+impl Mul<f64> for LinExpr {
+    type Output = LinExpr;
+    fn mul(mut self, k: f64) -> LinExpr {
+        if k == 0.0 {
+            return LinExpr::new();
+        }
+        for c in self.terms.values_mut() {
+            *c *= k;
+        }
+        self.constant *= k;
+        self
+    }
+}
+
+impl Mul<LinExpr> for f64 {
+    type Output = LinExpr;
+    fn mul(self, e: LinExpr) -> LinExpr {
+        e * self
+    }
+}
+
+// Var-level sugar: Var + Var, f64 * Var, Var + f64, Var - Var, …
+
+impl Add<Var> for Var {
+    type Output = LinExpr;
+    fn add(self, rhs: Var) -> LinExpr {
+        LinExpr::from(self) + LinExpr::from(rhs)
+    }
+}
+
+impl Add<LinExpr> for Var {
+    type Output = LinExpr;
+    fn add(self, rhs: LinExpr) -> LinExpr {
+        LinExpr::from(self) + rhs
+    }
+}
+
+impl Add<Var> for LinExpr {
+    type Output = LinExpr;
+    fn add(self, rhs: Var) -> LinExpr {
+        self + LinExpr::from(rhs)
+    }
+}
+
+impl Add<f64> for Var {
+    type Output = LinExpr;
+    fn add(self, rhs: f64) -> LinExpr {
+        LinExpr::from(self) + LinExpr::constant_term(rhs)
+    }
+}
+
+impl Add<f64> for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: f64) -> LinExpr {
+        self.constant += rhs;
+        self
+    }
+}
+
+impl Sub<Var> for Var {
+    type Output = LinExpr;
+    fn sub(self, rhs: Var) -> LinExpr {
+        LinExpr::from(self) - LinExpr::from(rhs)
+    }
+}
+
+impl Sub<LinExpr> for Var {
+    type Output = LinExpr;
+    fn sub(self, rhs: LinExpr) -> LinExpr {
+        LinExpr::from(self) - rhs
+    }
+}
+
+impl Sub<Var> for LinExpr {
+    type Output = LinExpr;
+    fn sub(self, rhs: Var) -> LinExpr {
+        self - LinExpr::from(rhs)
+    }
+}
+
+impl Sub<f64> for Var {
+    type Output = LinExpr;
+    fn sub(self, rhs: f64) -> LinExpr {
+        LinExpr::from(self) + LinExpr::constant_term(-rhs)
+    }
+}
+
+impl Sub<f64> for LinExpr {
+    type Output = LinExpr;
+    fn sub(mut self, rhs: f64) -> LinExpr {
+        self.constant -= rhs;
+        self
+    }
+}
+
+impl Mul<f64> for Var {
+    type Output = LinExpr;
+    fn mul(self, k: f64) -> LinExpr {
+        LinExpr::from(self) * k
+    }
+}
+
+impl Mul<Var> for f64 {
+    type Output = LinExpr;
+    fn mul(self, v: Var) -> LinExpr {
+        LinExpr::from(v) * self
+    }
+}
+
+impl Neg for Var {
+    type Output = LinExpr;
+    fn neg(self) -> LinExpr {
+        -LinExpr::from(self)
+    }
+}
+
+impl std::iter::Sum for LinExpr {
+    fn sum<I: Iterator<Item = LinExpr>>(iter: I) -> LinExpr {
+        iter.fold(LinExpr::new(), Add::add)
+    }
+}
+
+impl fmt::Display for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (v, c) in &self.terms {
+            if first {
+                if c < &0.0 {
+                    write!(f, "-")?;
+                }
+            } else if c < &0.0 {
+                write!(f, " - ")?;
+            } else {
+                write!(f, " + ")?;
+            }
+            let a = c.abs();
+            if (a - 1.0).abs() > f64::EPSILON {
+                write!(f, "{a} {v}")?;
+            } else {
+                write!(f, "{v}")?;
+            }
+            first = false;
+        }
+        if first {
+            write!(f, "{}", self.constant)?;
+        } else if self.constant > 0.0 {
+            write!(f, " + {}", self.constant)?;
+        } else if self.constant < 0.0 {
+            write!(f, " - {}", -self.constant)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars() -> (Var, Var, Var) {
+        (Var(0), Var(1), Var(2))
+    }
+
+    #[test]
+    fn combines_like_terms() {
+        let (x, y, _) = vars();
+        let e = 3.0 * x + 2.0 * y + x * 1.0 - 4.0 * y;
+        assert_eq!(e.coefficient(x), 4.0);
+        assert_eq!(e.coefficient(y), -2.0);
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn zero_coefficients_removed() {
+        let (x, y, _) = vars();
+        let e = x + y - x * 1.0;
+        assert_eq!(e.coefficient(x), 0.0);
+        assert_eq!(e.len(), 1);
+    }
+
+    #[test]
+    fn scaling_and_negation() {
+        let (x, y, _) = vars();
+        let e = (x + 2.0 * y + 1.0) * 2.0;
+        assert_eq!(e.coefficient(x), 2.0);
+        assert_eq!(e.coefficient(y), 4.0);
+        assert_eq!(e.constant(), 2.0);
+        let n = -e;
+        assert_eq!(n.coefficient(y), -4.0);
+        assert_eq!(n.constant(), -2.0);
+    }
+
+    #[test]
+    fn multiply_by_zero_clears() {
+        let (x, ..) = vars();
+        let e = (3.0 * x + 5.0) * 0.0;
+        assert!(e.is_empty());
+        assert_eq!(e.constant(), 0.0);
+    }
+
+    #[test]
+    fn evaluation() {
+        let (x, y, z) = vars();
+        let e = 2.0 * x - y + 0.5 * z + 3.0;
+        assert_eq!(e.evaluate(&[1.0, 4.0, 2.0]), 2.0 - 4.0 + 1.0 + 3.0);
+    }
+
+    #[test]
+    fn weighted_sum_builder() {
+        let (x, y, _) = vars();
+        let e = LinExpr::weighted_sum([(x, 1.5), (y, -2.0), (x, 0.5)]);
+        assert_eq!(e.coefficient(x), 2.0);
+        assert_eq!(e.coefficient(y), -2.0);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let (x, y, z) = vars();
+        let total: LinExpr = [x, y, z].iter().map(|&v| LinExpr::from(v)).sum();
+        assert_eq!(total.len(), 3);
+        assert_eq!(total.coefficient(z), 1.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let (x, y, _) = vars();
+        assert_eq!((2.0 * x + y - 3.0).to_string(), "2 x0 + x1 - 3");
+        assert_eq!((-1.0 * x).to_string(), "-x0");
+        assert_eq!(LinExpr::constant_term(7.0).to_string(), "7");
+        assert_eq!(LinExpr::new().to_string(), "0");
+    }
+
+    #[test]
+    fn var_scalar_sugar() {
+        let (x, y, _) = vars();
+        let e = x - 1.0 + (y + 2.0);
+        assert_eq!(e.constant(), 1.0);
+        let e2 = x - y;
+        assert_eq!(e2.coefficient(y), -1.0);
+        let e3 = -x;
+        assert_eq!(e3.coefficient(x), -1.0);
+    }
+}

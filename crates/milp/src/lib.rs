@@ -1,0 +1,62 @@
+//! # milp
+//!
+//! A self-contained mixed-integer linear programming (MILP) solver in safe
+//! Rust: a bounded-variable revised primal simplex (explicit dense basis
+//! inverse, artificial-variable phase 1, Dantzig pricing with Bland
+//! anti-cycling) underneath a best-first branch-and-bound with warm starts
+//! and a rounding heuristic.
+//!
+//! The crate exists because this workspace reproduces a paper whose
+//! optimization problem was originally solved with IBM CPLEX; no external
+//! solver is linked, so the whole reproduction is buildable offline. The
+//! solver is *anytime*: give it a time limit and it returns the best feasible
+//! solution found so far together with the proven bound — exactly how the
+//! paper reports its `OBJ-DMAT` results after a CPLEX timeout.
+//!
+//! # Examples
+//!
+//! ```
+//! use milp::{Model, ObjectiveSense, SolveOptions};
+//!
+//! // Maximize 3a + 4b + 5c subject to 2a + 3b + 4c ≤ 6 over binaries.
+//! let mut m = Model::new();
+//! let a = m.add_binary("a");
+//! let b = m.add_binary("b");
+//! let c = m.add_binary("c");
+//! m.add_constraint("capacity", (2.0 * a + 3.0 * b + 4.0 * c).le(6.0));
+//! m.set_objective(ObjectiveSense::Maximize, 3.0 * a + 4.0 * b + 5.0 * c);
+//!
+//! let solution = m.solve(&SolveOptions::default())?;
+//! assert_eq!(solution.objective().round(), 8.0);
+//! # Ok::<(), milp::SolveError>(())
+//! ```
+//!
+//! Models can also be exported in CPLEX LP format for cross-checking with
+//! external solvers — see [`Model::to_lp_format`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod expr;
+mod lp_format;
+mod model;
+pub mod simplex;
+mod solver;
+
+pub use expr::{LinExpr, Var};
+pub use model::{
+    Comparison, Constraint, Model, ObjectiveSense, Sense, VarDef, VarType,
+};
+pub use solver::{MilpSolution, SolveError, SolveOptions, SolveStats, SolveStatus};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn public_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<crate::Model>();
+        assert_send_sync::<crate::MilpSolution>();
+        assert_send_sync::<crate::SolveError>();
+    }
+}

@@ -1,0 +1,199 @@
+//! Export of models in the CPLEX LP text format (for debugging and for
+//! cross-checking formulations with external solvers).
+
+use std::fmt::Write as _;
+
+use crate::expr::LinExpr;
+use crate::model::{Model, ObjectiveSense, Sense, VarType};
+
+impl Model {
+    /// Renders the model in CPLEX LP format.
+    ///
+    /// Variable names are sanitized (`[^A-Za-z0-9_]` → `_`) and suffixed with
+    /// their index so they stay unique. The output can be fed to CPLEX,
+    /// Gurobi, HiGHS, SCIP or `lp_solve` for cross-validation.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use milp::{Model, ObjectiveSense};
+    ///
+    /// let mut m = Model::new();
+    /// let x = m.add_binary("pick");
+    /// m.add_constraint("cap", (2.0 * x).le(1.0));
+    /// m.set_objective(ObjectiveSense::Maximize, 1.0 * x);
+    /// let text = m.to_lp_format();
+    /// assert!(text.starts_with("Maximize"));
+    /// assert!(text.contains("Binaries"));
+    /// ```
+    #[must_use]
+    pub fn to_lp_format(&self) -> String {
+        let mut out = String::new();
+        let header = match self.sense {
+            ObjectiveSense::Minimize => "Minimize",
+            ObjectiveSense::Maximize => "Maximize",
+        };
+        let _ = writeln!(out, "{header}");
+        let _ = writeln!(out, " obj: {}", self.render_expr(&self.objective));
+        let _ = writeln!(out, "Subject To");
+        for (i, c) in self.constraints.iter().enumerate() {
+            let name = sanitize(c.name(), i);
+            let sense = match c.sense() {
+                Sense::Le => "<=",
+                Sense::Ge => ">=",
+                Sense::Eq => "=",
+            };
+            let _ = writeln!(
+                out,
+                " {name}: {} {sense} {}",
+                self.render_expr(c.expr()),
+                c.rhs()
+            );
+        }
+        let _ = writeln!(out, "Bounds");
+        for (j, def) in self.vars.iter().enumerate() {
+            if def.var_type() == VarType::Binary {
+                continue; // declared in the Binaries section
+            }
+            let name = sanitize(&def.name, j);
+            let lo = def.lower();
+            let hi = def.upper();
+            match (lo.is_finite(), hi.is_finite()) {
+                (true, true) => {
+                    let _ = writeln!(out, " {lo} <= {name} <= {hi}");
+                }
+                (true, false) => {
+                    let _ = writeln!(out, " {name} >= {lo}");
+                }
+                (false, true) => {
+                    let _ = writeln!(out, " -inf <= {name} <= {hi}");
+                }
+                (false, false) => {
+                    let _ = writeln!(out, " {name} free");
+                }
+            }
+        }
+        let generals: Vec<_> = self
+            .vars
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.var_type() == VarType::Integer)
+            .map(|(j, d)| sanitize(&d.name, j))
+            .collect();
+        if !generals.is_empty() {
+            let _ = writeln!(out, "Generals");
+            for g in generals {
+                let _ = writeln!(out, " {g}");
+            }
+        }
+        let binaries: Vec<_> = self
+            .vars
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.var_type() == VarType::Binary)
+            .map(|(j, d)| sanitize(&d.name, j))
+            .collect();
+        if !binaries.is_empty() {
+            let _ = writeln!(out, "Binaries");
+            for b in binaries {
+                let _ = writeln!(out, " {b}");
+            }
+        }
+        let _ = writeln!(out, "End");
+        out
+    }
+
+    fn render_expr(&self, e: &LinExpr) -> String {
+        let mut s = String::new();
+        let mut first = true;
+        for (v, c) in e.iter() {
+            let name = sanitize(&self.vars[v.index()].name, v.index());
+            if first {
+                if c < 0.0 {
+                    let _ = write!(s, "- ");
+                }
+            } else if c < 0.0 {
+                let _ = write!(s, " - ");
+            } else {
+                let _ = write!(s, " + ");
+            }
+            let a = c.abs();
+            if (a - 1.0).abs() > f64::EPSILON {
+                let _ = write!(s, "{a} {name}");
+            } else {
+                let _ = write!(s, "{name}");
+            }
+            first = false;
+        }
+        if first {
+            let _ = write!(s, "0");
+        }
+        if e.constant() != 0.0 {
+            let k = e.constant();
+            if k > 0.0 {
+                let _ = write!(s, " + {k}");
+            } else {
+                let _ = write!(s, " - {}", -k);
+            }
+        }
+        s
+    }
+}
+
+/// Sanitizes an identifier for the LP format, keeping uniqueness via the
+/// index suffix.
+fn sanitize(name: &str, index: usize) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|ch| if ch.is_ascii_alphanumeric() || ch == '_' { ch } else { '_' })
+        .collect();
+    let cleaned = if cleaned.is_empty() || cleaned.chars().next().unwrap().is_ascii_digit() {
+        format!("v_{cleaned}")
+    } else {
+        cleaned
+    };
+    format!("{cleaned}_{index}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinExpr;
+
+    #[test]
+    fn renders_all_sections() {
+        let mut m = Model::new();
+        let x = m.add_binary("pick me"); // space is sanitized
+        let y = m.add_integer("count", 0.0, 9.0);
+        let z = m.add_continuous("load", f64::NEG_INFINITY, f64::INFINITY);
+        m.add_constraint("cap", (2.0 * x + y).le(5.0));
+        m.add_constraint("link", (LinExpr::from(z) - y).eq(0.0));
+        m.set_objective(ObjectiveSense::Minimize, x + y + z);
+        let text = m.to_lp_format();
+        assert!(text.starts_with("Minimize"));
+        assert!(text.contains("Subject To"));
+        assert!(text.contains("cap_0:"));
+        assert!(text.contains("pick_me_0"));
+        assert!(text.contains("Generals"));
+        assert!(text.contains("Binaries"));
+        assert!(text.contains("load_2 free"));
+        assert!(text.trim_end().ends_with("End"));
+    }
+
+    #[test]
+    fn sanitize_rules() {
+        assert_eq!(sanitize("a b", 3), "a_b_3");
+        assert_eq!(sanitize("1x", 0), "v_1x_0");
+        assert_eq!(sanitize("", 9), "v__9");
+    }
+
+    #[test]
+    fn negative_coefficients_render() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.add_constraint("c", (LinExpr::from(x) - 2.0 * y).ge(-1.0));
+        let text = m.to_lp_format();
+        assert!(text.contains("x_0 - 2 y_1 >= -1"));
+    }
+}

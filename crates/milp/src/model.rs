@@ -1,0 +1,426 @@
+//! The MILP model: variables, constraints, objective.
+
+use std::fmt;
+
+use crate::expr::{LinExpr, Var};
+
+/// Domain of a model variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VarType {
+    /// Real-valued within its bounds.
+    Continuous,
+    /// Integer-valued within its bounds.
+    Integer,
+    /// Shorthand for an integer variable with bounds `[0, 1]`.
+    Binary,
+}
+
+/// A model variable's definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarDef {
+    pub(crate) name: String,
+    pub(crate) var_type: VarType,
+    pub(crate) lower: f64,
+    pub(crate) upper: f64,
+}
+
+impl VarDef {
+    /// The variable's name (used in LP-file export and diagnostics).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The variable's domain type.
+    #[must_use]
+    pub fn var_type(&self) -> VarType {
+        self.var_type
+    }
+
+    /// Lower bound (may be `f64::NEG_INFINITY`).
+    #[must_use]
+    pub fn lower(&self) -> f64 {
+        self.lower
+    }
+
+    /// Upper bound (may be `f64::INFINITY`).
+    #[must_use]
+    pub fn upper(&self) -> f64 {
+        self.upper
+    }
+
+    /// `true` for integer and binary variables.
+    #[must_use]
+    pub fn is_integral(&self) -> bool {
+        matches!(self.var_type, VarType::Integer | VarType::Binary)
+    }
+}
+
+/// Direction of a constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sense {
+    /// `lhs ≤ rhs`
+    Le,
+    /// `lhs ≥ rhs`
+    Ge,
+    /// `lhs = rhs`
+    Eq,
+}
+
+impl fmt::Display for Sense {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Le => write!(f, "<="),
+            Self::Ge => write!(f, ">="),
+            Self::Eq => write!(f, "="),
+        }
+    }
+}
+
+/// A comparison between two linear expressions, produced by
+/// [`LinExpr::le`]/[`LinExpr::ge`]/[`LinExpr::eq`] and consumed by
+/// [`Model::add_constraint`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    pub(crate) lhs: LinExpr,
+    pub(crate) sense: Sense,
+    pub(crate) rhs: LinExpr,
+}
+
+impl Comparison {
+    pub(crate) fn new(lhs: LinExpr, sense: Sense, rhs: LinExpr) -> Self {
+        Self { lhs, sense, rhs }
+    }
+}
+
+/// A stored, normalized constraint `Σ cᵢ·xᵢ {≤,≥,=} b`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    pub(crate) name: String,
+    pub(crate) expr: LinExpr,
+    pub(crate) sense: Sense,
+    pub(crate) rhs: f64,
+}
+
+impl Constraint {
+    /// The constraint's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The left-hand-side expression (constant folded into the rhs).
+    #[must_use]
+    pub fn expr(&self) -> &LinExpr {
+        &self.expr
+    }
+
+    /// The comparison direction.
+    #[must_use]
+    pub fn sense(&self) -> Sense {
+        self.sense
+    }
+
+    /// The right-hand-side constant.
+    #[must_use]
+    pub fn rhs(&self) -> f64 {
+        self.rhs
+    }
+
+    /// Checks whether an assignment satisfies this constraint within `tol`.
+    #[must_use]
+    pub fn is_satisfied(&self, values: &[f64], tol: f64) -> bool {
+        let lhs = self.expr.evaluate(values);
+        match self.sense {
+            Sense::Le => lhs <= self.rhs + tol,
+            Sense::Ge => lhs >= self.rhs - tol,
+            Sense::Eq => (lhs - self.rhs).abs() <= tol,
+        }
+    }
+}
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ObjectiveSense {
+    /// Minimize the objective (default).
+    #[default]
+    Minimize,
+    /// Maximize the objective.
+    Maximize,
+}
+
+/// A mixed-integer linear program.
+///
+/// # Examples
+///
+/// A tiny knapsack:
+///
+/// ```
+/// use milp::{Model, ObjectiveSense, SolveOptions};
+///
+/// let mut m = Model::new();
+/// let a = m.add_binary("a"); // value 3, weight 2
+/// let b = m.add_binary("b"); // value 4, weight 3
+/// let c = m.add_binary("c"); // value 5, weight 4
+/// m.add_constraint("capacity", (2.0 * a + 3.0 * b + 4.0 * c).le(6.0));
+/// m.set_objective(ObjectiveSense::Maximize, 3.0 * a + 4.0 * b + 5.0 * c);
+///
+/// let solution = m.solve(&SolveOptions::default())?;
+/// assert_eq!(solution.objective().round(), 8.0); // take a and c (weight 6, value 8)
+/// # Ok::<(), milp::SolveError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Model {
+    pub(crate) vars: Vec<VarDef>,
+    pub(crate) constraints: Vec<Constraint>,
+    pub(crate) objective: LinExpr,
+    pub(crate) sense: ObjectiveSense,
+}
+
+impl Model {
+    /// Creates an empty model (minimization by default).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a binary variable.
+    pub fn add_binary(&mut self, name: impl Into<String>) -> Var {
+        self.push_var(VarDef {
+            name: name.into(),
+            var_type: VarType::Binary,
+            lower: 0.0,
+            upper: 1.0,
+        })
+    }
+
+    /// Adds an integer variable with inclusive bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lower > upper` or a bound is NaN.
+    pub fn add_integer(&mut self, name: impl Into<String>, lower: f64, upper: f64) -> Var {
+        assert!(!lower.is_nan() && !upper.is_nan(), "NaN bound");
+        assert!(lower <= upper, "lower bound exceeds upper bound");
+        self.push_var(VarDef {
+            name: name.into(),
+            var_type: VarType::Integer,
+            lower,
+            upper,
+        })
+    }
+
+    /// Adds a continuous variable with inclusive bounds (infinities allowed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lower > upper` or a bound is NaN.
+    pub fn add_continuous(&mut self, name: impl Into<String>, lower: f64, upper: f64) -> Var {
+        assert!(!lower.is_nan() && !upper.is_nan(), "NaN bound");
+        assert!(lower <= upper, "lower bound exceeds upper bound");
+        self.push_var(VarDef {
+            name: name.into(),
+            var_type: VarType::Continuous,
+            lower,
+            upper,
+        })
+    }
+
+    fn push_var(&mut self, def: VarDef) -> Var {
+        let idx = u32::try_from(self.vars.len()).expect("too many variables");
+        self.vars.push(def);
+        Var(idx)
+    }
+
+    /// Adds a constraint from a [`Comparison`]; variable terms are moved to
+    /// the left and constants to the right, producing the normal form
+    /// `Σ cᵢ·xᵢ {≤,≥,=} b`.
+    ///
+    /// Returns the constraint's index.
+    pub fn add_constraint(&mut self, name: impl Into<String>, cmp: Comparison) -> usize {
+        let expr = cmp.lhs - cmp.rhs;
+        let rhs = -expr.constant();
+        let mut body = expr;
+        body.add_constant(rhs); // zero out the constant
+        debug_assert_eq!(body.constant(), 0.0);
+        self.constraints.push(Constraint {
+            name: name.into(),
+            expr: body,
+            sense: cmp.sense,
+            rhs,
+        });
+        self.constraints.len() - 1
+    }
+
+    /// Sets the objective function and direction.
+    pub fn set_objective(&mut self, sense: ObjectiveSense, objective: impl Into<LinExpr>) {
+        self.sense = sense;
+        self.objective = objective.into();
+    }
+
+    /// The objective expression (zero when the model is a pure feasibility
+    /// problem).
+    #[must_use]
+    pub fn objective(&self) -> &LinExpr {
+        &self.objective
+    }
+
+    /// The optimization direction.
+    #[must_use]
+    pub fn objective_sense(&self) -> ObjectiveSense {
+        self.sense
+    }
+
+    /// Number of variables.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    #[must_use]
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Number of integral (integer or binary) variables.
+    #[must_use]
+    pub fn num_integrals(&self) -> usize {
+        self.vars.iter().filter(|v| v.is_integral()).count()
+    }
+
+    /// The definition of `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` does not belong to this model.
+    #[must_use]
+    pub fn var_def(&self, var: Var) -> &VarDef {
+        &self.vars[var.index()]
+    }
+
+    /// All constraints in insertion order.
+    #[must_use]
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Tightens the bounds of `var` (used by branch and bound; also handy
+    /// for warm-started re-solves).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new bounds are inverted or NaN.
+    pub fn set_bounds(&mut self, var: Var, lower: f64, upper: f64) {
+        assert!(!lower.is_nan() && !upper.is_nan(), "NaN bound");
+        assert!(lower <= upper, "lower bound exceeds upper bound");
+        let def = &mut self.vars[var.index()];
+        def.lower = lower;
+        def.upper = upper;
+    }
+
+    /// Checks a full assignment against every constraint, all variable
+    /// bounds, and integrality, within `tol`.
+    #[must_use]
+    pub fn is_feasible(&self, values: &[f64], tol: f64) -> bool {
+        if values.len() != self.vars.len() {
+            return false;
+        }
+        for (def, &v) in self.vars.iter().zip(values) {
+            if v < def.lower - tol || v > def.upper + tol {
+                return false;
+            }
+            if def.is_integral() && (v - v.round()).abs() > tol {
+                return false;
+            }
+        }
+        self.constraints.iter().all(|c| c.is_satisfied(values, tol))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_vars_and_bounds() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_integer("y", -2.0, 7.0);
+        let z = m.add_continuous("z", 0.0, f64::INFINITY);
+        assert_eq!(m.num_vars(), 3);
+        assert_eq!(m.num_integrals(), 2);
+        assert_eq!(m.var_def(x).var_type(), VarType::Binary);
+        assert_eq!(m.var_def(y).lower(), -2.0);
+        assert_eq!(m.var_def(z).upper(), f64::INFINITY);
+        assert!(m.var_def(x).is_integral());
+        assert!(!m.var_def(z).is_integral());
+    }
+
+    #[test]
+    #[should_panic(expected = "lower bound exceeds upper")]
+    fn inverted_bounds_panic() {
+        let mut m = Model::new();
+        let _ = m.add_continuous("x", 1.0, 0.0);
+    }
+
+    #[test]
+    fn constraint_normalization() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        // x + 3 ≤ 2y + 5  →  x - 2y ≤ 2
+        m.add_constraint("c", (x + 3.0).le(2.0 * y + 5.0));
+        let c = &m.constraints()[0];
+        assert_eq!(c.expr().coefficient(x), 1.0);
+        assert_eq!(c.expr().coefficient(y), -2.0);
+        assert_eq!(c.rhs(), 2.0);
+        assert_eq!(c.sense(), Sense::Le);
+        assert_eq!(c.name(), "c");
+    }
+
+    #[test]
+    fn constraint_satisfaction() {
+        let mut m = Model::new();
+        let x = m.add_continuous("x", 0.0, 10.0);
+        m.add_constraint("c1", (2.0 * x).le(5.0));
+        m.add_constraint("c2", LinExpr::from(x).ge(1.0));
+        let c1 = &m.constraints()[0];
+        assert!(c1.is_satisfied(&[2.5], 1e-9));
+        assert!(!c1.is_satisfied(&[2.6], 1e-9));
+        assert!(m.is_feasible(&[2.0], 1e-9));
+        assert!(!m.is_feasible(&[0.5], 1e-9)); // violates c2
+        assert!(!m.is_feasible(&[11.0], 1e-9)); // violates upper bound
+    }
+
+    #[test]
+    fn integrality_in_feasibility_check() {
+        let mut m = Model::new();
+        let _ = m.add_integer("n", 0.0, 5.0);
+        assert!(m.is_feasible(&[3.0], 1e-6));
+        assert!(!m.is_feasible(&[3.4], 1e-6));
+    }
+
+    #[test]
+    fn wrong_arity_is_infeasible() {
+        let mut m = Model::new();
+        let _ = m.add_binary("x");
+        assert!(!m.is_feasible(&[], 1e-9));
+    }
+
+    #[test]
+    fn objective_roundtrip() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        m.set_objective(ObjectiveSense::Maximize, 4.0 * x);
+        assert_eq!(m.objective_sense(), ObjectiveSense::Maximize);
+        assert_eq!(m.objective().coefficient(x), 4.0);
+    }
+
+    #[test]
+    fn sense_display() {
+        assert_eq!(Sense::Le.to_string(), "<=");
+        assert_eq!(Sense::Ge.to_string(), ">=");
+        assert_eq!(Sense::Eq.to_string(), "=");
+    }
+}

@@ -1,0 +1,768 @@
+//! Branch and bound over the LP relaxation.
+//!
+//! The search is *best-first* (nodes ordered by their parent's LP bound, ties
+//! broken depth-first so the solver dives early for incumbents), branches on
+//! the most fractional integral variable, and is *anytime*: a warm-start
+//! assignment or any rounded LP solution becomes an incumbent immediately, so
+//! hitting the time or node limit still returns the best feasible solution
+//! found together with the proven bound.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::error::Error;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use crate::expr::Var;
+use crate::model::{Model, ObjectiveSense};
+use crate::simplex::{LpOutcome, SimplexSolver};
+
+/// Options controlling [`Model::solve`].
+#[derive(Debug, Clone)]
+pub struct SolveOptions {
+    /// Wall-clock budget; `None` means unlimited.
+    pub time_limit: Option<Duration>,
+    /// Maximum number of branch-and-bound nodes; `None` means unlimited.
+    pub node_limit: Option<u64>,
+    /// A value within this distance of an integer counts as integral.
+    pub integrality_tol: f64,
+    /// Stop when `|incumbent − bound| ≤ gap_abs`.
+    pub gap_abs: f64,
+    /// A known-feasible assignment used as the initial incumbent.
+    pub warm_start: Option<Vec<f64>>,
+    /// Emit progress lines on stderr.
+    pub log: bool,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        Self {
+            time_limit: None,
+            node_limit: None,
+            integrality_tol: 1e-6,
+            gap_abs: 1e-6,
+            warm_start: None,
+            log: false,
+        }
+    }
+}
+
+impl SolveOptions {
+    /// Convenience: a time-limited configuration.
+    #[must_use]
+    pub fn with_time_limit(limit: Duration) -> Self {
+        Self {
+            time_limit: Some(limit),
+            ..Self::default()
+        }
+    }
+}
+
+/// How good the returned solution is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolveStatus {
+    /// Proven optimal (within the gap tolerance).
+    Optimal,
+    /// Feasible but a limit stopped the proof of optimality.
+    Feasible,
+}
+
+/// Search statistics of one solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveStats {
+    /// Branch-and-bound nodes processed.
+    pub nodes: u64,
+    /// Total simplex iterations across all LP solves.
+    pub lp_iterations: u64,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+    /// Best proven bound on the optimum (in the model's objective sense);
+    /// `None` when the search tree was exhausted before any bound was left.
+    pub best_bound: Option<f64>,
+}
+
+/// A feasible (possibly optimal) MILP solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MilpSolution {
+    status: SolveStatus,
+    values: Vec<f64>,
+    objective: f64,
+    stats: SolveStats,
+}
+
+impl MilpSolution {
+    /// Whether the solution is proven optimal.
+    #[must_use]
+    pub fn status(&self) -> SolveStatus {
+        self.status
+    }
+
+    /// The value of one variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` does not belong to the solved model.
+    #[must_use]
+    pub fn value(&self, var: Var) -> f64 {
+        self.values[var.index()]
+    }
+
+    /// All variable values, indexed by [`Var::index`].
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The objective value in the model's own sense.
+    #[must_use]
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Search statistics.
+    #[must_use]
+    pub fn stats(&self) -> &SolveStats {
+        &self.stats
+    }
+}
+
+/// Why no solution could be returned.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SolveError {
+    /// The constraints admit no solution.
+    Infeasible,
+    /// The objective is unbounded in the optimization direction.
+    Unbounded,
+    /// A limit (time/nodes/iterations) was reached before any feasible
+    /// solution was found; the best proven bound so far is attached when
+    /// one exists.
+    LimitReached {
+        /// Best bound in the model's objective sense, if any LP solved.
+        best_bound: Option<f64>,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Infeasible => write!(f, "model is infeasible"),
+            Self::Unbounded => write!(f, "model is unbounded"),
+            Self::LimitReached { best_bound } => match best_bound {
+                Some(b) => write!(f, "limit reached without a feasible solution (bound {b})"),
+                None => write!(f, "limit reached without a feasible solution"),
+            },
+        }
+    }
+}
+
+impl Error for SolveError {}
+
+/// One open branch-and-bound node.
+#[derive(Debug, Clone)]
+struct Node {
+    /// Bound overrides accumulated from the root: `(var, lower, upper)`.
+    overrides: Vec<(Var, f64, f64)>,
+    /// Parent LP bound in minimization form (the node can't do better).
+    bound: f64,
+    depth: u32,
+    /// Creation sequence: on equal bounds the most recently created node is
+    /// explored first (LIFO), turning tie regions into depth-first dives —
+    /// crucial for finding incumbents in feasibility problems.
+    seq: u64,
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound && self.seq == other.seq
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: smaller bound = higher priority, then
+        // most recently created first (LIFO dive).
+        other
+            .bound
+            .partial_cmp(&self.bound)
+            .unwrap_or(Ordering::Equal)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl Model {
+    /// Solves the model with branch and bound over the built-in simplex.
+    ///
+    /// The solver is *anytime*: with a [`SolveOptions::time_limit`] it
+    /// returns the best feasible solution found so far (status
+    /// [`SolveStatus::Feasible`]) instead of failing, provided any incumbent
+    /// exists.
+    ///
+    /// # Errors
+    ///
+    /// * [`SolveError::Infeasible`] — no assignment satisfies the constraints;
+    /// * [`SolveError::Unbounded`] — the LP relaxation is unbounded;
+    /// * [`SolveError::LimitReached`] — a limit was hit before any feasible
+    ///   solution was found.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use milp::{Model, ObjectiveSense, SolveOptions, SolveStatus};
+    ///
+    /// // max x + y  s.t.  2x + y ≤ 3, integral
+    /// let mut m = Model::new();
+    /// let x = m.add_integer("x", 0.0, 10.0);
+    /// let y = m.add_integer("y", 0.0, 10.0);
+    /// m.add_constraint("cap", (2.0 * x + y).le(3.0));
+    /// m.set_objective(ObjectiveSense::Maximize, x + y);
+    /// let s = m.solve(&SolveOptions::default())?;
+    /// assert_eq!(s.status(), SolveStatus::Optimal);
+    /// assert_eq!(s.objective().round(), 3.0); // x = 0, y = 3
+    /// # Ok::<(), milp::SolveError>(())
+    /// ```
+    pub fn solve(&self, options: &SolveOptions) -> Result<MilpSolution, SolveError> {
+        BranchAndBound::new(self, options).run()
+    }
+}
+
+/// Internal search driver.
+struct BranchAndBound<'a> {
+    model: &'a Model,
+    options: &'a SolveOptions,
+    /// ±1 factor converting the model objective into minimization form.
+    scale: f64,
+    start: Instant,
+    nodes: u64,
+    lp_iterations: u64,
+    incumbent: Option<(Vec<f64>, f64)>, // (values, min-form objective)
+    /// Best (lowest) LP bound among open nodes, min-form.
+    open: BinaryHeap<Node>,
+    root_bound: Option<f64>,
+    node_seq: u64,
+}
+
+impl<'a> BranchAndBound<'a> {
+    fn new(model: &'a Model, options: &'a SolveOptions) -> Self {
+        let scale = match model.objective_sense() {
+            ObjectiveSense::Minimize => 1.0,
+            ObjectiveSense::Maximize => -1.0,
+        };
+        Self {
+            model,
+            options,
+            scale,
+            start: Instant::now(),
+            nodes: 0,
+            lp_iterations: 0,
+            incumbent: None,
+            open: BinaryHeap::new(),
+            root_bound: None,
+            node_seq: 0,
+        }
+    }
+
+    /// Model-sense objective → minimization form.
+    fn to_min(&self, model_obj: f64) -> f64 {
+        self.scale * model_obj
+    }
+
+    /// Minimization form → model-sense objective.
+    fn to_model(&self, min_obj: f64) -> f64 {
+        self.scale * min_obj
+    }
+
+    fn out_of_budget(&self) -> bool {
+        if let Some(limit) = self.options.time_limit {
+            if self.start.elapsed() >= limit {
+                return true;
+            }
+        }
+        if let Some(limit) = self.options.node_limit {
+            if self.nodes >= limit {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn consider_incumbent(&mut self, values: Vec<f64>, model_obj: f64) {
+        let min_obj = self.to_min(model_obj);
+        let better = match &self.incumbent {
+            Some((_, best)) => min_obj < *best - 1e-12,
+            None => true,
+        };
+        if better {
+            if self.options.log {
+                eprintln!(
+                    "[milp] incumbent {:.6} after {} nodes, {:?}",
+                    model_obj,
+                    self.nodes,
+                    self.start.elapsed()
+                );
+            }
+            self.incumbent = Some((values, min_obj));
+        }
+    }
+
+    /// Try rounding an LP point to the nearest integral assignment.
+    fn try_rounding(&mut self, lp_values: &[f64]) {
+        let mut rounded = lp_values.to_vec();
+        for (j, def) in self.model.vars.iter().enumerate() {
+            if def.is_integral() {
+                rounded[j] = rounded[j].round().clamp(def.lower, def.upper);
+            }
+        }
+        if self.model.is_feasible(&rounded, 1e-6) {
+            let obj = self.model.objective().evaluate(&rounded);
+            self.consider_incumbent(rounded, obj);
+        }
+    }
+
+    /// Most fractional integral variable of an LP point.
+    fn pick_branch_var(&self, lp_values: &[f64]) -> Option<(Var, f64)> {
+        let tol = self.options.integrality_tol;
+        let mut best: Option<(Var, f64, f64)> = None; // (var, value, frac dist)
+        for (j, def) in self.model.vars.iter().enumerate() {
+            if !def.is_integral() {
+                continue;
+            }
+            let v = lp_values[j];
+            let frac = (v - v.round()).abs();
+            if frac > tol {
+                let dist_to_half = (frac - 0.5).abs();
+                match best {
+                    Some((_, _, d)) if dist_to_half >= d => {}
+                    _ => best = Some((Var(j as u32), v, dist_to_half)),
+                }
+            }
+        }
+        best.map(|(v, val, _)| (v, val))
+    }
+
+    /// Solves the LP of one node; returns values and min-form objective.
+    fn solve_node_lp(&mut self, overrides: &[(Var, f64, f64)]) -> NodeLp {
+        // Apply overrides on a scratch copy of the model bounds.
+        let mut scratch = self.model.clone();
+        for &(v, l, u) in overrides {
+            let def = scratch.var_def(v);
+            let nl = def.lower().max(l);
+            let nu = def.upper().min(u);
+            if nl > nu {
+                return NodeLp::Infeasible;
+            }
+            scratch.set_bounds(v, nl, nu);
+        }
+        let mut lp = SimplexSolver::from_model(&scratch);
+        lp.deadline = self
+            .options
+            .time_limit
+            .map(|limit| self.start + limit);
+        let outcome = lp.solve();
+        self.lp_iterations += lp.iterations;
+        match outcome {
+            LpOutcome::Optimal { values, objective } => NodeLp::Solved {
+                values,
+                min_obj: self.to_min(objective),
+            },
+            LpOutcome::Infeasible => NodeLp::Infeasible,
+            LpOutcome::Unbounded => NodeLp::Unbounded,
+            LpOutcome::IterationLimit => NodeLp::Infeasible, // numerical brake: drop node
+            LpOutcome::TimedOut => NodeLp::TimedOut,
+        }
+    }
+
+    fn run(mut self) -> Result<MilpSolution, SolveError> {
+        // Seed with the warm start, if it is actually feasible.
+        if let Some(warm) = &self.options.warm_start {
+            if self.model.is_feasible(warm, 1e-6) {
+                let obj = self.model.objective().evaluate(warm);
+                self.consider_incumbent(warm.clone(), obj);
+                // Constant objective: any feasible point is optimal, no
+                // search needed (pure feasibility problems with a known
+                // solution).
+                if self.model.objective().is_empty() {
+                    let (values, min_obj) = self.incumbent.take().expect("just set");
+                    return Ok(MilpSolution {
+                        status: SolveStatus::Optimal,
+                        objective: self.scale * min_obj,
+                        values,
+                        stats: SolveStats {
+                            nodes: 0,
+                            lp_iterations: 0,
+                            elapsed: self.start.elapsed(),
+                            best_bound: Some(self.scale * min_obj),
+                        },
+                    });
+                }
+            }
+        }
+
+        // `exhausted` stays true only when the whole tree was explored (so
+        // the incumbent is proven optimal); any budget break clears it.
+        let mut exhausted = true;
+
+        // Root node.
+        if self.out_of_budget() {
+            exhausted = false;
+        } else {
+            self.nodes += 1;
+            match self.solve_node_lp(&[]) {
+                NodeLp::Infeasible => {
+                    return Err(SolveError::Infeasible);
+                }
+                NodeLp::Unbounded => {
+                    return Err(SolveError::Unbounded);
+                }
+                NodeLp::TimedOut => {
+                    exhausted = false;
+                }
+                NodeLp::Solved { values, min_obj } => {
+                    self.root_bound = Some(min_obj);
+                    self.process_lp(values, min_obj, Vec::new(), 0);
+                }
+            }
+        }
+
+        // Main loop.
+        while let Some(node) = self.open.pop() {
+            // Global bound pruning.
+            if let Some((_, inc)) = &self.incumbent {
+                if node.bound >= *inc - self.options.gap_abs {
+                    continue;
+                }
+            }
+            if self.out_of_budget() {
+                // Put the node back: its bound still counts for reporting.
+                self.open.push(node);
+                exhausted = false;
+                break;
+            }
+            self.nodes += 1;
+            match self.solve_node_lp(&node.overrides) {
+                NodeLp::Infeasible => {}
+                NodeLp::Unbounded => {
+                    // With bounded integrals this cannot happen unless the
+                    // model itself is unbounded; be conservative.
+                    return Err(SolveError::Unbounded);
+                }
+                NodeLp::TimedOut => {
+                    self.open.push(node);
+                    exhausted = false;
+                    break;
+                }
+                NodeLp::Solved { values, min_obj } => {
+                    self.process_lp(values, min_obj, node.overrides, node.depth);
+                }
+            }
+        }
+
+        let proven_optimal = exhausted && self.open.is_empty();
+        let best_bound_min = if proven_optimal {
+            // The tree is exhausted: the incumbent *is* the bound.
+            self.incumbent.as_ref().map(|(_, o)| *o)
+        } else {
+            self.open
+                .iter()
+                .map(|n| n.bound)
+                .fold(None::<f64>, |acc, b| Some(acc.map_or(b, |a| a.min(b))))
+                .or(self.root_bound)
+        };
+
+        let stats = SolveStats {
+            nodes: self.nodes,
+            lp_iterations: self.lp_iterations,
+            elapsed: self.start.elapsed(),
+            best_bound: best_bound_min.map(|b| self.to_model(b)),
+        };
+
+        match self.incumbent {
+            Some((values, min_obj)) => Ok(MilpSolution {
+                status: if proven_optimal {
+                    SolveStatus::Optimal
+                } else {
+                    SolveStatus::Feasible
+                },
+                objective: self.scale * min_obj,
+                values,
+                stats,
+            }),
+            None if proven_optimal => Err(SolveError::Infeasible),
+            None => Err(SolveError::LimitReached {
+                best_bound: stats.best_bound,
+            }),
+        }
+    }
+
+    /// Handles a solved LP: fathom by bound, accept integral solutions, or
+    /// branch.
+    fn process_lp(
+        &mut self,
+        values: Vec<f64>,
+        min_obj: f64,
+        overrides: Vec<(Var, f64, f64)>,
+        depth: u32,
+    ) {
+        if let Some((_, inc)) = &self.incumbent {
+            if min_obj >= *inc - self.options.gap_abs {
+                return; // fathomed by bound
+            }
+        }
+        match self.pick_branch_var(&values) {
+            None => {
+                // Integral: snap and record.
+                let mut snapped = values;
+                for (j, def) in self.model.vars.iter().enumerate() {
+                    if def.is_integral() {
+                        snapped[j] = snapped[j].round();
+                    }
+                }
+                let obj = self.model.objective().evaluate(&snapped);
+                if self.model.is_feasible(&snapped, 1e-5) {
+                    self.consider_incumbent(snapped, obj);
+                } else {
+                    // Rounding glitch: keep the LP value as incumbent basis.
+                    self.consider_incumbent_unsnapped(min_obj);
+                }
+            }
+            Some((var, value)) => {
+                self.try_rounding(&values);
+                let floor = value.floor();
+                let mut down = overrides.clone();
+                down.push((var, f64::NEG_INFINITY, floor));
+                let mut up = overrides;
+                up.push((var, floor + 1.0, f64::INFINITY));
+                // The child on the LP solution's side of the split is pushed
+                // second (higher seq) so the LIFO tie-break dives into it
+                // first.
+                let frac_up = value - floor >= 0.5;
+                let (first, second) = if frac_up { (down, up) } else { (up, down) };
+                self.node_seq += 1;
+                self.open.push(Node {
+                    overrides: first,
+                    bound: min_obj,
+                    depth: depth + 1,
+                    seq: self.node_seq,
+                });
+                self.node_seq += 1;
+                self.open.push(Node {
+                    overrides: second,
+                    bound: min_obj,
+                    depth: depth + 1,
+                    seq: self.node_seq,
+                });
+            }
+        }
+    }
+
+    fn consider_incumbent_unsnapped(&mut self, _min_obj: f64) {
+        // Numerically marginal integral point; ignore (a cleaner point will
+        // be found deeper in the tree).
+    }
+}
+
+/// Outcome of one node LP.
+enum NodeLp {
+    Solved { values: Vec<f64>, min_obj: f64 },
+    Infeasible,
+    Unbounded,
+    TimedOut,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinExpr;
+
+    fn opts() -> SolveOptions {
+        SolveOptions::default()
+    }
+
+    #[test]
+    fn pure_lp_passthrough() {
+        let mut m = Model::new();
+        let x = m.add_continuous("x", 0.0, 4.0);
+        m.add_constraint("c", (2.0 * x).le(5.0));
+        m.set_objective(ObjectiveSense::Maximize, LinExpr::from(x));
+        let s = m.solve(&opts()).unwrap();
+        assert_eq!(s.status(), SolveStatus::Optimal);
+        assert!((s.objective() - 2.5).abs() < 1e-6);
+        assert!((s.value(x) - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn knapsack_exact() {
+        // Values/weights chosen so LP relaxation is fractional.
+        let mut m = Model::new();
+        let items = [(60.0, 10.0), (100.0, 20.0), (120.0, 30.0)];
+        let vars: Vec<_> = items
+            .iter()
+            .enumerate()
+            .map(|(i, _)| m.add_binary(format!("x{i}")))
+            .collect();
+        let weight = LinExpr::weighted_sum(vars.iter().copied().zip(items.iter().map(|i| i.1)));
+        m.add_constraint("cap", weight.le(50.0));
+        let value = LinExpr::weighted_sum(vars.iter().copied().zip(items.iter().map(|i| i.0)));
+        m.set_objective(ObjectiveSense::Maximize, value);
+        let s = m.solve(&opts()).unwrap();
+        // Optimal: items 2 and 3 → 220.
+        assert_eq!(s.status(), SolveStatus::Optimal);
+        assert!((s.objective() - 220.0).abs() < 1e-6);
+        assert!(s.value(vars[0]) < 0.5);
+        assert!(s.value(vars[1]) > 0.5);
+        assert!(s.value(vars[2]) > 0.5);
+    }
+
+    #[test]
+    fn integer_rounding_is_not_assumed() {
+        // LP optimum x = 2.5 but integral optimum is 2.
+        let mut m = Model::new();
+        let x = m.add_integer("x", 0.0, 10.0);
+        m.add_constraint("c", (2.0 * x).le(5.0));
+        m.set_objective(ObjectiveSense::Maximize, LinExpr::from(x));
+        let s = m.solve(&opts()).unwrap();
+        assert_eq!(s.objective().round(), 2.0);
+        assert_eq!(s.status(), SolveStatus::Optimal);
+    }
+
+    #[test]
+    fn infeasible_integrality() {
+        // 0.4 ≤ x ≤ 0.6 has no integer point.
+        let mut m = Model::new();
+        let x = m.add_integer("x", 0.0, 1.0);
+        m.add_constraint("lo", (10.0 * x).ge(4.0));
+        m.add_constraint("hi", (10.0 * x).le(6.0));
+        assert_eq!(m.solve(&opts()).unwrap_err(), SolveError::Infeasible);
+    }
+
+    #[test]
+    fn plain_infeasible() {
+        let mut m = Model::new();
+        let x = m.add_continuous("x", 0.0, 1.0);
+        m.add_constraint("c", LinExpr::from(x).ge(2.0));
+        assert_eq!(m.solve(&opts()).unwrap_err(), SolveError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_reported() {
+        let mut m = Model::new();
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        m.set_objective(ObjectiveSense::Maximize, LinExpr::from(x));
+        assert_eq!(m.solve(&opts()).unwrap_err(), SolveError::Unbounded);
+    }
+
+    #[test]
+    fn warm_start_becomes_incumbent() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.add_constraint("c", (x + y).le(1.0));
+        m.set_objective(ObjectiveSense::Maximize, 2.0 * x + y);
+        let options = SolveOptions {
+            warm_start: Some(vec![0.0, 1.0]), // feasible, obj 1
+            node_limit: Some(0),              // forbid any search
+            ..SolveOptions::default()
+        };
+        let s = m.solve(&options).unwrap();
+        // Node limit 0: the warm start is all we have.
+        assert_eq!(s.status(), SolveStatus::Feasible);
+        assert!((s.objective() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_warm_start_ignored() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        m.set_objective(ObjectiveSense::Maximize, LinExpr::from(x));
+        let options = SolveOptions {
+            warm_start: Some(vec![2.0]), // out of bounds
+            ..SolveOptions::default()
+        };
+        let s = m.solve(&options).unwrap();
+        assert!((s.objective() - 1.0).abs() < 1e-9);
+        assert_eq!(s.status(), SolveStatus::Optimal);
+    }
+
+    #[test]
+    fn equality_milp() {
+        // x + y = 7, x − y = 1 over integers → x=4, y=3.
+        let mut m = Model::new();
+        let x = m.add_integer("x", 0.0, 10.0);
+        let y = m.add_integer("y", 0.0, 10.0);
+        m.add_constraint("sum", (x + y).eq(7.0));
+        m.add_constraint("diff", (x - y).eq(1.0));
+        m.set_objective(ObjectiveSense::Minimize, LinExpr::from(x));
+        let s = m.solve(&opts()).unwrap();
+        assert!((s.value(x) - 4.0).abs() < 1e-6);
+        assert!((s.value(y) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stats_populated() {
+        let mut m = Model::new();
+        let x = m.add_integer("x", 0.0, 10.0);
+        m.add_constraint("c", (2.0 * x).le(5.0));
+        m.set_objective(ObjectiveSense::Maximize, LinExpr::from(x));
+        let s = m.solve(&opts()).unwrap();
+        assert!(s.stats().nodes >= 1);
+        assert!(s.stats().lp_iterations >= 1);
+    }
+
+    #[test]
+    fn feasibility_problem_no_objective() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.add_constraint("pick", (x + y).eq(1.0));
+        let s = m.solve(&opts()).unwrap();
+        assert_eq!(s.status(), SolveStatus::Optimal);
+        let total = s.value(x) + s.value(y);
+        assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bigger_assignment_milp() {
+        // 4×4 assignment problem with distinct costs; optimum is the
+        // diagonal of the cost matrix after the greedy-safe construction
+        // below (costs constructed so the identity matching is optimal).
+        let n = 4;
+        let mut m = Model::new();
+        let mut x = vec![];
+        for i in 0..n {
+            for j in 0..n {
+                x.push(m.add_binary(format!("x{i}{j}")));
+            }
+        }
+        for i in 0..n {
+            let row = LinExpr::weighted_sum((0..n).map(|j| (x[i * n + j], 1.0)));
+            m.add_constraint(format!("row{i}"), row.eq(1.0));
+            let col = LinExpr::weighted_sum((0..n).map(|j| (x[j * n + i], 1.0)));
+            m.add_constraint(format!("col{i}"), col.eq(1.0));
+        }
+        // cost(i,j) = 1 + |i−j| → identity assignment costs 4, any
+        // off-diagonal swap strictly more.
+        let obj = LinExpr::weighted_sum((0..n * n).map(|k| {
+            let (i, j) = (k / n, k % n);
+            (x[k], 1.0 + (i as f64 - j as f64).abs())
+        }));
+        m.set_objective(ObjectiveSense::Minimize, obj);
+        let s = m.solve(&opts()).unwrap();
+        assert!((s.objective() - 4.0).abs() < 1e-6);
+        for i in 0..n {
+            assert!(s.value(x[i * n + i]) > 0.5, "diagonal {i} not chosen");
+        }
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(SolveError::Infeasible.to_string(), "model is infeasible");
+        assert!(SolveError::LimitReached { best_bound: None }
+            .to_string()
+            .contains("limit reached"));
+    }
+}

@@ -1,0 +1,209 @@
+//! Property-based validation of the MILP solver against brute force.
+//!
+//! Random small binary programs are solved both by branch and bound and by
+//! exhaustive enumeration of all 2^n assignments; the solver must agree on
+//! feasibility and on the optimal objective value.
+
+use milp::{LinExpr, Model, ObjectiveSense, Sense, SolveError, SolveOptions};
+use proptest::prelude::*;
+
+/// A randomly generated binary program.
+#[derive(Debug, Clone)]
+struct RandomBip {
+    n_vars: usize,
+    /// Each constraint: (coefficients, sense, rhs).
+    constraints: Vec<(Vec<i32>, Sense, i32)>,
+    objective: Vec<i32>,
+    maximize: bool,
+}
+
+fn bip_strategy() -> impl Strategy<Value = RandomBip> {
+    (2usize..=6).prop_flat_map(|n_vars| {
+        let coef = -4i32..=4;
+        let cons = (
+            proptest::collection::vec(coef.clone(), n_vars),
+            prop_oneof![Just(Sense::Le), Just(Sense::Ge), Just(Sense::Eq)],
+            -3i32..=6,
+        );
+        (
+            proptest::collection::vec(cons, 1..5),
+            proptest::collection::vec(-5i32..=5, n_vars),
+            any::<bool>(),
+        )
+            .prop_map(move |(constraints, objective, maximize)| RandomBip {
+                n_vars,
+                constraints,
+                objective,
+                maximize,
+            })
+    })
+}
+
+fn build_model(bip: &RandomBip) -> (Model, Vec<milp::Var>) {
+    let mut m = Model::new();
+    let vars: Vec<_> = (0..bip.n_vars)
+        .map(|i| m.add_binary(format!("x{i}")))
+        .collect();
+    for (k, (coefs, sense, rhs)) in bip.constraints.iter().enumerate() {
+        let expr = LinExpr::weighted_sum(
+            vars.iter()
+                .copied()
+                .zip(coefs.iter().map(|&c| f64::from(c))),
+        );
+        let cmp = match sense {
+            Sense::Le => expr.le(f64::from(*rhs)),
+            Sense::Ge => expr.ge(f64::from(*rhs)),
+            Sense::Eq => expr.eq(f64::from(*rhs)),
+        };
+        m.add_constraint(format!("c{k}"), cmp);
+    }
+    let obj = LinExpr::weighted_sum(
+        vars.iter()
+            .copied()
+            .zip(bip.objective.iter().map(|&c| f64::from(c))),
+    );
+    let sense = if bip.maximize {
+        ObjectiveSense::Maximize
+    } else {
+        ObjectiveSense::Minimize
+    };
+    m.set_objective(sense, obj);
+    (m, vars)
+}
+
+/// Exhaustive optimum: `None` when infeasible.
+fn brute_force(bip: &RandomBip) -> Option<i64> {
+    let mut best: Option<i64> = None;
+    for mask in 0u32..(1 << bip.n_vars) {
+        let assignment: Vec<i64> = (0..bip.n_vars)
+            .map(|i| i64::from((mask >> i) & 1))
+            .collect();
+        let feasible = bip.constraints.iter().all(|(coefs, sense, rhs)| {
+            let lhs: i64 = coefs
+                .iter()
+                .zip(&assignment)
+                .map(|(&c, &x)| i64::from(c) * x)
+                .sum();
+            let rhs = i64::from(*rhs);
+            match sense {
+                Sense::Le => lhs <= rhs,
+                Sense::Ge => lhs >= rhs,
+                Sense::Eq => lhs == rhs,
+            }
+        });
+        if !feasible {
+            continue;
+        }
+        let obj: i64 = bip
+            .objective
+            .iter()
+            .zip(&assignment)
+            .map(|(&c, &x)| i64::from(c) * x)
+            .sum();
+        best = Some(match best {
+            None => obj,
+            Some(b) => {
+                if bip.maximize {
+                    b.max(obj)
+                } else {
+                    b.min(obj)
+                }
+            }
+        });
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Branch and bound agrees with exhaustive enumeration on random binary
+    /// programs: same feasibility verdict, same optimal value, and the
+    /// returned assignment is genuinely feasible.
+    #[test]
+    fn solver_matches_brute_force(bip in bip_strategy()) {
+        let (model, _) = build_model(&bip);
+        let expected = brute_force(&bip);
+        match model.solve(&SolveOptions::default()) {
+            Ok(solution) => {
+                let exp = expected.expect("solver found a solution where brute force found none");
+                prop_assert!(
+                    (solution.objective() - exp as f64).abs() < 1e-6,
+                    "objective {} != brute force {}",
+                    solution.objective(),
+                    exp
+                );
+                prop_assert!(model.is_feasible(solution.values(), 1e-6));
+            }
+            Err(SolveError::Infeasible) => {
+                prop_assert_eq!(expected, None, "solver said infeasible, brute force disagrees");
+            }
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected error: {e}"))),
+        }
+    }
+
+    /// The LP relaxation bound is always at least as good as the integral
+    /// optimum (lower for minimization, higher for maximization).
+    #[test]
+    fn lp_relaxation_bounds_integral_optimum(bip in bip_strategy()) {
+        let (model, _) = build_model(&bip);
+        let Some(int_opt) = brute_force(&bip) else { return Ok(()); };
+        let mut lp = milp::simplex::SimplexSolver::from_model(&model);
+        match lp.solve() {
+            milp::simplex::LpOutcome::Optimal { objective, .. } => {
+                if bip.maximize {
+                    prop_assert!(objective >= int_opt as f64 - 1e-6);
+                } else {
+                    prop_assert!(objective <= int_opt as f64 + 1e-6);
+                }
+            }
+            other => return Err(TestCaseError::fail(format!(
+                "LP should be feasible when the BIP is ({other:?})"
+            ))),
+        }
+    }
+}
+
+#[test]
+fn time_limited_solve_is_anytime() {
+    // A 14-item knapsack with correlated weights makes the tree nontrivial;
+    // even with a tiny budget the solver must return something feasible
+    // (warm start provided).
+    let n = 14;
+    let mut m = Model::new();
+    let vars: Vec<_> = (0..n).map(|i| m.add_binary(format!("x{i}"))).collect();
+    let weights: Vec<f64> = (0..n).map(|i| 3.0 + ((i * 7) % 11) as f64).collect();
+    let values: Vec<f64> = weights.iter().map(|w| w + 1.0).collect();
+    let cap = weights.iter().sum::<f64>() / 2.0;
+    m.add_constraint(
+        "cap",
+        LinExpr::weighted_sum(vars.iter().copied().zip(weights.iter().copied())).le(cap),
+    );
+    m.set_objective(
+        ObjectiveSense::Maximize,
+        LinExpr::weighted_sum(vars.iter().copied().zip(values.iter().copied())),
+    );
+    let options = SolveOptions {
+        time_limit: Some(std::time::Duration::from_millis(5)),
+        warm_start: Some(vec![0.0; n]),
+        ..SolveOptions::default()
+    };
+    let s = m.solve(&options).expect("anytime solve must return the warm start at worst");
+    assert!(m.is_feasible(s.values(), 1e-6));
+}
+
+#[test]
+fn node_limit_respected() {
+    let mut m = Model::new();
+    let x = m.add_integer("x", 0.0, 100.0);
+    let y = m.add_integer("y", 0.0, 100.0);
+    m.add_constraint("c", (3.0 * x + 7.0 * y).le(100.0));
+    m.set_objective(ObjectiveSense::Maximize, 2.0 * x + 5.0 * y);
+    let options = SolveOptions {
+        node_limit: Some(3),
+        warm_start: Some(vec![0.0, 0.0]),
+        ..SolveOptions::default()
+    };
+    let s = m.solve(&options).unwrap();
+    assert!(s.stats().nodes <= 3 + 1); // root + limit slack
+}

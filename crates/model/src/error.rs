@@ -1,0 +1,84 @@
+//! Error types for model construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::{CoreId, LabelId, TaskId};
+
+/// Error produced while building or validating a [`crate::System`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A numeric parameter was out of range (zero period, zero size, …).
+    InvalidParameter(String),
+    /// Two tasks or two labels were declared with the same name.
+    DuplicateName(String),
+    /// A task was mapped to a core that does not exist on the platform.
+    UnknownCore(CoreId),
+    /// A task id does not belong to the system being built.
+    UnknownTask(TaskId),
+    /// A label id does not belong to the system being built.
+    UnknownLabel(LabelId),
+    /// A task both writes and reads the same label.
+    SelfCommunication {
+        /// The task in question.
+        task: TaskId,
+        /// The label it both writes and reads.
+        label: LabelId,
+    },
+    /// The same reader was listed twice on one label.
+    DuplicateReader {
+        /// The duplicated reader.
+        task: TaskId,
+        /// The label with the duplicated reader.
+        label: LabelId,
+    },
+    /// The system has no tasks.
+    EmptySystem,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            Self::DuplicateName(name) => write!(f, "duplicate name `{name}`"),
+            Self::UnknownCore(core) => write!(f, "core {core} does not exist on the platform"),
+            Self::UnknownTask(task) => write!(f, "task {task} does not belong to this system"),
+            Self::UnknownLabel(label) => write!(f, "label {label} does not belong to this system"),
+            Self::SelfCommunication { task, label } => {
+                write!(f, "task {task} both writes and reads label {label}")
+            }
+            Self::DuplicateReader { task, label } => {
+                write!(f, "task {task} listed twice as reader of label {label}")
+            }
+            Self::EmptySystem => write!(f, "the system declares no tasks"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_trailing_punctuation() {
+        let messages = [
+            ModelError::InvalidParameter("x".into()).to_string(),
+            ModelError::DuplicateName("a".into()).to_string(),
+            ModelError::UnknownCore(CoreId::new(7)).to_string(),
+            ModelError::EmptySystem.to_string(),
+        ];
+        for m in messages {
+            assert!(!m.ends_with('.'), "no trailing period: {m}");
+            assert!(m.chars().next().unwrap().is_lowercase(), "lowercase: {m}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

@@ -1,0 +1,84 @@
+//! # letdma-model
+//!
+//! System model and Logical-Execution-Time (LET) semantics for DMA-driven
+//! inter-core communication, reproducing the model of *Pazzaglia, Casini,
+//! Biondi, Di Natale — "Optimal Memory Allocation and Scheduling for DMA
+//! Data Transfers under the LET Paradigm" (DAC 2021)*.
+//!
+//! The crate provides:
+//!
+//! * the **platform model** (§III-A): identical cores with dual-ported local
+//!   scratchpads, one global memory, one DMA engine with a three-parameter
+//!   cost model (`o_DP`, `o_ISR`, `ω_c`) — [`Platform`], [`CostModel`];
+//! * the **application model** (§III): periodic tasks under partitioned
+//!   scheduling and single-writer labels — [`System`], [`SystemBuilder`];
+//! * the **LET semantics** (§IV, §V-A): communication skip rules (Eqs. 1–2),
+//!   communication hyperperiods (Eq. 3), Algorithm 1
+//!   ([`let_semantics::let_group`]), the communication instants `𝓣*` and
+//!   sets `𝓒(t)`;
+//! * **DMA transfers and memory layouts** (§V): [`DmaTransfer`],
+//!   [`TransferSchedule`], [`MemoryLayout`], with per-instant restriction and
+//!   worst-case latency evaluation;
+//! * an independent **conformance checker** ([`conformance::verify`]) for
+//!   Properties 1–3, contiguity and acquisition deadlines.
+//!
+//! # Examples
+//!
+//! Build a two-core system with one inter-core communication and inspect its
+//! LET communications:
+//!
+//! ```
+//! use letdma_model::{let_semantics, SystemBuilder, TimeNs};
+//!
+//! let mut b = SystemBuilder::new(2);
+//! let camera = b.task("camera").period_ms(33).core_index(0).add()?;
+//! let fusion = b.task("fusion").period_ms(66).core_index(1).add()?;
+//! b.label("frame").size(640 * 480).writer(camera).reader(fusion).add()?;
+//! let system = b.build()?;
+//!
+//! // At the synchronous start everything communicates:
+//! let comms = let_semantics::comms_at_start(&system);
+//! assert_eq!(comms.len(), 2); // one write + one read
+//!
+//! // The camera is oversampled: its write at t = 33 ms is skipped because
+//! // the fusion task only reads at 0 and 66 ms.
+//! assert!(let_semantics::comms_at(&system, TimeNs::from_ms(33)).is_empty());
+//! # Ok::<(), letdma_model::ModelError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod conformance;
+mod error;
+mod ids;
+mod label;
+pub mod let_semantics;
+mod platform;
+mod system;
+mod task;
+pub mod time;
+pub mod transfer;
+
+pub use error::ModelError;
+pub use ids::{CoreId, LabelId, MemoryId, TaskId};
+pub use label::{Label, LabelBuilder};
+pub use let_semantics::{CommKind, Communication, LetGroup};
+pub use platform::{CopyCost, CostModel, Platform};
+pub use system::{System, SystemBuilder};
+pub use task::{Task, TaskBuilder};
+pub use time::TimeNs;
+pub use transfer::{DmaTransfer, MemoryLayout, Slot, TransferSchedule};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn public_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<crate::System>();
+        assert_send_sync::<crate::TransferSchedule>();
+        assert_send_sync::<crate::MemoryLayout>();
+        assert_send_sync::<crate::ModelError>();
+    }
+}

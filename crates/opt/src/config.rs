@@ -1,0 +1,103 @@
+//! Configuration of the optimization problem (§VI).
+
+use std::time::Duration;
+
+/// The objective function variants evaluated in §VII of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Objective {
+    /// `NO-OBJ`: pure feasibility — stop at the first solution satisfying
+    /// Constraints 1–10.
+    #[default]
+    None,
+    /// `OBJ-DMAT` (Eq. 4): minimize the number of DMA transfers, encoded as
+    /// `min max_i RGI_i`.
+    MinTransfers,
+    /// `OBJ-DEL` (Eq. 5): minimize the worst data-acquisition delay ratio,
+    /// `min max_i λ_i / T_i`.
+    MinDelayRatio,
+}
+
+impl std::fmt::Display for Objective {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::None => write!(f, "NO-OBJ"),
+            Self::MinTransfers => write!(f, "OBJ-DMAT"),
+            Self::MinDelayRatio => write!(f, "OBJ-DEL"),
+        }
+    }
+}
+
+/// Options for [`crate::optimize`].
+#[derive(Debug, Clone)]
+pub struct OptConfig {
+    /// Which objective to optimize.
+    pub objective: Objective,
+    /// Maximum number of DMA transfer slots `G` made available to the MILP.
+    ///
+    /// `None` uses the always-sufficient `|𝓒(s_0)|` (one group per
+    /// communication). Smaller values shrink the model — and can speed up
+    /// the solve dramatically — but may exclude the optimum (never
+    /// feasibility as long as a feasible schedule with that many transfers
+    /// exists).
+    pub max_transfers: Option<usize>,
+    /// Allocate private (non-inter-core) labels in the local layouts too.
+    pub include_private_labels: bool,
+    /// Wall-clock budget for the MILP search.
+    pub time_limit: Option<Duration>,
+    /// Node budget for the MILP search.
+    pub node_limit: Option<u64>,
+    /// Seed the solver with the constructive heuristic's solution so the
+    /// search is anytime (recommended for the objective-driven variants;
+    /// disable to measure pure feasibility-search time as in Table I's
+    /// `NO-OBJ` row).
+    pub warm_start: bool,
+    /// Emit solver progress on stderr.
+    pub log: bool,
+}
+
+impl Default for OptConfig {
+    fn default() -> Self {
+        Self {
+            objective: Objective::None,
+            max_transfers: None,
+            include_private_labels: false,
+            time_limit: Some(Duration::from_secs(60)),
+            node_limit: None,
+            warm_start: true,
+            log: false,
+        }
+    }
+}
+
+impl OptConfig {
+    /// Configuration for one of the paper's three objective variants with
+    /// the given time budget.
+    #[must_use]
+    pub fn with_objective(objective: Objective, time_limit: Duration) -> Self {
+        Self {
+            objective,
+            time_limit: Some(time_limit),
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objective_display_matches_paper_names() {
+        assert_eq!(Objective::None.to_string(), "NO-OBJ");
+        assert_eq!(Objective::MinTransfers.to_string(), "OBJ-DMAT");
+        assert_eq!(Objective::MinDelayRatio.to_string(), "OBJ-DEL");
+    }
+
+    #[test]
+    fn default_config_is_warm_started_feasibility() {
+        let c = OptConfig::default();
+        assert_eq!(c.objective, Objective::None);
+        assert!(c.warm_start);
+        assert!(c.max_transfers.is_none());
+    }
+}

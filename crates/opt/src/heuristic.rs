@@ -1,0 +1,344 @@
+//! Constructive heuristic: a feasible-by-construction transfer schedule and
+//! memory layout, used both standalone (fast mode) and as the MILP warm
+//! start.
+//!
+//! The construction groups communications that (i) share a DMA direction
+//! (same local memory, same read/write kind), (ii) have the *same presence
+//! pattern* over the communication instants `𝓣*`, and (iii) are adjacent in
+//! a global label order. Identical presence patterns make every group
+//! all-or-nothing at each instant, so the per-instant contiguity requirement
+//! (Constraint 6 / Theorem 1) holds by construction; the layouts are simply
+//! the concatenation of the groups.
+
+use std::collections::BTreeMap;
+
+use letdma_model::let_semantics::{comm_instants, comms_at, comms_at_start};
+use letdma_model::transfer::local_slot;
+use letdma_model::{
+    Communication, DmaTransfer, LabelId, MemoryId, MemoryLayout, System, TransferSchedule,
+};
+
+/// The output of the constructive heuristic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeuristicSolution {
+    /// The memory layout (concatenation of the groups).
+    pub layout: MemoryLayout,
+    /// The transfer schedule (all write groups, then all read groups).
+    pub schedule: TransferSchedule,
+}
+
+/// Presence bitmask of a communication over the ordered instants of `𝓣*`.
+type Pattern = Vec<bool>;
+
+/// Builds the heuristic solution for `system`.
+///
+/// The result always satisfies Constraints 1–8 and the per-instant
+/// contiguity requirement by construction; Property 3 and the acquisition
+/// deadlines depend on the cost model and must be checked by the caller
+/// (e.g. with [`letdma_model::conformance::verify`]).
+///
+/// Returns `None` when the system has no inter-core communications.
+#[must_use]
+pub fn construct(system: &System, include_private_labels: bool) -> Option<HeuristicSolution> {
+    let comms = comms_at_start(system);
+    if comms.is_empty() {
+        return None;
+    }
+    let instants = comm_instants(system);
+    let mut presence: BTreeMap<Communication, Pattern> = BTreeMap::new();
+    for (k, &t) in instants.iter().enumerate() {
+        for c in comms_at(system, t) {
+            presence
+                .entry(c)
+                .or_insert_with(|| vec![false; instants.len()])
+                [k] = true;
+        }
+    }
+
+    // Global label order: group-friendly sort of the inter-core labels.
+    let mut labels: Vec<LabelId> = system
+        .inter_core_shared_labels()
+        .map(letdma_model::Label::id)
+        .collect();
+    labels.sort_by_key(|&l| {
+        let writer = system.label(l).writer();
+        let write_comm = Communication::write(writer, l);
+        let reader_cores: Vec<_> = system
+            .inter_core_readers(l)
+            .map(|r| system.task(r).core())
+            .collect();
+        (
+            system.local_memory_of(writer),
+            presence[&write_comm].clone(),
+            reader_cores,
+            l,
+        )
+    });
+    let global_pos: BTreeMap<LabelId, usize> =
+        labels.iter().enumerate().map(|(i, &l)| (l, i)).collect();
+
+    // Write groups: runs of labels with the same writer memory and the same
+    // write presence pattern.
+    let mut write_groups: Vec<Vec<Communication>> = Vec::new();
+    let mut current: Vec<Communication> = Vec::new();
+    let mut current_key: Option<(MemoryId, Pattern)> = None;
+    for &l in &labels {
+        let w = Communication::write(system.label(l).writer(), l);
+        let key = (w.local_memory(system), presence[&w].clone());
+        if current_key.as_ref() == Some(&key) {
+            current.push(w);
+        } else {
+            if !current.is_empty() {
+                write_groups.push(std::mem::take(&mut current));
+            }
+            current.push(w);
+            current_key = Some(key);
+        }
+    }
+    if !current.is_empty() {
+        write_groups.push(current);
+    }
+
+    // Read groups, per consumer core: runs over the class's scan order that
+    // are globally consecutive, share a pattern, and never repeat a label.
+    let mut read_groups: Vec<Vec<Communication>> = Vec::new();
+    let mut read_scan_order: BTreeMap<MemoryId, Vec<Communication>> = BTreeMap::new();
+    for core in system.platform().cores() {
+        let memory = MemoryId::local(core);
+        // Scan order: global label order, ties (duplicate label read by two
+        // tasks on the same core) broken by task id.
+        let mut class_comms: Vec<Communication> = labels
+            .iter()
+            .flat_map(|&l| {
+                system
+                    .inter_core_readers(l)
+                    .filter(|&r| system.task(r).core() == core)
+                    .map(move |r| Communication::read(l, r))
+            })
+            .collect();
+        class_comms.sort_by_key(|c| (global_pos[&c.label], c.task));
+        if class_comms.is_empty() {
+            continue;
+        }
+        read_scan_order.insert(memory, class_comms.clone());
+
+        let mut group: Vec<Communication> = Vec::new();
+        let mut prev_pos: Option<usize> = None;
+        let mut prev_pattern: Option<&Pattern> = None;
+        for c in &class_comms {
+            let pos = global_pos[&c.label];
+            let pattern = &presence[c];
+            let contiguous = prev_pos.is_some_and(|p| pos == p + 1);
+            let same_pattern = prev_pattern == Some(pattern);
+            let breaks_run = !(contiguous && same_pattern);
+            if breaks_run && !group.is_empty() {
+                read_groups.push(std::mem::take(&mut group));
+            }
+            group.push(*c);
+            prev_pos = Some(pos);
+            prev_pattern = Some(pattern);
+        }
+        if !group.is_empty() {
+            read_groups.push(group);
+        }
+    }
+
+    // Schedule: all writes, then all reads (Properties 1 & 2 by
+    // construction).
+    let transfers: Vec<DmaTransfer> = write_groups
+        .iter()
+        .chain(read_groups.iter())
+        .map(|g| DmaTransfer::new(system, g.clone()))
+        .collect();
+    let schedule = TransferSchedule::new(transfers);
+
+    // Layouts.
+    let mut layout = MemoryLayout::new();
+    layout.set_order(
+        MemoryId::Global,
+        labels.iter().map(|&l| letdma_model::Slot::Global(l)).collect(),
+    );
+    for core in system.platform().cores() {
+        let memory = MemoryId::local(core);
+        let mut slots = Vec::new();
+        // Producer copies in global label order.
+        for &l in &labels {
+            let writer = system.label(l).writer();
+            if system.task(writer).core() == core {
+                slots.push(local_slot(Communication::write(writer, l)));
+            }
+        }
+        // Consumer copies in the class scan order.
+        if let Some(class_comms) = read_scan_order.get(&memory) {
+            for c in class_comms {
+                slots.push(local_slot(*c));
+            }
+        }
+        // Private labels last.
+        if include_private_labels {
+            for label in system.labels() {
+                if !system.is_inter_core_shared(label.id())
+                    && system.task(label.writer()).core() == core
+                {
+                    slots.push(letdma_model::Slot::Private(label.id()));
+                }
+            }
+        }
+        if !slots.is_empty() {
+            layout.set_order(memory, slots);
+        }
+    }
+    Some(HeuristicSolution { layout, schedule })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use letdma_model::conformance::{verify, VerifyOptions};
+    use letdma_model::{CopyCost, CostModel, SystemBuilder, TimeNs};
+
+    fn verify_ok(system: &System, sol: &HeuristicSolution) {
+        let violations = verify(
+            system,
+            &sol.layout,
+            &sol.schedule,
+            VerifyOptions {
+                check_acquisition_deadlines: false,
+                check_property3: false,
+                ..VerifyOptions::default()
+            },
+        );
+        assert!(violations.is_empty(), "heuristic violates: {violations:?}");
+    }
+
+    #[test]
+    fn no_comms_returns_none() {
+        let mut b = SystemBuilder::new(1);
+        b.task("solo").period_ms(5).core_index(0).add().unwrap();
+        let sys = b.build().unwrap();
+        assert!(construct(&sys, false).is_none());
+    }
+
+    #[test]
+    fn single_pair_two_transfers() {
+        let mut b = SystemBuilder::new(2);
+        let p = b.task("p").period_ms(5).core_index(0).add().unwrap();
+        let c = b.task("c").period_ms(5).core_index(1).add().unwrap();
+        b.label("l").size(64).writer(p).reader(c).add().unwrap();
+        let sys = b.build().unwrap();
+        let sol = construct(&sys, false).unwrap();
+        assert_eq!(sol.schedule.len(), 2);
+        verify_ok(&sys, &sol);
+    }
+
+    #[test]
+    fn same_pattern_labels_grouped() {
+        // Three same-period pairs share one write group and one read group.
+        let mut b = SystemBuilder::new(2);
+        let p = b.task("p").period_ms(5).core_index(0).add().unwrap();
+        let c = b.task("c").period_ms(5).core_index(1).add().unwrap();
+        for i in 0..3 {
+            b.label(format!("l{i}"))
+                .size(16)
+                .writer(p)
+                .reader(c)
+                .add()
+                .unwrap();
+        }
+        let sys = b.build().unwrap();
+        let sol = construct(&sys, false).unwrap();
+        assert_eq!(sol.schedule.len(), 2, "one write + one read group");
+        assert_eq!(sol.schedule.transfers()[0].comms().len(), 3);
+        verify_ok(&sys, &sol);
+    }
+
+    #[test]
+    fn different_patterns_split_groups() {
+        // A 5 ms pair and a 10 ms pair have different skip patterns.
+        let mut b = SystemBuilder::new(2);
+        let p1 = b.task("p1").period_ms(5).core_index(0).add().unwrap();
+        let c1 = b.task("c1").period_ms(5).core_index(1).add().unwrap();
+        let p2 = b.task("p2").period_ms(10).core_index(0).add().unwrap();
+        let c2 = b.task("c2").period_ms(10).core_index(1).add().unwrap();
+        b.label("fast").size(16).writer(p1).reader(c1).add().unwrap();
+        b.label("slow").size(16).writer(p2).reader(c2).add().unwrap();
+        let sys = b.build().unwrap();
+        let sol = construct(&sys, false).unwrap();
+        assert_eq!(sol.schedule.len(), 4, "patterns differ → split groups");
+        verify_ok(&sys, &sol);
+    }
+
+    #[test]
+    fn multi_core_multi_reader_valid() {
+        let mut b = SystemBuilder::new(3);
+        let p = b.task("p").period_ms(10).core_index(0).add().unwrap();
+        let c1 = b.task("c1").period_ms(20).core_index(1).add().unwrap();
+        let c2 = b.task("c2").period_ms(10).core_index(2).add().unwrap();
+        let q = b.task("q").period_ms(10).core_index(1).add().unwrap();
+        b.label("broadcast")
+            .size(128)
+            .writer(p)
+            .readers([c1, c2])
+            .add()
+            .unwrap();
+        b.label("back").size(32).writer(q).reader(c2).add().unwrap();
+        let sys = b.build().unwrap();
+        let sol = construct(&sys, false).unwrap();
+        verify_ok(&sys, &sol);
+    }
+
+    #[test]
+    fn duplicate_label_same_core_readers_split() {
+        // Two tasks on the same core read the same label: two copies, two
+        // read comms, necessarily different transfers.
+        let mut b = SystemBuilder::new(2);
+        let p = b.task("p").period_ms(5).core_index(0).add().unwrap();
+        let c1 = b.task("c1").period_ms(5).core_index(1).add().unwrap();
+        let c2 = b.task("c2").period_ms(5).core_index(1).add().unwrap();
+        b.label("l").size(8).writer(p).readers([c1, c2]).add().unwrap();
+        let sys = b.build().unwrap();
+        let sol = construct(&sys, false).unwrap();
+        verify_ok(&sys, &sol);
+        // 1 write group + 2 read groups (same label cannot share a group).
+        assert_eq!(sol.schedule.len(), 3);
+    }
+
+    #[test]
+    fn private_labels_placed_when_requested() {
+        let mut b = SystemBuilder::new(2);
+        let p = b.task("p").period_ms(5).core_index(0).add().unwrap();
+        let c = b.task("c").period_ms(5).core_index(1).add().unwrap();
+        b.label("shared").size(8).writer(p).reader(c).add().unwrap();
+        b.label("scratch").size(8).writer(p).add().unwrap();
+        let sys = b.build().unwrap();
+        let sol = construct(&sys, true).unwrap();
+        let violations = verify(
+            &sys,
+            &sol.layout,
+            &sol.schedule,
+            VerifyOptions {
+                include_private_labels: true,
+                check_acquisition_deadlines: false,
+                check_property3: false,
+            },
+        );
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn property3_holds_with_fast_dma() {
+        let mut b = SystemBuilder::new(2);
+        b.set_costs(CostModel::new(
+            TimeNs::from_us(1),
+            TimeNs::from_us(1),
+            CopyCost::per_byte(1, 1).unwrap(),
+        ));
+        let p = b.task("p").period_ms(5).core_index(0).add().unwrap();
+        let c = b.task("c").period_ms(10).core_index(1).add().unwrap();
+        b.label("l").size(100).writer(p).reader(c).add().unwrap();
+        let sys = b.build().unwrap();
+        let sol = construct(&sys, false).unwrap();
+        let violations = verify(&sys, &sol.layout, &sol.schedule, VerifyOptions::default());
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+}

@@ -1,0 +1,84 @@
+//! # letdma-opt
+//!
+//! The optimization problem of §VI of *Pazzaglia et al., DAC 2021*: jointly
+//! derive an **optimal memory allocation** (contiguous placement of labels
+//! and their local copies) and an **optimal schedule of DMA transfers** for
+//! LET communications, subject to
+//!
+//! * Constraints 1–2 — every communication in exactly one transfer;
+//! * Constraints 4–5 — each memory's labels form a total order (positions);
+//! * Constraint 6 — labels grouped in one transfer are contiguous, in the
+//!   same order, in both source and destination memory, *at every
+//!   communication instant*;
+//! * Constraints 7–8 — LET causality (Properties 1 and 2);
+//! * Constraint 9 — per-task data-acquisition deadlines `γ_i`;
+//! * Constraint 10 — all transfers issued at an instant finish before the
+//!   next one (Property 3),
+//!
+//! with the paper's three objective variants (`NO-OBJ`, `OBJ-DMAT`,
+//! `OBJ-DEL`). The MILP is solved with the in-workspace [`milp`] crate and
+//! seeded by a constructive heuristic; every returned solution is
+//! re-validated by the independent conformance checker of `letdma-model`.
+//!
+//! # Examples
+//!
+//! ```
+//! use letdma_model::SystemBuilder;
+//! use letdma_opt::{optimize, Objective, OptConfig};
+//! use std::time::Duration;
+//!
+//! let mut b = SystemBuilder::new(2);
+//! let cam = b.task("camera").period_ms(33).core_index(0).add()?;
+//! let det = b.task("detector").period_ms(66).core_index(1).add()?;
+//! b.label("frame").size(32 * 1024).writer(cam).reader(det).add()?;
+//! let system = b.build()?;
+//!
+//! let config = OptConfig::with_objective(Objective::MinTransfers, Duration::from_secs(5));
+//! let solution = optimize(&system, &config)?;
+//! println!("transfers: {}", solution.num_transfers());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod formulation;
+pub mod heuristic;
+mod improve;
+mod optimizer;
+mod solution;
+
+pub use config::{Objective, OptConfig};
+pub use improve::{improve_transfer_order, improve_transfer_order_with, ImproveGoal};
+pub use optimizer::{formulation_lp, heuristic_solution, optimize, OptError};
+pub use solution::{LetDmaSolution, Provenance};
+
+/// Diagnostics used by development probes; not part of the public API.
+#[doc(hidden)]
+pub mod debug {
+    use crate::config::OptConfig;
+    use letdma_model::System;
+    use milp::simplex::{LpOutcome, SimplexSolver};
+
+    /// Solves only the root LP relaxation and reports
+    /// `(phase1_iterations, total_iterations, outcome-tag)`.
+    #[must_use]
+    pub fn root_lp_stats(system: &System, config: &OptConfig) -> (u64, u64, String) {
+        let f = crate::formulation::build(system, config);
+        let mut lp = SimplexSolver::from_model(&f.model);
+        lp.deadline = Some(std::time::Instant::now() + std::time::Duration::from_secs(120));
+        let outcome = lp.solve();
+        let infeas = lp.infeasibility();
+        let _ = &infeas;
+        let tag = match outcome {
+            LpOutcome::Optimal { objective, .. } => format!("optimal({objective:.4})"),
+            LpOutcome::Infeasible => "infeasible".into(),
+            LpOutcome::Unbounded => "unbounded".into(),
+            LpOutcome::IterationLimit => "iteration-limit".into(),
+            LpOutcome::TimedOut => format!("timed-out(infeas={:.6})", lp.infeasibility()),
+        };
+        (lp.phase1_iterations, lp.iterations, tag)
+    }
+}

@@ -1,0 +1,286 @@
+//! Top-level entry point: build the formulation, seed it with the
+//! constructive heuristic, solve, extract and validate.
+
+use std::error::Error;
+use std::fmt;
+
+use letdma_model::conformance::{verify, VerifyOptions, Violation};
+use letdma_model::System;
+use milp::{SolveError, SolveOptions};
+
+use crate::config::{Objective, OptConfig};
+use crate::formulation;
+use crate::heuristic;
+use crate::solution::{extract, from_heuristic, warm_start_assignment, LetDmaSolution};
+
+/// Errors of [`optimize`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum OptError {
+    /// The system has no inter-core communications to schedule.
+    NoCommunications,
+    /// Constraints 1–10 admit no solution (e.g. deadlines too tight).
+    Infeasible,
+    /// The search budget ran out before any feasible solution was found.
+    BudgetExhausted,
+    /// Internal consistency failure: the solver returned an assignment that
+    /// does not survive independent conformance checking.
+    InvalidSolution(Vec<Violation>),
+    /// Unexpected solver failure.
+    Solver(String),
+}
+
+impl fmt::Display for OptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoCommunications => write!(f, "the system has no inter-core communications"),
+            Self::Infeasible => write!(f, "the allocation problem is infeasible"),
+            Self::BudgetExhausted => {
+                write!(f, "search budget exhausted before a feasible solution was found")
+            }
+            Self::InvalidSolution(v) => {
+                write!(f, "solver returned an invalid solution ({} violations)", v.len())
+            }
+            Self::Solver(msg) => write!(f, "solver failure: {msg}"),
+        }
+    }
+}
+
+impl Error for OptError {}
+
+/// Solves the optimal memory-allocation and DMA-scheduling problem of §VI.
+///
+/// The returned solution is always re-validated with the independent
+/// conformance checker ([`letdma_model::conformance::verify`]) — Properties
+/// 1–3, per-instant contiguity and acquisition deadlines — so a successful
+/// return is a machine-checked certificate, not just solver output.
+///
+/// # Errors
+///
+/// See [`OptError`]. With [`OptConfig::warm_start`] enabled (the default)
+/// a time-limited run degrades gracefully: if the MILP search cannot improve
+/// on the constructive heuristic within the budget, the (valid) heuristic
+/// solution is returned instead of an error.
+///
+/// # Examples
+///
+/// ```
+/// use letdma_model::SystemBuilder;
+/// use letdma_opt::{optimize, OptConfig};
+///
+/// let mut b = SystemBuilder::new(2);
+/// let p = b.task("producer").period_ms(5).core_index(0).add()?;
+/// let c = b.task("consumer").period_ms(10).core_index(1).add()?;
+/// b.label("frame").size(1024).writer(p).reader(c).add()?;
+/// let system = b.build()?;
+///
+/// let solution = optimize(&system, &OptConfig::default())?;
+/// assert!(solution.num_transfers() >= 2); // at least one write + one read
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn optimize(system: &System, config: &OptConfig) -> Result<LetDmaSolution, OptError> {
+    if letdma_model::let_semantics::comms_at_start(system).is_empty() {
+        return Err(OptError::NoCommunications);
+    }
+
+    let verify_options = VerifyOptions {
+        include_private_labels: config.include_private_labels,
+        check_acquisition_deadlines: true,
+        check_property3: true,
+    };
+
+    // Constructive heuristic (also the fallback and the warm start). For
+    // the delay-minimizing objective, a local-search pass reorders the
+    // transfers: relocations keep grouping and layout intact, so validity
+    // is preserved while latency-critical transfers move to the front (the
+    // Fig. 1 reordering). The other objectives take the schedule as
+    // constructed — NO-OBJ is "any feasible solution" in the paper, and
+    // OBJ-DMAT only counts transfers. When acquisition deadlines are set,
+    // the pass also runs for feasibility's sake (it reduces violations
+    // lexicographically first).
+    let has_deadlines = system
+        .tasks()
+        .iter()
+        .any(|t| t.acquisition_deadline().is_some());
+    let reorder_goal = if config.objective == Objective::MinDelayRatio {
+        Some(crate::improve::ImproveGoal::MinDelayRatio)
+    } else if has_deadlines {
+        Some(crate::improve::ImproveGoal::Feasibility)
+    } else {
+        None
+    };
+    let heuristic = heuristic::construct(system, config.include_private_labels).map(|mut h| {
+        if let Some(goal) = reorder_goal {
+            h.schedule =
+                crate::improve::improve_transfer_order_with(system, &h.schedule, goal);
+        }
+        h
+    });
+    let heuristic_valid = heuristic.as_ref().is_some_and(|h| {
+        verify(system, &h.layout, &h.schedule, verify_options).is_empty()
+    });
+
+    // Formulation + solve.
+    let f = formulation::build(system, config);
+    let warm = if config.warm_start && heuristic_valid {
+        heuristic
+            .as_ref()
+            .and_then(|h| warm_start_assignment(system, &f, h))
+    } else {
+        None
+    };
+    let solve_options = SolveOptions {
+        time_limit: config.time_limit,
+        node_limit: config.node_limit,
+        warm_start: warm,
+        log: config.log,
+        ..SolveOptions::default()
+    };
+
+    match f.model.solve(&solve_options) {
+        Ok(milp_solution) => {
+            let mut solution = extract(system, &f, &milp_solution, config.objective);
+            // Post-pass (delay objective only): the MILP fixes the grouping
+            // but its order may still admit improvement within the budget's
+            // gap; relocation moves are free wins.
+            if let Some(goal) = reorder_goal {
+                let improved = crate::improve::improve_transfer_order_with(
+                    system,
+                    &solution.schedule,
+                    goal,
+                );
+                if improved != solution.schedule {
+                    solution.schedule = improved;
+                    solution.latencies = solution.schedule.worst_case_latencies(system);
+                    if config.objective == Objective::MinDelayRatio {
+                        solution.objective_value = Some(solution.max_delay_ratio(system));
+                    }
+                }
+            }
+            let violations = verify(
+                system,
+                &solution.layout,
+                &solution.schedule,
+                verify_options,
+            );
+            if violations.is_empty() {
+                Ok(solution)
+            } else {
+                Err(OptError::InvalidSolution(violations))
+            }
+        }
+        Err(SolveError::Infeasible) => Err(OptError::Infeasible),
+        Err(SolveError::Unbounded) => {
+            Err(OptError::Solver("LP relaxation unbounded".into()))
+        }
+        Err(SolveError::LimitReached { .. }) => {
+            // No incumbent found by the search: fall back to the heuristic
+            // when it is valid.
+            match (heuristic, heuristic_valid) {
+                (Some(h), true) => Ok(from_heuristic(system, h, config.objective)),
+                _ => Err(OptError::BudgetExhausted),
+            }
+        }
+        Err(other) => Err(OptError::Solver(other.to_string())),
+    }
+}
+
+/// Runs only the constructive heuristic (no MILP), validating the result.
+///
+/// # Errors
+///
+/// [`OptError::NoCommunications`] when nothing crosses cores, or
+/// [`OptError::InvalidSolution`] when the heuristic's schedule violates
+/// Property 3 or an acquisition deadline (the construction itself always
+/// satisfies Constraints 1–8).
+pub fn heuristic_solution(
+    system: &System,
+    include_private_labels: bool,
+) -> Result<LetDmaSolution, OptError> {
+    let mut h = heuristic::construct(system, include_private_labels)
+        .ok_or(OptError::NoCommunications)?;
+    h.schedule = crate::improve::improve_transfer_order(system, &h.schedule);
+    let violations = verify(
+        system,
+        &h.layout,
+        &h.schedule,
+        VerifyOptions {
+            include_private_labels,
+            check_acquisition_deadlines: true,
+            check_property3: true,
+        },
+    );
+    if violations.is_empty() {
+        Ok(from_heuristic(system, h, Objective::None))
+    } else {
+        Err(OptError::InvalidSolution(violations))
+    }
+}
+
+/// Renders the §VI MILP for `system` in CPLEX LP format (for inspection or
+/// cross-checking with an external solver).
+#[must_use]
+pub fn formulation_lp(system: &System, config: &OptConfig) -> String {
+    formulation::build(system, config).model.to_lp_format()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use letdma_model::{SystemBuilder, TimeNs};
+
+    fn pair_system() -> System {
+        let mut b = SystemBuilder::new(2);
+        let p = b.task("p").period_ms(5).core_index(0).add().unwrap();
+        let c = b.task("c").period_ms(5).core_index(1).add().unwrap();
+        b.label("l").size(64).writer(p).reader(c).add().unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn no_communications_error() {
+        let mut b = SystemBuilder::new(1);
+        b.task("solo").period_ms(5).core_index(0).add().unwrap();
+        let sys = b.build().unwrap();
+        assert_eq!(
+            optimize(&sys, &OptConfig::default()).unwrap_err(),
+            OptError::NoCommunications
+        );
+    }
+
+    #[test]
+    fn single_pair_solves() {
+        let sys = pair_system();
+        let sol = optimize(&sys, &OptConfig::default()).unwrap();
+        assert_eq!(sol.num_transfers(), 2);
+    }
+
+    #[test]
+    fn infeasible_deadline_detected() {
+        let mut sys = pair_system();
+        let c = sys.task_by_name("c").unwrap().id();
+        // One transfer takes at least λ_O = 13.36 µs; demand 1 µs.
+        sys.set_acquisition_deadline(c, Some(TimeNs::from_us(1)));
+        let config = OptConfig {
+            warm_start: false,
+            ..OptConfig::default()
+        };
+        assert_eq!(optimize(&sys, &config).unwrap_err(), OptError::Infeasible);
+    }
+
+    #[test]
+    fn heuristic_only_mode() {
+        let sys = pair_system();
+        let sol = heuristic_solution(&sys, false).unwrap();
+        assert_eq!(sol.num_transfers(), 2);
+    }
+
+    #[test]
+    fn lp_export_contains_constraint_families() {
+        let sys = pair_system();
+        let lp = formulation_lp(&sys, &OptConfig::default());
+        for family in ["c1_", "c4succ", "c5u", "c8_", "c10_"] {
+            assert!(lp.contains(family), "missing constraint family {family}");
+        }
+    }
+}

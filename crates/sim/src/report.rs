@@ -1,0 +1,90 @@
+//! Simulation outputs.
+
+use std::collections::BTreeMap;
+
+use letdma_model::{System, TaskId, TimeNs};
+
+/// Aggregated measurements of one simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimReport {
+    /// Worst observed data-acquisition latency per task.
+    pub latencies: BTreeMap<TaskId, TimeNs>,
+    /// Worst observed response time per task (release → completion).
+    pub response_times: BTreeMap<TaskId, TimeNs>,
+    /// Number of deadline misses per task.
+    pub deadline_misses: BTreeMap<TaskId, u64>,
+    /// DMA transfers issued over the horizon.
+    pub transfers_issued: u64,
+    /// Total time the DMA engine spent moving data.
+    pub dma_busy: TimeNs,
+    /// Total CPU time spent on CPU-driven copies (Giotto-CPU).
+    pub cpu_copy_time: TimeNs,
+    /// Number of instants whose communications were still in flight when
+    /// the next instant arrived (Property 3 violations).
+    pub property3_overruns: u64,
+    /// Total simulator events processed.
+    pub events_processed: u64,
+    /// The simulated horizon.
+    pub horizon: TimeNs,
+}
+
+impl SimReport {
+    pub(crate) fn new(system: &System) -> Self {
+        let zeroes: BTreeMap<TaskId, TimeNs> = system
+            .tasks()
+            .iter()
+            .map(|t| (t.id(), TimeNs::ZERO))
+            .collect();
+        Self {
+            latencies: zeroes.clone(),
+            response_times: zeroes,
+            deadline_misses: BTreeMap::new(),
+            transfers_issued: 0,
+            dma_busy: TimeNs::ZERO,
+            cpu_copy_time: TimeNs::ZERO,
+            property3_overruns: 0,
+            events_processed: 0,
+            horizon: TimeNs::ZERO,
+        }
+    }
+
+    pub(crate) fn record_latency(&mut self, task: TaskId, latency: TimeNs) {
+        let entry = self.latencies.entry(task).or_insert(TimeNs::ZERO);
+        if latency > *entry {
+            *entry = latency;
+        }
+    }
+
+    pub(crate) fn record_response(&mut self, task: TaskId, response: TimeNs) {
+        let entry = self.response_times.entry(task).or_insert(TimeNs::ZERO);
+        if response > *entry {
+            *entry = response;
+        }
+    }
+
+    pub(crate) fn record_deadline_miss(&mut self, task: TaskId, _release: TimeNs) {
+        *self.deadline_misses.entry(task).or_insert(0) += 1;
+    }
+
+    /// The worst data-acquisition latency of `task` (zero when it never
+    /// waited).
+    #[must_use]
+    pub fn latency(&self, task: TaskId) -> TimeNs {
+        self.latencies.get(&task).copied().unwrap_or(TimeNs::ZERO)
+    }
+
+    /// The worst response time of `task`.
+    #[must_use]
+    pub fn response_time(&self, task: TaskId) -> TimeNs {
+        self.response_times
+            .get(&task)
+            .copied()
+            .unwrap_or(TimeNs::ZERO)
+    }
+
+    /// `true` when no deadline was missed and Property 3 always held.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.deadline_misses.values().all(|&c| c == 0) && self.property3_overruns == 0
+    }
+}

@@ -1,0 +1,299 @@
+//! Cross-validation of the discrete-event engine against the closed-form
+//! latency model and the expected ordering between the four approaches.
+
+use letdma_model::{CopyCost, CostModel, SystemBuilder, System, TimeNs};
+use letdma_opt::heuristic_solution;
+use letdma_sim::{simulate, Approach, SimConfig, SimError};
+
+/// Two cores, two chains (5 ms and 10 ms) with paper-like costs.
+fn system_with_wcet(wcet_us: u64) -> System {
+    let mut b = SystemBuilder::new(2);
+    b.set_costs(CostModel::new(
+        TimeNs::from_ns(3_360),
+        TimeNs::from_us(10),
+        CopyCost::per_byte(5, 1).unwrap(),
+    ));
+    let p1 = b
+        .task("p1")
+        .period_ms(5)
+        .core_index(0)
+        .wcet_us(wcet_us)
+        .add()
+        .unwrap();
+    let c1 = b
+        .task("c1")
+        .period_ms(5)
+        .core_index(1)
+        .wcet_us(wcet_us)
+        .add()
+        .unwrap();
+    let p2 = b
+        .task("p2")
+        .period_ms(10)
+        .core_index(0)
+        .wcet_us(wcet_us)
+        .add()
+        .unwrap();
+    let c2 = b
+        .task("c2")
+        .period_ms(10)
+        .core_index(1)
+        .wcet_us(wcet_us)
+        .add()
+        .unwrap();
+    b.label("a").size(2_000).writer(p1).reader(c1).add().unwrap();
+    b.label("b").size(10_000).writer(p2).reader(c2).add().unwrap();
+    b.label("c").size(500).writer(c2).reader(p2).add().unwrap();
+    b.build().unwrap()
+}
+
+#[test]
+fn proposed_matches_closed_form_latencies() {
+    for wcet in [0u64, 300] {
+        let sys = system_with_wcet(wcet);
+        let sol = heuristic_solution(&sys, false).unwrap();
+        let report = simulate(
+            &sys,
+            Some(&sol.schedule),
+            &SimConfig::for_approach(Approach::ProposedDma),
+        )
+        .unwrap();
+        let expected = sol.schedule.worst_case_latencies(&sys);
+        for task in sys.tasks() {
+            assert_eq!(
+                report.latency(task.id()),
+                expected[&task.id()],
+                "latency mismatch for {} (wcet {wcet}µs)",
+                task.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn proposed_never_worse_than_giotto_dma_a() {
+    let sys = system_with_wcet(0);
+    let sol = heuristic_solution(&sys, false).unwrap();
+    let proposed = simulate(
+        &sys,
+        Some(&sol.schedule),
+        &SimConfig::for_approach(Approach::ProposedDma),
+    )
+    .unwrap();
+    let giotto_a = simulate(&sys, None, &SimConfig::for_approach(Approach::GiottoDmaA)).unwrap();
+    for task in sys.tasks() {
+        assert!(
+            proposed.latency(task.id()) <= giotto_a.latency(task.id()),
+            "{}: proposed {} > giotto-a {}",
+            task.name(),
+            proposed.latency(task.id()),
+            giotto_a.latency(task.id())
+        );
+    }
+    // And strictly better for at least one task (the reordering benefit).
+    assert!(sys
+        .tasks()
+        .iter()
+        .any(|t| proposed.latency(t.id()) < giotto_a.latency(t.id())));
+}
+
+#[test]
+fn giotto_dma_b_between_a_and_proposed_on_totals() {
+    // B uses grouped transfers (fewer overheads than A) but readiness at the
+    // end (worse than proposed). Its worst latency must be ≤ A's worst and
+    // ≥ proposed's worst.
+    let sys = system_with_wcet(0);
+    let sol = heuristic_solution(&sys, false).unwrap();
+    let worst = |report: &letdma_sim::SimReport| {
+        sys.tasks()
+            .iter()
+            .map(|t| report.latency(t.id()))
+            .max()
+            .unwrap()
+    };
+    let proposed = simulate(
+        &sys,
+        Some(&sol.schedule),
+        &SimConfig::for_approach(Approach::ProposedDma),
+    )
+    .unwrap();
+    let a = simulate(&sys, None, &SimConfig::for_approach(Approach::GiottoDmaA)).unwrap();
+    let b = simulate(
+        &sys,
+        Some(&sol.schedule),
+        &SimConfig::for_approach(Approach::GiottoDmaB),
+    )
+    .unwrap();
+    assert!(worst(&b) <= worst(&a));
+    assert!(worst(&proposed) <= worst(&b));
+}
+
+#[test]
+fn giotto_gating_delays_unrelated_tasks() {
+    // A task with no communications released at a communication instant is
+    // ready immediately under the proposed protocol but gated under Giotto.
+    let mut b = SystemBuilder::new(2);
+    let p = b.task("p").period_ms(5).core_index(0).add().unwrap();
+    let c = b.task("c").period_ms(5).core_index(1).add().unwrap();
+    let lone = b.task("lone").period_ms(5).core_index(0).add().unwrap();
+    b.label("l").size(10_000).writer(p).reader(c).add().unwrap();
+    let sys = b.build().unwrap();
+    let sol = heuristic_solution(&sys, false).unwrap();
+
+    let proposed = simulate(
+        &sys,
+        Some(&sol.schedule),
+        &SimConfig::for_approach(Approach::ProposedDma),
+    )
+    .unwrap();
+    assert_eq!(proposed.latency(lone), TimeNs::ZERO);
+
+    let giotto = simulate(&sys, None, &SimConfig::for_approach(Approach::GiottoDmaA)).unwrap();
+    assert!(
+        giotto.latency(lone) > TimeNs::ZERO,
+        "Giotto must gate the unrelated task"
+    );
+}
+
+#[test]
+fn missing_schedule_rejected() {
+    let sys = system_with_wcet(0);
+    assert_eq!(
+        simulate(&sys, None, &SimConfig::for_approach(Approach::ProposedDma)).unwrap_err(),
+        SimError::MissingSchedule
+    );
+    assert_eq!(
+        simulate(&sys, None, &SimConfig::for_approach(Approach::GiottoDmaB)).unwrap_err(),
+        SimError::MissingSchedule
+    );
+}
+
+#[test]
+fn response_times_account_for_priority() {
+    // One core, two tasks, no communications: classic preemption arithmetic.
+    let mut b = SystemBuilder::new(1);
+    let hi = b
+        .task("hi")
+        .period_ms(5)
+        .core_index(0)
+        .wcet(TimeNs::from_ms(1))
+        .add()
+        .unwrap();
+    let lo = b
+        .task("lo")
+        .period_ms(20)
+        .core_index(0)
+        .wcet(TimeNs::from_ms(3))
+        .add()
+        .unwrap();
+    let sys = b.build().unwrap();
+    let report = simulate(&sys, None, &SimConfig::for_approach(Approach::ProposedDma)).unwrap();
+    // hi runs unimpeded: R = 1 ms. lo: released at 0, executes in the gaps:
+    // [1,5) gives 3 ms → completes at 4 ms.
+    assert_eq!(report.response_time(hi), TimeNs::from_ms(1));
+    assert_eq!(report.response_time(lo), TimeNs::from_ms(4));
+    assert!(report.is_clean());
+}
+
+#[test]
+fn deadline_misses_detected() {
+    let mut b = SystemBuilder::new(1);
+    let t = b
+        .task("over")
+        .period_ms(1)
+        .core_index(0)
+        .wcet(TimeNs::from_ms(2)) // can never finish in time
+        .add()
+        .unwrap();
+    let sys = b.build().unwrap();
+    let report = simulate(&sys, None, &SimConfig::for_approach(Approach::ProposedDma)).unwrap();
+    assert!(report.deadline_misses.get(&t).copied().unwrap_or(0) > 0);
+    assert!(!report.is_clean());
+}
+
+#[test]
+fn property3_overrun_detected_under_giotto_a() {
+    // Big labels + per-label overheads make the 1 ms gap impossible for
+    // one-transfer-per-label Giotto-DMA-A.
+    let mut b = SystemBuilder::new(2);
+    b.set_costs(CostModel::new(
+        TimeNs::from_us(100),
+        TimeNs::from_us(100),
+        CopyCost::per_byte(5, 1).unwrap(),
+    ));
+    let p = b.task("p").period_ms(1).core_index(0).add().unwrap();
+    let c = b.task("c").period_ms(1).core_index(1).add().unwrap();
+    for i in 0..4 {
+        b.label(format!("l{i}"))
+            .size(30_000)
+            .writer(p)
+            .reader(c)
+            .add()
+            .unwrap();
+    }
+    let sys = b.build().unwrap();
+    // Several periods so the overrunning chain collides with the next one.
+    let mut cfg = SimConfig::for_approach(Approach::GiottoDmaA);
+    cfg.horizon = Some(TimeNs::from_ms(5));
+    let report = simulate(&sys, None, &cfg).unwrap();
+    assert!(report.property3_overruns > 0);
+    assert!(!report.is_clean());
+}
+
+#[test]
+fn transfer_count_matches_schedule_over_hyperperiod() {
+    let sys = system_with_wcet(0);
+    let sol = heuristic_solution(&sys, false).unwrap();
+    let report = simulate(
+        &sys,
+        Some(&sol.schedule),
+        &SimConfig::for_approach(Approach::ProposedDma),
+    )
+    .unwrap();
+    // Expected: Σ over instants of nonempty restricted groups.
+    let expected: u64 = letdma_model::let_semantics::comm_instants(&sys)
+        .iter()
+        .map(|&t| sol.schedule.transfers_at(&sys, t).len() as u64)
+        .sum();
+    assert_eq!(report.transfers_issued, expected);
+    assert!(report.dma_busy > TimeNs::ZERO);
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let sys = system_with_wcet(250);
+    let sol = heuristic_solution(&sys, false).unwrap();
+    let cfg = SimConfig::for_approach(Approach::ProposedDma);
+    let r1 = simulate(&sys, Some(&sol.schedule), &cfg).unwrap();
+    let r2 = simulate(&sys, Some(&sol.schedule), &cfg).unwrap();
+    assert_eq!(r1, r2);
+}
+
+#[test]
+fn giotto_cpu_tracks_cpu_copy_time() {
+    let sys = system_with_wcet(0);
+    let report = simulate(&sys, None, &SimConfig::for_approach(Approach::GiottoCpu)).unwrap();
+    assert!(report.cpu_copy_time > TimeNs::ZERO);
+    assert_eq!(report.transfers_issued, 0, "no DMA under Giotto-CPU");
+    assert_eq!(report.dma_busy, TimeNs::ZERO);
+}
+
+#[test]
+fn longer_horizon_extends_measurements() {
+    let sys = system_with_wcet(0);
+    let sol = heuristic_solution(&sys, false).unwrap();
+    let mut cfg = SimConfig::for_approach(Approach::ProposedDma);
+    cfg.horizon = Some(sys.hyperperiod() * 3);
+    let r3 = simulate(&sys, Some(&sol.schedule), &cfg).unwrap();
+    let r1 = simulate(
+        &sys,
+        Some(&sol.schedule),
+        &SimConfig::for_approach(Approach::ProposedDma),
+    )
+    .unwrap();
+    assert_eq!(r3.transfers_issued, 3 * r1.transfers_issued);
+    // Worst-case latencies are periodic: identical across horizons.
+    for task in sys.tasks() {
+        assert_eq!(r1.latency(task.id()), r3.latency(task.id()));
+    }
+}

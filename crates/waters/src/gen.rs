@@ -1,0 +1,216 @@
+//! Seeded random workload generation for scaling studies and property
+//! tests.
+//!
+//! Workloads follow the structure of automotive LET applications: periods
+//! drawn from a harmonic-leaning menu, producer/consumer edges across
+//! cores, and log-uniform label sizes spanning command words to sensor
+//! buffers.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use letdma_model::{CopyCost, CostModel, System, SystemBuilder, TimeNs};
+
+/// Parameters of the random workload generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenConfig {
+    /// Number of cores.
+    pub cores: u16,
+    /// Number of tasks (spread round-robin over the cores).
+    pub tasks: usize,
+    /// Number of inter-core labels to create.
+    pub labels: usize,
+    /// Period menu in milliseconds.
+    pub period_menu_ms: Vec<u64>,
+    /// Label sizes: log-uniform between these bounds (bytes).
+    pub size_range: (u64, u64),
+    /// Per-core utilization target for WCET assignment.
+    pub utilization: f64,
+    /// RNG seed (generation is fully deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        Self {
+            cores: 2,
+            tasks: 6,
+            labels: 6,
+            period_menu_ms: vec![5, 10, 15, 20, 33, 50, 66, 100],
+            size_range: (32, 64 * 1024),
+            utilization: 0.4,
+            seed: 0xDAC2_2021,
+        }
+    }
+}
+
+/// Generates a random system.
+///
+/// Tasks are placed round-robin on the cores; each label picks a writer and
+/// a reader on *different* cores, so every label is an inter-core LET
+/// communication. WCETs are scaled to hit the per-core utilization target.
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (no tasks, no cores, or a
+/// single core with `labels > 0`).
+///
+/// # Examples
+///
+/// ```
+/// use waters2019::gen::{generate, GenConfig};
+///
+/// let system = generate(&GenConfig { tasks: 8, labels: 10, ..GenConfig::default() });
+/// assert_eq!(system.tasks().len(), 8);
+/// assert_eq!(system.inter_core_shared_labels().count(), 10);
+/// ```
+#[must_use]
+pub fn generate(config: &GenConfig) -> System {
+    assert!(config.tasks > 0, "need at least one task");
+    assert!(
+        config.cores >= 2 || config.labels == 0,
+        "inter-core labels need at least two cores"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut b = SystemBuilder::new(config.cores);
+    b.set_costs(CostModel::new(
+        TimeNs::from_ns(3_360),
+        TimeNs::from_us(10),
+        CopyCost::per_byte(5, 1).expect("static ratio"),
+    ));
+
+    // Tasks, round-robin over cores, random periods; WCET fills the
+    // per-core utilization budget proportionally.
+    let mut periods = Vec::with_capacity(config.tasks);
+    for i in 0..config.tasks {
+        let &ms = config
+            .period_menu_ms
+            .choose(&mut rng)
+            .expect("nonempty period menu");
+        periods.push((i, ms));
+    }
+    let tasks_per_core = config.tasks.div_ceil(usize::from(config.cores));
+    let mut ids = Vec::with_capacity(config.tasks);
+    for (i, ms) in &periods {
+        let core = u16::try_from(i / tasks_per_core).expect("few cores");
+        // Share of the core budget: proportional WCET, jittered ±25 %.
+        let share = config.utilization / tasks_per_core as f64;
+        let jitter = rng.gen_range(0.75..1.25);
+        let wcet_ns = (*ms as f64 * 1e6 * share * jitter) as u64;
+        let id = b
+            .task(format!("t{i}"))
+            .period_ms(*ms)
+            .core_index(core)
+            .wcet(TimeNs::from_ns(wcet_ns.max(1_000)))
+            .add()
+            .expect("valid generated task");
+        ids.push(id);
+    }
+
+    // Labels: writer and reader on different cores; log-uniform size.
+    let core_of = |idx: usize| idx / tasks_per_core;
+    let (lo, hi) = config.size_range;
+    let (log_lo, log_hi) = ((lo as f64).ln(), (hi as f64).ln());
+    for l in 0..config.labels {
+        // Rejection-sample a cross-core pair (bounded retries, then scan).
+        let mut pair = None;
+        for _ in 0..64 {
+            let w = rng.gen_range(0..config.tasks);
+            let r = rng.gen_range(0..config.tasks);
+            if core_of(w) != core_of(r) {
+                pair = Some((w, r));
+                break;
+            }
+        }
+        let (w, r) = pair.unwrap_or_else(|| {
+            let w = 0;
+            let r = (0..config.tasks)
+                .find(|&r| core_of(r) != core_of(0))
+                .expect("at least two populated cores");
+            (w, r)
+        });
+        let size = (rng.gen_range(log_lo..=log_hi)).exp() as u64;
+        b.label(format!("l{l}"))
+            .size(size.clamp(lo, hi).max(1))
+            .writer(ids[w])
+            .reader(ids[r])
+            .add()
+            .expect("valid generated label");
+    }
+    b.build().expect("generated system is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let c = GenConfig::default();
+        let a = generate(&c);
+        let b = generate(&c);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_differs() {
+        let a = generate(&GenConfig::default());
+        let b = generate(&GenConfig {
+            seed: 42,
+            ..GenConfig::default()
+        });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn all_labels_cross_cores() {
+        let sys = generate(&GenConfig {
+            cores: 3,
+            tasks: 9,
+            labels: 12,
+            ..GenConfig::default()
+        });
+        assert_eq!(sys.inter_core_shared_labels().count(), 12);
+    }
+
+    #[test]
+    fn sizes_within_range() {
+        let cfg = GenConfig {
+            size_range: (100, 1_000),
+            labels: 20,
+            ..GenConfig::default()
+        };
+        let sys = generate(&cfg);
+        for l in sys.labels() {
+            assert!((100..=1_000).contains(&l.size()), "size {}", l.size());
+        }
+    }
+
+    #[test]
+    fn utilization_close_to_target() {
+        let cfg = GenConfig {
+            tasks: 8,
+            utilization: 0.5,
+            ..GenConfig::default()
+        };
+        let sys = generate(&cfg);
+        for core in sys.platform().cores() {
+            let u: f64 = sys
+                .tasks_on(core)
+                .map(|t| t.wcet().as_ns() as f64 / t.period().as_ns() as f64)
+                .sum();
+            assert!(u < 0.9, "core {core} overloaded: {u}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two cores")]
+    fn single_core_with_labels_panics() {
+        let _ = generate(&GenConfig {
+            cores: 1,
+            labels: 1,
+            ..GenConfig::default()
+        });
+    }
+}

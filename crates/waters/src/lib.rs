@@ -1,0 +1,38 @@
+//! # waters2019
+//!
+//! Workloads for the LET-DMA reproduction:
+//!
+//! * [`waters_system`] — a synthetic reconstruction of the **WATERS 2019
+//!   industrial challenge** (Bosch autonomous-driving prototype) used in
+//!   §VII of *Pazzaglia et al., DAC 2021*: the nine published tasks (LID,
+//!   DASM, CAN, EKF, PLAN, SFM, LOC, LDET, DET) with their published
+//!   periods, the challenge's data-flow topology, label sizes in the
+//!   published orders of magnitude and a partitioned four-core mapping in
+//!   the spirit of the challenge solution \[16\];
+//! * [`gen`] — a seeded random workload generator with the same structure,
+//!   for scaling studies and property-based testing.
+//!
+//! # Examples
+//!
+//! ```
+//! use waters2019::waters_system;
+//!
+//! let (system, tasks) = waters_system()?;
+//! assert_eq!(system.task(tasks.plan).name(), "PLAN");
+//! // The planner consumes four inter-core inputs.
+//! let inputs = system
+//!     .inter_core_shared_labels()
+//!     .filter(|l| l.readers().contains(&tasks.plan))
+//!     .count();
+//! assert_eq!(inputs, 4);
+//! # Ok::<(), letdma_model::ModelError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod case_study;
+pub mod gen;
+
+pub use case_study::{waters_system, WatersTasks};

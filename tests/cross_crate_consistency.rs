@@ -1,0 +1,80 @@
+//! Cross-crate consistency: the closed-form latency model (`letdma-model`),
+//! the optimizer's reported latencies (`letdma-opt`) and the discrete-event
+//! simulator (`letdma-sim`) must agree on random workloads.
+
+use letdma::model::conformance::{verify, VerifyOptions};
+use letdma::opt::heuristic_solution;
+use letdma::sim::{simulate, Approach, SimConfig};
+use letdma::waters::gen::{generate, GenConfig};
+
+#[test]
+fn three_views_of_latency_agree_on_random_workloads() {
+    for seed in 0..12u64 {
+        let system = generate(&GenConfig {
+            cores: 2 + (seed % 2) as u16,
+            tasks: 4 + (seed % 4) as usize,
+            labels: 3 + (seed % 5) as usize,
+            seed,
+            ..GenConfig::default()
+        });
+        let Ok(solution) = heuristic_solution(&system, false) else {
+            // Property-3 or deadline issues are legitimate for random
+            // workloads; skip those seeds (the heuristic never fails on
+            // Constraints 1–8).
+            continue;
+        };
+
+        // View 1: the optimizer's own latencies.
+        let opt_latencies = &solution.latencies;
+        // View 2: the closed-form schedule evaluation.
+        let closed_form = solution.schedule.worst_case_latencies(&system);
+        // View 3: the discrete-event simulator.
+        let report = simulate(
+            &system,
+            Some(&solution.schedule),
+            &SimConfig::for_approach(Approach::ProposedDma),
+        )
+        .unwrap();
+
+        for task in system.tasks() {
+            let id = task.id();
+            assert_eq!(
+                opt_latencies.get(&id).copied().unwrap_or_default(),
+                closed_form[&id],
+                "seed {seed}: optimizer vs closed form for {}",
+                task.name()
+            );
+            assert_eq!(
+                report.latency(id),
+                closed_form[&id],
+                "seed {seed}: simulator vs closed form for {}",
+                task.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn heuristic_solutions_always_conform_on_random_workloads() {
+    let mut checked = 0;
+    for seed in 100..130u64 {
+        let system = generate(&GenConfig {
+            cores: 2,
+            tasks: 6,
+            labels: 8,
+            seed,
+            ..GenConfig::default()
+        });
+        if let Ok(solution) = heuristic_solution(&system, false) {
+            let violations = verify(
+                &system,
+                &solution.layout,
+                &solution.schedule,
+                VerifyOptions::default(),
+            );
+            assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+            checked += 1;
+        }
+    }
+    assert!(checked >= 10, "too few feasible random workloads ({checked})");
+}
