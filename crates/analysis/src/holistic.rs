@@ -53,8 +53,20 @@ mod tests {
     #[test]
     fn deployment_schedulable_with_slack() {
         let mut b = SystemBuilder::new(2);
-        let p = b.task("p").period_ms(10).core_index(0).wcet_us(1_000).add().unwrap();
-        let c = b.task("c").period_ms(10).core_index(1).wcet_us(2_000).add().unwrap();
+        let p = b
+            .task("p")
+            .period_ms(10)
+            .core_index(0)
+            .wcet_us(1_000)
+            .add()
+            .unwrap();
+        let c = b
+            .task("c")
+            .period_ms(10)
+            .core_index(1)
+            .wcet_us(2_000)
+            .add()
+            .unwrap();
         b.label("l").size(1_000).writer(p).reader(c).add().unwrap();
         let sys = b.build().unwrap();
         use letdma_model::{Communication, DmaTransfer, TransferSchedule};
@@ -81,10 +93,27 @@ mod tests {
             TimeNs::from_us(10),
             CopyCost::per_byte(5, 1).unwrap(),
         ));
-        let p = b.task("p").period_ms(2).core_index(0).wcet_us(100).add().unwrap();
-        let c = b.task("c").period_ms(2).core_index(1).wcet_us(500).add().unwrap();
+        let p = b
+            .task("p")
+            .period_ms(2)
+            .core_index(0)
+            .wcet_us(100)
+            .add()
+            .unwrap();
+        let c = b
+            .task("c")
+            .period_ms(2)
+            .core_index(1)
+            .wcet_us(500)
+            .add()
+            .unwrap();
         // 5 ns/B × 300 KB ≈ 1.5 ms copy each way ⇒ λ ≈ 3 ms > T = 2 ms.
-        b.label("bulk").size(300_000).writer(p).reader(c).add().unwrap();
+        b.label("bulk")
+            .size(300_000)
+            .writer(p)
+            .reader(c)
+            .add()
+            .unwrap();
         let sys = b.build().unwrap();
         use letdma_model::{Communication, DmaTransfer, TransferSchedule};
         let l = sys.label_by_name("bulk").unwrap().id();

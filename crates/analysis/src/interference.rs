@@ -38,10 +38,7 @@ use crate::rta::SporadicInterferer;
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[must_use]
-pub fn let_task_segments(
-    system: &System,
-    schedule: &TransferSchedule,
-) -> Vec<SporadicInterferer> {
+pub fn let_task_segments(system: &System, schedule: &TransferSchedule) -> Vec<SporadicInterferer> {
     let instants = comm_instants(system);
     let horizon = system.comm_horizon();
     let wcet = system.costs().o_dp() + system.costs().o_isr();

@@ -17,8 +17,8 @@
 
 use std::collections::BTreeMap;
 
-use letdma_model::{CoreId, System, TaskId, TimeNs};
 use letdma_model::time::div_ceil_u64;
+use letdma_model::{CoreId, System, TaskId, TimeNs};
 
 /// Extra sporadic higher-priority interference on one core (e.g. one
 /// execution segment of the LET task: a DMA-programming or ISR burst).
@@ -113,8 +113,7 @@ pub fn analyze(
         let jitter = jitters.get(&task.id()).copied().unwrap_or(TimeNs::ZERO);
         let (response_time, converged) =
             response_time_fixed_point(system, task.id(), jitters, interference);
-        let schedulable =
-            converged && jitter + response_time <= task.deadline();
+        let schedulable = converged && jitter + response_time <= task.deadline();
         tasks.insert(
             task.id(),
             TaskAnalysis {
@@ -189,9 +188,27 @@ mod tests {
         // R1 = 1; R2 = 2 + ⌈R2/4⌉·1 → 3; R3 = 3 + ⌈R3/4⌉·1 + ⌈R3/8⌉·2 → 3+2+2=7? iterate:
         // r=3 → 3+1+2=6 → 3+2+2=7 → 3+2+2=7 ✓.
         let mut b = SystemBuilder::new(1);
-        let t1 = b.task("t1").period_ms(4).core_index(0).wcet(TimeNs::from_ms(1)).add().unwrap();
-        let t2 = b.task("t2").period_ms(8).core_index(0).wcet(TimeNs::from_ms(2)).add().unwrap();
-        let t3 = b.task("t3").period_ms(16).core_index(0).wcet(TimeNs::from_ms(3)).add().unwrap();
+        let t1 = b
+            .task("t1")
+            .period_ms(4)
+            .core_index(0)
+            .wcet(TimeNs::from_ms(1))
+            .add()
+            .unwrap();
+        let t2 = b
+            .task("t2")
+            .period_ms(8)
+            .core_index(0)
+            .wcet(TimeNs::from_ms(2))
+            .add()
+            .unwrap();
+        let t3 = b
+            .task("t3")
+            .period_ms(16)
+            .core_index(0)
+            .wcet(TimeNs::from_ms(3))
+            .add()
+            .unwrap();
         let sys = b.build().unwrap();
         let r = analyze(&sys, &BTreeMap::new(), &[]);
         assert_eq!(r.response_time(t1), TimeNs::from_ms(1));
@@ -206,8 +223,20 @@ mod tests {
         // R = 3 ms the ceiling ⌈(3+1)/4⌉ = 1 stays, but at R = 3.5 →
         // ⌈4.5/4⌉ = 2. Construct so the jitter flips the count.
         let mut b = SystemBuilder::new(1);
-        let _hi = b.task("hi").period_ms(4).core_index(0).wcet(TimeNs::from_ms(1)).add().unwrap();
-        let lo = b.task("lo").period_ms(12).core_index(0).wcet(TimeNs::from_ms(3)).add().unwrap();
+        let _hi = b
+            .task("hi")
+            .period_ms(4)
+            .core_index(0)
+            .wcet(TimeNs::from_ms(1))
+            .add()
+            .unwrap();
+        let lo = b
+            .task("lo")
+            .period_ms(12)
+            .core_index(0)
+            .wcet(TimeNs::from_ms(3))
+            .add()
+            .unwrap();
         let sys = b.build().unwrap();
         let hi_id = sys.task_by_name("hi").unwrap().id();
 
@@ -222,7 +251,13 @@ mod tests {
     #[test]
     fn own_jitter_reduces_schedulability_margin() {
         let mut b = SystemBuilder::new(1);
-        let t = b.task("t").period_ms(10).core_index(0).wcet(TimeNs::from_ms(6)).add().unwrap();
+        let t = b
+            .task("t")
+            .period_ms(10)
+            .core_index(0)
+            .wcet(TimeNs::from_ms(6))
+            .add()
+            .unwrap();
         let sys = b.build().unwrap();
         let ok = analyze(&sys, &jmap(&[(t, TimeNs::from_ms(4))]), &[]);
         assert!(ok.all_schedulable()); // 4 + 6 = 10 ≤ 10
@@ -233,9 +268,27 @@ mod tests {
     #[test]
     fn overload_detected_as_unschedulable() {
         let mut b = SystemBuilder::new(1);
-        let _a = b.task("a").period_ms(2).core_index(0).wcet(TimeNs::from_ms(1)).add().unwrap();
-        let _b = b.task("b").period_ms(2).core_index(0).wcet(TimeNs::from_ms(1)).add().unwrap();
-        let c = b.task("c").period_ms(10).core_index(0).wcet(TimeNs::from_ms(1)).add().unwrap();
+        let _a = b
+            .task("a")
+            .period_ms(2)
+            .core_index(0)
+            .wcet(TimeNs::from_ms(1))
+            .add()
+            .unwrap();
+        let _b = b
+            .task("b")
+            .period_ms(2)
+            .core_index(0)
+            .wcet(TimeNs::from_ms(1))
+            .add()
+            .unwrap();
+        let c = b
+            .task("c")
+            .period_ms(10)
+            .core_index(0)
+            .wcet(TimeNs::from_ms(1))
+            .add()
+            .unwrap();
         let sys = b.build().unwrap();
         let r = analyze(&sys, &BTreeMap::new(), &[]);
         assert!(!r.tasks[&c].schedulable);
@@ -245,8 +298,20 @@ mod tests {
     #[test]
     fn partitioning_isolates_cores() {
         let mut b = SystemBuilder::new(2);
-        let heavy = b.task("heavy").period_ms(10).core_index(0).wcet(TimeNs::from_ms(9)).add().unwrap();
-        let light = b.task("light").period_ms(10).core_index(1).wcet(TimeNs::from_ms(1)).add().unwrap();
+        let heavy = b
+            .task("heavy")
+            .period_ms(10)
+            .core_index(0)
+            .wcet(TimeNs::from_ms(9))
+            .add()
+            .unwrap();
+        let light = b
+            .task("light")
+            .period_ms(10)
+            .core_index(1)
+            .wcet(TimeNs::from_ms(1))
+            .add()
+            .unwrap();
         let sys = b.build().unwrap();
         let r = analyze(&sys, &BTreeMap::new(), &[]);
         assert_eq!(r.response_time(light), TimeNs::from_ms(1));
@@ -256,7 +321,13 @@ mod tests {
     #[test]
     fn sporadic_interference_charged() {
         let mut b = SystemBuilder::new(1);
-        let t = b.task("t").period_ms(10).core_index(0).wcet(TimeNs::from_ms(4)).add().unwrap();
+        let t = b
+            .task("t")
+            .period_ms(10)
+            .core_index(0)
+            .wcet(TimeNs::from_ms(4))
+            .add()
+            .unwrap();
         let sys = b.build().unwrap();
         let overhead = SporadicInterferer {
             core: CoreId::new(0),
@@ -277,7 +348,13 @@ mod tests {
     #[test]
     fn slack_computation() {
         let mut b = SystemBuilder::new(1);
-        let t = b.task("t").period_ms(10).core_index(0).wcet(TimeNs::from_ms(3)).add().unwrap();
+        let t = b
+            .task("t")
+            .period_ms(10)
+            .core_index(0)
+            .wcet(TimeNs::from_ms(3))
+            .add()
+            .unwrap();
         let sys = b.build().unwrap();
         let r = analyze(&sys, &jmap(&[(t, TimeNs::from_ms(2))]), &[]);
         // D − (J + R) = 10 − 5 = 5 ms.
@@ -289,8 +366,20 @@ mod tests {
         // Rate-monotonic ties broken by declaration order: first declared
         // wins.
         let mut b = SystemBuilder::new(1);
-        let first = b.task("first").period_ms(10).core_index(0).wcet(TimeNs::from_ms(2)).add().unwrap();
-        let second = b.task("second").period_ms(10).core_index(0).wcet(TimeNs::from_ms(2)).add().unwrap();
+        let first = b
+            .task("first")
+            .period_ms(10)
+            .core_index(0)
+            .wcet(TimeNs::from_ms(2))
+            .add()
+            .unwrap();
+        let second = b
+            .task("second")
+            .period_ms(10)
+            .core_index(0)
+            .wcet(TimeNs::from_ms(2))
+            .add()
+            .unwrap();
         let sys = b.build().unwrap();
         let r = analyze(&sys, &BTreeMap::new(), &[]);
         assert_eq!(r.response_time(first), TimeNs::from_ms(2));

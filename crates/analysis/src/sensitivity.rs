@@ -90,8 +90,7 @@ pub fn derive_gammas(
         .iter()
         .map(|t| {
             let slack = baseline.slack(system, t.id());
-            let gamma =
-                TimeNs::from_ns(slack.as_ns() * u64::from(alpha_pct) / 100);
+            let gamma = TimeNs::from_ns(slack.as_ns() * u64::from(alpha_pct) / 100);
             (t.id(), gamma)
         })
         .collect();
@@ -118,8 +117,18 @@ mod tests {
 
     fn one_core_two_tasks() -> System {
         let mut b = SystemBuilder::new(1);
-        b.task("hi").period_ms(5).core_index(0).wcet_us(1_000).add().unwrap();
-        b.task("lo").period_ms(20).core_index(0).wcet_us(3_000).add().unwrap();
+        b.task("hi")
+            .period_ms(5)
+            .core_index(0)
+            .wcet_us(1_000)
+            .add()
+            .unwrap();
+        b.task("lo")
+            .period_ms(20)
+            .core_index(0)
+            .wcet_us(3_000)
+            .add()
+            .unwrap();
         b.build().unwrap()
     }
 
@@ -134,7 +143,7 @@ mod tests {
         assert_eq!(r20.gammas[&hi], TimeNs::from_ns(4_000_000 / 5));
         assert_eq!(r40.gammas[&hi], TimeNs::from_ns(8_000_000 / 5));
         assert_eq!(r20.gammas[&lo], TimeNs::from_ns(16_000_000 / 5));
-        assert_eq!(r40.gammas[&lo] , r20.gammas[&lo] * 2);
+        assert_eq!(r40.gammas[&lo], r20.gammas[&lo] * 2);
     }
 
     #[test]
@@ -149,7 +158,13 @@ mod tests {
     #[test]
     fn unschedulable_base_rejected() {
         let mut b = SystemBuilder::new(1);
-        let t = b.task("over").period_ms(5).core_index(0).wcet_us(6_000).add().unwrap();
+        let t = b
+            .task("over")
+            .period_ms(5)
+            .core_index(0)
+            .wcet_us(6_000)
+            .add()
+            .unwrap();
         let sys = b.build().unwrap();
         assert_eq!(
             derive_gammas(&sys, 20, &[]).unwrap_err(),
@@ -162,8 +177,18 @@ mod tests {
         // Near-saturated core: α = 100 % gives each task its *entire* slack
         // as jitter; the interference of hi's jitter on lo then breaks lo.
         let mut b = SystemBuilder::new(1);
-        b.task("hi").period_ms(4).core_index(0).wcet_us(2_000).add().unwrap();
-        b.task("lo").period_ms(8).core_index(0).wcet_us(3_000).add().unwrap();
+        b.task("hi")
+            .period_ms(4)
+            .core_index(0)
+            .wcet_us(2_000)
+            .add()
+            .unwrap();
+        b.task("lo")
+            .period_ms(8)
+            .core_index(0)
+            .wcet_us(3_000)
+            .add()
+            .unwrap();
         let sys = b.build().unwrap();
         // R_hi = 2, S_hi = 2; R_lo = 3 + 2·2 = 7, S_lo = 1.
         let r100 = derive_gammas(&sys, 100, &[]).unwrap();
@@ -179,10 +204,7 @@ mod tests {
         let r = derive_gammas(&sys, 20, &[]).unwrap();
         apply_gammas(&mut sys, &r);
         for task in sys.tasks() {
-            assert_eq!(
-                task.acquisition_deadline(),
-                Some(r.gammas[&task.id()]),
-            );
+            assert_eq!(task.acquisition_deadline(), Some(r.gammas[&task.id()]),);
         }
     }
 }

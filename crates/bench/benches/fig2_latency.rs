@@ -1,55 +1,41 @@
-//! Criterion bench behind Fig. 2: the latency-evaluation pipeline per
-//! communication approach on the WATERS 2019 case study.
+//! Bench behind Fig. 2: the latency-evaluation pipeline per communication
+//! approach on the WATERS 2019 case study.
 //!
 //! The figure's *data* (latency ratios) is produced by the `repro` binary;
 //! this bench times the moving parts — one full hyperperiod simulation per
 //! approach plus the heuristic/optimization stages feeding them — so
 //! regressions in the pipeline are caught.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-
 use letdma::opt::heuristic_solution;
 use letdma::sim::{simulate, Approach, SimConfig};
+use letdma_bench::harness::Harness;
 use letdma_bench::waters_with_alpha;
 
-fn bench_simulation_per_approach(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_args();
     let (system, _) = waters_with_alpha(20);
     let solution = heuristic_solution(&system, false).expect("feasible");
-    let mut group = c.benchmark_group("fig2/simulate_hyperperiod");
-    group.sample_size(10);
+
     for approach in [
         Approach::ProposedDma,
         Approach::GiottoCpu,
         Approach::GiottoDmaA,
         Approach::GiottoDmaB,
     ] {
-        group.bench_function(approach.to_string(), |b| {
-            let schedule = match approach {
-                Approach::ProposedDma | Approach::GiottoDmaB => Some(&solution.schedule),
-                _ => None,
-            };
-            b.iter(|| {
-                let report = simulate(
-                    black_box(&system),
-                    black_box(schedule),
-                    &SimConfig::for_approach(approach),
-                )
-                .expect("consistent");
-                black_box(report.transfers_issued)
-            });
+        let schedule = match approach {
+            Approach::ProposedDma | Approach::GiottoDmaB => Some(&solution.schedule),
+            _ => None,
+        };
+        h.bench(&format!("fig2/simulate_hyperperiod/{approach}"), || {
+            simulate(&system, schedule, &SimConfig::for_approach(approach))
+                .expect("consistent")
+                .transfers_issued
         });
     }
-    group.finish();
-}
 
-fn bench_latency_closed_form(c: &mut Criterion) {
-    let (system, _) = waters_with_alpha(20);
-    let solution = heuristic_solution(&system, false).expect("feasible");
-    c.bench_function("fig2/closed_form_latencies", |b| {
-        b.iter(|| black_box(solution.schedule.worst_case_latencies(black_box(&system))));
+    h.bench("fig2/closed_form_latencies", || {
+        solution.schedule.worst_case_latencies(&system)
     });
-}
 
-criterion_group!(benches, bench_simulation_per_approach, bench_latency_closed_form);
-criterion_main!(benches);
+    h.finish();
+}

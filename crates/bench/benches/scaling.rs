@@ -5,10 +5,9 @@
 //! OBJ-DMAT already needs an hour at 9 tasks), while the heuristic +
 //! local-search path stays interactive.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
-
+use letdma::model::conformance::{verify, VerifyOptions};
 use letdma::opt::{heuristic, heuristic_solution};
+use letdma_bench::harness::Harness;
 use waters2019::gen::{generate, GenConfig};
 
 fn workload(labels: usize) -> letdma::model::System {
@@ -21,59 +20,38 @@ fn workload(labels: usize) -> letdma::model::System {
     })
 }
 
-fn bench_heuristic_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("scaling/heuristic_construct");
+fn main() {
+    let mut h = Harness::from_args();
+
     for labels in [4usize, 8, 16, 32] {
         let system = workload(labels);
-        group.bench_with_input(BenchmarkId::from_parameter(labels), &system, |b, sys| {
-            b.iter(|| black_box(heuristic::construct(black_box(sys), false)));
+        h.bench(&format!("scaling/heuristic_construct/{labels}"), || {
+            heuristic::construct(&system, false)
         });
     }
-    group.finish();
-}
 
-fn bench_validated_solution_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("scaling/heuristic_solution_validated");
-    group.sample_size(10);
     for labels in [4usize, 8, 16] {
         let system = workload(labels);
-        group.bench_with_input(BenchmarkId::from_parameter(labels), &system, |b, sys| {
-            b.iter(|| black_box(heuristic_solution(black_box(sys), false)).is_ok());
-        });
+        h.bench(
+            &format!("scaling/heuristic_solution_validated/{labels}"),
+            || heuristic_solution(&system, false).is_ok(),
+        );
     }
-    group.finish();
-}
 
-fn bench_conformance_scaling(c: &mut Criterion) {
-    use letdma::model::conformance::{verify, VerifyOptions};
-    let mut group = c.benchmark_group("scaling/conformance_verify");
     for labels in [4usize, 8, 16, 32] {
         let system = workload(labels);
         if let Ok(sol) = heuristic_solution(&system, false) {
-            group.bench_with_input(
-                BenchmarkId::from_parameter(labels),
-                &(system, sol),
-                |b, (sys, sol)| {
-                    b.iter(|| {
-                        black_box(verify(
-                            black_box(sys),
-                            &sol.layout,
-                            &sol.schedule,
-                            VerifyOptions::default(),
-                        ))
-                        .len()
-                    });
-                },
-            );
+            h.bench(&format!("scaling/conformance_verify/{labels}"), || {
+                verify(
+                    &system,
+                    &sol.layout,
+                    &sol.schedule,
+                    VerifyOptions::default(),
+                )
+                .len()
+            });
         }
     }
-    group.finish();
-}
 
-criterion_group!(
-    benches,
-    bench_heuristic_scaling,
-    bench_validated_solution_scaling,
-    bench_conformance_scaling
-);
-criterion_main!(benches);
+    h.finish();
+}

@@ -1,18 +1,19 @@
 //! Simulator micro-benchmarks: event throughput of the discrete-event
 //! engine and the per-instant restriction machinery it leans on.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use std::hint::black_box;
-
 use letdma::model::let_semantics::{comm_instants, comms_at};
 use letdma::opt::heuristic_solution;
 use letdma::sim::{simulate, Approach, SimConfig};
+use letdma_bench::harness::Harness;
 use letdma_bench::waters_with_alpha;
 
-fn bench_event_throughput(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_args();
     let (system, _) = waters_with_alpha(20);
     let solution = heuristic_solution(&system, false).expect("feasible");
-    // Measure events per second over one hyperperiod.
+
+    // Events per hyperperiod, so the per-iteration time below can be read
+    // as events/second.
     let events = simulate(
         &system,
         Some(&solution.schedule),
@@ -20,41 +21,27 @@ fn bench_event_throughput(c: &mut Criterion) {
     )
     .expect("consistent")
     .events_processed;
-    let mut group = c.benchmark_group("sim/event_throughput");
-    group.throughput(Throughput::Elements(events));
-    group.sample_size(10);
-    group.bench_function("proposed_hyperperiod", |b| {
-        b.iter(|| {
-            black_box(
-                simulate(
-                    black_box(&system),
-                    Some(&solution.schedule),
-                    &SimConfig::for_approach(Approach::ProposedDma),
-                )
-                .expect("consistent")
-                .events_processed,
-            )
-        });
+    println!("sim/event_throughput: {events} events per hyperperiod iteration");
+    h.bench("sim/event_throughput/proposed_hyperperiod", || {
+        simulate(
+            &system,
+            Some(&solution.schedule),
+            &SimConfig::for_approach(Approach::ProposedDma),
+        )
+        .expect("consistent")
+        .events_processed
     });
-    group.finish();
-}
 
-fn bench_comm_instant_machinery(c: &mut Criterion) {
-    let (system, _) = waters_with_alpha(20);
-    c.bench_function("sim/comm_instants", |b| {
-        b.iter(|| black_box(comm_instants(black_box(&system))).len());
-    });
+    h.bench("sim/comm_instants", || comm_instants(&system).len());
+
     let instants = comm_instants(&system);
-    c.bench_function("sim/comms_at_all_instants", |b| {
-        b.iter(|| {
-            let mut total = 0usize;
-            for &t in &instants {
-                total += comms_at(black_box(&system), t).len();
-            }
-            black_box(total)
-        });
+    h.bench("sim/comms_at_all_instants", || {
+        let mut total = 0usize;
+        for &t in &instants {
+            total += comms_at(&system, t).len();
+        }
+        total
     });
-}
 
-criterion_group!(benches, bench_event_throughput, bench_comm_instant_machinery);
-criterion_main!(benches);
+    h.finish();
+}

@@ -1,5 +1,5 @@
-//! Criterion bench behind Table I: the stages of one MILP solve on the
-//! WATERS 2019 case study.
+//! Bench behind Table I: the stages of one MILP solve on the WATERS 2019
+//! case study.
 //!
 //! Table I's wall-clock *cells* come from the `repro` binary (they include
 //! budget-bound searches and are not statistically repeatable); this bench
@@ -7,74 +7,46 @@
 //! reordering, MILP formulation build, and the warm-started feasibility
 //! solve (which terminates at the first incumbent).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 use std::time::Duration;
 
 use letdma::opt::{
     formulation_lp, heuristic, heuristic_solution, improve_transfer_order, optimize, OptConfig,
 };
+use letdma_bench::harness::Harness;
 use letdma_bench::waters_with_alpha;
 
-fn bench_heuristic(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_args();
     let (system, _) = waters_with_alpha(20);
-    c.bench_function("table1/heuristic_construct", |b| {
-        b.iter(|| black_box(heuristic::construct(black_box(&system), false)));
-    });
-}
 
-fn bench_reorder(c: &mut Criterion) {
-    let (system, _) = waters_with_alpha(20);
-    let h = heuristic::construct(&system, false).expect("has comms");
-    c.bench_function("table1/local_search_reorder", |b| {
-        b.iter(|| black_box(improve_transfer_order(black_box(&system), &h.schedule)));
+    h.bench("table1/heuristic_construct", || {
+        heuristic::construct(&system, false)
     });
-}
 
-fn bench_formulation_build(c: &mut Criterion) {
-    let (system, _) = waters_with_alpha(20);
-    let mut group = c.benchmark_group("table1/formulation_build");
-    group.sample_size(10);
-    group.bench_function("build_and_render", |b| {
-        b.iter(|| black_box(formulation_lp(black_box(&system), &OptConfig::default())));
+    let constructed = heuristic::construct(&system, false).expect("has comms");
+    h.bench("table1/local_search_reorder", || {
+        improve_transfer_order(&system, &constructed.schedule)
     });
-    group.finish();
-}
 
-fn bench_warm_feasibility_solve(c: &mut Criterion) {
-    let (system, _) = waters_with_alpha(20);
-    let mut group = c.benchmark_group("table1/no_obj_warm_solve");
-    group.sample_size(10);
-    group.measurement_time(Duration::from_secs(30));
-    group.bench_function("optimize", |b| {
-        b.iter(|| {
-            let solution = optimize(
-                black_box(&system),
-                &OptConfig {
-                    time_limit: Some(Duration::from_secs(30)),
-                    ..OptConfig::default()
-                },
-            )
-            .expect("feasible");
-            black_box(solution.num_transfers())
-        });
+    h.bench("table1/formulation_build/build_and_render", || {
+        formulation_lp(&system, &OptConfig::default())
     });
-    group.finish();
-}
 
-fn bench_heuristic_solution_end_to_end(c: &mut Criterion) {
-    let (system, _) = waters_with_alpha(20);
-    c.bench_function("table1/heuristic_solution_validated", |b| {
-        b.iter(|| black_box(heuristic_solution(black_box(&system), false)).is_ok());
+    h.bench("table1/no_obj_warm_solve/optimize", || {
+        optimize(
+            &system,
+            &OptConfig {
+                time_limit: Some(Duration::from_secs(30)),
+                ..OptConfig::default()
+            },
+        )
+        .expect("feasible")
+        .num_transfers()
     });
-}
 
-criterion_group!(
-    benches,
-    bench_heuristic,
-    bench_reorder,
-    bench_formulation_build,
-    bench_warm_feasibility_solve,
-    bench_heuristic_solution_end_to_end
-);
-criterion_main!(benches);
+    h.bench("table1/heuristic_solution_validated", || {
+        heuristic_solution(&system, false).is_ok()
+    });
+
+    h.finish();
+}

@@ -4,21 +4,26 @@
 //! cargo run --release -p letdma-bench --bin repro -- all
 //! cargo run --release -p letdma-bench --bin repro -- fig1
 //! cargo run --release -p letdma-bench --bin repro -- fig2 --budget 60
-//! cargo run --release -p letdma-bench --bin repro -- table1 --budget 120
+//! cargo run --release -p letdma-bench --bin repro -- table1 --budget 120 --stats
 //! cargo run --release -p letdma-bench --bin repro -- alpha-sweep
 //! ```
 //!
 //! `--budget <seconds>` bounds each MILP solve (default 30 s; the paper
-//! used a 1 h CPLEX timeout on a 40-core Xeon).
+//! used a 1 h CPLEX timeout on a 40-core Xeon). `--stats` appends the
+//! solver statistics accumulated across every `optimize` call of the
+//! command: per-phase wall clock, simplex/branch-and-bound counters, node
+//! outcome breakdown and the incumbent timeline.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
+use letdma::core::SolverStats;
 use letdma_bench::{alpha_sweep, fig1, fig2, table1};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut budget = Duration::from_secs(30);
+    let mut stats = false;
     let mut command: Option<String> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -36,6 +41,7 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--stats" => stats = true,
             other if command.is_none() => command = Some(other.to_owned()),
             other => {
                 eprintln!("unexpected argument `{other}`");
@@ -45,25 +51,42 @@ fn main() -> ExitCode {
     }
     let command = command.unwrap_or_else(|| "all".to_owned());
 
+    let mut collector = SolverStats::default();
     match command.as_str() {
-        "fig1" => print!("{}", fig1::run(budget)),
-        "fig2" => print!("{}", fig2::render(&fig2::run(budget))),
-        "table1" => print!("{}", table1::render(&table1::run(budget))),
-        "alpha-sweep" => print!("{}", alpha_sweep::render(&alpha_sweep::run(budget))),
+        "fig1" => print!("{}", fig1::run_with(budget, &mut collector)),
+        "fig2" => print!("{}", fig2::render(&fig2::run_with(budget, &mut collector))),
+        "table1" => print!(
+            "{}",
+            table1::render(&table1::run_with(budget, &mut collector))
+        ),
+        "alpha-sweep" => print!(
+            "{}",
+            alpha_sweep::render(&alpha_sweep::run_with(budget, &mut collector))
+        ),
         "all" => {
             println!("== Fig. 1 =================================================");
-            print!("{}", fig1::run(budget));
+            print!("{}", fig1::run_with(budget, &mut collector));
             println!("\n== Fig. 2 =================================================");
-            print!("{}", fig2::render(&fig2::run(budget)));
+            print!("{}", fig2::render(&fig2::run_with(budget, &mut collector)));
             println!("\n== Table I ================================================");
-            print!("{}", table1::render(&table1::run(budget)));
+            print!(
+                "{}",
+                table1::render(&table1::run_with(budget, &mut collector))
+            );
             println!("\n== α sweep ================================================");
-            print!("{}", alpha_sweep::render(&alpha_sweep::run(budget)));
+            print!(
+                "{}",
+                alpha_sweep::render(&alpha_sweep::run_with(budget, &mut collector))
+            );
         }
         other => {
             eprintln!("unknown command `{other}` (use fig1|fig2|table1|alpha-sweep|all)");
             return ExitCode::FAILURE;
         }
+    }
+    if stats {
+        println!("\n== Solver statistics ======================================");
+        print!("{}", collector.render());
     }
     ExitCode::SUCCESS
 }

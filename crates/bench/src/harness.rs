@@ -1,0 +1,182 @@
+//! Minimal wall-clock benchmark harness (`std::time::Instant` only).
+//!
+//! Replaces criterion for this workspace: the benches here exist to catch
+//! order-of-magnitude regressions in the reproduction pipeline, not to
+//! resolve microsecond-level differences, so a warmup + fixed-sample
+//! median is enough — and it keeps the workspace buildable with the
+//! crates-io registry unreachable (see DESIGN.md §"Dependency policy").
+//!
+//! Usage, with `harness = false` in the bench target:
+//!
+//! ```no_run
+//! use letdma_bench::harness::Harness;
+//!
+//! let mut h = Harness::from_args();
+//! h.bench("group/op", || 2 + 2);
+//! h.finish();
+//! ```
+//!
+//! Environment overrides: `LETDMA_BENCH_SAMPLES` (samples per benchmark,
+//! default 10) and `LETDMA_BENCH_MIN_MS` (minimum per-sample wall time,
+//! default 20 ms). A positional command-line argument filters benchmarks
+//! by substring, mirroring `cargo bench -- <filter>`.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// A sequential benchmark runner printing one line per benchmark.
+#[derive(Debug)]
+pub struct Harness {
+    /// Samples collected per benchmark.
+    pub samples: usize,
+    /// Minimum wall time per sample; iterations are batched to reach it.
+    pub min_sample: Duration,
+    /// Substring filter; benches not containing it are skipped.
+    pub filter: Option<String>,
+    ran: usize,
+    skipped: usize,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Self {
+            samples: env_usize("LETDMA_BENCH_SAMPLES").unwrap_or(10).max(1),
+            min_sample: Duration::from_millis(env_usize("LETDMA_BENCH_MIN_MS").unwrap_or(20) as u64),
+            filter: None,
+            ran: 0,
+            skipped: 0,
+        }
+    }
+}
+
+impl Harness {
+    /// A harness with the filter taken from the command line (the first
+    /// argument not starting with `-`; flags such as `--bench` that cargo
+    /// forwards are ignored).
+    #[must_use]
+    pub fn from_args() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Self {
+            filter,
+            ..Self::default()
+        }
+    }
+
+    /// Times `f`, printing `name` with median/min/mean over the samples.
+    ///
+    /// The closure's return value goes through [`black_box`] so the work is
+    /// not optimized away.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                self.skipped += 1;
+                return;
+            }
+        }
+        self.ran += 1;
+        // Warmup + batch-size calibration: run until the calibration budget
+        // is spent, remembering the per-iteration estimate.
+        let calibration = self.min_sample.max(Duration::from_millis(5));
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < calibration {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter =
+            warm_start.elapsed() / u32::try_from(warm_iters.min(u64::from(u32::MAX))).unwrap_or(1);
+        let iters_per_sample = if per_iter.is_zero() {
+            1
+        } else {
+            (self.min_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64
+        };
+        let mut per_iter_samples: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            per_iter_samples.push(t.elapsed() / u32::try_from(iters_per_sample).unwrap_or(1));
+        }
+        per_iter_samples.sort_unstable();
+        let median = per_iter_samples[per_iter_samples.len() / 2];
+        let min = per_iter_samples[0];
+        let mean = per_iter_samples.iter().sum::<Duration>()
+            / u32::try_from(per_iter_samples.len()).unwrap_or(1);
+        println!(
+            "{name:<48} median {:>12}   (min {}, mean {}, {} × {} iters)",
+            fmt_duration(median),
+            fmt_duration(min),
+            fmt_duration(mean),
+            self.samples,
+            iters_per_sample,
+        );
+    }
+
+    /// Prints the run summary. Call last.
+    pub fn finish(&self) {
+        println!(
+            "{} benchmark(s) run, {} filtered out",
+            self.ran, self.skipped
+        );
+    }
+}
+
+/// Human-readable duration: picks ns/µs/ms/s to keep 3–4 significant digits.
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn env_usize(var: &str) -> Option<usize> {
+    std::env::var(var).ok()?.trim().parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_counts() {
+        let mut h = Harness {
+            samples: 2,
+            min_sample: Duration::from_micros(50),
+            filter: None,
+            ran: 0,
+            skipped: 0,
+        };
+        h.bench("unit/add", || 1 + 1);
+        assert_eq!(h.ran, 1);
+        assert_eq!(h.skipped, 0);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut h = Harness {
+            samples: 1,
+            min_sample: Duration::from_micros(10),
+            filter: Some("match-me".into()),
+            ran: 0,
+            skipped: 0,
+        };
+        h.bench("other/thing", || ());
+        h.bench("group/match-me", || ());
+        assert_eq!(h.ran, 1);
+        assert_eq!(h.skipped, 1);
+    }
+
+    #[test]
+    fn fmt_duration_picks_sane_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(50)), "50 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00 s");
+    }
+}

@@ -16,11 +16,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
+
 use std::time::Duration;
+
+use letdma::core::instrument::{Instrument, NoopInstrument};
 
 use letdma::analysis::{apply_gammas, derive_gammas, let_task_segments};
 use letdma::model::System;
-use letdma::opt::{heuristic_solution, optimize, LetDmaSolution, Objective, OptConfig};
+use letdma::opt::{heuristic_solution, LetDmaSolution, Objective, OptConfig};
 use letdma::sim::{simulate, Approach, SimConfig, SimReport};
 use letdma::waters::{waters_system, WatersTasks};
 
@@ -52,17 +56,30 @@ pub fn waters_with_alpha(alpha_pct: u32) -> (System, WatersTasks) {
 /// always enables the heuristic warm start, so this only happens for truly
 /// infeasible configurations).
 #[must_use]
-pub fn optimize_waters(
+pub fn optimize_waters(system: &System, objective: Objective, budget: Duration) -> LetDmaSolution {
+    optimize_waters_with(system, objective, budget, &mut NoopInstrument)
+}
+
+/// Like [`optimize_waters`], reporting solver progress through `instrument`
+/// (collect with [`letdma::core::SolverStats`] for the `repro --stats`
+/// view).
+///
+/// # Panics
+///
+/// Same as [`optimize_waters`].
+#[must_use]
+pub fn optimize_waters_with(
     system: &System,
     objective: Objective,
     budget: Duration,
+    instrument: &mut dyn Instrument,
 ) -> LetDmaSolution {
     let config = OptConfig {
         objective,
         time_limit: Some(budget),
         ..OptConfig::default()
     };
-    optimize(system, &config).expect("feasible within budget")
+    letdma::opt::optimize_with(system, &config, instrument).expect("feasible within budget")
 }
 
 /// Simulates all four §VII approaches; returns reports keyed like Fig. 2.
@@ -99,9 +116,9 @@ pub struct FourWay {
 
 /// Fig. 1 regeneration.
 pub mod fig1 {
-    use super::{simulate, Approach, SimConfig};
+    use super::{simulate, Approach, Instrument, NoopInstrument, SimConfig};
     use letdma::model::SystemBuilder;
-    use letdma::opt::{optimize, Objective, OptConfig};
+    use letdma::opt::{optimize_with, Objective, OptConfig};
     use std::time::Duration;
 
     /// Runs the Fig. 1 example; returns the rendered report.
@@ -111,6 +128,16 @@ pub mod fig1 {
     /// Panics if the fixed example unexpectedly fails to solve.
     #[must_use]
     pub fn run(budget: Duration) -> String {
+        run_with(budget, &mut NoopInstrument)
+    }
+
+    /// [`run`], reporting solver progress through `instrument`.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`run`].
+    #[must_use]
+    pub fn run_with(budget: Duration, instrument: &mut dyn Instrument) -> String {
         let mut b = SystemBuilder::new(2);
         let t1 = b.task("tau1").period_ms(5).core_index(0).add().unwrap();
         let t3 = b.task("tau3").period_ms(10).core_index(0).add().unwrap();
@@ -119,16 +146,27 @@ pub mod fig1 {
         let t4 = b.task("tau4").period_ms(10).core_index(1).add().unwrap();
         let t6 = b.task("tau6").period_ms(10).core_index(1).add().unwrap();
         b.label("l1").size(256).writer(t1).reader(t2).add().unwrap();
-        b.label("l2").size(48 * 1024).writer(t3).reader(t4).add().unwrap();
-        b.label("l3").size(48 * 1024).writer(t5).reader(t6).add().unwrap();
+        b.label("l2")
+            .size(48 * 1024)
+            .writer(t3)
+            .reader(t4)
+            .add()
+            .unwrap();
+        b.label("l3")
+            .size(48 * 1024)
+            .writer(t5)
+            .reader(t6)
+            .add()
+            .unwrap();
         let system = b.build().unwrap();
-        let solution = optimize(
+        let solution = optimize_with(
             &system,
             &OptConfig {
                 objective: Objective::MinDelayRatio,
                 time_limit: Some(budget),
                 ..OptConfig::default()
             },
+            instrument,
         )
         .unwrap();
         let proposed = simulate(
@@ -137,8 +175,12 @@ pub mod fig1 {
             &SimConfig::for_approach(Approach::ProposedDma),
         )
         .unwrap();
-        let giotto = simulate(&system, None, &SimConfig::for_approach(Approach::GiottoDmaA))
-            .unwrap();
+        let giotto = simulate(
+            &system,
+            None,
+            &SimConfig::for_approach(Approach::GiottoDmaA),
+        )
+        .unwrap();
         let mut out = String::new();
         out.push_str("Fig. 1 — proposed reordering vs Giotto ordering\n");
         out.push_str("task   proposed λ      Giotto λ        ratio\n");
@@ -160,7 +202,10 @@ pub mod fig1 {
 
 /// Fig. 2 regeneration.
 pub mod fig2 {
-    use super::{optimize_waters, simulate_all, waters_with_alpha, Objective};
+    use super::{
+        optimize_waters_with, simulate_all, waters_with_alpha, Instrument, NoopInstrument,
+        Objective,
+    };
     use std::time::Duration;
 
     /// One panel of Fig. 2: per-task ratios against the three baselines.
@@ -183,6 +228,16 @@ pub mod fig2 {
     /// Panics if the case study cannot be optimized within the budget.
     #[must_use]
     pub fn run(budget: Duration) -> Vec<Panel> {
+        run_with(budget, &mut NoopInstrument)
+    }
+
+    /// [`run`], reporting solver progress through `instrument`.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`run`].
+    #[must_use]
+    pub fn run_with(budget: Duration, instrument: &mut dyn Instrument) -> Vec<Panel> {
         let mut panels = Vec::new();
         for alpha_pct in [20u32, 40] {
             for objective in [
@@ -191,7 +246,7 @@ pub mod fig2 {
                 Objective::MinDelayRatio,
             ] {
                 let (system, tasks) = waters_with_alpha(alpha_pct);
-                let solution = optimize_waters(&system, objective, budget);
+                let solution = optimize_waters_with(&system, objective, budget, instrument);
                 let four = simulate_all(&system, &solution);
                 let rows = tasks
                     .figure2_order()
@@ -240,8 +295,8 @@ pub mod fig2 {
 
 /// Table I regeneration.
 pub mod table1 {
-    use super::{waters_with_alpha, Duration, Objective, OptConfig};
-    use letdma::opt::{optimize, Provenance};
+    use super::{waters_with_alpha, Duration, Instrument, NoopInstrument, Objective, OptConfig};
+    use letdma::opt::{optimize_with, Provenance};
     use std::time::Instant;
 
     /// One cell of Table I.
@@ -273,6 +328,17 @@ pub mod table1 {
     /// Panics when a cell is infeasible (the paper's α values are feasible).
     #[must_use]
     pub fn run(budget: Duration) -> Vec<Cell> {
+        run_with(budget, &mut NoopInstrument)
+    }
+
+    /// [`run`], reporting solver progress through `instrument` — this is
+    /// what `repro -- table1 --stats` collects and renders.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`run`].
+    #[must_use]
+    pub fn run_with(budget: Duration, instrument: &mut dyn Instrument) -> Vec<Cell> {
         let mut cells = Vec::new();
         for objective in [
             Objective::None,
@@ -282,13 +348,14 @@ pub mod table1 {
             for alpha_pct in [20u32, 40] {
                 let (system, _) = waters_with_alpha(alpha_pct);
                 let t0 = Instant::now();
-                let solution = optimize(
+                let solution = optimize_with(
                     &system,
                     &OptConfig {
                         objective,
                         time_limit: Some(budget),
                         ..OptConfig::default()
                     },
+                    instrument,
                 )
                 .expect("feasible");
                 let running_time = t0.elapsed();
@@ -315,9 +382,7 @@ pub mod table1 {
     pub fn render(cells: &[Cell]) -> String {
         let mut out = String::new();
         out.push_str("Table I — MILP running times and # DMA transfers\n");
-        out.push_str(
-            "Obj. Function | time α=0.2     | time α=0.4     | #DMA α=0.2 | #DMA α=0.4\n",
-        );
+        out.push_str("Obj. Function | time α=0.2     | time α=0.4     | #DMA α=0.2 | #DMA α=0.4\n");
         for objective in [
             Objective::None,
             Objective::MinTransfers,
@@ -356,9 +421,10 @@ pub mod table1 {
 /// The α feasibility sweep described in §VII's text.
 pub mod alpha_sweep {
     use super::{
-        apply_gammas, derive_gammas, heuristic_solution, let_task_segments, optimize,
-        waters_system, Duration, OptConfig,
+        apply_gammas, derive_gammas, heuristic_solution, let_task_segments, waters_system,
+        Duration, Instrument, NoopInstrument, OptConfig,
     };
+    use letdma::opt::optimize_with;
 
     /// Outcome per α (percent).
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -378,6 +444,16 @@ pub mod alpha_sweep {
     /// Panics if the base case study is unschedulable (never happens).
     #[must_use]
     pub fn run(budget: Duration) -> Vec<Point> {
+        run_with(budget, &mut NoopInstrument)
+    }
+
+    /// [`run`], reporting solver progress through `instrument`.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`run`].
+    #[must_use]
+    pub fn run_with(budget: Duration, instrument: &mut dyn Instrument) -> Vec<Point> {
         let (base, _) = waters_system().expect("case study builds");
         let warm = heuristic_solution(&base, false).expect("heuristic feasible");
         let segments = let_task_segments(&base, &warm.schedule);
@@ -385,8 +461,7 @@ pub mod alpha_sweep {
             .into_iter()
             .map(|alpha_pct| {
                 let (mut system, _) = waters_system().expect("builds");
-                let sens = derive_gammas(&system, alpha_pct, &segments)
-                    .expect("base schedulable");
+                let sens = derive_gammas(&system, alpha_pct, &segments).expect("base schedulable");
                 if !sens.schedulable {
                     return Point {
                         alpha_pct,
@@ -395,12 +470,13 @@ pub mod alpha_sweep {
                     };
                 }
                 apply_gammas(&mut system, &sens);
-                let solvable = optimize(
+                let solvable = optimize_with(
                     &system,
                     &OptConfig {
                         time_limit: Some(budget),
                         ..OptConfig::default()
                     },
+                    instrument,
                 )
                 .is_ok();
                 Point {

@@ -1,0 +1,36 @@
+//! # letdma-core
+//!
+//! Zero-external-dependency substrate beneath every other crate of the
+//! workspace. The repository must build and test with the crates-io
+//! registry unreachable (hermetic CI, air-gapped evaluation machines), so
+//! the facilities usually pulled from `rand`, `proptest` and `criterion`
+//! live here instead:
+//!
+//! * [`rng`] — a deterministic, seedable, stream-splittable PRNG family
+//!   (SplitMix64 seeding, xoshiro256** generation) used for workload
+//!   generation and randomized testing;
+//! * [`instrument`] — the [`Instrument`](instrument::Instrument) observer
+//!   trait and the [`SolverStats`](instrument::SolverStats) collector that
+//!   the MILP solver and the optimizer report iteration counts, pivot and
+//!   refactorization counters, branch-and-bound node events and wall-clock
+//!   phases through;
+//! * [`cases`] — a shrink-free, seeded test-case harness replacing the
+//!   `proptest` suites: N deterministic cases per property, reproducible
+//!   from the failure message alone.
+//!
+//! Everything here is plain safe `std` Rust. Keeping this crate
+//! dependency-free is a hard policy (see DESIGN.md §"Dependency policy");
+//! downstream crates may depend on `letdma-core` freely because it can
+//! never re-introduce a registry fetch.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cases;
+pub mod instrument;
+pub mod rng;
+
+pub use cases::Cases;
+pub use instrument::{Counter, Instrument, NodeEvent, NoopInstrument, SolverStats};
+pub use rng::{Rng, SplitMix64, Xoshiro256};

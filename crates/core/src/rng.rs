@@ -1,0 +1,347 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Two small, well-studied generators cover every use in the workspace:
+//!
+//! * [`SplitMix64`] — a 64-bit mixer with a single word of state. Its
+//!   output sequence equidistributes every 64-bit value exactly once per
+//!   period, which makes it the canonical *seed expander*: one user seed
+//!   fans out into the 256-bit state of the main generator without
+//!   correlated lanes.
+//! * [`Xoshiro256`] — xoshiro256\*\*, the general-purpose generator
+//!   (256-bit state, period 2²⁵⁶ − 1, passes BigCrush). All workload
+//!   generation and test-case generation draws from it.
+//!
+//! Both are fully deterministic functions of the seed on every platform —
+//! no OS entropy, no pointer hashing, no global state — so a seed printed
+//! in a failure message reproduces the exact workload anywhere.
+//!
+//! The [`Rng`] trait carries the derived sampling methods (ranges, floats,
+//! choices, shuffles) so the two generators — and any future one — share
+//! one audited implementation of the sampling arithmetic.
+
+/// The common sampling interface over a 64-bit generator core.
+///
+/// Implementors provide [`next_u64`](Rng::next_u64); every derived method
+/// has exactly one implementation here, so switching generators can never
+/// change how raw bits are mapped to ranges (a classic source of silent
+/// distribution drift).
+pub trait Rng {
+    /// The next raw 64-bit output of the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform `u64` in `[0, bound)` by Lemire's multiply-shift rejection
+    /// method (unbiased, no modulo in the common path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    fn u64_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "u64_below(0) is meaningless");
+        // Lemire 2018: draw x, take the high 64 bits of x·bound; reject the
+        // small biased fringe.
+        let mut x = self.next_u64();
+        let mut m = u128::from(x) * u128::from(bound);
+        let mut low = m as u64;
+        if low < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while low < threshold {
+                x = self.next_u64();
+                m = u128::from(x) * u128::from(bound);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform `u64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    fn u64_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        lo + self.u64_below(hi - lo)
+    }
+
+    /// Uniform `usize` in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    fn usize_below(&mut self, bound: usize) -> usize {
+        usize::try_from(self.u64_below(bound as u64)).expect("bound fits usize")
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    fn usize_range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        lo + self.usize_below(hi - lo)
+    }
+
+    /// Uniform `i64` in `[lo, hi]` (inclusive; convenient for small signed
+    /// coefficient menus in tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    fn i64_inclusive(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "empty range [{lo}, {hi}]");
+        let span = hi.wrapping_sub(lo) as u64;
+        let off = if span == u64::MAX {
+            self.next_u64()
+        } else {
+            self.u64_below(span + 1)
+        };
+        lo.wrapping_add(off as i64)
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 random mantissa bits.
+    fn f64_unit(&mut self) -> f64 {
+        // Standard 53-bit construction: top 53 bits scaled by 2⁻⁵³.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or not finite.
+    fn f64_range(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(
+            lo < hi && lo.is_finite() && hi.is_finite(),
+            "bad range [{lo}, {hi})"
+        );
+        lo + self.f64_unit() * (hi - lo)
+    }
+
+    /// Fair coin.
+    fn bool(&mut self) -> bool {
+        // Use the high bit: the low bits of some generators are weaker.
+        self.next_u64() >> 63 == 1
+    }
+
+    /// Uniformly chosen element of a slice, `None` when empty.
+    fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            Some(&items[self.usize_below(items.len())])
+        }
+    }
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.usize_below(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+/// SplitMix64: one word of state, used as the seed expander.
+///
+/// Reference: Steele, Lea, Flood — "Fast splittable pseudorandom number
+/// generators" (OOPSLA 2014); constants as in the public-domain reference
+/// implementation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates the expander from a user seed (any value is fine, including
+    /// zero).
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+}
+
+impl Rng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256\*\*: the workspace's general-purpose generator.
+///
+/// Reference: Blackman & Vigna — "Scrambled linear pseudorandom number
+/// generators" (TOMS 2021). 256-bit state, period 2²⁵⁶ − 1; the `**`
+/// scrambler makes all 64 output bits full quality.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Seeds the 256-bit state from one `u64` via SplitMix64, as the
+    /// xoshiro authors recommend (avoids the all-zero state and correlated
+    /// lanes for adjacent seeds).
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Self {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Splits off an independent child stream.
+    ///
+    /// The child is seeded through SplitMix64 from the parent's next
+    /// output, so (a) the parent advances — repeated splits yield distinct
+    /// children — and (b) the child's state is decorrelated from the
+    /// parent's by the full 64-bit mixer. This gives deterministic
+    /// per-subsystem streams (e.g. one per generated task set) without
+    /// sharing a sequence.
+    #[must_use]
+    pub fn split(&mut self) -> Self {
+        Self::seed_from_u64(self.next_u64())
+    }
+
+    /// The long-jump polynomial: advances the state by 2¹⁹² steps,
+    /// partitioning the sequence into up to 2⁶⁴ non-overlapping streams.
+    /// Prefer [`split`](Self::split) unless provable non-overlap matters.
+    pub fn long_jump(&mut self) {
+        const LONG_JUMP: [u64; 4] = [
+            0x7674_3CAC_D2ED_1B47,
+            0x1125_3864_0BB9_0544,
+            0x7709_10AD_8429_9559,
+            0x3932_6EEA_36AF_1F9C,
+        ];
+        let mut t = [0u64; 4];
+        for jump in LONG_JUMP {
+            for b in 0..64 {
+                if jump & (1u64 << b) != 0 {
+                    for (ti, si) in t.iter_mut().zip(self.s.iter()) {
+                        *ti ^= si;
+                    }
+                }
+                let _ = self.next_u64();
+            }
+        }
+        self.s = t;
+    }
+}
+
+impl Rng for Xoshiro256 {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference values for seed 1234567 from the public-domain C
+        // implementation (first three outputs).
+        let mut sm = SplitMix64::new(1234567);
+        assert_eq!(sm.next_u64(), 6457827717110365317);
+        assert_eq!(sm.next_u64(), 3203168211198807973);
+        assert_eq!(sm.next_u64(), 9817491932198370423);
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic_and_seed_sensitive() {
+        let mut a = Xoshiro256::seed_from_u64(42);
+        let mut b = Xoshiro256::seed_from_u64(42);
+        let mut c = Xoshiro256::seed_from_u64(43);
+        let sa: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let sc: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(sa, sb);
+        assert_ne!(sa, sc);
+    }
+
+    #[test]
+    fn split_streams_differ_from_parent_and_each_other() {
+        let mut parent = Xoshiro256::seed_from_u64(7);
+        let mut c1 = parent.split();
+        let mut c2 = parent.split();
+        let p: Vec<u64> = (0..8).map(|_| parent.next_u64()).collect();
+        let a: Vec<u64> = (0..8).map(|_| c1.next_u64()).collect();
+        let b: Vec<u64> = (0..8).map(|_| c2.next_u64()).collect();
+        assert_ne!(a, b);
+        assert_ne!(a, p);
+        assert_ne!(b, p);
+    }
+
+    #[test]
+    fn u64_below_is_in_range_and_hits_small_ranges() {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            let v = rng.u64_below(7);
+            assert!(v < 7);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reached");
+    }
+
+    #[test]
+    fn f64_unit_in_half_open_interval() {
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let v = rng.f64_unit();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn i64_inclusive_covers_bounds() {
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let (mut lo_seen, mut hi_seen) = (false, false);
+        for _ in 0..2_000 {
+            let v = rng.i64_inclusive(-4, 4);
+            assert!((-4..=4).contains(&v));
+            lo_seen |= v == -4;
+            hi_seen |= v == 4;
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_none_on_empty() {
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        assert_eq!(rng.choose::<u8>(&[]), None);
+        assert_eq!(rng.choose(&[9]), Some(&9));
+    }
+
+    #[test]
+    fn long_jump_changes_stream() {
+        let mut a = Xoshiro256::seed_from_u64(11);
+        let mut b = a.clone();
+        b.long_jump();
+        let sa: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(sa, sb);
+    }
+}

@@ -15,6 +15,7 @@
 //!
 //! | Crate | Contents |
 //! |---|---|
+//! | [`core`] | Zero-dependency substrate: deterministic PRNG, solver instrumentation traits, seeded test-case harness |
 //! | [`model`] | Platform/task/label model, LET semantics (skip rules, Algorithm 1), transfers, layouts, conformance checking |
 //! | [`milp`] | A self-contained MILP solver (simplex + branch and bound) replacing the paper's CPLEX |
 //! | [`opt`] | The §VI formulation (Constraints 1–10, three objectives), a constructive heuristic and solution validation |
@@ -51,6 +52,12 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+/// Zero-dependency substrate: deterministic PRNG, solver instrumentation
+/// and the seeded test-case harness (re-export of [`letdma_core`]).
+pub mod core {
+    pub use letdma_core::*;
+}
 
 /// System model and LET semantics (re-export of [`letdma_model`]).
 pub mod model {

@@ -38,16 +38,16 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod basis;
 mod expr;
 mod lp_format;
 mod model;
 pub mod simplex;
 mod solver;
 
+pub use basis::{Basis, DenseInverse};
 pub use expr::{LinExpr, Var};
-pub use model::{
-    Comparison, Constraint, Model, ObjectiveSense, Sense, VarDef, VarType,
-};
+pub use model::{Comparison, Constraint, Model, ObjectiveSense, Sense, VarDef, VarType};
 pub use solver::{MilpSolution, SolveError, SolveOptions, SolveStats, SolveStatus};
 
 #[cfg(test)]

@@ -145,7 +145,13 @@ impl Model {
 fn sanitize(name: &str, index: usize) -> String {
     let cleaned: String = name
         .chars()
-        .map(|ch| if ch.is_ascii_alphanumeric() || ch == '_' { ch } else { '_' })
+        .map(|ch| {
+            if ch.is_ascii_alphanumeric() || ch == '_' {
+                ch
+            } else {
+                '_'
+            }
+        })
         .collect();
     let cleaned = if cleaned.is_empty() || cleaned.chars().next().unwrap().is_ascii_digit() {
         format!("v_{cleaned}")

@@ -17,17 +17,22 @@
 //! objective from the current basis.
 //!
 //! Pricing uses Dantzig's rule with an automatic switch to Bland's rule when
-//! the objective stalls (anti-cycling). The basis inverse is maintained as a
-//! dense `m × m` matrix with product-form updates and periodic
+//! the objective stalls (anti-cycling). The basis inverse is maintained
+//! behind the [`Basis`](crate::basis::Basis) trait; the default
+//! representation is the dense product-form inverse of
+//! [`DenseInverse`](crate::basis::DenseInverse) with periodic Gauss-Jordan
 //! refactorization, which is simple, predictable and fast enough for the
 //! problem sizes of this workspace (hundreds to a few thousand rows).
-
+//! Alternative representations (factorized LU/eta files, enabling
+//! dual-simplex warm restarts) plug in via
+//! [`SimplexSolver::from_model_with_basis`].
 
 // Index-based loops mirror the mathematical notation (rows i, columns j,
 // groups g); iterator rewrites would obscure the correspondence.
 #![allow(clippy::needless_range_loop)]
 use std::time::Instant;
 
+use crate::basis::{Basis, DenseInverse};
 use crate::model::{Model, ObjectiveSense, Sense};
 
 /// Feasibility/optimality tolerance used throughout the solver.
@@ -88,8 +93,8 @@ pub struct SimplexSolver {
     status: Vec<ColStatus>,
     /// Basis: column index per row.
     basis: Vec<usize>,
-    /// Dense row-major basis inverse, `m × m`.
-    binv: Vec<f64>,
+    /// Pluggable basis-inverse representation.
+    basis_inv: Box<dyn Basis>,
     /// Current values of all columns.
     x: Vec<f64>,
     /// Multiplier for converting the model objective to minimization.
@@ -104,6 +109,11 @@ pub struct SimplexSolver {
     pub deadline: Option<Instant>,
     /// Iterations spent in phase 1 of the most recent solve.
     pub phase1_iterations: u64,
+    /// Bound-to-bound flips (steps without a basis change).
+    pub bound_flips: u64,
+    /// Refactorize after this many product-form updates (numerical-drift
+    /// control for long solves; `u64::MAX` disables).
+    pub refactor_interval: u64,
 }
 
 impl std::fmt::Debug for SimplexSolver {
@@ -113,6 +123,7 @@ impl std::fmt::Debug for SimplexSolver {
             .field("cols", &self.n)
             .field("structural", &self.n_struct)
             .field("iterations", &self.iterations)
+            .field("basis", &self.basis_inv)
             .finish()
     }
 }
@@ -123,6 +134,13 @@ impl SimplexSolver {
     /// bounds and rebuild).
     #[must_use]
     pub fn from_model(model: &Model) -> Self {
+        Self::from_model_with_basis(model, Box::new(DenseInverse::new()))
+    }
+
+    /// Like [`from_model`](Self::from_model) with an explicit basis-inverse
+    /// representation (see [`crate::basis`]).
+    #[must_use]
+    pub fn from_model_with_basis(model: &Model, basis_inv: Box<dyn Basis>) -> Self {
         let m = model.num_constraints();
         let n_struct = model.num_vars();
         let n_slack = m;
@@ -212,7 +230,7 @@ impl SimplexSolver {
             upper,
             status: vec![ColStatus::AtLower; n],
             basis: Vec::new(),
-            binv: Vec::new(),
+            basis_inv,
             x: vec![0.0; n],
             obj_scale,
             obj_offset,
@@ -220,7 +238,21 @@ impl SimplexSolver {
             iteration_limit: 200_000,
             deadline: None,
             phase1_iterations: 0,
+            bound_flips: 0,
+            refactor_interval: 512,
         }
+    }
+
+    /// Basis changes (entering/leaving pivots) applied so far.
+    #[must_use]
+    pub fn pivots(&self) -> u64 {
+        self.basis_inv.pivots()
+    }
+
+    /// Basis refactorizations performed so far.
+    #[must_use]
+    pub fn refactorizations(&self) -> u64 {
+        self.basis_inv.refactorizations()
     }
 
     /// Solves the LP relaxation from scratch (phase 1 then phase 2).
@@ -358,7 +390,7 @@ impl SimplexSolver {
             }
         }
         self.basis = Vec::with_capacity(m);
-        self.binv = vec![0.0; m * m];
+        let mut signs = vec![0.0; m];
         for i in 0..m {
             let s = self.n_struct + i;
             let p = self.n_struct + m + 2 * i;
@@ -375,7 +407,7 @@ impl SimplexSolver {
                 self.status[s] = ColStatus::Basic(i);
                 self.x[s] = defect;
                 self.basis.push(s);
-                self.binv[i * m + i] = 1.0;
+                signs[i] = 1.0;
             } else {
                 // Keep the slack parked; an artificial absorbs the rest.
                 let rest = residual[i];
@@ -384,9 +416,10 @@ impl SimplexSolver {
                 self.x[chosen] = rest.abs();
                 self.basis.push(chosen);
                 // Column of q is −e_i, so B⁻¹ row is −e_i when q is basic.
-                self.binv[i * m + i] = binv_sign;
+                signs[i] = binv_sign;
             }
         }
+        self.basis_inv.reset(&signs);
         self.iterations = 0;
     }
 
@@ -412,10 +445,7 @@ impl SimplexSolver {
             for (i, &bj) in self.basis.iter().enumerate() {
                 let cb = cost[bj];
                 if cb != 0.0 {
-                    let row = &self.binv[i * m..(i + 1) * m];
-                    for (k, yk) in y.iter_mut().enumerate() {
-                        *yk += cb * row[k];
-                    }
+                    self.basis_inv.accumulate_row(i, cb, &mut y);
                 }
             }
 
@@ -467,13 +497,7 @@ impl SimplexSolver {
 
             // FTRAN: w = B⁻¹ A_q.
             let mut w = vec![0.0; m];
-            for &(i, a) in &self.cols[q] {
-                if a != 0.0 {
-                    for (k, wk) in w.iter_mut().enumerate() {
-                        *wk += self.binv[k * m + i] * a;
-                    }
-                }
-            }
+            self.basis_inv.ftran(&self.cols[q], &mut w);
 
             // Two-pass (Harris-style) ratio test. Entering moves by t ≥ 0
             // in direction `dir`; basic i changes by −dir·t·w_i. Pass 1
@@ -561,6 +585,7 @@ impl SimplexSolver {
             match leaving {
                 None => {
                     // Bound flip: entering jumped to its opposite bound.
+                    self.bound_flips += 1;
                     self.status[q] = match self.status[q] {
                         ColStatus::AtLower => ColStatus::AtUpper,
                         ColStatus::AtUpper => ColStatus::AtLower,
@@ -582,7 +607,10 @@ impl SimplexSolver {
                     };
                     self.status[q] = ColStatus::Basic(r);
                     self.basis[r] = q;
-                    self.update_inverse(r, &w);
+                    self.basis_inv.pivot(r, &w);
+                    if self.basis_inv.updates_since_refactor() >= self.refactor_interval {
+                        self.refactorize();
+                    }
                 }
             }
 
@@ -593,39 +621,17 @@ impl SimplexSolver {
             } else {
                 stall += 1;
             }
-
         }
     }
 
-    /// Product-form update of the dense inverse after replacing basis row
-    /// `r` (pivot column direction `w = B⁻¹ A_q`).
-    fn update_inverse(&mut self, r: usize, w: &[f64]) {
-        let m = self.m;
-        let pivot = w[r];
-        debug_assert!(pivot.abs() > 1e-12, "numerically singular pivot");
-        let inv_pivot = 1.0 / pivot;
-        // Row r := row r / pivot.
-        for k in 0..m {
-            self.binv[r * m + k] *= inv_pivot;
-        }
-        // Row i := row i − w_i · row r (i ≠ r).
-        for i in 0..m {
-            if i == r {
-                continue;
-            }
-            let f = w[i];
-            if f.abs() > 1e-13 {
-                let (head, tail) = self.binv.split_at_mut(r.max(i) * m);
-                let (row_i, row_r) = if i < r {
-                    (&mut head[i * m..(i + 1) * m], &tail[..m])
-                } else {
-                    (&mut tail[..m], &head[r * m..(r + 1) * m])
-                };
-                for k in 0..m {
-                    row_i[k] -= f * row_r[k];
-                }
-            }
-        }
+    /// Rebuilds the basis representation from the current basis columns
+    /// (numerical-drift control after many product-form updates).
+    fn refactorize(&mut self) {
+        let cols: Vec<&crate::basis::SparseCol> =
+            self.basis.iter().map(|&j| &self.cols[j]).collect();
+        // A failed rebuild (singular input) keeps the product-form inverse:
+        // strictly no worse than not refactorizing.
+        let _ = self.basis_inv.refactorize(&cols);
     }
 }
 

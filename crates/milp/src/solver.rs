@@ -13,6 +13,8 @@ use std::error::Error;
 use std::fmt;
 use std::time::{Duration, Instant};
 
+use letdma_core::instrument::{Counter, IncumbentRecord, Instrument, NodeEvent, NoopInstrument};
+
 use crate::expr::Var;
 use crate::model::{Model, ObjectiveSense};
 use crate::simplex::{LpOutcome, SimplexSolver};
@@ -68,12 +70,22 @@ pub enum SolveStatus {
 }
 
 /// Search statistics of one solve.
+///
+/// Finer-grained data — per-phase wall clock, node outcome breakdown, the
+/// incumbent timeline — flows through the [`letdma_core::Instrument`]
+/// observer passed to [`Model::solve_with`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SolveStats {
     /// Branch-and-bound nodes processed.
     pub nodes: u64,
     /// Total simplex iterations across all LP solves.
     pub lp_iterations: u64,
+    /// Simplex basis changes (pivots) across all LP solves.
+    pub pivots: u64,
+    /// Nonbasic bound-to-bound flips across all LP solves.
+    pub bound_flips: u64,
+    /// Basis refactorizations across all LP solves.
+    pub refactorizations: u64,
     /// Wall-clock time spent.
     pub elapsed: Duration,
     /// Best proven bound on the optimum (in the model's objective sense);
@@ -227,7 +239,22 @@ impl Model {
     /// # Ok::<(), milp::SolveError>(())
     /// ```
     pub fn solve(&self, options: &SolveOptions) -> Result<MilpSolution, SolveError> {
-        BranchAndBound::new(self, options).run()
+        self.solve_with(options, &mut NoopInstrument)
+    }
+
+    /// Like [`solve`](Model::solve), reporting search progress — simplex
+    /// iteration/pivot/refactorization counters, branch-and-bound node
+    /// events and the incumbent timeline — through `instrument`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`solve`](Model::solve).
+    pub fn solve_with(
+        &self,
+        options: &SolveOptions,
+        instrument: &mut dyn Instrument,
+    ) -> Result<MilpSolution, SolveError> {
+        BranchAndBound::new(self, options, instrument).run()
     }
 }
 
@@ -235,11 +262,15 @@ impl Model {
 struct BranchAndBound<'a> {
     model: &'a Model,
     options: &'a SolveOptions,
+    instrument: &'a mut dyn Instrument,
     /// ±1 factor converting the model objective into minimization form.
     scale: f64,
     start: Instant,
     nodes: u64,
     lp_iterations: u64,
+    pivots: u64,
+    bound_flips: u64,
+    refactorizations: u64,
     incumbent: Option<(Vec<f64>, f64)>, // (values, min-form objective)
     /// Best (lowest) LP bound among open nodes, min-form.
     open: BinaryHeap<Node>,
@@ -248,7 +279,11 @@ struct BranchAndBound<'a> {
 }
 
 impl<'a> BranchAndBound<'a> {
-    fn new(model: &'a Model, options: &'a SolveOptions) -> Self {
+    fn new(
+        model: &'a Model,
+        options: &'a SolveOptions,
+        instrument: &'a mut dyn Instrument,
+    ) -> Self {
         let scale = match model.objective_sense() {
             ObjectiveSense::Minimize => 1.0,
             ObjectiveSense::Maximize => -1.0,
@@ -256,10 +291,14 @@ impl<'a> BranchAndBound<'a> {
         Self {
             model,
             options,
+            instrument,
             scale,
             start: Instant::now(),
             nodes: 0,
             lp_iterations: 0,
+            pivots: 0,
+            bound_flips: 0,
+            refactorizations: 0,
             incumbent: None,
             open: BinaryHeap::new(),
             root_bound: None,
@@ -306,6 +345,12 @@ impl<'a> BranchAndBound<'a> {
                     self.start.elapsed()
                 );
             }
+            self.instrument.count(Counter::Incumbents, 1);
+            self.instrument.incumbent(IncumbentRecord {
+                objective: model_obj,
+                nodes: self.nodes,
+                elapsed: self.start.elapsed(),
+            });
             self.incumbent = Some((values, min_obj));
         }
     }
@@ -359,12 +404,21 @@ impl<'a> BranchAndBound<'a> {
             scratch.set_bounds(v, nl, nu);
         }
         let mut lp = SimplexSolver::from_model(&scratch);
-        lp.deadline = self
-            .options
-            .time_limit
-            .map(|limit| self.start + limit);
+        lp.deadline = self.options.time_limit.map(|limit| self.start + limit);
         let outcome = lp.solve();
         self.lp_iterations += lp.iterations;
+        self.pivots += lp.pivots();
+        self.bound_flips += lp.bound_flips;
+        self.refactorizations += lp.refactorizations();
+        self.instrument.count(Counter::LpSolves, 1);
+        self.instrument
+            .count(Counter::SimplexIterations, lp.iterations);
+        self.instrument
+            .count(Counter::Phase1Iterations, lp.phase1_iterations);
+        self.instrument.count(Counter::Pivots, lp.pivots());
+        self.instrument.count(Counter::BoundFlips, lp.bound_flips);
+        self.instrument
+            .count(Counter::Refactorizations, lp.refactorizations());
         match outcome {
             LpOutcome::Optimal { values, objective } => NodeLp::Solved {
                 values,
@@ -395,6 +449,9 @@ impl<'a> BranchAndBound<'a> {
                         stats: SolveStats {
                             nodes: 0,
                             lp_iterations: 0,
+                            pivots: 0,
+                            bound_flips: 0,
+                            refactorizations: 0,
                             elapsed: self.start.elapsed(),
                             best_bound: Some(self.scale * min_obj),
                         },
@@ -412,14 +469,17 @@ impl<'a> BranchAndBound<'a> {
             exhausted = false;
         } else {
             self.nodes += 1;
+            self.instrument.count(Counter::Nodes, 1);
             match self.solve_node_lp(&[]) {
                 NodeLp::Infeasible => {
+                    self.instrument.node_event(NodeEvent::Infeasible);
                     return Err(SolveError::Infeasible);
                 }
                 NodeLp::Unbounded => {
                     return Err(SolveError::Unbounded);
                 }
                 NodeLp::TimedOut => {
+                    self.instrument.node_event(NodeEvent::Abandoned);
                     exhausted = false;
                 }
                 NodeLp::Solved { values, min_obj } => {
@@ -434,6 +494,7 @@ impl<'a> BranchAndBound<'a> {
             // Global bound pruning.
             if let Some((_, inc)) = &self.incumbent {
                 if node.bound >= *inc - self.options.gap_abs {
+                    self.instrument.node_event(NodeEvent::FathomedByBound);
                     continue;
                 }
             }
@@ -444,14 +505,18 @@ impl<'a> BranchAndBound<'a> {
                 break;
             }
             self.nodes += 1;
+            self.instrument.count(Counter::Nodes, 1);
             match self.solve_node_lp(&node.overrides) {
-                NodeLp::Infeasible => {}
+                NodeLp::Infeasible => {
+                    self.instrument.node_event(NodeEvent::Infeasible);
+                }
                 NodeLp::Unbounded => {
                     // With bounded integrals this cannot happen unless the
                     // model itself is unbounded; be conservative.
                     return Err(SolveError::Unbounded);
                 }
                 NodeLp::TimedOut => {
+                    self.instrument.node_event(NodeEvent::Abandoned);
                     self.open.push(node);
                     exhausted = false;
                     break;
@@ -477,6 +542,9 @@ impl<'a> BranchAndBound<'a> {
         let stats = SolveStats {
             nodes: self.nodes,
             lp_iterations: self.lp_iterations,
+            pivots: self.pivots,
+            bound_flips: self.bound_flips,
+            refactorizations: self.refactorizations,
             elapsed: self.start.elapsed(),
             best_bound: best_bound_min.map(|b| self.to_model(b)),
         };
@@ -510,11 +578,13 @@ impl<'a> BranchAndBound<'a> {
     ) {
         if let Some((_, inc)) = &self.incumbent {
             if min_obj >= *inc - self.options.gap_abs {
+                self.instrument.node_event(NodeEvent::FathomedByBound);
                 return; // fathomed by bound
             }
         }
         match self.pick_branch_var(&values) {
             None => {
+                self.instrument.node_event(NodeEvent::Integral);
                 // Integral: snap and record.
                 let mut snapped = values;
                 for (j, def) in self.model.vars.iter().enumerate() {
@@ -531,6 +601,7 @@ impl<'a> BranchAndBound<'a> {
                 }
             }
             Some((var, value)) => {
+                self.instrument.node_event(NodeEvent::Branched);
                 self.try_rounding(&values);
                 let floor = value.floor();
                 let mut down = overrides.clone();

@@ -2,10 +2,12 @@
 //!
 //! Random small binary programs are solved both by branch and bound and by
 //! exhaustive enumeration of all 2^n assignments; the solver must agree on
-//! feasibility and on the optimal objective value.
+//! feasibility and on the optimal objective value. Cases come from the
+//! in-tree seeded harness ([`letdma_core::Cases`]); a failing case prints
+//! the `LETDMA_CASE_SEED` needed to replay it.
 
+use letdma_core::{Cases, Rng, Xoshiro256};
 use milp::{LinExpr, Model, ObjectiveSense, Sense, SolveError, SolveOptions};
-use proptest::prelude::*;
 
 /// A randomly generated binary program.
 #[derive(Debug, Clone)]
@@ -17,26 +19,29 @@ struct RandomBip {
     maximize: bool,
 }
 
-fn bip_strategy() -> impl Strategy<Value = RandomBip> {
-    (2usize..=6).prop_flat_map(|n_vars| {
-        let coef = -4i32..=4;
-        let cons = (
-            proptest::collection::vec(coef.clone(), n_vars),
-            prop_oneof![Just(Sense::Le), Just(Sense::Ge), Just(Sense::Eq)],
-            -3i32..=6,
-        );
-        (
-            proptest::collection::vec(cons, 1..5),
-            proptest::collection::vec(-5i32..=5, n_vars),
-            any::<bool>(),
-        )
-            .prop_map(move |(constraints, objective, maximize)| RandomBip {
-                n_vars,
-                constraints,
-                objective,
-                maximize,
-            })
-    })
+fn random_bip(rng: &mut Xoshiro256) -> RandomBip {
+    let n_vars = rng.usize_range(2, 7);
+    let n_cons = rng.usize_range(1, 5);
+    let coef = |rng: &mut Xoshiro256| i32::try_from(rng.i64_inclusive(-4, 4)).unwrap();
+    let constraints = (0..n_cons)
+        .map(|_| {
+            let coefs: Vec<i32> = (0..n_vars).map(|_| coef(rng)).collect();
+            let sense = *rng
+                .choose(&[Sense::Le, Sense::Ge, Sense::Eq])
+                .expect("nonempty");
+            let rhs = i32::try_from(rng.i64_inclusive(-3, 6)).unwrap();
+            (coefs, sense, rhs)
+        })
+        .collect();
+    let objective = (0..n_vars)
+        .map(|_| i32::try_from(rng.i64_inclusive(-5, 5)).unwrap())
+        .collect();
+    RandomBip {
+        n_vars,
+        constraints,
+        objective,
+        maximize: rng.bool(),
+    }
 }
 
 fn build_model(bip: &RandomBip) -> (Model, Vec<milp::Var>) {
@@ -114,54 +119,59 @@ fn brute_force(bip: &RandomBip) -> Option<i64> {
     best
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Branch and bound agrees with exhaustive enumeration on random binary
-    /// programs: same feasibility verdict, same optimal value, and the
-    /// returned assignment is genuinely feasible.
-    #[test]
-    fn solver_matches_brute_force(bip in bip_strategy()) {
+/// Branch and bound agrees with exhaustive enumeration on random binary
+/// programs: same feasibility verdict, same optimal value, and the returned
+/// assignment is genuinely feasible.
+#[test]
+fn solver_matches_brute_force() {
+    Cases::new("solver_matches_brute_force", 256).run(|rng| {
+        let bip = random_bip(rng);
         let (model, _) = build_model(&bip);
         let expected = brute_force(&bip);
         match model.solve(&SolveOptions::default()) {
             Ok(solution) => {
                 let exp = expected.expect("solver found a solution where brute force found none");
-                prop_assert!(
+                assert!(
                     (solution.objective() - exp as f64).abs() < 1e-6,
                     "objective {} != brute force {}",
                     solution.objective(),
                     exp
                 );
-                prop_assert!(model.is_feasible(solution.values(), 1e-6));
+                assert!(model.is_feasible(solution.values(), 1e-6));
             }
             Err(SolveError::Infeasible) => {
-                prop_assert_eq!(expected, None, "solver said infeasible, brute force disagrees");
+                assert_eq!(
+                    expected, None,
+                    "solver said infeasible, brute force disagrees"
+                );
             }
-            Err(e) => return Err(TestCaseError::fail(format!("unexpected error: {e}"))),
+            Err(e) => panic!("unexpected error: {e}"),
         }
-    }
+    });
+}
 
-    /// The LP relaxation bound is always at least as good as the integral
-    /// optimum (lower for minimization, higher for maximization).
-    #[test]
-    fn lp_relaxation_bounds_integral_optimum(bip in bip_strategy()) {
+/// The LP relaxation bound is always at least as good as the integral
+/// optimum (lower for minimization, higher for maximization).
+#[test]
+fn lp_relaxation_bounds_integral_optimum() {
+    Cases::new("lp_relaxation_bounds_integral_optimum", 256).run(|rng| {
+        let bip = random_bip(rng);
         let (model, _) = build_model(&bip);
-        let Some(int_opt) = brute_force(&bip) else { return Ok(()); };
+        let Some(int_opt) = brute_force(&bip) else {
+            return;
+        };
         let mut lp = milp::simplex::SimplexSolver::from_model(&model);
         match lp.solve() {
             milp::simplex::LpOutcome::Optimal { objective, .. } => {
                 if bip.maximize {
-                    prop_assert!(objective >= int_opt as f64 - 1e-6);
+                    assert!(objective >= int_opt as f64 - 1e-6);
                 } else {
-                    prop_assert!(objective <= int_opt as f64 + 1e-6);
+                    assert!(objective <= int_opt as f64 + 1e-6);
                 }
             }
-            other => return Err(TestCaseError::fail(format!(
-                "LP should be feasible when the BIP is ({other:?})"
-            ))),
+            other => panic!("LP should be feasible when the BIP is ({other:?})"),
         }
-    }
+    });
 }
 
 #[test]
@@ -188,7 +198,9 @@ fn time_limited_solve_is_anytime() {
         warm_start: Some(vec![0.0; n]),
         ..SolveOptions::default()
     };
-    let s = m.solve(&options).expect("anytime solve must return the warm start at worst");
+    let s = m
+        .solve(&options)
+        .expect("anytime solve must return the warm start at worst");
     assert!(m.is_feasible(s.values(), 1e-6));
 }
 

@@ -10,8 +10,6 @@
 
 use std::collections::BTreeSet;
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::{LabelId, MemoryId, TaskId};
 use crate::let_semantics::{comm_instants, comms_at_start, CommKind, Communication};
 use crate::system::System;
@@ -19,7 +17,8 @@ use crate::time::TimeNs;
 use crate::transfer::{global_slot, local_slot, MemoryLayout, TransferSchedule};
 
 /// One violation of the protocol requirements found by [`verify`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[non_exhaustive]
 pub enum Violation {
     /// A communication of `𝓒(s_0)` is not scheduled in any transfer.
@@ -138,7 +137,8 @@ impl std::fmt::Display for Violation {
 }
 
 /// Options controlling [`verify`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct VerifyOptions {
     /// Whether labels that never cross cores must occupy private slots in
     /// the layout (mirrors the formulation option of `letdma-opt`).
@@ -207,7 +207,12 @@ pub fn verify(
 ) -> Vec<Violation> {
     let mut violations = Vec::new();
     check_partition(system, schedule, &mut violations);
-    check_layout(system, layout, options.include_private_labels, &mut violations);
+    check_layout(
+        system,
+        layout,
+        options.include_private_labels,
+        &mut violations,
+    );
     check_contiguity(system, layout, schedule, &mut violations);
     check_let_properties(system, schedule, &mut violations);
     if options.check_property3 {
@@ -302,11 +307,17 @@ fn check_contiguity(
             for (memory, slots) in [
                 (
                     local_mem,
-                    tr.comms().iter().map(|&c| local_slot(c)).collect::<Vec<_>>(),
+                    tr.comms()
+                        .iter()
+                        .map(|&c| local_slot(c))
+                        .collect::<Vec<_>>(),
                 ),
                 (
                     MemoryId::Global,
-                    tr.comms().iter().map(|&c| global_slot(c)).collect::<Vec<_>>(),
+                    tr.comms()
+                        .iter()
+                        .map(|&c| global_slot(c))
+                        .collect::<Vec<_>>(),
                 ),
             ] {
                 if !consecutive_in(layout, memory, &slots) {
@@ -318,7 +329,11 @@ fn check_contiguity(
 }
 
 /// `true` when `slots` occupy consecutive, increasing positions in `memory`.
-fn consecutive_in(layout: &MemoryLayout, memory: MemoryId, slots: &[crate::transfer::Slot]) -> bool {
+fn consecutive_in(
+    layout: &MemoryLayout,
+    memory: MemoryId,
+    slots: &[crate::transfer::Slot],
+) -> bool {
     let mut prev: Option<usize> = None;
     for &s in slots {
         let Some(pos) = layout.position(memory, s) else {
@@ -465,10 +480,7 @@ mod tests {
             f.r1.local_memory(&f.sys),
             vec![local_slot(f.r1), local_slot(f.r2)],
         );
-        layout.set_order(
-            MemoryId::Global,
-            vec![global_slot(f.w1), global_slot(f.w2)],
-        );
+        layout.set_order(MemoryId::Global, vec![global_slot(f.w1), global_slot(f.w2)]);
         layout
     }
 
@@ -482,7 +494,12 @@ mod tests {
     #[test]
     fn valid_solution_passes() {
         let f = fixture();
-        let v = verify(&f.sys, &good_layout(&f), &good_schedule(&f), VerifyOptions::default());
+        let v = verify(
+            &f.sys,
+            &good_layout(&f),
+            &good_schedule(&f),
+            VerifyOptions::default(),
+        );
         assert!(v.is_empty(), "unexpected violations: {v:?}");
     }
 
@@ -493,7 +510,12 @@ mod tests {
             DmaTransfer::new(&f.sys, vec![f.w1, f.w2]),
             DmaTransfer::new(&f.sys, vec![f.r1]),
         ]);
-        let v = verify(&f.sys, &good_layout(&f), &schedule, VerifyOptions::default());
+        let v = verify(
+            &f.sys,
+            &good_layout(&f),
+            &schedule,
+            VerifyOptions::default(),
+        );
         assert!(v.contains(&Violation::MissingCommunication(f.r2)));
     }
 
@@ -505,7 +527,12 @@ mod tests {
             DmaTransfer::new(&f.sys, vec![f.r1, f.r2]),
             DmaTransfer::new(&f.sys, vec![f.r1]),
         ]);
-        let v = verify(&f.sys, &good_layout(&f), &schedule, VerifyOptions::default());
+        let v = verify(
+            &f.sys,
+            &good_layout(&f),
+            &schedule,
+            VerifyOptions::default(),
+        );
         assert!(v.contains(&Violation::DuplicateCommunication(f.r1)));
     }
 
@@ -520,7 +547,12 @@ mod tests {
             DmaTransfer::new(&f.sys, vec![f.r1, f.r2]),
             DmaTransfer::new(&f.sys, vec![f.w1, f.w2]),
         ]);
-        let v = verify(&f.sys, &good_layout(&f), &schedule, VerifyOptions::default());
+        let v = verify(
+            &f.sys,
+            &good_layout(&f),
+            &schedule,
+            VerifyOptions::default(),
+        );
         assert!(v
             .iter()
             .any(|x| matches!(x, Violation::WriteAfterLabelRead { .. })));
@@ -548,14 +580,8 @@ mod tests {
             DmaTransfer::new(&sys, vec![rz]),
         ]);
         let mut layout = MemoryLayout::new();
-        layout.set_order(
-            sys.local_memory_of(a),
-            vec![local_slot(wa), local_slot(ra)],
-        );
-        layout.set_order(
-            sys.local_memory_of(z),
-            vec![local_slot(wz), local_slot(rz)],
-        );
+        layout.set_order(sys.local_memory_of(a), vec![local_slot(wa), local_slot(ra)]);
+        layout.set_order(sys.local_memory_of(z), vec![local_slot(wz), local_slot(rz)]);
         layout.set_order(MemoryId::Global, vec![global_slot(wa), global_slot(wz)]);
         let v = verify(&sys, &layout, &schedule, VerifyOptions::default());
         assert!(v
@@ -569,14 +595,19 @@ mod tests {
         // Swap the order of global slots so the grouped write transfer
         // [w1, w2] is contiguous locally but reversed globally.
         let mut layout = good_layout(&f);
-        layout.set_order(
-            MemoryId::Global,
-            vec![global_slot(f.w2), global_slot(f.w1)],
+        layout.set_order(MemoryId::Global, vec![global_slot(f.w2), global_slot(f.w1)]);
+        let v = verify(
+            &f.sys,
+            &layout,
+            &good_schedule(&f),
+            VerifyOptions::default(),
         );
-        let v = verify(&f.sys, &layout, &good_schedule(&f), VerifyOptions::default());
         assert!(v.iter().any(|x| matches!(
             x,
-            Violation::NotContiguous { memory: MemoryId::Global, .. }
+            Violation::NotContiguous {
+                memory: MemoryId::Global,
+                ..
+            }
         )));
     }
 
@@ -597,9 +628,21 @@ mod tests {
         let cf1 = b.task("cf1").period_ms(5).core_index(1).add().unwrap();
         let cs = b.task("cs").period_ms(10).core_index(1).add().unwrap();
         let cf2 = b.task("cf2").period_ms(5).core_index(1).add().unwrap();
-        let lf1 = b.label("lf1").size(8).writer(pf1).reader(cf1).add().unwrap();
+        let lf1 = b
+            .label("lf1")
+            .size(8)
+            .writer(pf1)
+            .reader(cf1)
+            .add()
+            .unwrap();
         let ls = b.label("ls").size(8).writer(ps).reader(cs).add().unwrap();
-        let lf2 = b.label("lf2").size(8).writer(pf2).reader(cf2).add().unwrap();
+        let lf2 = b
+            .label("lf2")
+            .size(8)
+            .writer(pf2)
+            .reader(cf2)
+            .add()
+            .unwrap();
         let sys = b.build().unwrap();
         let w_f1 = Communication::write(pf1, lf1);
         let w_s = Communication::write(ps, ls);
@@ -683,14 +726,24 @@ mod tests {
         // plus 2 µs overhead = 2600 ns.
         sys.set_acquisition_deadline(c2, Some(TimeNs::from_ns(2_599)));
         let f2 = Fixture { sys, ..f };
-        let v = verify(&f2.sys, &good_layout(&f2), &good_schedule(&f2), VerifyOptions::default());
+        let v = verify(
+            &f2.sys,
+            &good_layout(&f2),
+            &good_schedule(&f2),
+            VerifyOptions::default(),
+        );
         assert!(v
             .iter()
             .any(|x| matches!(x, Violation::AcquisitionDeadlineMiss { task, .. } if *task == c2)));
         let mut sys_ok = f2.sys.clone();
         sys_ok.set_acquisition_deadline(c2, Some(TimeNs::from_ns(2_600)));
         let f3 = Fixture { sys: sys_ok, ..f2 };
-        let v = verify(&f3.sys, &good_layout(&f3), &good_schedule(&f3), VerifyOptions::default());
+        let v = verify(
+            &f3.sys,
+            &good_layout(&f3),
+            &good_schedule(&f3),
+            VerifyOptions::default(),
+        );
         assert!(v.is_empty(), "{v:?}");
     }
 
@@ -700,7 +753,12 @@ mod tests {
         let mut layout = good_layout(&f);
         // Remove a required global slot.
         layout.set_order(MemoryId::Global, vec![global_slot(f.w1)]);
-        let v = verify(&f.sys, &layout, &good_schedule(&f), VerifyOptions::default());
+        let v = verify(
+            &f.sys,
+            &layout,
+            &good_schedule(&f),
+            VerifyOptions::default(),
+        );
         assert!(v
             .iter()
             .any(|x| matches!(x, Violation::MalformedLayout { .. })));

@@ -6,8 +6,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a processor core `P_k`.
 ///
 /// Cores are numbered densely from `0` in the order they were declared on the
@@ -22,7 +20,8 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(core.index(), 1);
 /// assert_eq!(core.to_string(), "P1");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CoreId(u16);
 
 impl CoreId {
@@ -59,7 +58,8 @@ impl fmt::Display for CoreId {
 /// assert_eq!(task.index(), 3);
 /// assert_eq!(task.to_string(), "τ3");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TaskId(u32);
 
 impl TaskId {
@@ -96,7 +96,8 @@ impl fmt::Display for TaskId {
 /// assert_eq!(label.index(), 7);
 /// assert_eq!(label.to_string(), "ℓ7");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LabelId(u32);
 
 impl LabelId {
@@ -136,7 +137,8 @@ impl fmt::Display for LabelId {
 /// assert_eq!(local.to_string(), "M0");
 /// assert_eq!(MemoryId::Global.to_string(), "MG");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum MemoryId {
     /// The private scratchpad of one core.
     Local(CoreId),

@@ -1,7 +1,5 @@
 //! Labels: the memory slots tasks communicate through (§III-B).
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::{LabelId, TaskId};
 
 /// A label `ℓ_l`: a contiguous memory slot of `σ_l` bytes with a single
@@ -16,7 +14,8 @@ use crate::ids::{LabelId, TaskId};
 /// in the local memory layout).
 ///
 /// Construct labels through [`crate::SystemBuilder::label`].
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Label {
     pub(crate) id: LabelId,
     pub(crate) name: String,
@@ -140,13 +139,7 @@ mod tests {
     #[test]
     fn label_roundtrip() {
         let (mut b, p, c) = two_task_builder();
-        let l = b
-            .label("pose")
-            .size(32)
-            .writer(p)
-            .reader(c)
-            .add()
-            .unwrap();
+        let l = b.label("pose").size(32).writer(p).reader(c).add().unwrap();
         let sys = b.build().unwrap();
         let label = sys.label(l);
         assert_eq!(label.name(), "pose");
@@ -186,13 +179,7 @@ mod tests {
     #[test]
     fn rejects_writer_as_reader() {
         let (mut b, p, _) = two_task_builder();
-        let err = b
-            .label("x")
-            .size(4)
-            .writer(p)
-            .reader(p)
-            .add()
-            .unwrap_err();
+        let err = b.label("x").size(4).writer(p).reader(p).add().unwrap_err();
         assert!(matches!(err, ModelError::SelfCommunication { .. }));
     }
 

@@ -23,14 +23,13 @@
 //! Both instant sets repeat with period `lcm(T_p, T_c)` and always contain
 //! `t = 0`, hence `𝓒(t) ⊆ 𝓒(s_0)` for every `t ∈ 𝓣*`.
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::{LabelId, MemoryId, TaskId};
 use crate::system::System;
 use crate::time::{div_ceil_u64, TimeNs};
 
 /// Direction of a LET communication.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum CommKind {
     /// `W(τ_p, ℓ)`: copy from the producer's local copy to the shared label
     /// in global memory.
@@ -49,7 +48,8 @@ pub enum CommKind {
 /// The derived `Ord` (kind, then task, then label — writes before reads) is
 /// the deterministic ordering used to index `𝓒(s_0)` everywhere in this
 /// workspace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Communication {
     /// Write or read.
     pub kind: CommKind,
@@ -132,7 +132,10 @@ impl std::fmt::Display for Communication {
 /// Panics if either period is zero.
 #[must_use]
 pub fn write_needed_at(t: TimeNs, t_p: TimeNs, t_c: TimeNs) -> bool {
-    assert!(t_p != TimeNs::ZERO && t_c != TimeNs::ZERO, "periods nonzero");
+    assert!(
+        t_p != TimeNs::ZERO && t_c != TimeNs::ZERO,
+        "periods nonzero"
+    );
     if !t.is_multiple_of(t_p) {
         return false;
     }
@@ -144,8 +147,7 @@ pub fn write_needed_at(t: TimeNs, t_p: TimeNs, t_c: TimeNs) -> bool {
     // release falls in [k·T_p, (k+1)·T_p), i.e. the value is the last one
     // published before that read.
     let k = t / t_p;
-    let first_read_at_or_after =
-        div_ceil_u64(k * t_p.as_ns(), t_c.as_ns()) * t_c.as_ns();
+    let first_read_at_or_after = div_ceil_u64(k * t_p.as_ns(), t_c.as_ns()) * t_c.as_ns();
     first_read_at_or_after < (k + 1) * t_p.as_ns()
 }
 
@@ -160,7 +162,10 @@ pub fn write_needed_at(t: TimeNs, t_p: TimeNs, t_c: TimeNs) -> bool {
 /// Panics if either period is zero.
 #[must_use]
 pub fn read_needed_at(t: TimeNs, t_p: TimeNs, t_c: TimeNs) -> bool {
-    assert!(t_p != TimeNs::ZERO && t_c != TimeNs::ZERO, "periods nonzero");
+    assert!(
+        t_p != TimeNs::ZERO && t_c != TimeNs::ZERO,
+        "periods nonzero"
+    );
     if !t.is_multiple_of(t_c) {
         return false;
     }
@@ -181,7 +186,8 @@ pub fn read_needed_at(t: TimeNs, t_p: TimeNs, t_c: TimeNs) -> bool {
 
 /// The LET writes `G^W(t, τ_i)` and reads `G^R(t, τ_i)` required by task
 /// `τ_i` at instant `t` — the output of Algorithm 1.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LetGroup {
     /// `G^W(t, τ_i)`: writes issued by the task at `t`, sorted.
     pub writes: Vec<Communication>,
@@ -219,16 +225,13 @@ pub fn let_group(system: &System, task: TaskId, t: TimeNs) -> LetGroup {
         if label.writer() == task {
             // W(τ_i, ℓ) needed iff at least one inter-core consumer of ℓ
             // consumes this particular write.
-            let needed = system.inter_core_readers(label.id()).any(|c| {
-                write_needed_at(t, t_i, system.task(c).period())
-            });
+            let needed = system
+                .inter_core_readers(label.id())
+                .any(|c| write_needed_at(t, t_i, system.task(c).period()));
             if needed {
                 group.writes.push(Communication::write(task, label.id()));
             }
-        } else if system
-            .inter_core_readers(label.id())
-            .any(|c| c == task)
-        {
+        } else if system.inter_core_readers(label.id()).any(|c| c == task) {
             let t_p = system.task(label.writer()).period();
             if read_needed_at(t, t_p, t_i) {
                 group.reads.push(Communication::read(label.id(), task));

@@ -3,8 +3,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::{CoreId, MemoryId};
 use crate::time::TimeNs;
 
@@ -25,7 +23,8 @@ use crate::time::TimeNs;
 /// assert_eq!(platform.core_count(), 2);
 /// assert_eq!(platform.memories().count(), 3); // M0, M1, MG
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Platform {
     core_count: u16,
 }
@@ -84,7 +83,8 @@ impl Platform {
 /// assert_eq!(cost.cost_of(1).as_ns(), 5);
 /// # Ok::<(), letdma_model::ModelError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CopyCost {
     /// Numerator of the ns-per-byte rational.
     num: u64,
@@ -187,7 +187,8 @@ impl fmt::Display for CopyCost {
 /// assert_eq!(costs.transfer_duration(1_000), TimeNs::from_ns(13_360 + 5_000));
 /// # Ok::<(), letdma_model::ModelError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CostModel {
     o_dp: TimeNs,
     o_isr: TimeNs,
@@ -198,7 +199,11 @@ impl CostModel {
     /// Creates a cost model from its three parameters.
     #[must_use]
     pub const fn new(o_dp: TimeNs, o_isr: TimeNs, omega_c: CopyCost) -> Self {
-        Self { o_dp, o_isr, omega_c }
+        Self {
+            o_dp,
+            o_isr,
+            omega_c,
+        }
     }
 
     /// The cost model used in the paper's evaluation (§VII):

@@ -2,8 +2,6 @@
 
 use std::collections::BTreeSet;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::ModelError;
 use crate::ids::{CoreId, LabelId, MemoryId, TaskId};
 use crate::label::{Label, LabelBuilder};
@@ -34,7 +32,8 @@ use crate::time::TimeNs;
 /// assert_eq!(system.inter_core_shared_labels().count(), 1);
 /// # Ok::<(), letdma_model::ModelError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct System {
     platform: Platform,
     tasks: Vec<Task>,
@@ -159,9 +158,9 @@ impl System {
         consumer: TaskId,
     ) -> impl Iterator<Item = &Label> + '_ {
         let cross = self.task(producer).core != self.task(consumer).core;
-        self.labels.iter().filter(move |l| {
-            cross && l.writer == producer && l.readers.contains(&consumer)
-        })
+        self.labels
+            .iter()
+            .filter(move |l| cross && l.writer == producer && l.readers.contains(&consumer))
     }
 
     /// All distinct producer→consumer pairs `(τ_p, τ_c)` with
@@ -390,8 +389,7 @@ impl SystemBuilder {
             let mut order: Vec<usize> = (0..self.tasks.len()).collect();
             order.sort_by_key(|&i| (self.tasks[i].period, i));
             for (prio, idx) in order.into_iter().enumerate() {
-                self.tasks[idx].priority =
-                    u32::try_from(prio).expect("priority overflow");
+                self.tasks[idx].priority = u32::try_from(prio).expect("priority overflow");
             }
         }
         Ok(System {
@@ -421,13 +419,7 @@ mod tests {
             .reader(c)
             .add()
             .unwrap();
-        let local = b
-            .label("local")
-            .size(16)
-            .writer(p)
-            .reader(s)
-            .add()
-            .unwrap();
+        let local = b.label("local").size(16).writer(p).reader(s).add().unwrap();
         (b.build().unwrap(), p, c, s, shared, local)
     }
 
@@ -445,10 +437,7 @@ mod tests {
         assert!(sys.is_inter_core_shared(shared));
         assert!(!sys.is_inter_core_shared(local));
         assert_eq!(sys.inter_core_shared_labels().count(), 1);
-        assert_eq!(
-            sys.inter_core_readers(shared).collect::<Vec<_>>(),
-            vec![c]
-        );
+        assert_eq!(sys.inter_core_readers(shared).collect::<Vec<_>>(), vec![c]);
         assert_eq!(sys.shared_labels(p, c).count(), 1);
         assert_eq!(sys.shared_labels(p, s).count(), 0); // same core
         assert_eq!(sys.shared_labels(c, p).count(), 0); // wrong direction

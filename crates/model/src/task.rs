@@ -1,7 +1,5 @@
 //! Periodic real-time tasks under partitioned scheduling (§III-A).
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::{CoreId, TaskId};
 use crate::time::TimeNs;
 
@@ -16,7 +14,8 @@ use crate::time::TimeNs;
 ///
 /// Construct tasks through [`crate::SystemBuilder::task`]; the fields are
 /// read through accessors so internal representation can evolve.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Task {
     pub(crate) id: TaskId,
     pub(crate) name: String,
@@ -100,7 +99,9 @@ impl Task {
     /// ```
     pub fn releases_within(&self, horizon: TimeNs) -> impl Iterator<Item = TimeNs> + '_ {
         let period = self.period;
-        (0..).map(move |j| period * j).take_while(move |&t| t < horizon)
+        (0..)
+            .map(move |j| period * j)
+            .take_while(move |&t| t < horizon)
     }
 }
 
@@ -180,31 +181,33 @@ impl TaskBuilder<'_> {
     /// Returns [`crate::ModelError`] when the period is missing/zero, the
     /// core is missing or not on the platform, or the name is duplicated.
     pub fn add(self) -> Result<TaskId, crate::ModelError> {
-        let period = self
-            .period
-            .ok_or_else(|| crate::ModelError::InvalidParameter(format!(
-                "task `{}` has no period", self.name
-            )))?;
+        let period = self.period.ok_or_else(|| {
+            crate::ModelError::InvalidParameter(format!("task `{}` has no period", self.name))
+        })?;
         if period == TimeNs::ZERO {
             return Err(crate::ModelError::InvalidParameter(format!(
                 "task `{}` has a zero period",
                 self.name
             )));
         }
-        let core = self
-            .core
-            .ok_or_else(|| crate::ModelError::InvalidParameter(format!(
-                "task `{}` is not mapped to any core", self.name
-            )))?;
-        self.builder.push_task(Task {
-            id: TaskId::new(0), // replaced by push_task
-            name: self.name,
-            period,
-            core,
-            wcet: self.wcet,
-            priority: self.priority.unwrap_or(u32::MAX),
-            gamma: self.gamma,
-        }, self.priority.is_some())
+        let core = self.core.ok_or_else(|| {
+            crate::ModelError::InvalidParameter(format!(
+                "task `{}` is not mapped to any core",
+                self.name
+            ))
+        })?;
+        self.builder.push_task(
+            Task {
+                id: TaskId::new(0), // replaced by push_task
+                name: self.name,
+                period,
+                core,
+                wcet: self.wcet,
+                priority: self.priority.unwrap_or(u32::MAX),
+                gamma: self.gamma,
+            },
+            self.priority.is_some(),
+        )
     }
 }
 

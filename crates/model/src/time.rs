@@ -9,8 +9,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// A point in time or a duration, in integer nanoseconds.
 ///
 /// `TimeNs` is used both for absolute instants (relative to the synchronous
@@ -30,9 +28,8 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(period * 3, TimeNs::from_ms(15));
 /// assert_eq!(TimeNs::from_us(10) + TimeNs::from_us(5), TimeNs::from_us(15));
 /// ```
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TimeNs(u64);
 
 impl TimeNs {

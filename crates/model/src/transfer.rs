@@ -2,8 +2,6 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::{LabelId, MemoryId, TaskId};
 use crate::let_semantics::{comm_instants, comms_at, CommKind, Communication};
 use crate::system::System;
@@ -15,7 +13,8 @@ use crate::time::TimeNs;
 /// label occupies one slot in `M_G` plus one *copy* slot per communicating
 /// task in that task's local memory; a label that never crosses cores
 /// occupies a single private slot in its writer's local memory.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Slot {
     /// The shared label `ℓ_l` itself, resident in global memory.
     Global(LabelId),
@@ -80,7 +79,8 @@ pub fn global_slot(comm: Communication) -> Slot {
 ///
 /// Slot addresses follow from the order by prefix sums of slot sizes, so the
 /// layout is *packed*: slot `i+1` starts exactly where slot `i` ends.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MemoryLayout {
     orders: BTreeMap<MemoryId, Vec<Slot>>,
 }
@@ -164,11 +164,7 @@ impl MemoryLayout {
             let mut addr = 0u64;
             for slot in slots {
                 let size = slot.size(system);
-                let _ = writeln!(
-                    out,
-                    "  0x{addr:06x}..0x{:06x}  {slot}",
-                    addr + size
-                );
+                let _ = writeln!(out, "  0x{addr:06x}..0x{:06x}  {slot}", addr + size);
                 addr += size;
             }
         }
@@ -218,7 +214,8 @@ impl MemoryLayout {
 /// One DMA transfer `d_g`: an ordered group of same-direction communications
 /// whose slots are contiguous (in the same order) in both the source and the
 /// destination memory.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DmaTransfer {
     kind: CommKind,
     local: MemoryId,
@@ -325,7 +322,8 @@ impl DmaTransfer {
 /// communications at the synchronous start `s_0` (index `g` = execution
 /// order). Schedules for later instants `t ∈ 𝓣*` are derived by restriction
 /// ([`TransferSchedule::transfers_at`]).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TransferSchedule {
     transfers: Vec<DmaTransfer>,
 }
@@ -552,10 +550,7 @@ mod tests {
         let s1 = local_slot(w1);
         let s2 = local_slot(w2);
         layout.set_order(m0, vec![s1, s2]);
-        layout.set_order(
-            MemoryId::Global,
-            vec![global_slot(w1), global_slot(w2)],
-        );
+        layout.set_order(MemoryId::Global, vec![global_slot(w1), global_slot(w2)]);
         assert_eq!(layout.position(m0, s2), Some(1));
         assert_eq!(layout.address(&sys, m0, s1), Some(0));
         assert_eq!(layout.address(&sys, m0, s2), Some(100));

@@ -1,93 +1,103 @@
 //! Property-based tests of the LET semantics invariants the paper relies on.
+//!
+//! Cases are drawn from the in-tree seeded harness ([`letdma_core::Cases`]);
+//! a failing case prints the `LETDMA_CASE_SEED` needed to replay it.
 
+use letdma_core::{Cases, Rng, Xoshiro256};
 use letdma_model::let_semantics::{
     comm_instants, comms_at, comms_at_start, read_needed_at, write_needed_at,
 };
 use letdma_model::{System, SystemBuilder, TimeNs};
-use proptest::prelude::*;
 
 /// Periods drawn from a realistic automotive-ish menu (ms).
-fn period_strategy() -> impl Strategy<Value = u64> {
-    prop::sample::select(vec![1u64, 2, 3, 5, 7, 10, 15, 20, 33, 50, 66, 100, 200])
+const PERIOD_MENU_MS: [u64; 13] = [1, 2, 3, 5, 7, 10, 15, 20, 33, 50, 66, 100, 200];
+
+fn random_period(rng: &mut Xoshiro256) -> u64 {
+    *rng.choose(&PERIOD_MENU_MS).expect("nonempty menu")
 }
 
-/// A random two-core system with `n` producer→consumer chains.
-fn system_strategy() -> impl Strategy<Value = System> {
-    (1usize..5, proptest::collection::vec((period_strategy(), period_strategy(), 1u64..4096), 1..5))
-        .prop_map(|(_, pairs)| {
-            let mut b = SystemBuilder::new(2);
-            let mut labels = Vec::new();
-            for (i, (tp, tc, size)) in pairs.iter().enumerate() {
-                let p = b
-                    .task(format!("p{i}"))
-                    .period_ms(*tp)
-                    .core_index(0)
-                    .add()
-                    .unwrap();
-                let c = b
-                    .task(format!("c{i}"))
-                    .period_ms(*tc)
-                    .core_index(1)
-                    .add()
-                    .unwrap();
-                labels.push((format!("l{i}"), *size, p, c));
-            }
-            for (name, size, p, c) in labels {
-                b.label(name).size(size).writer(p).reader(c).add().unwrap();
-            }
-            b.build().unwrap()
-        })
+/// A random two-core system with 1–4 producer→consumer chains.
+fn random_system(rng: &mut Xoshiro256) -> System {
+    let pairs = rng.usize_range(1, 5);
+    let mut b = SystemBuilder::new(2);
+    let mut labels = Vec::new();
+    for i in 0..pairs {
+        let tp = random_period(rng);
+        let tc = random_period(rng);
+        let size = rng.u64_range(1, 4096);
+        let p = b
+            .task(format!("p{i}"))
+            .period_ms(tp)
+            .core_index(0)
+            .add()
+            .unwrap();
+        let c = b
+            .task(format!("c{i}"))
+            .period_ms(tc)
+            .core_index(1)
+            .add()
+            .unwrap();
+        labels.push((format!("l{i}"), size, p, c));
+    }
+    for (name, size, p, c) in labels {
+        b.label(name).size(size).writer(p).reader(c).add().unwrap();
+    }
+    b.build().unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// 𝓒(t) ⊆ 𝓒(s₀) for every communication instant t (the containment the
-    /// MILP correctness hinges on).
-    #[test]
-    fn comms_at_t_subset_of_start(sys in system_strategy()) {
+/// 𝓒(t) ⊆ 𝓒(s₀) for every communication instant t (the containment the
+/// MILP correctness hinges on).
+#[test]
+fn comms_at_t_subset_of_start() {
+    Cases::new("comms_at_t_subset_of_start", 64).run(|rng| {
+        let sys = random_system(rng);
         let start = comms_at_start(&sys);
         for t in comm_instants(&sys) {
             for c in comms_at(&sys, t) {
-                prop_assert!(start.contains(&c), "{c} at {t} missing from C(s0)");
+                assert!(start.contains(&c), "{c} at {t} missing from C(s0)");
             }
         }
-    }
+    });
+}
 
-    /// The set of needed instants repeats with period lcm(T_p, T_c).
-    #[test]
-    fn skip_rules_are_periodic(tp in period_strategy(), tc in period_strategy()) {
+/// The set of needed instants repeats with period lcm(T_p, T_c).
+#[test]
+fn skip_rules_are_periodic() {
+    Cases::new("skip_rules_are_periodic", 64).run(|rng| {
+        let tp = random_period(rng);
+        let tc = random_period(rng);
         let t_p = TimeNs::from_ms(tp);
         let t_c = TimeNs::from_ms(tc);
         let l = t_p.lcm(t_c);
         let mut t = TimeNs::ZERO;
         while t < l * 2 {
-            prop_assert_eq!(
+            assert_eq!(
                 write_needed_at(t, t_p, t_c),
                 write_needed_at(t + l, t_p, t_c),
-                "write periodicity broken at {}", t
+                "write periodicity broken at {t}"
             );
             t += t_p;
         }
         let mut t = TimeNs::ZERO;
         while t < l * 2 {
-            prop_assert_eq!(
+            assert_eq!(
                 read_needed_at(t, t_p, t_c),
                 read_needed_at(t + l, t_p, t_c),
-                "read periodicity broken at {}", t
+                "read periodicity broken at {t}"
             );
             t += t_c;
         }
-    }
+    });
+}
 
-    /// Every producer value that is consumed corresponds to exactly one
-    /// needed write, and the number of needed reads equals the number of
-    /// distinct versions the consumer observes in one lcm window.
-    #[test]
-    fn write_read_counts_match_version_counts(
-        tp in period_strategy(),
-        tc in period_strategy(),
-    ) {
+/// Every producer value that is consumed corresponds to exactly one needed
+/// write, and the number of needed reads equals the number of distinct
+/// versions the consumer observes in one lcm window.
+#[test]
+fn write_read_counts_match_version_counts() {
+    Cases::new("write_read_counts_match_version_counts", 64).run(|rng| {
+        let tp = random_period(rng);
+        let tc = random_period(rng);
         let t_p = TimeNs::from_ms(tp);
         let t_c = TimeNs::from_ms(tc);
         let l = t_p.lcm(t_c);
@@ -95,7 +105,9 @@ proptest! {
         let mut wcount = 0u64;
         let mut t = TimeNs::ZERO;
         while t < l {
-            if write_needed_at(t, t_p, t_c) { wcount += 1; }
+            if write_needed_at(t, t_p, t_c) {
+                wcount += 1;
+            }
             t += t_p;
         }
         // Distinct versions observed by consumer reads in [0, l): version of
@@ -106,8 +118,11 @@ proptest! {
             versions.insert(t.as_ns() / t_p.as_ns());
             t += t_c;
         }
-        prop_assert_eq!(wcount, versions.len() as u64,
-            "needed writes must equal observed versions (T_p={}ms, T_c={}ms)", tp, tc);
+        assert_eq!(
+            wcount,
+            versions.len() as u64,
+            "needed writes must equal observed versions (T_p={tp}ms, T_c={tc}ms)"
+        );
         // Count needed reads in [0, l): equals number of reads that observe
         // a version different from the previous read (+ the initial one).
         let mut rcount = 0u64;
@@ -115,36 +130,45 @@ proptest! {
         let mut prev = None;
         let mut t = TimeNs::ZERO;
         while t < l {
-            if read_needed_at(t, t_p, t_c) { rcount += 1; }
+            if read_needed_at(t, t_p, t_c) {
+                rcount += 1;
+            }
             let version = t.as_ns() / t_p.as_ns();
-            if prev != Some(version) { expected += 1; }
+            if prev != Some(version) {
+                expected += 1;
+            }
             prev = Some(version);
             t += t_c;
         }
-        prop_assert_eq!(rcount, expected);
-    }
+        assert_eq!(rcount, expected);
+    });
+}
 
-    /// Communication instants lie in [0, horizon) and start at zero when
-    /// there is at least one inter-core communication.
-    #[test]
-    fn instants_well_formed(sys in system_strategy()) {
+/// Communication instants lie in [0, horizon) and start at zero when there
+/// is at least one inter-core communication.
+#[test]
+fn instants_well_formed() {
+    Cases::new("instants_well_formed", 64).run(|rng| {
+        let sys = random_system(rng);
         let instants = comm_instants(&sys);
         let horizon = sys.comm_horizon();
-        prop_assert!(instants.windows(2).all(|w| w[0] < w[1]), "sorted strictly");
-        prop_assert!(instants.iter().all(|&t| t < horizon));
+        assert!(instants.windows(2).all(|w| w[0] < w[1]), "sorted strictly");
+        assert!(instants.iter().all(|&t| t < horizon));
         if !comms_at_start(&sys).is_empty() {
-            prop_assert_eq!(instants.first().copied(), Some(TimeNs::ZERO));
+            assert_eq!(instants.first().copied(), Some(TimeNs::ZERO));
         }
-    }
+    });
+}
 
-    /// Every instant in 𝓣* actually has at least one communication, and
-    /// instants not in 𝓣* (release instants of communicating tasks) have
-    /// none.
-    #[test]
-    fn instants_exactly_cover_nonempty_comm_sets(sys in system_strategy()) {
+/// Every instant in 𝓣* actually has at least one communication, and
+/// instants not in 𝓣* (release instants of communicating tasks) have none.
+#[test]
+fn instants_exactly_cover_nonempty_comm_sets() {
+    Cases::new("instants_exactly_cover_nonempty_comm_sets", 64).run(|rng| {
+        let sys = random_system(rng);
         let instants = comm_instants(&sys);
         for &t in &instants {
-            prop_assert!(!comms_at(&sys, t).is_empty(), "empty C(t) at listed {t}");
+            assert!(!comms_at(&sys, t).is_empty(), "empty C(t) at listed {t}");
         }
         // Check all task releases within the horizon that are NOT in 𝓣*.
         let horizon = sys.comm_horizon();
@@ -152,14 +176,12 @@ proptest! {
         for task in sys.tasks() {
             let mut t = TimeNs::ZERO;
             while t < horizon {
-                if !instant_set.contains(&t) {
-                    prop_assert!(
-                        comms_at(&sys, t).is_empty(),
-                        "instant {t} has comms but is not in T*"
-                    );
-                }
+                assert!(
+                    instant_set.contains(&t) || comms_at(&sys, t).is_empty(),
+                    "instant {t} has comms but is not in T*"
+                );
                 t += task.period();
             }
         }
-    }
+    });
 }

@@ -22,7 +22,6 @@
 //!   reduced to the distinct (inclusion-minimal, for Constraint 6)
 //!   communication subsets, which is equivalent and much smaller.
 
-
 // Index-based loops mirror the mathematical notation (rows i, columns j,
 // groups g); iterator rewrites would obscure the correspondence.
 #![allow(clippy::needless_range_loop)]
@@ -30,9 +29,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use letdma_model::let_semantics::{comm_instants, comms_at, comms_at_start};
 use letdma_model::transfer::{global_slot, local_slot};
-use letdma_model::{
-    CommKind, Communication, MemoryId, MemoryLayout, Slot, System, TaskId, TimeNs,
-};
+use letdma_model::{CommKind, Communication, MemoryId, MemoryLayout, Slot, System, TaskId, TimeNs};
 use milp::{LinExpr, Model, ObjectiveSense, Var};
 
 use crate::config::{Objective, OptConfig};
@@ -205,8 +202,7 @@ pub(crate) fn build(system: &System, config: &OptConfig) -> Formulation {
     let cgi: Vec<Var> = (0..comms.len())
         .map(|z| {
             let v = model.add_continuous(format!("CGI_{z}"), 0.0, (g_max - 1) as f64);
-            let sum =
-                LinExpr::weighted_sum(cg[z].iter().enumerate().map(|(g, &b)| (b, g as f64)));
+            let sum = LinExpr::weighted_sum(cg[z].iter().enumerate().map(|(g, &b)| (b, g as f64)));
             model.add_constraint(format!("cgi_def_{z}"), LinExpr::from(v).eq(sum));
             v
         })
@@ -237,12 +233,13 @@ pub(crate) fn build(system: &System, config: &OptConfig) -> Formulation {
         // dummy head/tail endpoints.
         for s in 1..=n {
             let succ = LinExpr::weighted_sum(
-                (1..=tail).filter(|&b| b != s).map(|b| (ad[&(mi, s, b)], 1.0)),
+                (1..=tail)
+                    .filter(|&b| b != s)
+                    .map(|b| (ad[&(mi, s, b)], 1.0)),
             );
             model.add_constraint(format!("c4succ_{mi}_{s}"), succ.eq(1.0));
-            let pred = LinExpr::weighted_sum(
-                (0..=n).filter(|&a| a != s).map(|a| (ad[&(mi, a, s)], 1.0)),
-            );
+            let pred =
+                LinExpr::weighted_sum((0..=n).filter(|&a| a != s).map(|a| (ad[&(mi, a, s)], 1.0)));
             model.add_constraint(format!("c4pred_{mi}_{s}"), pred.eq(1.0));
         }
         if n > 0 {
@@ -285,10 +282,7 @@ pub(crate) fn build(system: &System, config: &OptConfig) -> Formulation {
         // Paper's redundant strengthening: Σ PL = n(n+1)/2.
         if n > 0 {
             let sum = LinExpr::weighted_sum(positions.iter().map(|&v| (v, 1.0)));
-            model.add_constraint(
-                format!("pl_sum_{mi}"),
-                sum.eq((n * (n + 1) / 2) as f64),
-            );
+            model.add_constraint(format!("pl_sum_{mi}"), sum.eq((n * (n + 1) / 2) as f64));
         }
         pl.push(positions);
     }
@@ -312,8 +306,7 @@ pub(crate) fn build(system: &System, config: &OptConfig) -> Formulation {
     // Distinct class subsets over all communication instants.
     let instants = comm_instants(system);
     let comm_index = |c: &Communication| comms.binary_search(c).expect("comm at s0");
-    let mut class_subsets: Vec<BTreeSet<BTreeSet<usize>>> =
-        vec![BTreeSet::new(); classes.len()];
+    let mut class_subsets: Vec<BTreeSet<BTreeSet<usize>>> = vec![BTreeSet::new(); classes.len()];
     for &t in &instants {
         let present: BTreeSet<usize> = comms_at(system, t).iter().map(&comm_index).collect();
         for (k, _) in classes.iter().enumerate() {
@@ -346,9 +339,13 @@ pub(crate) fn build(system: &System, config: &OptConfig) -> Formulation {
                 }
                 let lm = mem_index(ci.local_memory(system));
                 let gm = mem_index(MemoryId::Global);
-                let local_edge = ad[&(lm, node_of(lm, local_slot(ci)), node_of(lm, local_slot(cz)))];
-                let global_edge =
-                    ad[&(gm, node_of(gm, global_slot(ci)), node_of(gm, global_slot(cz)))];
+                let local_edge =
+                    ad[&(lm, node_of(lm, local_slot(ci)), node_of(lm, local_slot(cz)))];
+                let global_edge = ad[&(
+                    gm,
+                    node_of(gm, global_slot(ci)),
+                    node_of(gm, global_slot(cz)),
+                )];
                 let p = model.add_continuous(format!("ADP_{k}_{i}_{z}"), 0.0, 1.0);
                 model.add_constraint(
                     format!("adp_l_{k}_{i}_{z}"),
@@ -507,21 +504,19 @@ pub(crate) fn build(system: &System, config: &OptConfig) -> Formulation {
             );
         }
         for &task in &comm_tasks {
-            let own: Vec<usize> = (0..comms.len()).filter(|&z| comms[z].task == task).collect();
+            let own: Vec<usize> = (0..comms.len())
+                .filter(|&z| comms[z].task == task)
+                .collect();
             let rg_row: Vec<Var> = (0..g_max)
                 .map(|g| model.add_binary(format!("RG_{}_{g}", task.index())))
                 .collect();
             // Constraint 2: the last communication is in exactly one group.
             let sum = LinExpr::weighted_sum(rg_row.iter().map(|&v| (v, 1.0)));
             model.add_constraint(format!("c2_{}", task.index()), sum.eq(1.0));
-            let rgi_v = model.add_continuous(
-                format!("RGI_{}", task.index()),
-                0.0,
-                (g_max - 1) as f64,
-            );
-            let pick = LinExpr::weighted_sum(
-                rg_row.iter().enumerate().map(|(g, &b)| (b, g as f64)),
-            );
+            let rgi_v =
+                model.add_continuous(format!("RGI_{}", task.index()), 0.0, (g_max - 1) as f64);
+            let pick =
+                LinExpr::weighted_sum(rg_row.iter().enumerate().map(|(g, &b)| (b, g as f64)));
             model.add_constraint(
                 format!("rgi_def_{}", task.index()),
                 LinExpr::from(rgi_v).eq(pick),
@@ -566,8 +561,7 @@ pub(crate) fn build(system: &System, config: &OptConfig) -> Formulation {
     let mut gap_per_subset: BTreeMap<BTreeSet<usize>, f64> = BTreeMap::new();
     for (idx, &t1) in instants.iter().enumerate() {
         let t2 = instants.get(idx + 1).copied().unwrap_or(horizon);
-        let present: BTreeSet<usize> =
-            comms_at(system, t1).iter().map(&comm_index).collect();
+        let present: BTreeSet<usize> = comms_at(system, t1).iter().map(&comm_index).collect();
         if present.is_empty() {
             continue;
         }
@@ -581,10 +575,7 @@ pub(crate) fn build(system: &System, config: &OptConfig) -> Formulation {
     for (si, (subset, gap)) in gap_per_subset.iter().enumerate() {
         let nt = model.add_continuous(format!("NT_{si}"), 1.0, g_max as f64);
         for &z in subset {
-            model.add_constraint(
-                format!("nt_{si}_{z}"),
-                LinExpr::from(nt).ge(cgi[z] + 1.0),
-            );
+            model.add_constraint(format!("nt_{si}_{z}"), LinExpr::from(nt).ge(cgi[z] + 1.0));
         }
         let copy_total: f64 = subset.iter().map(|&z| copy_us[z]).sum();
         model.add_constraint(
@@ -704,7 +695,12 @@ mod tests {
         let p = b.task("p").period_ms(5).core_index(0).add().unwrap();
         let c = b.task("c").period_ms(5).core_index(1).add().unwrap();
         for i in 0..3 {
-            b.label(format!("l{i}")).size(8).writer(p).reader(c).add().unwrap();
+            b.label(format!("l{i}"))
+                .size(8)
+                .writer(p)
+                .reader(c)
+                .add()
+                .unwrap();
         }
         let sys = b.build().unwrap();
         let config = OptConfig {

@@ -50,8 +50,7 @@ pub fn construct(system: &System, include_private_labels: bool) -> Option<Heuris
         for c in comms_at(system, t) {
             presence
                 .entry(c)
-                .or_insert_with(|| vec![false; instants.len()])
-                [k] = true;
+                .or_insert_with(|| vec![false; instants.len()])[k] = true;
         }
     }
 
@@ -156,7 +155,10 @@ pub fn construct(system: &System, include_private_labels: bool) -> Option<Heuris
     let mut layout = MemoryLayout::new();
     layout.set_order(
         MemoryId::Global,
-        labels.iter().map(|&l| letdma_model::Slot::Global(l)).collect(),
+        labels
+            .iter()
+            .map(|&l| letdma_model::Slot::Global(l))
+            .collect(),
     );
     for core in system.platform().cores() {
         let memory = MemoryId::local(core);
@@ -260,8 +262,18 @@ mod tests {
         let c1 = b.task("c1").period_ms(5).core_index(1).add().unwrap();
         let p2 = b.task("p2").period_ms(10).core_index(0).add().unwrap();
         let c2 = b.task("c2").period_ms(10).core_index(1).add().unwrap();
-        b.label("fast").size(16).writer(p1).reader(c1).add().unwrap();
-        b.label("slow").size(16).writer(p2).reader(c2).add().unwrap();
+        b.label("fast")
+            .size(16)
+            .writer(p1)
+            .reader(c1)
+            .add()
+            .unwrap();
+        b.label("slow")
+            .size(16)
+            .writer(p2)
+            .reader(c2)
+            .add()
+            .unwrap();
         let sys = b.build().unwrap();
         let sol = construct(&sys, false).unwrap();
         assert_eq!(sol.schedule.len(), 4, "patterns differ → split groups");
@@ -295,7 +307,12 @@ mod tests {
         let p = b.task("p").period_ms(5).core_index(0).add().unwrap();
         let c1 = b.task("c1").period_ms(5).core_index(1).add().unwrap();
         let c2 = b.task("c2").period_ms(5).core_index(1).add().unwrap();
-        b.label("l").size(8).writer(p).readers([c1, c2]).add().unwrap();
+        b.label("l")
+            .size(8)
+            .writer(p)
+            .readers([c1, c2])
+            .add()
+            .unwrap();
         let sys = b.build().unwrap();
         let sol = construct(&sys, false).unwrap();
         verify_ok(&sys, &sol);

@@ -256,8 +256,18 @@ mod tests {
         let t4 = b.task("tau4").period_ms(10).core_index(1).add().unwrap();
         let t6 = b.task("tau6").period_ms(10).core_index(1).add().unwrap();
         b.label("l1").size(256).writer(t1).reader(t2).add().unwrap();
-        b.label("l2").size(48 * 1024).writer(t3).reader(t4).add().unwrap();
-        b.label("l3").size(48 * 1024).writer(t5).reader(t6).add().unwrap();
+        b.label("l2")
+            .size(48 * 1024)
+            .writer(t3)
+            .reader(t4)
+            .add()
+            .unwrap();
+        b.label("l3")
+            .size(48 * 1024)
+            .writer(t5)
+            .reader(t6)
+            .add()
+            .unwrap();
         b.build().unwrap()
     }
 

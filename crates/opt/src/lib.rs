@@ -52,7 +52,7 @@ mod solution;
 
 pub use config::{Objective, OptConfig};
 pub use improve::{improve_transfer_order, improve_transfer_order_with, ImproveGoal};
-pub use optimizer::{formulation_lp, heuristic_solution, optimize, OptError};
+pub use optimizer::{formulation_lp, heuristic_solution, optimize, optimize_with, OptError};
 pub use solution::{LetDmaSolution, Provenance};
 
 /// Diagnostics used by development probes; not part of the public API.

@@ -4,6 +4,7 @@
 use std::error::Error;
 use std::fmt;
 
+use letdma_core::instrument::{timed_phase, Instrument, NoopInstrument};
 use letdma_model::conformance::{verify, VerifyOptions, Violation};
 use letdma_model::System;
 use milp::{SolveError, SolveOptions};
@@ -36,10 +37,17 @@ impl fmt::Display for OptError {
             Self::NoCommunications => write!(f, "the system has no inter-core communications"),
             Self::Infeasible => write!(f, "the allocation problem is infeasible"),
             Self::BudgetExhausted => {
-                write!(f, "search budget exhausted before a feasible solution was found")
+                write!(
+                    f,
+                    "search budget exhausted before a feasible solution was found"
+                )
             }
             Self::InvalidSolution(v) => {
-                write!(f, "solver returned an invalid solution ({} violations)", v.len())
+                write!(
+                    f,
+                    "solver returned an invalid solution ({} violations)",
+                    v.len()
+                )
             }
             Self::Solver(msg) => write!(f, "solver failure: {msg}"),
         }
@@ -79,6 +87,27 @@ impl Error for OptError {}
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn optimize(system: &System, config: &OptConfig) -> Result<LetDmaSolution, OptError> {
+    optimize_with(system, config, &mut NoopInstrument)
+}
+
+/// Like [`optimize`], reporting progress through `instrument`.
+///
+/// The pipeline is split into four instrumented phases — `heuristic`
+/// (constructive heuristic plus local-search reordering), `formulation`
+/// (MILP build and warm-start translation), `milp-search` (branch-and-bound,
+/// which additionally streams per-node counters and incumbent records) and
+/// `validate` (post-pass reordering plus independent conformance
+/// re-verification). Collect them with [`letdma_core::SolverStats`] to get
+/// the `--stats` view of the reproduction binary.
+///
+/// # Errors
+///
+/// Same as [`optimize`].
+pub fn optimize_with(
+    system: &System,
+    config: &OptConfig,
+    instrument: &mut dyn Instrument,
+) -> Result<LetDmaSolution, OptError> {
     if letdma_model::let_semantics::comms_at_start(system).is_empty() {
         return Err(OptError::NoCommunications);
     }
@@ -109,46 +138,51 @@ pub fn optimize(system: &System, config: &OptConfig) -> Result<LetDmaSolution, O
     } else {
         None
     };
-    let heuristic = heuristic::construct(system, config.include_private_labels).map(|mut h| {
-        if let Some(goal) = reorder_goal {
-            h.schedule =
-                crate::improve::improve_transfer_order_with(system, &h.schedule, goal);
-        }
-        h
-    });
-    let heuristic_valid = heuristic.as_ref().is_some_and(|h| {
-        verify(system, &h.layout, &h.schedule, verify_options).is_empty()
+    let (heuristic, heuristic_valid) = timed_phase(instrument, "heuristic", |_| {
+        let heuristic = heuristic::construct(system, config.include_private_labels).map(|mut h| {
+            if let Some(goal) = reorder_goal {
+                h.schedule = crate::improve::improve_transfer_order_with(system, &h.schedule, goal);
+            }
+            h
+        });
+        let heuristic_valid = heuristic
+            .as_ref()
+            .is_some_and(|h| verify(system, &h.layout, &h.schedule, verify_options).is_empty());
+        (heuristic, heuristic_valid)
     });
 
     // Formulation + solve.
-    let f = formulation::build(system, config);
-    let warm = if config.warm_start && heuristic_valid {
-        heuristic
-            .as_ref()
-            .and_then(|h| warm_start_assignment(system, &f, h))
-    } else {
-        None
-    };
-    let solve_options = SolveOptions {
-        time_limit: config.time_limit,
-        node_limit: config.node_limit,
-        warm_start: warm,
-        log: config.log,
-        ..SolveOptions::default()
-    };
+    let (f, solve_options) = timed_phase(instrument, "formulation", |_| {
+        let f = formulation::build(system, config);
+        let warm = if config.warm_start && heuristic_valid {
+            heuristic
+                .as_ref()
+                .and_then(|h| warm_start_assignment(system, &f, h))
+        } else {
+            None
+        };
+        let solve_options = SolveOptions {
+            time_limit: config.time_limit,
+            node_limit: config.node_limit,
+            warm_start: warm,
+            log: config.log,
+            ..SolveOptions::default()
+        };
+        (f, solve_options)
+    });
 
-    match f.model.solve(&solve_options) {
-        Ok(milp_solution) => {
+    let solve_result = timed_phase(instrument, "milp-search", |ins| {
+        f.model.solve_with(&solve_options, ins)
+    });
+    match solve_result {
+        Ok(milp_solution) => timed_phase(instrument, "validate", |_| {
             let mut solution = extract(system, &f, &milp_solution, config.objective);
             // Post-pass (delay objective only): the MILP fixes the grouping
             // but its order may still admit improvement within the budget's
             // gap; relocation moves are free wins.
             if let Some(goal) = reorder_goal {
-                let improved = crate::improve::improve_transfer_order_with(
-                    system,
-                    &solution.schedule,
-                    goal,
-                );
+                let improved =
+                    crate::improve::improve_transfer_order_with(system, &solution.schedule, goal);
                 if improved != solution.schedule {
                     solution.schedule = improved;
                     solution.latencies = solution.schedule.worst_case_latencies(system);
@@ -157,22 +191,15 @@ pub fn optimize(system: &System, config: &OptConfig) -> Result<LetDmaSolution, O
                     }
                 }
             }
-            let violations = verify(
-                system,
-                &solution.layout,
-                &solution.schedule,
-                verify_options,
-            );
+            let violations = verify(system, &solution.layout, &solution.schedule, verify_options);
             if violations.is_empty() {
                 Ok(solution)
             } else {
                 Err(OptError::InvalidSolution(violations))
             }
-        }
+        }),
         Err(SolveError::Infeasible) => Err(OptError::Infeasible),
-        Err(SolveError::Unbounded) => {
-            Err(OptError::Solver("LP relaxation unbounded".into()))
-        }
+        Err(SolveError::Unbounded) => Err(OptError::Solver("LP relaxation unbounded".into())),
         Err(SolveError::LimitReached { .. }) => {
             // No incumbent found by the search: fall back to the heuristic
             // when it is valid.
@@ -197,8 +224,8 @@ pub fn heuristic_solution(
     system: &System,
     include_private_labels: bool,
 ) -> Result<LetDmaSolution, OptError> {
-    let mut h = heuristic::construct(system, include_private_labels)
-        .ok_or(OptError::NoCommunications)?;
+    let mut h =
+        heuristic::construct(system, include_private_labels).ok_or(OptError::NoCommunications)?;
     h.schedule = crate::improve::improve_transfer_order(system, &h.schedule);
     let violations = verify(
         system,

@@ -133,9 +133,7 @@ pub(crate) fn extract(
         schedule,
         latencies,
         objective,
-        objective_value: formulation
-            .objective_var
-            .map(|_| solution.objective()),
+        objective_value: formulation.objective_var.map(|_| solution.objective()),
         provenance: Provenance::Milp {
             status: solution.status(),
             stats: *solution.stats(),
@@ -179,9 +177,8 @@ pub(crate) fn warm_start_assignment(
             return None;
         }
         let n = slots.len();
-        let node = |slot: Slot| -> Option<usize> {
-            slots.iter().position(|&s| s == slot).map(|i| i + 1)
-        };
+        let node =
+            |slot: Slot| -> Option<usize> { slots.iter().position(|&s| s == slot).map(|i| i + 1) };
         let mut prev_node = 0usize; // head
         for (pos, &slot) in order.iter().enumerate() {
             let nd = node(slot)?;
@@ -205,7 +202,11 @@ pub(crate) fn warm_start_assignment(
             (Some(a), Some(b), Some(c), Some(d)) if b == a + 1 && d == c + 1)
     };
     for (&(_k, i, z), &var) in &f.adpair {
-        let v = if adjacent(f.comms[i], f.comms[z]) { 1.0 } else { 0.0 };
+        let v = if adjacent(f.comms[i], f.comms[z]) {
+            1.0
+        } else {
+            0.0
+        };
         values[var.index()] = v;
     }
     for (&(k, i, z, g), &var) in &f.lga {
@@ -266,11 +267,7 @@ pub(crate) fn warm_start_assignment(
                 .iter()
                 .map(|(&t, &l)| values[l.index()] / us(system.task(t).period()))
                 .fold(0.0, f64::max),
-            _ => f
-                .cgi
-                .iter()
-                .map(|&c| values[c.index()])
-                .fold(0.0, f64::max),
+            _ => f.cgi.iter().map(|&c| values[c.index()]).fold(0.0, f64::max),
         };
         values[u.index()] = value;
     }
@@ -315,10 +312,7 @@ mod tests {
         let mut sys = small_system();
         // Loose deadlines so the heuristic remains feasible.
         for t in [0u32, 1, 2, 3] {
-            sys.set_acquisition_deadline(
-                letdma_model::TaskId::new(t),
-                Some(TimeNs::from_ms(4)),
-            );
+            sys.set_acquisition_deadline(letdma_model::TaskId::new(t), Some(TimeNs::from_ms(4)));
         }
         let config = OptConfig {
             objective: Objective::MinDelayRatio,

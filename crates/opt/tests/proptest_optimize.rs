@@ -3,50 +3,46 @@
 //! The central invariant: **whatever the solver returns — MILP solution or
 //! heuristic fallback, any objective, any budget — it passes the
 //! independent conformance checker** (Constraints 1–8 structurally,
-//! Property 3 and deadlines when checked).
+//! Property 3 and deadlines when checked). Cases come from the in-tree
+//! seeded harness ([`letdma_core::Cases`]); a failing case prints the
+//! `LETDMA_CASE_SEED` needed to replay it.
 
 use std::time::Duration;
 
+use letdma_core::{Cases, Rng, Xoshiro256};
 use letdma_model::conformance::{verify, VerifyOptions};
 use letdma_opt::{heuristic_solution, optimize, Objective, OptConfig, OptError};
-use proptest::prelude::*;
 use waters2019::gen::{generate, GenConfig};
 
-fn config_strategy() -> impl Strategy<Value = GenConfig> {
-    (
-        2u16..=4,
-        3usize..=7,
-        1usize..=8,
-        any::<u64>(),
-        prop::sample::select(vec![
-            vec![5u64, 10, 20],
-            vec![5, 15, 33],
-            vec![10, 33, 66, 100],
-        ]),
-    )
-        .prop_map(|(cores, tasks, labels, seed, period_menu_ms)| GenConfig {
-            cores,
-            tasks: tasks.max(cores as usize), // every core populated
-            labels,
-            seed,
-            period_menu_ms,
-            ..GenConfig::default()
-        })
+fn random_config(rng: &mut Xoshiro256) -> GenConfig {
+    let cores = u16::try_from(rng.usize_range(2, 5)).unwrap();
+    let tasks = rng.usize_range(3, 8);
+    let labels = rng.usize_range(1, 9);
+    let seed = rng.next_u64();
+    let menus: [&[u64]; 3] = [&[5, 10, 20], &[5, 15, 33], &[10, 33, 66, 100]];
+    let period_menu_ms = rng.choose(&menus).expect("nonempty").to_vec();
+    GenConfig {
+        cores,
+        tasks: tasks.max(usize::from(cores)), // every core populated
+        labels,
+        seed,
+        period_menu_ms,
+        ..GenConfig::default()
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// optimize() never returns an invalid solution, for any objective.
-    #[test]
-    fn optimize_output_always_conforms(
-        cfg in config_strategy(),
-        objective in prop::sample::select(vec![
-            Objective::None,
-            Objective::MinTransfers,
-            Objective::MinDelayRatio,
-        ]),
-    ) {
+/// optimize() never returns an invalid solution, for any objective.
+#[test]
+fn optimize_output_always_conforms() {
+    Cases::new("optimize_output_always_conforms", 24).run(|rng| {
+        let cfg = random_config(rng);
+        let objective = *rng
+            .choose(&[
+                Objective::None,
+                Objective::MinTransfers,
+                Objective::MinDelayRatio,
+            ])
+            .expect("nonempty");
         let system = generate(&cfg);
         let config = OptConfig {
             objective,
@@ -61,23 +57,24 @@ proptest! {
                     &solution.schedule,
                     VerifyOptions::default(),
                 );
-                prop_assert!(violations.is_empty(), "violations: {violations:?}");
+                assert!(violations.is_empty(), "violations: {violations:?}");
             }
             Err(OptError::InvalidSolution(v)) => {
-                return Err(TestCaseError::fail(format!(
-                    "solver produced invalid solution: {v:?}"
-                )));
+                panic!("solver produced invalid solution: {v:?}");
             }
             // Infeasible (deadlines/Property 3) or budget exhaustion are
             // legitimate on random workloads.
             Err(_) => {}
         }
-    }
+    });
+}
 
-    /// The heuristic never violates the structural constraints (1–8 and
-    /// per-instant contiguity); only Property 3 / deadlines may fail.
-    #[test]
-    fn heuristic_structurally_sound(cfg in config_strategy()) {
+/// The heuristic never violates the structural constraints (1–8 and
+/// per-instant contiguity); only Property 3 / deadlines may fail.
+#[test]
+fn heuristic_structurally_sound() {
+    Cases::new("heuristic_structurally_sound", 24).run(|rng| {
+        let cfg = random_config(rng);
         let system = generate(&cfg);
         match heuristic_solution(&system, false) {
             Ok(solution) => {
@@ -87,7 +84,7 @@ proptest! {
                     &solution.schedule,
                     VerifyOptions::default(),
                 );
-                prop_assert!(violations.is_empty(), "violations: {violations:?}");
+                assert!(violations.is_empty(), "violations: {violations:?}");
             }
             Err(OptError::InvalidSolution(violations)) => {
                 // Must be only timing-related violations.
@@ -97,27 +94,32 @@ proptest! {
                         letdma_model::conformance::Violation::OverrunsNextInstant { .. }
                             | letdma_model::conformance::Violation::AcquisitionDeadlineMiss { .. }
                     );
-                    prop_assert!(timing, "structural violation from heuristic: {v}");
+                    assert!(timing, "structural violation from heuristic: {v}");
                 }
             }
             Err(OptError::NoCommunications) => {}
-            Err(e) => return Err(TestCaseError::fail(format!("unexpected: {e}"))),
+            Err(e) => panic!("unexpected: {e}"),
         }
-    }
+    });
+}
 
-    /// Transfer counts: the MILP under OBJ-DMAT never needs more transfers
-    /// than one per communication, and at least one per (memory, direction)
-    /// class in use.
-    #[test]
-    fn transfer_count_bounds(cfg in config_strategy()) {
+/// Transfer counts: the MILP under OBJ-DMAT never needs more transfers than
+/// one per communication, and at least one per (memory, direction) class in
+/// use.
+#[test]
+fn transfer_count_bounds() {
+    Cases::new("transfer_count_bounds", 24).run(|rng| {
+        let cfg = random_config(rng);
         let system = generate(&cfg);
-        let Ok(solution) = heuristic_solution(&system, false) else { return Ok(()); };
+        let Ok(solution) = heuristic_solution(&system, false) else {
+            return;
+        };
         let comms = letdma_model::let_semantics::comms_at_start(&system);
         let classes: std::collections::BTreeSet<_> = comms
             .iter()
             .map(|c| (c.local_memory(&system), c.kind))
             .collect();
-        prop_assert!(solution.num_transfers() <= comms.len());
-        prop_assert!(solution.num_transfers() >= classes.len());
-    }
+        assert!(solution.num_transfers() <= comms.len());
+        assert!(solution.num_transfers() >= classes.len());
+    });
 }

@@ -94,7 +94,10 @@ impl std::fmt::Display for SimError {
                 write!(f, "this approach requires an optimized transfer schedule")
             }
             Self::InconsistentSchedule(msg) => {
-                write!(f, "transfer schedule is inconsistent with the system: {msg}")
+                write!(
+                    f,
+                    "transfer schedule is inconsistent with the system: {msg}"
+                )
             }
         }
     }

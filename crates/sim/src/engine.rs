@@ -484,9 +484,7 @@ fn build_chains(
                         copy: system.costs().omega_c().cost_of(tr.bytes(system)),
                         readies: last_step
                             .iter()
-                            .filter(|&(task, &s)| {
-                                s == k && released.contains(task)
-                            })
+                            .filter(|&(task, &s)| s == k && released.contains(task))
                             .map(|(&task, _)| task)
                             .collect(),
                         dma: true,
@@ -521,10 +519,7 @@ fn build_chains(
                         ordered
                             .iter()
                             .map(|c| Step {
-                                core: c
-                                    .local_memory(system)
-                                    .core()
-                                    .expect("local side"),
+                                core: c.local_memory(system).core().expect("local side"),
                                 copy: system.costs().omega_c().cost_of(c.bytes(system)),
                                 readies: Vec::new(),
                                 dma: true,
@@ -538,10 +533,7 @@ fn build_chains(
                             .iter()
                             .map(|(_, tr)| Step {
                                 core: tr.local_memory().core().expect("local side"),
-                                copy: system
-                                    .costs()
-                                    .omega_c()
-                                    .cost_of(tr.bytes(system)),
+                                copy: system.costs().omega_c().cost_of(tr.bytes(system)),
                                 readies: Vec::new(),
                                 dma: true,
                             })
@@ -554,10 +546,9 @@ fn build_chains(
                             .iter()
                             .map(|c| {
                                 let core = match c.kind {
-                                    CommKind::Write | CommKind::Read => c
-                                        .local_memory(system)
-                                        .core()
-                                        .expect("local side"),
+                                    CommKind::Write | CommKind::Read => {
+                                        c.local_memory(system).core().expect("local side")
+                                    }
                                 };
                                 Step {
                                     core,

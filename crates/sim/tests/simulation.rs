@@ -1,7 +1,7 @@
 //! Cross-validation of the discrete-event engine against the closed-form
 //! latency model and the expected ordering between the four approaches.
 
-use letdma_model::{CopyCost, CostModel, SystemBuilder, System, TimeNs};
+use letdma_model::{CopyCost, CostModel, System, SystemBuilder, TimeNs};
 use letdma_opt::heuristic_solution;
 use letdma_sim::{simulate, Approach, SimConfig, SimError};
 
@@ -41,8 +41,18 @@ fn system_with_wcet(wcet_us: u64) -> System {
         .wcet_us(wcet_us)
         .add()
         .unwrap();
-    b.label("a").size(2_000).writer(p1).reader(c1).add().unwrap();
-    b.label("b").size(10_000).writer(p2).reader(c2).add().unwrap();
+    b.label("a")
+        .size(2_000)
+        .writer(p1)
+        .reader(c1)
+        .add()
+        .unwrap();
+    b.label("b")
+        .size(10_000)
+        .writer(p2)
+        .reader(c2)
+        .add()
+        .unwrap();
     b.label("c").size(500).writer(c2).reader(p2).add().unwrap();
     b.build().unwrap()
 }

@@ -54,8 +54,8 @@ impl WatersTasks {
     #[must_use]
     pub fn figure2_order(&self) -> [TaskId; 9] {
         [
-            self.lid, self.dasm, self.can, self.ekf, self.plan, self.sfm, self.loc,
-            self.ldet, self.det,
+            self.lid, self.dasm, self.can, self.ekf, self.plan, self.sfm, self.loc, self.ldet,
+            self.det,
         ]
     }
 }
@@ -91,37 +91,122 @@ pub fn waters_system() -> Result<(System, WatersTasks), ModelError> {
 
     // --- tasks (core mapping in the spirit of [16]) ----------------------
     // Core 0: lidar + vision front-end (perception producers).
-    let lid = b.task("LID").period_ms(33).core_index(0).wcet_us(4_000).add()?;
-    let sfm = b.task("SFM").period_ms(33).core_index(0).wcet_us(9_000).add()?;
+    let lid = b
+        .task("LID")
+        .period_ms(33)
+        .core_index(0)
+        .wcet_us(4_000)
+        .add()?;
+    let sfm = b
+        .task("SFM")
+        .period_ms(33)
+        .core_index(0)
+        .wcet_us(9_000)
+        .add()?;
     // Core 1: heavy perception consumers.
-    let loc = b.task("LOC").period_ms(400).core_index(1).wcet_us(40_000).add()?;
-    let det = b.task("DET").period_ms(200).core_index(1).wcet_us(30_000).add()?;
-    let ldet = b.task("LDET").period_ms(66).core_index(1).wcet_us(10_000).add()?;
+    let loc = b
+        .task("LOC")
+        .period_ms(400)
+        .core_index(1)
+        .wcet_us(40_000)
+        .add()?;
+    let det = b
+        .task("DET")
+        .period_ms(200)
+        .core_index(1)
+        .wcet_us(30_000)
+        .add()?;
+    let ldet = b
+        .task("LDET")
+        .period_ms(66)
+        .core_index(1)
+        .wcet_us(10_000)
+        .add()?;
     // Core 2: state estimation and planning.
-    let ekf = b.task("EKF").period_ms(15).core_index(2).wcet_us(3_000).add()?;
-    let plan = b.task("PLAN").period_ms(15).core_index(2).wcet_us(4_000).add()?;
+    let ekf = b
+        .task("EKF")
+        .period_ms(15)
+        .core_index(2)
+        .wcet_us(3_000)
+        .add()?;
+    let plan = b
+        .task("PLAN")
+        .period_ms(15)
+        .core_index(2)
+        .wcet_us(4_000)
+        .add()?;
     // Core 3: actuation path.
-    let dasm = b.task("DASM").period_ms(5).core_index(3).wcet_us(1_000).add()?;
-    let can = b.task("CAN").period_ms(10).core_index(3).wcet_us(2_000).add()?;
+    let dasm = b
+        .task("DASM")
+        .period_ms(5)
+        .core_index(3)
+        .wcet_us(1_000)
+        .add()?;
+    let can = b
+        .task("CAN")
+        .period_ms(10)
+        .core_index(3)
+        .wcet_us(2_000)
+        .add()?;
 
     // --- labels -----------------------------------------------------------
     // Perception pipeline (large payloads).
-    b.label("lidar_cloud").size(128 * 1024).writer(lid).reader(loc).add()?;
-    b.label("sfm_grid").size(16 * 1024).writer(sfm).reader(plan).add()?;
-    b.label("sfm_tracks").size(8 * 1024).writer(sfm).reader(loc).add()?;
+    b.label("lidar_cloud")
+        .size(128 * 1024)
+        .writer(lid)
+        .reader(loc)
+        .add()?;
+    b.label("sfm_grid")
+        .size(16 * 1024)
+        .writer(sfm)
+        .reader(plan)
+        .add()?;
+    b.label("sfm_tracks")
+        .size(8 * 1024)
+        .writer(sfm)
+        .reader(loc)
+        .add()?;
     // State estimation outputs (small, broadcast).
-    b.label("loc_pose").size(64).writer(loc).readers([plan, ekf]).add()?;
+    b.label("loc_pose")
+        .size(64)
+        .writer(loc)
+        .readers([plan, ekf])
+        .add()?;
     // Vision consumers feeding the planner (medium).
-    b.label("det_boxes").size(1_024).writer(det).reader(plan).add()?;
-    b.label("lane_bounds").size(512).writer(ldet).reader(plan).add()?;
+    b.label("det_boxes")
+        .size(1_024)
+        .writer(det)
+        .reader(plan)
+        .add()?;
+    b.label("lane_bounds")
+        .size(512)
+        .writer(ldet)
+        .reader(plan)
+        .add()?;
     // Control and actuation (small, latency-critical).
-    b.label("plan_traj").size(128).writer(plan).reader(dasm).add()?;
-    b.label("can_status").size(256).writer(can).reader(ekf).add()?;
+    b.label("plan_traj")
+        .size(128)
+        .writer(plan)
+        .reader(dasm)
+        .add()?;
+    b.label("can_status")
+        .size(256)
+        .writer(can)
+        .reader(ekf)
+        .add()?;
     // Same-core exchanges (double-buffered, not LET communications, but
     // they occupy space in the local layouts when private labels are
     // modelled).
-    b.label("ekf_state").size(96).writer(ekf).reader(plan).add()?;
-    b.label("dasm_cmd").size(32).writer(dasm).reader(can).add()?;
+    b.label("ekf_state")
+        .size(96)
+        .writer(ekf)
+        .reader(plan)
+        .add()?;
+    b.label("dasm_cmd")
+        .size(32)
+        .writer(dasm)
+        .reader(can)
+        .add()?;
 
     let system = b.build()?;
     Ok((

@@ -6,10 +6,7 @@
 //! cores, and log-uniform label sizes spanning command words to sensor
 //! buffers.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-
+use letdma_core::{Rng, Xoshiro256};
 use letdma_model::{CopyCost, CostModel, System, SystemBuilder, TimeNs};
 
 /// Parameters of the random workload generator.
@@ -27,7 +24,9 @@ pub struct GenConfig {
     pub size_range: (u64, u64),
     /// Per-core utilization target for WCET assignment.
     pub utilization: f64,
-    /// RNG seed (generation is fully deterministic given the seed).
+    /// RNG seed (generation is fully deterministic given the seed: the
+    /// in-tree [`Xoshiro256`] stream makes equal seeds produce
+    /// byte-identical systems across platforms and releases).
     pub seed: u64,
 }
 
@@ -72,7 +71,7 @@ pub fn generate(config: &GenConfig) -> System {
         config.cores >= 2 || config.labels == 0,
         "inter-core labels need at least two cores"
     );
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Xoshiro256::seed_from_u64(config.seed);
     let mut b = SystemBuilder::new(config.cores);
     b.set_costs(CostModel::new(
         TimeNs::from_ns(3_360),
@@ -84,9 +83,8 @@ pub fn generate(config: &GenConfig) -> System {
     // per-core utilization budget proportionally.
     let mut periods = Vec::with_capacity(config.tasks);
     for i in 0..config.tasks {
-        let &ms = config
-            .period_menu_ms
-            .choose(&mut rng)
+        let &ms = rng
+            .choose(&config.period_menu_ms)
             .expect("nonempty period menu");
         periods.push((i, ms));
     }
@@ -96,7 +94,7 @@ pub fn generate(config: &GenConfig) -> System {
         let core = u16::try_from(i / tasks_per_core).expect("few cores");
         // Share of the core budget: proportional WCET, jittered ±25 %.
         let share = config.utilization / tasks_per_core as f64;
-        let jitter = rng.gen_range(0.75..1.25);
+        let jitter = rng.f64_range(0.75, 1.25);
         let wcet_ns = (*ms as f64 * 1e6 * share * jitter) as u64;
         let id = b
             .task(format!("t{i}"))
@@ -116,8 +114,8 @@ pub fn generate(config: &GenConfig) -> System {
         // Rejection-sample a cross-core pair (bounded retries, then scan).
         let mut pair = None;
         for _ in 0..64 {
-            let w = rng.gen_range(0..config.tasks);
-            let r = rng.gen_range(0..config.tasks);
+            let w = rng.usize_below(config.tasks);
+            let r = rng.usize_below(config.tasks);
             if core_of(w) != core_of(r) {
                 pair = Some((w, r));
                 break;
@@ -130,7 +128,7 @@ pub fn generate(config: &GenConfig) -> System {
                 .expect("at least two populated cores");
             (w, r)
         });
-        let size = (rng.gen_range(log_lo..=log_hi)).exp() as u64;
+        let size = rng.f64_range(log_lo, log_hi).exp() as u64;
         b.label(format!("l{l}"))
             .size(size.clamp(lo, hi).max(1))
             .writer(ids[w])

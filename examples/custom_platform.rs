@@ -15,10 +15,30 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // A gateway on core 0 broadcasts vehicle state to consumers on cores 1
     // and 2; each consumer answers on its own channel.
-    let gateway = b.task("gateway").period_ms(10).core_index(0).wcet_us(800).add()?;
-    let vision = b.task("vision").period_ms(20).core_index(1).wcet_us(6_000).add()?;
-    let planner = b.task("planner").period_ms(10).core_index(2).wcet_us(2_000).add()?;
-    let logger = b.task("logger").period_ms(40).core_index(1).wcet_us(1_000).add()?;
+    let gateway = b
+        .task("gateway")
+        .period_ms(10)
+        .core_index(0)
+        .wcet_us(800)
+        .add()?;
+    let vision = b
+        .task("vision")
+        .period_ms(20)
+        .core_index(1)
+        .wcet_us(6_000)
+        .add()?;
+    let planner = b
+        .task("planner")
+        .period_ms(10)
+        .core_index(2)
+        .wcet_us(2_000)
+        .add()?;
+    let logger = b
+        .task("logger")
+        .period_ms(40)
+        .core_index(1)
+        .wcet_us(1_000)
+        .add()?;
 
     // Broadcast: one writer, readers on two different cores (two reads of
     // the same global slot → they can never share a DMA transfer).
@@ -27,11 +47,23 @@ fn main() -> Result<(), Box<dyn Error>> {
         .writer(gateway)
         .readers([vision, planner])
         .add()?;
-    b.label("obstacles").size(8_192).writer(vision).reader(planner).add()?;
-    b.label("trace").size(2_048).writer(planner).reader(logger).add()?;
+    b.label("obstacles")
+        .size(8_192)
+        .writer(vision)
+        .reader(planner)
+        .add()?;
+    b.label("trace")
+        .size(2_048)
+        .writer(planner)
+        .reader(logger)
+        .add()?;
     // Same-core communication (vision → logger on core 1) stays out of the
     // LET communication set: it is double-buffered locally.
-    b.label("vision_debug").size(4_096).writer(vision).reader(logger).add()?;
+    b.label("vision_debug")
+        .size(4_096)
+        .writer(vision)
+        .reader(logger)
+        .add()?;
 
     let system = b.build()?;
     println!(

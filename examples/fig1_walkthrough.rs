@@ -19,12 +19,42 @@ fn main() -> Result<(), Box<dyn Error>> {
     // τ1, τ3, τ5 on P1; τ2, τ4, τ6 on P2 (as in Fig. 1).
     // τ2 has the shortest period: it is the latency-sensitive consumer.
     let mut b = SystemBuilder::new(2);
-    let t1 = b.task("tau1").period_ms(5).core_index(0).wcet_us(200).add()?;
-    let t3 = b.task("tau3").period_ms(10).core_index(0).wcet_us(500).add()?;
-    let t5 = b.task("tau5").period_ms(10).core_index(0).wcet_us(500).add()?;
-    let t2 = b.task("tau2").period_ms(5).core_index(1).wcet_us(300).add()?;
-    let t4 = b.task("tau4").period_ms(10).core_index(1).wcet_us(800).add()?;
-    let t6 = b.task("tau6").period_ms(10).core_index(1).wcet_us(800).add()?;
+    let t1 = b
+        .task("tau1")
+        .period_ms(5)
+        .core_index(0)
+        .wcet_us(200)
+        .add()?;
+    let t3 = b
+        .task("tau3")
+        .period_ms(10)
+        .core_index(0)
+        .wcet_us(500)
+        .add()?;
+    let t5 = b
+        .task("tau5")
+        .period_ms(10)
+        .core_index(0)
+        .wcet_us(500)
+        .add()?;
+    let t2 = b
+        .task("tau2")
+        .period_ms(5)
+        .core_index(1)
+        .wcet_us(300)
+        .add()?;
+    let t4 = b
+        .task("tau4")
+        .period_ms(10)
+        .core_index(1)
+        .wcet_us(800)
+        .add()?;
+    let t6 = b
+        .task("tau6")
+        .period_ms(10)
+        .core_index(1)
+        .wcet_us(800)
+        .add()?;
 
     // τ2's input is small; the other two pairs move bulky data.
     b.label("l1").size(256).writer(t1).reader(t2).add()?;
@@ -52,7 +82,11 @@ fn main() -> Result<(), Box<dyn Error>> {
         Some(&solution.schedule),
         &SimConfig::for_approach(Approach::ProposedDma),
     )?;
-    let giotto = simulate(&system, None, &SimConfig::for_approach(Approach::GiottoDmaA))?;
+    let giotto = simulate(
+        &system,
+        None,
+        &SimConfig::for_approach(Approach::GiottoDmaA),
+    )?;
 
     println!("\nworst-case data-acquisition latencies (proposed vs Giotto-DMA-A):");
     for task in system.tasks() {

@@ -14,14 +14,46 @@ fn main() -> Result<(), Box<dyn Error>> {
     let mut b = SystemBuilder::new(2);
 
     // A sensor-processing pipeline that crosses the cores.
-    let camera = b.task("camera").period_ms(33).core_index(0).wcet_us(2_000).add()?;
-    let radar = b.task("radar").period_ms(10).core_index(0).wcet_us(500).add()?;
-    let fusion = b.task("fusion").period_ms(33).core_index(1).wcet_us(5_000).add()?;
-    let control = b.task("control").period_ms(10).core_index(0).wcet_us(800).add()?;
+    let camera = b
+        .task("camera")
+        .period_ms(33)
+        .core_index(0)
+        .wcet_us(2_000)
+        .add()?;
+    let radar = b
+        .task("radar")
+        .period_ms(10)
+        .core_index(0)
+        .wcet_us(500)
+        .add()?;
+    let fusion = b
+        .task("fusion")
+        .period_ms(33)
+        .core_index(1)
+        .wcet_us(5_000)
+        .add()?;
+    let control = b
+        .task("control")
+        .period_ms(10)
+        .core_index(0)
+        .wcet_us(800)
+        .add()?;
 
-    b.label("frame").size(64 * 1024).writer(camera).reader(fusion).add()?;
-    b.label("radar_hits").size(2_048).writer(radar).reader(fusion).add()?;
-    b.label("objects").size(4_096).writer(fusion).reader(control).add()?;
+    b.label("frame")
+        .size(64 * 1024)
+        .writer(camera)
+        .reader(fusion)
+        .add()?;
+    b.label("radar_hits")
+        .size(2_048)
+        .writer(radar)
+        .reader(fusion)
+        .add()?;
+    b.label("objects")
+        .size(4_096)
+        .writer(fusion)
+        .reader(control)
+        .add()?;
 
     let system = b.build()?;
     println!(

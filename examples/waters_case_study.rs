@@ -58,7 +58,11 @@ fn main() -> Result<(), Box<dyn Error>> {
         &SimConfig::for_approach(Approach::ProposedDma),
     )?;
     let cpu = simulate(&system, None, &SimConfig::for_approach(Approach::GiottoCpu))?;
-    let dma_a = simulate(&system, None, &SimConfig::for_approach(Approach::GiottoDmaA))?;
+    let dma_a = simulate(
+        &system,
+        None,
+        &SimConfig::for_approach(Approach::GiottoDmaA),
+    )?;
     let dma_b = simulate(
         &system,
         Some(&solution.schedule),

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Offline CI gate for the letdma workspace.
+#
+# Everything here must pass with the crates-io registry unreachable: the
+# workspace has a zero-external-dependency policy (DESIGN.md §"Dependency
+# policy"), so no step may hit the network.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --workspace --release --offline
+
+echo "== cargo test =="
+cargo test --workspace --quiet --offline
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy -D warnings =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "CI green."

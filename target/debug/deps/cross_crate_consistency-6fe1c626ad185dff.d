@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_crate_consistency-6fe1c626ad185dff.d: crates/letdma/../../tests/cross_crate_consistency.rs
+
+/root/repo/target/debug/deps/cross_crate_consistency-6fe1c626ad185dff: crates/letdma/../../tests/cross_crate_consistency.rs
+
+crates/letdma/../../tests/cross_crate_consistency.rs:

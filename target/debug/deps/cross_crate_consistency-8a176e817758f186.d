@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_crate_consistency-8a176e817758f186.d: crates/letdma/../../tests/cross_crate_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_crate_consistency-8a176e817758f186.rmeta: crates/letdma/../../tests/cross_crate_consistency.rs Cargo.toml
+
+crates/letdma/../../tests/cross_crate_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

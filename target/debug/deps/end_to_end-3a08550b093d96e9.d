@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-3a08550b093d96e9.d: crates/opt/tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-3a08550b093d96e9: crates/opt/tests/end_to_end.rs
+
+crates/opt/tests/end_to_end.rs:

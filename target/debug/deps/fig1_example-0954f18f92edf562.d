@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_example-0954f18f92edf562.d: crates/letdma/../../tests/fig1_example.rs
+
+/root/repo/target/debug/deps/fig1_example-0954f18f92edf562: crates/letdma/../../tests/fig1_example.rs
+
+crates/letdma/../../tests/fig1_example.rs:

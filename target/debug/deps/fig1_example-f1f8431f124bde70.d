@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_example-f1f8431f124bde70.d: crates/letdma/../../tests/fig1_example.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_example-f1f8431f124bde70.rmeta: crates/letdma/../../tests/fig1_example.rs Cargo.toml
+
+crates/letdma/../../tests/fig1_example.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

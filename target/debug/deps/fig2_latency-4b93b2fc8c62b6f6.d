@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_latency-4b93b2fc8c62b6f6.d: crates/bench/benches/fig2_latency.rs
+
+/root/repo/target/debug/deps/fig2_latency-4b93b2fc8c62b6f6: crates/bench/benches/fig2_latency.rs
+
+crates/bench/benches/fig2_latency.rs:

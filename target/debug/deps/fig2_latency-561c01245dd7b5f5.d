@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_latency-561c01245dd7b5f5.d: crates/bench/benches/fig2_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_latency-561c01245dd7b5f5.rmeta: crates/bench/benches/fig2_latency.rs Cargo.toml
+
+crates/bench/benches/fig2_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

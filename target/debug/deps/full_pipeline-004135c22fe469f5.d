@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_pipeline-004135c22fe469f5.d: crates/letdma/../../tests/full_pipeline.rs
+
+/root/repo/target/debug/deps/full_pipeline-004135c22fe469f5: crates/letdma/../../tests/full_pipeline.rs
+
+crates/letdma/../../tests/full_pipeline.rs:

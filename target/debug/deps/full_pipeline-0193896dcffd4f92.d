@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/full_pipeline-0193896dcffd4f92.d: crates/letdma/../../tests/full_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfull_pipeline-0193896dcffd4f92.rmeta: crates/letdma/../../tests/full_pipeline.rs Cargo.toml
+
+crates/letdma/../../tests/full_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

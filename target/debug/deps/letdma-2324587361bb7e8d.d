@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/letdma-2324587361bb7e8d.d: crates/letdma/src/lib.rs
+
+/root/repo/target/debug/deps/letdma-2324587361bb7e8d: crates/letdma/src/lib.rs
+
+crates/letdma/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/letdma-2bbeea8f4e71a249.d: crates/letdma/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libletdma-2bbeea8f4e71a249.rmeta: crates/letdma/src/lib.rs Cargo.toml
+
+crates/letdma/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/letdma-5f38bc4ea42b4ae3.d: crates/letdma/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libletdma-5f38bc4ea42b4ae3.rmeta: crates/letdma/src/lib.rs Cargo.toml
+
+crates/letdma/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/letdma-f09ea3d62a8098f4.d: crates/letdma/src/lib.rs
+
+/root/repo/target/debug/deps/libletdma-f09ea3d62a8098f4.rlib: crates/letdma/src/lib.rs
+
+/root/repo/target/debug/deps/libletdma-f09ea3d62a8098f4.rmeta: crates/letdma/src/lib.rs
+
+crates/letdma/src/lib.rs:

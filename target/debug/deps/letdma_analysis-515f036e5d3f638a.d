@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/letdma_analysis-515f036e5d3f638a.d: crates/analysis/src/lib.rs crates/analysis/src/holistic.rs crates/analysis/src/interference.rs crates/analysis/src/rta.rs crates/analysis/src/sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libletdma_analysis-515f036e5d3f638a.rmeta: crates/analysis/src/lib.rs crates/analysis/src/holistic.rs crates/analysis/src/interference.rs crates/analysis/src/rta.rs crates/analysis/src/sensitivity.rs Cargo.toml
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/holistic.rs:
+crates/analysis/src/interference.rs:
+crates/analysis/src/rta.rs:
+crates/analysis/src/sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

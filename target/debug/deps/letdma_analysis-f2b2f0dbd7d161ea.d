@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/letdma_analysis-f2b2f0dbd7d161ea.d: crates/analysis/src/lib.rs crates/analysis/src/holistic.rs crates/analysis/src/interference.rs crates/analysis/src/rta.rs crates/analysis/src/sensitivity.rs
+
+/root/repo/target/debug/deps/letdma_analysis-f2b2f0dbd7d161ea: crates/analysis/src/lib.rs crates/analysis/src/holistic.rs crates/analysis/src/interference.rs crates/analysis/src/rta.rs crates/analysis/src/sensitivity.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/holistic.rs:
+crates/analysis/src/interference.rs:
+crates/analysis/src/rta.rs:
+crates/analysis/src/sensitivity.rs:

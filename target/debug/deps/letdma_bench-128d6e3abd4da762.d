@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/letdma_bench-128d6e3abd4da762.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/letdma_bench-128d6e3abd4da762: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/letdma_bench-6d2a404f151c772f.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libletdma_bench-6d2a404f151c772f.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libletdma_bench-6d2a404f151c772f.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/letdma_model-5f6ba62ca476fc39.d: crates/model/src/lib.rs crates/model/src/conformance.rs crates/model/src/error.rs crates/model/src/ids.rs crates/model/src/label.rs crates/model/src/let_semantics.rs crates/model/src/platform.rs crates/model/src/system.rs crates/model/src/task.rs crates/model/src/time.rs crates/model/src/transfer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libletdma_model-5f6ba62ca476fc39.rmeta: crates/model/src/lib.rs crates/model/src/conformance.rs crates/model/src/error.rs crates/model/src/ids.rs crates/model/src/label.rs crates/model/src/let_semantics.rs crates/model/src/platform.rs crates/model/src/system.rs crates/model/src/task.rs crates/model/src/time.rs crates/model/src/transfer.rs Cargo.toml
+
+crates/model/src/lib.rs:
+crates/model/src/conformance.rs:
+crates/model/src/error.rs:
+crates/model/src/ids.rs:
+crates/model/src/label.rs:
+crates/model/src/let_semantics.rs:
+crates/model/src/platform.rs:
+crates/model/src/system.rs:
+crates/model/src/task.rs:
+crates/model/src/time.rs:
+crates/model/src/transfer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

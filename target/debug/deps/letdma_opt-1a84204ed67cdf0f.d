@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/letdma_opt-1a84204ed67cdf0f.d: crates/opt/src/lib.rs crates/opt/src/config.rs crates/opt/src/formulation.rs crates/opt/src/heuristic.rs crates/opt/src/improve.rs crates/opt/src/optimizer.rs crates/opt/src/solution.rs
+
+/root/repo/target/debug/deps/libletdma_opt-1a84204ed67cdf0f.rlib: crates/opt/src/lib.rs crates/opt/src/config.rs crates/opt/src/formulation.rs crates/opt/src/heuristic.rs crates/opt/src/improve.rs crates/opt/src/optimizer.rs crates/opt/src/solution.rs
+
+/root/repo/target/debug/deps/libletdma_opt-1a84204ed67cdf0f.rmeta: crates/opt/src/lib.rs crates/opt/src/config.rs crates/opt/src/formulation.rs crates/opt/src/heuristic.rs crates/opt/src/improve.rs crates/opt/src/optimizer.rs crates/opt/src/solution.rs
+
+crates/opt/src/lib.rs:
+crates/opt/src/config.rs:
+crates/opt/src/formulation.rs:
+crates/opt/src/heuristic.rs:
+crates/opt/src/improve.rs:
+crates/opt/src/optimizer.rs:
+crates/opt/src/solution.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/letdma_sim-c4c0a1baee700671.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/report.rs
+
+/root/repo/target/debug/deps/libletdma_sim-c4c0a1baee700671.rlib: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/report.rs
+
+/root/repo/target/debug/deps/libletdma_sim-c4c0a1baee700671.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/report.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/report.rs:

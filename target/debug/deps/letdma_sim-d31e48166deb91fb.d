@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/letdma_sim-d31e48166deb91fb.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libletdma_sim-d31e48166deb91fb.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/report.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

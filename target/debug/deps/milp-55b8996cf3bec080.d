@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/milp-55b8996cf3bec080.d: crates/milp/src/lib.rs crates/milp/src/basis.rs crates/milp/src/expr.rs crates/milp/src/lp_format.rs crates/milp/src/model.rs crates/milp/src/simplex.rs crates/milp/src/solver.rs
+
+/root/repo/target/debug/deps/libmilp-55b8996cf3bec080.rlib: crates/milp/src/lib.rs crates/milp/src/basis.rs crates/milp/src/expr.rs crates/milp/src/lp_format.rs crates/milp/src/model.rs crates/milp/src/simplex.rs crates/milp/src/solver.rs
+
+/root/repo/target/debug/deps/libmilp-55b8996cf3bec080.rmeta: crates/milp/src/lib.rs crates/milp/src/basis.rs crates/milp/src/expr.rs crates/milp/src/lp_format.rs crates/milp/src/model.rs crates/milp/src/simplex.rs crates/milp/src/solver.rs
+
+crates/milp/src/lib.rs:
+crates/milp/src/basis.rs:
+crates/milp/src/expr.rs:
+crates/milp/src/lp_format.rs:
+crates/milp/src/model.rs:
+crates/milp/src/simplex.rs:
+crates/milp/src/solver.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/milp-da715ec581455161.d: crates/milp/src/lib.rs crates/milp/src/basis.rs crates/milp/src/expr.rs crates/milp/src/lp_format.rs crates/milp/src/model.rs crates/milp/src/simplex.rs crates/milp/src/solver.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmilp-da715ec581455161.rmeta: crates/milp/src/lib.rs crates/milp/src/basis.rs crates/milp/src/expr.rs crates/milp/src/lp_format.rs crates/milp/src/model.rs crates/milp/src/simplex.rs crates/milp/src/solver.rs Cargo.toml
+
+crates/milp/src/lib.rs:
+crates/milp/src/basis.rs:
+crates/milp/src/expr.rs:
+crates/milp/src/lp_format.rs:
+crates/milp/src/model.rs:
+crates/milp/src/simplex.rs:
+crates/milp/src/solver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

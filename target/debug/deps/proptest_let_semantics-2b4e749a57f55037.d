@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_let_semantics-2b4e749a57f55037.d: crates/model/tests/proptest_let_semantics.rs
+
+/root/repo/target/debug/deps/proptest_let_semantics-2b4e749a57f55037: crates/model/tests/proptest_let_semantics.rs
+
+crates/model/tests/proptest_let_semantics.rs:

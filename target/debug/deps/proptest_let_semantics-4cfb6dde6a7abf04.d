@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_let_semantics-4cfb6dde6a7abf04.d: crates/model/tests/proptest_let_semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_let_semantics-4cfb6dde6a7abf04.rmeta: crates/model/tests/proptest_let_semantics.rs Cargo.toml
+
+crates/model/tests/proptest_let_semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_optimize-a68223138bcfb6e3.d: crates/opt/tests/proptest_optimize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_optimize-a68223138bcfb6e3.rmeta: crates/opt/tests/proptest_optimize.rs Cargo.toml
+
+crates/opt/tests/proptest_optimize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_optimize-d9de9f737f69a5ee.d: crates/opt/tests/proptest_optimize.rs
+
+/root/repo/target/debug/deps/proptest_optimize-d9de9f737f69a5ee: crates/opt/tests/proptest_optimize.rs
+
+crates/opt/tests/proptest_optimize.rs:

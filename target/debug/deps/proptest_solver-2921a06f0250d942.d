@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_solver-2921a06f0250d942.d: crates/milp/tests/proptest_solver.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_solver-2921a06f0250d942.rmeta: crates/milp/tests/proptest_solver.rs Cargo.toml
+
+crates/milp/tests/proptest_solver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_solver-c8f3af65b89d3440.d: crates/milp/tests/proptest_solver.rs
+
+/root/repo/target/debug/deps/proptest_solver-c8f3af65b89d3440: crates/milp/tests/proptest_solver.rs
+
+crates/milp/tests/proptest_solver.rs:

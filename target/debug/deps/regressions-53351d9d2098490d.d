@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/regressions-53351d9d2098490d.d: crates/letdma/../../tests/regressions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libregressions-53351d9d2098490d.rmeta: crates/letdma/../../tests/regressions.rs Cargo.toml
+
+crates/letdma/../../tests/regressions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

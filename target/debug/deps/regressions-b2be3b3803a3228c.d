@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/regressions-b2be3b3803a3228c.d: crates/letdma/../../tests/regressions.rs
+
+/root/repo/target/debug/deps/regressions-b2be3b3803a3228c: crates/letdma/../../tests/regressions.rs
+
+crates/letdma/../../tests/regressions.rs:

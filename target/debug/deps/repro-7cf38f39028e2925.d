@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-7cf38f39028e2925.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-7cf38f39028e2925: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-fcc45f9250370728.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-fcc45f9250370728: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-01bbd9c14ace58db.d: crates/bench/benches/scaling.rs
+
+/root/repo/target/debug/deps/scaling-01bbd9c14ace58db: crates/bench/benches/scaling.rs
+
+crates/bench/benches/scaling.rs:

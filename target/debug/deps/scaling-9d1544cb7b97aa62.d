@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scaling-9d1544cb7b97aa62.d: crates/bench/benches/scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscaling-9d1544cb7b97aa62.rmeta: crates/bench/benches/scaling.rs Cargo.toml
+
+crates/bench/benches/scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_throughput-443daf2546947ade.d: crates/bench/benches/sim_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_throughput-443daf2546947ade.rmeta: crates/bench/benches/sim_throughput.rs Cargo.toml
+
+crates/bench/benches/sim_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

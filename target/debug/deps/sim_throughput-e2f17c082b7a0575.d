@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_throughput-e2f17c082b7a0575.d: crates/bench/benches/sim_throughput.rs
+
+/root/repo/target/debug/deps/sim_throughput-e2f17c082b7a0575: crates/bench/benches/sim_throughput.rs
+
+crates/bench/benches/sim_throughput.rs:

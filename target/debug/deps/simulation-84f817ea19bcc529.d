@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulation-84f817ea19bcc529.d: crates/sim/tests/simulation.rs
+
+/root/repo/target/debug/deps/simulation-84f817ea19bcc529: crates/sim/tests/simulation.rs
+
+crates/sim/tests/simulation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulation-ebec62a42317024c.d: crates/sim/tests/simulation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulation-ebec62a42317024c.rmeta: crates/sim/tests/simulation.rs Cargo.toml
+
+crates/sim/tests/simulation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_milp-1413626983585670.d: crates/bench/benches/table1_milp.rs
+
+/root/repo/target/debug/deps/table1_milp-1413626983585670: crates/bench/benches/table1_milp.rs
+
+crates/bench/benches/table1_milp.rs:

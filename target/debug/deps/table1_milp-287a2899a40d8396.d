@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_milp-287a2899a40d8396.d: crates/bench/benches/table1_milp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_milp-287a2899a40d8396.rmeta: crates/bench/benches/table1_milp.rs Cargo.toml
+
+crates/bench/benches/table1_milp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

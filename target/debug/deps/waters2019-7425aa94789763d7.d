@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/waters2019-7425aa94789763d7.d: crates/waters/src/lib.rs crates/waters/src/case_study.rs crates/waters/src/gen.rs
+
+/root/repo/target/debug/deps/libwaters2019-7425aa94789763d7.rlib: crates/waters/src/lib.rs crates/waters/src/case_study.rs crates/waters/src/gen.rs
+
+/root/repo/target/debug/deps/libwaters2019-7425aa94789763d7.rmeta: crates/waters/src/lib.rs crates/waters/src/case_study.rs crates/waters/src/gen.rs
+
+crates/waters/src/lib.rs:
+crates/waters/src/case_study.rs:
+crates/waters/src/gen.rs:

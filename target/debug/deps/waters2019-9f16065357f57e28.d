@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/waters2019-9f16065357f57e28.d: crates/waters/src/lib.rs crates/waters/src/case_study.rs crates/waters/src/gen.rs
+
+/root/repo/target/debug/deps/waters2019-9f16065357f57e28: crates/waters/src/lib.rs crates/waters/src/case_study.rs crates/waters/src/gen.rs
+
+crates/waters/src/lib.rs:
+crates/waters/src/case_study.rs:
+crates/waters/src/gen.rs:

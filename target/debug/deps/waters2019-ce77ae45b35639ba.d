@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/waters2019-ce77ae45b35639ba.d: crates/waters/src/lib.rs crates/waters/src/case_study.rs crates/waters/src/gen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwaters2019-ce77ae45b35639ba.rmeta: crates/waters/src/lib.rs crates/waters/src/case_study.rs crates/waters/src/gen.rs Cargo.toml
+
+crates/waters/src/lib.rs:
+crates/waters/src/case_study.rs:
+crates/waters/src/gen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_platform-e2d497f94253d6d0.d: crates/letdma/../../examples/custom_platform.rs
+
+/root/repo/target/debug/examples/custom_platform-e2d497f94253d6d0: crates/letdma/../../examples/custom_platform.rs
+
+crates/letdma/../../examples/custom_platform.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_platform-ee1d7bc68fc1e616.d: crates/letdma/../../examples/custom_platform.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_platform-ee1d7bc68fc1e616.rmeta: crates/letdma/../../examples/custom_platform.rs Cargo.toml
+
+crates/letdma/../../examples/custom_platform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fig1_walkthrough-58215e8f8af27f5d.d: crates/letdma/../../examples/fig1_walkthrough.rs
+
+/root/repo/target/debug/examples/fig1_walkthrough-58215e8f8af27f5d: crates/letdma/../../examples/fig1_walkthrough.rs
+
+crates/letdma/../../examples/fig1_walkthrough.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fig1_walkthrough-833522641377f644.d: crates/letdma/../../examples/fig1_walkthrough.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfig1_walkthrough-833522641377f644.rmeta: crates/letdma/../../examples/fig1_walkthrough.rs Cargo.toml
+
+crates/letdma/../../examples/fig1_walkthrough.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

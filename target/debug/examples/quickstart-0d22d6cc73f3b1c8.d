@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-0d22d6cc73f3b1c8.d: crates/letdma/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-0d22d6cc73f3b1c8.rmeta: crates/letdma/../../examples/quickstart.rs Cargo.toml
+
+crates/letdma/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

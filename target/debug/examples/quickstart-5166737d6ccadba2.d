@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-5166737d6ccadba2.d: crates/letdma/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-5166737d6ccadba2: crates/letdma/../../examples/quickstart.rs
+
+crates/letdma/../../examples/quickstart.rs:

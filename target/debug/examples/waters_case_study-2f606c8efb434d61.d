@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/waters_case_study-2f606c8efb434d61.d: crates/letdma/../../examples/waters_case_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwaters_case_study-2f606c8efb434d61.rmeta: crates/letdma/../../examples/waters_case_study.rs Cargo.toml
+
+crates/letdma/../../examples/waters_case_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

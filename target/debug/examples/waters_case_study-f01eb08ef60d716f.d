@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/waters_case_study-f01eb08ef60d716f.d: crates/letdma/../../examples/waters_case_study.rs
+
+/root/repo/target/debug/examples/waters_case_study-f01eb08ef60d716f: crates/letdma/../../examples/waters_case_study.rs
+
+crates/letdma/../../examples/waters_case_study.rs:

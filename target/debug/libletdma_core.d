@@ -1,0 +1,1 @@
+/root/repo/target/debug/libletdma_core.rlib: /root/repo/crates/core/src/cases.rs /root/repo/crates/core/src/instrument.rs /root/repo/crates/core/src/lib.rs /root/repo/crates/core/src/rng.rs

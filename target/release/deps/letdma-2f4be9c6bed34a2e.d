@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/letdma-2f4be9c6bed34a2e.d: crates/letdma/src/lib.rs
+
+/root/repo/target/release/deps/libletdma-2f4be9c6bed34a2e.rlib: crates/letdma/src/lib.rs
+
+/root/repo/target/release/deps/libletdma-2f4be9c6bed34a2e.rmeta: crates/letdma/src/lib.rs
+
+crates/letdma/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/letdma-fa62436c728463f0.d: crates/letdma/src/lib.rs
+
+/root/repo/target/release/deps/libletdma-fa62436c728463f0.rlib: crates/letdma/src/lib.rs
+
+/root/repo/target/release/deps/libletdma-fa62436c728463f0.rmeta: crates/letdma/src/lib.rs
+
+crates/letdma/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/letdma_analysis-23649a11ae316d4a.d: crates/analysis/src/lib.rs crates/analysis/src/holistic.rs crates/analysis/src/interference.rs crates/analysis/src/rta.rs crates/analysis/src/sensitivity.rs
+
+/root/repo/target/release/deps/libletdma_analysis-23649a11ae316d4a.rlib: crates/analysis/src/lib.rs crates/analysis/src/holistic.rs crates/analysis/src/interference.rs crates/analysis/src/rta.rs crates/analysis/src/sensitivity.rs
+
+/root/repo/target/release/deps/libletdma_analysis-23649a11ae316d4a.rmeta: crates/analysis/src/lib.rs crates/analysis/src/holistic.rs crates/analysis/src/interference.rs crates/analysis/src/rta.rs crates/analysis/src/sensitivity.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/holistic.rs:
+crates/analysis/src/interference.rs:
+crates/analysis/src/rta.rs:
+crates/analysis/src/sensitivity.rs:

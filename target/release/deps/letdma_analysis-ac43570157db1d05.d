@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/letdma_analysis-ac43570157db1d05.d: crates/analysis/src/lib.rs crates/analysis/src/holistic.rs crates/analysis/src/interference.rs crates/analysis/src/rta.rs crates/analysis/src/sensitivity.rs
+
+/root/repo/target/release/deps/libletdma_analysis-ac43570157db1d05.rlib: crates/analysis/src/lib.rs crates/analysis/src/holistic.rs crates/analysis/src/interference.rs crates/analysis/src/rta.rs crates/analysis/src/sensitivity.rs
+
+/root/repo/target/release/deps/libletdma_analysis-ac43570157db1d05.rmeta: crates/analysis/src/lib.rs crates/analysis/src/holistic.rs crates/analysis/src/interference.rs crates/analysis/src/rta.rs crates/analysis/src/sensitivity.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/holistic.rs:
+crates/analysis/src/interference.rs:
+crates/analysis/src/rta.rs:
+crates/analysis/src/sensitivity.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/letdma_bench-54962c0f2593d28c.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libletdma_bench-54962c0f2593d28c.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libletdma_bench-54962c0f2593d28c.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

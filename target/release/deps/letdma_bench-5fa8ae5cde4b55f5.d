@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/letdma_bench-5fa8ae5cde4b55f5.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libletdma_bench-5fa8ae5cde4b55f5.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libletdma_bench-5fa8ae5cde4b55f5.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

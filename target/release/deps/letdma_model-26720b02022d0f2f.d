@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/letdma_model-26720b02022d0f2f.d: crates/model/src/lib.rs crates/model/src/conformance.rs crates/model/src/error.rs crates/model/src/ids.rs crates/model/src/label.rs crates/model/src/let_semantics.rs crates/model/src/platform.rs crates/model/src/system.rs crates/model/src/task.rs crates/model/src/time.rs crates/model/src/transfer.rs
+
+/root/repo/target/release/deps/libletdma_model-26720b02022d0f2f.rlib: crates/model/src/lib.rs crates/model/src/conformance.rs crates/model/src/error.rs crates/model/src/ids.rs crates/model/src/label.rs crates/model/src/let_semantics.rs crates/model/src/platform.rs crates/model/src/system.rs crates/model/src/task.rs crates/model/src/time.rs crates/model/src/transfer.rs
+
+/root/repo/target/release/deps/libletdma_model-26720b02022d0f2f.rmeta: crates/model/src/lib.rs crates/model/src/conformance.rs crates/model/src/error.rs crates/model/src/ids.rs crates/model/src/label.rs crates/model/src/let_semantics.rs crates/model/src/platform.rs crates/model/src/system.rs crates/model/src/task.rs crates/model/src/time.rs crates/model/src/transfer.rs
+
+crates/model/src/lib.rs:
+crates/model/src/conformance.rs:
+crates/model/src/error.rs:
+crates/model/src/ids.rs:
+crates/model/src/label.rs:
+crates/model/src/let_semantics.rs:
+crates/model/src/platform.rs:
+crates/model/src/system.rs:
+crates/model/src/task.rs:
+crates/model/src/time.rs:
+crates/model/src/transfer.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/letdma_sim-4c108c09ab53d743.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/report.rs
+
+/root/repo/target/release/deps/libletdma_sim-4c108c09ab53d743.rlib: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/report.rs
+
+/root/repo/target/release/deps/libletdma_sim-4c108c09ab53d743.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/report.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/report.rs:

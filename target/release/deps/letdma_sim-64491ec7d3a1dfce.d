@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/letdma_sim-64491ec7d3a1dfce.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/report.rs
+
+/root/repo/target/release/deps/libletdma_sim-64491ec7d3a1dfce.rlib: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/report.rs
+
+/root/repo/target/release/deps/libletdma_sim-64491ec7d3a1dfce.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/report.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/report.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/milp-9a166553e4dfc058.d: crates/milp/src/lib.rs crates/milp/src/basis.rs crates/milp/src/expr.rs crates/milp/src/lp_format.rs crates/milp/src/model.rs crates/milp/src/simplex.rs crates/milp/src/solver.rs
+
+/root/repo/target/release/deps/libmilp-9a166553e4dfc058.rlib: crates/milp/src/lib.rs crates/milp/src/basis.rs crates/milp/src/expr.rs crates/milp/src/lp_format.rs crates/milp/src/model.rs crates/milp/src/simplex.rs crates/milp/src/solver.rs
+
+/root/repo/target/release/deps/libmilp-9a166553e4dfc058.rmeta: crates/milp/src/lib.rs crates/milp/src/basis.rs crates/milp/src/expr.rs crates/milp/src/lp_format.rs crates/milp/src/model.rs crates/milp/src/simplex.rs crates/milp/src/solver.rs
+
+crates/milp/src/lib.rs:
+crates/milp/src/basis.rs:
+crates/milp/src/expr.rs:
+crates/milp/src/lp_format.rs:
+crates/milp/src/model.rs:
+crates/milp/src/simplex.rs:
+crates/milp/src/solver.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-a5b941c244f0fb1d.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-a5b941c244f0fb1d: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

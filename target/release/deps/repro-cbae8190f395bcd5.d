@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-cbae8190f395bcd5.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-cbae8190f395bcd5: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

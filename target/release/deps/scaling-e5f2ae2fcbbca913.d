@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scaling-e5f2ae2fcbbca913.d: crates/bench/benches/scaling.rs
+
+/root/repo/target/release/deps/scaling-e5f2ae2fcbbca913: crates/bench/benches/scaling.rs
+
+crates/bench/benches/scaling.rs:

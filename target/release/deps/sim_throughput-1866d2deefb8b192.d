@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sim_throughput-1866d2deefb8b192.d: crates/bench/benches/sim_throughput.rs
+
+/root/repo/target/release/deps/sim_throughput-1866d2deefb8b192: crates/bench/benches/sim_throughput.rs
+
+crates/bench/benches/sim_throughput.rs:

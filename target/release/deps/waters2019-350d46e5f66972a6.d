@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/waters2019-350d46e5f66972a6.d: crates/waters/src/lib.rs crates/waters/src/case_study.rs crates/waters/src/gen.rs
+
+/root/repo/target/release/deps/libwaters2019-350d46e5f66972a6.rlib: crates/waters/src/lib.rs crates/waters/src/case_study.rs crates/waters/src/gen.rs
+
+/root/repo/target/release/deps/libwaters2019-350d46e5f66972a6.rmeta: crates/waters/src/lib.rs crates/waters/src/case_study.rs crates/waters/src/gen.rs
+
+crates/waters/src/lib.rs:
+crates/waters/src/case_study.rs:
+crates/waters/src/gen.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/waters2019-96196ef8ea25e70a.d: crates/waters/src/lib.rs crates/waters/src/case_study.rs crates/waters/src/gen.rs
+
+/root/repo/target/release/deps/libwaters2019-96196ef8ea25e70a.rlib: crates/waters/src/lib.rs crates/waters/src/case_study.rs crates/waters/src/gen.rs
+
+/root/repo/target/release/deps/libwaters2019-96196ef8ea25e70a.rmeta: crates/waters/src/lib.rs crates/waters/src/case_study.rs crates/waters/src/gen.rs
+
+crates/waters/src/lib.rs:
+crates/waters/src/case_study.rs:
+crates/waters/src/gen.rs:

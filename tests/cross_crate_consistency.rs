@@ -76,5 +76,8 @@ fn heuristic_solutions_always_conform_on_random_workloads() {
             checked += 1;
         }
     }
-    assert!(checked >= 10, "too few feasible random workloads ({checked})");
+    assert!(
+        checked >= 10,
+        "too few feasible random workloads ({checked})"
+    );
 }

@@ -19,8 +19,18 @@ fn tau2_ready_much_earlier_than_giotto() {
     let t4 = b.task("tau4").period_ms(10).core_index(1).add().unwrap();
     let t6 = b.task("tau6").period_ms(10).core_index(1).add().unwrap();
     b.label("l1").size(256).writer(t1).reader(t2).add().unwrap();
-    b.label("l2").size(48 * 1024).writer(t3).reader(t4).add().unwrap();
-    b.label("l3").size(48 * 1024).writer(t5).reader(t6).add().unwrap();
+    b.label("l2")
+        .size(48 * 1024)
+        .writer(t3)
+        .reader(t4)
+        .add()
+        .unwrap();
+    b.label("l3")
+        .size(48 * 1024)
+        .writer(t5)
+        .reader(t6)
+        .add()
+        .unwrap();
     let system = b.build().unwrap();
 
     let config = OptConfig {
@@ -36,7 +46,12 @@ fn tau2_ready_much_earlier_than_giotto() {
         &SimConfig::for_approach(Approach::ProposedDma),
     )
     .unwrap();
-    let giotto = simulate(&system, None, &SimConfig::for_approach(Approach::GiottoDmaA)).unwrap();
+    let giotto = simulate(
+        &system,
+        None,
+        &SimConfig::for_approach(Approach::GiottoDmaA),
+    )
+    .unwrap();
 
     // τ2 must be at least 3× faster to data than under Giotto (in the
     // paper the improvement for such tasks reaches ~98 %).

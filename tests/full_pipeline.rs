@@ -45,7 +45,12 @@ fn waters_pipeline_alpha30() {
     .unwrap();
     assert!(proposed.is_clean(), "proposed protocol must be clean");
     let cpu = simulate(&system, None, &SimConfig::for_approach(Approach::GiottoCpu)).unwrap();
-    let dma_a = simulate(&system, None, &SimConfig::for_approach(Approach::GiottoDmaA)).unwrap();
+    let dma_a = simulate(
+        &system,
+        None,
+        &SimConfig::for_approach(Approach::GiottoDmaA),
+    )
+    .unwrap();
     let dma_b = simulate(
         &system,
         Some(&solution.schedule),
