@@ -4,16 +4,84 @@
 //! Table I's wall-clock *cells* come from the `repro` binary (they include
 //! budget-bound searches and are not statistically repeatable); this bench
 //! times the deterministic stages: constructive heuristic, local-search
-//! reordering, MILP formulation build, and the warm-started feasibility
-//! solve (which terminates at the first incumbent).
+//! reordering, MILP formulation build, the warm-started feasibility solve
+//! (which terminates at the first incumbent), and a fixed-node-budget
+//! OBJ-DEL search at 1 vs 4 worker threads — the same deterministic
+//! trajectory at both counts, so any wall-clock difference is pure
+//! node-evaluation parallelism (requires a multi-core host to show a win).
 
 use std::time::Duration;
 
+use letdma::model::SystemBuilder;
 use letdma::opt::{
-    formulation_lp, heuristic, heuristic_solution, improve_transfer_order, optimize, OptConfig,
+    formulation_lp, heuristic, heuristic_solution, Objective, OptConfig, Optimizer, Reorder,
 };
 use letdma_bench::harness::Harness;
 use letdma_bench::waters_with_alpha;
+
+/// The paper's Fig. 1 inset: small enough that one LP relaxation solves in
+/// milliseconds, hard enough (under OBJ-DEL) that the branch-and-bound
+/// explores hundreds of nodes — the regime where the round-parallel node
+/// evaluator has work to distribute.
+fn fig1_system() -> letdma::model::System {
+    let mut b = SystemBuilder::new(2);
+    let t1 = b
+        .task("tau1")
+        .period_ms(5)
+        .core_index(0)
+        .wcet_us(200)
+        .add()
+        .unwrap();
+    let t3 = b
+        .task("tau3")
+        .period_ms(10)
+        .core_index(0)
+        .wcet_us(500)
+        .add()
+        .unwrap();
+    let t5 = b
+        .task("tau5")
+        .period_ms(10)
+        .core_index(0)
+        .wcet_us(500)
+        .add()
+        .unwrap();
+    let t2 = b
+        .task("tau2")
+        .period_ms(5)
+        .core_index(1)
+        .wcet_us(300)
+        .add()
+        .unwrap();
+    let t4 = b
+        .task("tau4")
+        .period_ms(10)
+        .core_index(1)
+        .wcet_us(800)
+        .add()
+        .unwrap();
+    let t6 = b
+        .task("tau6")
+        .period_ms(10)
+        .core_index(1)
+        .wcet_us(800)
+        .add()
+        .unwrap();
+    b.label("l1").size(256).writer(t1).reader(t2).add().unwrap();
+    b.label("l2")
+        .size(48 * 1024)
+        .writer(t3)
+        .reader(t4)
+        .add()
+        .unwrap();
+    b.label("l3")
+        .size(48 * 1024)
+        .writer(t5)
+        .reader(t6)
+        .add()
+        .unwrap();
+    b.build().unwrap()
+}
 
 fn main() {
     let mut h = Harness::from_args();
@@ -25,7 +93,7 @@ fn main() {
 
     let constructed = heuristic::construct(&system, false).expect("has comms");
     h.bench("table1/local_search_reorder", || {
-        improve_transfer_order(&system, &constructed.schedule)
+        Reorder::new(&system, &constructed.schedule).run()
     });
 
     h.bench("table1/formulation_build/build_and_render", || {
@@ -33,16 +101,41 @@ fn main() {
     });
 
     h.bench("table1/no_obj_warm_solve/optimize", || {
-        optimize(
-            &system,
-            &OptConfig {
-                time_limit: Some(Duration::from_secs(30)),
-                ..OptConfig::default()
-            },
-        )
-        .expect("feasible")
-        .num_transfers()
+        Optimizer::new(&system)
+            .time_limit(Duration::from_secs(30))
+            .run()
+            .expect("feasible")
+            .num_transfers()
     });
+
+    // A fixed node budget with NO time limit: the run does the same
+    // deterministic 256 nodes of work at every thread count (the
+    // parallel_determinism and parallel_batch suites pin the trajectories
+    // byte-identical), so the wall-clock ratio between these two rows is a
+    // pure measurement of node-evaluation parallelism. On a single-core
+    // host expect parity (plus a few percent of coordination overhead); on
+    // ≥4 cores the threads=4 row should be measurably faster. The Fig. 1
+    // system is used rather than full WATERS because WATERS LP relaxations
+    // take tens of seconds each, which would make a fixed-node bench run
+    // for hours.
+    let small = fig1_system();
+    for threads in [1usize, 4] {
+        let config = OptConfig::new()
+            .with_objective(Objective::MinDelayRatio)
+            .without_time_limit()
+            .with_node_limit(256)
+            .with_threads(threads);
+        h.bench(
+            &format!("table1/obj_del_fixed_nodes/threads={threads}"),
+            || {
+                Optimizer::new(&small)
+                    .config(config.clone())
+                    .run()
+                    .expect("warm start keeps it feasible")
+                    .num_transfers()
+            },
+        );
+    }
 
     h.bench("table1/heuristic_solution_validated", || {
         heuristic_solution(&system, false).is_ok()

@@ -3,26 +3,32 @@
 //! ```text
 //! cargo run --release -p letdma-bench --bin repro -- all
 //! cargo run --release -p letdma-bench --bin repro -- fig1
-//! cargo run --release -p letdma-bench --bin repro -- fig2 --budget 60
+//! cargo run --release -p letdma-bench --bin repro -- fig2 --budget 60 --threads 4
 //! cargo run --release -p letdma-bench --bin repro -- table1 --budget 120 --stats
 //! cargo run --release -p letdma-bench --bin repro -- alpha-sweep
 //! ```
 //!
 //! `--budget <seconds>` bounds each MILP solve (default 30 s; the paper
-//! used a 1 h CPLEX timeout on a 40-core Xeon). `--stats` appends the
-//! solver statistics accumulated across every `optimize` call of the
-//! command: per-phase wall clock, simplex/branch-and-bound counters, node
-//! outcome breakdown and the incumbent timeline.
+//! used a 1 h CPLEX timeout on a 40-core Xeon). `--threads <n>` sets the
+//! worker-thread count (default: `LETDMA_THREADS`, else sequential) —
+//! scenario-level fan-out for the multi-scenario commands, MILP node-level
+//! parallelism for `fig1`; results are bit-identical at any thread count.
+//! `--stats` appends the solver statistics accumulated across every solve
+//! of the command: the deterministic aggregate (per-phase wall clock,
+//! simplex/branch-and-bound counters, node outcome breakdown, incumbent
+//! timeline), the per-scenario shards and the timing-dependent per-worker
+//! loads.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
-use letdma::core::SolverStats;
-use letdma_bench::{alpha_sweep, fig1, fig2, table1};
+use letdma::core::Counter;
+use letdma_bench::{alpha_sweep, fig2, table1, Session};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut budget = Duration::from_secs(30);
+    let mut threads: Option<usize> = None;
     let mut stats = false;
     let mut command: Option<String> = None;
     let mut iter = args.iter();
@@ -41,6 +47,19 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--threads" => {
+                let Some(value) = iter.next() else {
+                    eprintln!("--threads needs a worker count");
+                    return ExitCode::FAILURE;
+                };
+                match value.parse::<usize>() {
+                    Ok(n) if n >= 1 => threads = Some(n),
+                    _ => {
+                        eprintln!("invalid thread count `{value}`");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--stats" => stats = true,
             other if command.is_none() => command = Some(other.to_owned()),
             other => {
@@ -51,33 +70,24 @@ fn main() -> ExitCode {
     }
     let command = command.unwrap_or_else(|| "all".to_owned());
 
-    let mut collector = SolverStats::default();
+    let mut session = Session::new().budget(budget);
+    if let Some(n) = threads {
+        session = session.threads(n);
+    }
     match command.as_str() {
-        "fig1" => print!("{}", fig1::run_with(budget, &mut collector)),
-        "fig2" => print!("{}", fig2::render(&fig2::run_with(budget, &mut collector))),
-        "table1" => print!(
-            "{}",
-            table1::render(&table1::run_with(budget, &mut collector))
-        ),
-        "alpha-sweep" => print!(
-            "{}",
-            alpha_sweep::render(&alpha_sweep::run_with(budget, &mut collector))
-        ),
+        "fig1" => print!("{}", session.fig1()),
+        "fig2" => print!("{}", fig2::render(&session.fig2())),
+        "table1" => print!("{}", table1::render(&session.table1())),
+        "alpha-sweep" => print!("{}", alpha_sweep::render(&session.alpha_sweep())),
         "all" => {
             println!("== Fig. 1 =================================================");
-            print!("{}", fig1::run_with(budget, &mut collector));
+            print!("{}", session.fig1());
             println!("\n== Fig. 2 =================================================");
-            print!("{}", fig2::render(&fig2::run_with(budget, &mut collector)));
+            print!("{}", fig2::render(&session.fig2()));
             println!("\n== Table I ================================================");
-            print!(
-                "{}",
-                table1::render(&table1::run_with(budget, &mut collector))
-            );
+            print!("{}", table1::render(&session.table1()));
             println!("\n== α sweep ================================================");
-            print!(
-                "{}",
-                alpha_sweep::render(&alpha_sweep::run_with(budget, &mut collector))
-            );
+            print!("{}", alpha_sweep::render(&session.alpha_sweep()));
         }
         other => {
             eprintln!("unknown command `{other}` (use fig1|fig2|table1|alpha-sweep|all)");
@@ -85,8 +95,37 @@ fn main() -> ExitCode {
         }
     }
     if stats {
-        println!("\n== Solver statistics ======================================");
-        print!("{}", collector.render());
+        println!(
+            "\n== Solver statistics — aggregate (deterministic: identical at any thread count)"
+        );
+        print!("{}", session.aggregate().render());
+        if session.shards().len() > 1 {
+            println!("\n-- per-scenario shards (deterministic counters) --");
+            for (name, shard) in session.shards() {
+                let count = |c: Counter| {
+                    shard
+                        .counters()
+                        .iter()
+                        .find(|(k, _)| *k == c)
+                        .map_or(0, |(_, v)| *v)
+                };
+                println!(
+                    "{name:<28} {:>8} nodes  {:>10} simplex iterations  {:>4} incumbents",
+                    count(Counter::Nodes),
+                    count(Counter::SimplexIterations),
+                    count(Counter::Incumbents),
+                );
+            }
+        }
+        if !session.worker_loads().is_empty() {
+            println!("\n-- per-worker loads (timing-dependent: which worker got which node) --");
+            for w in session.worker_loads() {
+                println!(
+                    "worker {:<3} {:>8} jobs ({} skipped)  {:>10} LP iterations  busy {:.2?}",
+                    w.worker, w.jobs, w.skipped, w.lp_iterations, w.busy
+                );
+            }
+        }
     }
     ExitCode::SUCCESS
 }

@@ -3,15 +3,23 @@
 //! Shared harness behind the benchmark targets and the `repro` binary that
 //! regenerates every table and figure of the paper's evaluation (§VII):
 //!
-//! * **Fig. 1** — the worked scheduling example ([`fig1::run`]);
+//! * **Fig. 1** — the worked scheduling example ([`Session::fig1`]);
 //! * **Fig. 2** — per-task latency ratios of the proposed approach against
 //!   Giotto-CPU / Giotto-DMA-A / Giotto-DMA-B on the WATERS 2019 case
 //!   study, for α ∈ {0.2, 0.4} × {NO-OBJ, OBJ-DMAT, OBJ-DEL}
-//!   ([`fig2::run`]);
+//!   ([`Session::fig2`]);
 //! * **Table I** — MILP running times and DMA-transfer counts
-//!   ([`table1::run`]);
+//!   ([`Session::table1`]);
 //! * the **α sensitivity sweep** described in the §VII text
-//!   ([`alpha_sweep::run`]).
+//!   ([`Session::alpha_sweep`]).
+//!
+//! All experiments run through one [`Session`], which owns the solve
+//! budget, the thread count and the per-scenario [`SolverStats`] shards
+//! (the `repro --stats` view). Multi-scenario experiments (Fig. 2,
+//! Table I, the α sweep) fan scenarios out over a
+//! [`Batch`] with each inner solve pinned to one
+//! thread; the single-solve Fig. 1 instead parallelizes inside the MILP
+//! search. Either way, results are bit-identical at any thread count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,10 +29,15 @@ pub mod harness;
 use std::time::Duration;
 
 use letdma::core::instrument::{Instrument, NoopInstrument};
+use letdma::core::SolverStats;
 
 use letdma::analysis::{apply_gammas, derive_gammas, let_task_segments};
+use letdma::milp::WorkerLoad;
 use letdma::model::System;
-use letdma::opt::{heuristic_solution, LetDmaSolution, Objective, OptConfig};
+use letdma::opt::{
+    heuristic_solution, Batch, BatchOutcome, LetDmaSolution, Objective, OptConfig, Optimizer,
+    Provenance,
+};
 use letdma::sim::{simulate, Approach, SimConfig, SimReport};
 use letdma::waters::{waters_system, WatersTasks};
 
@@ -48,25 +61,37 @@ pub fn waters_with_alpha(alpha_pct: u32) -> (System, WatersTasks) {
     (system, tasks)
 }
 
+fn optimize_waters_impl(
+    system: &System,
+    objective: Objective,
+    budget: Duration,
+    instrument: &mut dyn Instrument,
+) -> LetDmaSolution {
+    Optimizer::new(system)
+        .objective(objective)
+        .time_limit(budget)
+        .instrument(instrument)
+        .run()
+        .expect("feasible within budget")
+}
+
 /// Optimizes the WATERS system under one objective with the given budget.
 ///
 /// # Panics
 ///
-/// Panics when no feasible solution exists within the budget (the harness
-/// always enables the heuristic warm start, so this only happens for truly
-/// infeasible configurations).
+/// Panics when no feasible solution exists within the budget.
+#[deprecated(note = "use `letdma::opt::Optimizer` directly or run through a `Session`")]
 #[must_use]
 pub fn optimize_waters(system: &System, objective: Objective, budget: Duration) -> LetDmaSolution {
-    optimize_waters_with(system, objective, budget, &mut NoopInstrument)
+    optimize_waters_impl(system, objective, budget, &mut NoopInstrument)
 }
 
-/// Like [`optimize_waters`], reporting solver progress through `instrument`
-/// (collect with [`letdma::core::SolverStats`] for the `repro --stats`
-/// view).
+/// Like [`optimize_waters`], reporting solver progress through `instrument`.
 ///
 /// # Panics
 ///
 /// Same as [`optimize_waters`].
+#[deprecated(note = "use `letdma::opt::Optimizer` directly or run through a `Session`")]
 #[must_use]
 pub fn optimize_waters_with(
     system: &System,
@@ -74,12 +99,7 @@ pub fn optimize_waters_with(
     budget: Duration,
     instrument: &mut dyn Instrument,
 ) -> LetDmaSolution {
-    let config = OptConfig {
-        objective,
-        time_limit: Some(budget),
-        ..OptConfig::default()
-    };
-    letdma::opt::optimize_with(system, &config, instrument).expect("feasible within budget")
+    optimize_waters_impl(system, objective, budget, instrument)
 }
 
 /// Simulates all four §VII approaches; returns reports keyed like Fig. 2.
@@ -114,30 +134,335 @@ pub struct FourWay {
     pub giotto_dma_b: SimReport,
 }
 
-/// Fig. 1 regeneration.
-pub mod fig1 {
-    use super::{simulate, Approach, Instrument, NoopInstrument, SimConfig};
-    use letdma::model::SystemBuilder;
-    use letdma::opt::{optimize_with, Objective, OptConfig};
-    use std::time::Duration;
+/// A benchmark session: one budget/thread configuration plus the solver
+/// statistics of every experiment run through it.
+///
+/// Runners borrow the session mutably and append one named
+/// [`SolverStats`] shard per scenario, so a `repro all` run accumulates
+/// the statistics of every figure and table in a single place:
+///
+/// ```no_run
+/// use std::time::Duration;
+/// use letdma_bench::Session;
+///
+/// let mut session = Session::new()
+///     .budget(Duration::from_secs(30))
+///     .threads(4);
+/// println!("{}", session.fig1());
+/// println!("{}", letdma_bench::table1::render(&session.table1()));
+/// print!("{}", session.aggregate().render());
+/// ```
+#[derive(Debug)]
+#[must_use]
+pub struct Session {
+    budget: Duration,
+    threads: Option<usize>,
+    shards: Vec<(String, SolverStats)>,
+    workers: Vec<WorkerLoad>,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Self {
+            budget: Duration::from_secs(30),
+            threads: None,
+            shards: Vec::new(),
+            workers: Vec::new(),
+        }
+    }
+}
+
+impl Session {
+    /// A session with a 30 s budget and the thread count taken from
+    /// `LETDMA_THREADS` (default: sequential).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wall-clock budget of each MILP solve (the paper used a 1 h CPLEX
+    /// timeout on a 40-core Xeon).
+    pub fn budget(mut self, budget: Duration) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Explicit worker-thread count: scenario-level fan-out for the
+    /// multi-scenario experiments, MILP node-level parallelism for Fig. 1.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// The per-scenario instrument shards collected so far, in run order.
+    #[must_use]
+    pub fn shards(&self) -> &[(String, SolverStats)] {
+        &self.shards
+    }
+
+    /// Per-worker load totals accumulated over every MILP solve. These are
+    /// timing-dependent (which worker grabbed which node) and are *not*
+    /// part of the deterministic trajectory.
+    #[must_use]
+    pub fn worker_loads(&self) -> &[WorkerLoad] {
+        &self.workers
+    }
+
+    /// All shards merged into one collector (counters and phase durations
+    /// sum across scenarios — total work, not wall clock).
+    #[must_use]
+    pub fn aggregate(&self) -> SolverStats {
+        let mut total = SolverStats::new();
+        for (_, shard) in &self.shards {
+            total.absorb(shard);
+        }
+        total
+    }
+
+    /// Replays every collected shard, in run order, into `instrument`.
+    pub fn replay_into(&self, instrument: &mut dyn Instrument) {
+        for (_, shard) in &self.shards {
+            shard.replay(instrument);
+        }
+    }
 
     /// Runs the Fig. 1 example; returns the rendered report.
+    ///
+    /// This is the one single-solve experiment, so the session's thread
+    /// count goes to the MILP node evaluator itself.
     ///
     /// # Panics
     ///
     /// Panics if the fixed example unexpectedly fails to solve.
-    #[must_use]
-    pub fn run(budget: Duration) -> String {
-        run_with(budget, &mut NoopInstrument)
+    pub fn fig1(&mut self) -> String {
+        let system = fig1::example_system();
+        let mut config = OptConfig::new()
+            .with_objective(Objective::MinDelayRatio)
+            .with_time_limit(self.budget);
+        if let Some(n) = self.threads {
+            config = config.with_threads(n);
+        }
+        let mut stats = SolverStats::new();
+        let solution = Optimizer::new(&system)
+            .config(config)
+            .instrument(&mut stats)
+            .run()
+            .expect("Fig. 1 example solves");
+        self.absorb_workers(&solution);
+        self.shards.push(("fig1".to_owned(), stats));
+        fig1::render(&system, &solution)
     }
 
-    /// [`run`], reporting solver progress through `instrument`.
+    /// Produces the six Fig. 2 panels (α ∈ {20, 40} × three objectives),
+    /// solving the scenarios concurrently.
     ///
     /// # Panics
     ///
-    /// Same as [`run`].
-    #[must_use]
-    pub fn run_with(budget: Duration, instrument: &mut dyn Instrument) -> String {
+    /// Panics if the case study cannot be optimized within the budget.
+    pub fn fig2(&mut self) -> Vec<fig2::Panel> {
+        let mut metas = Vec::new();
+        let mut scenarios = Vec::new();
+        for alpha_pct in [20u32, 40] {
+            for objective in [
+                Objective::None,
+                Objective::MinTransfers,
+                Objective::MinDelayRatio,
+            ] {
+                let (system, tasks) = waters_with_alpha(alpha_pct);
+                let config = self.scenario_config(objective);
+                metas.push((alpha_pct, objective, system.clone(), tasks));
+                scenarios.push((
+                    format!("fig2/α=0.{}/{objective}", alpha_pct / 10),
+                    system,
+                    config,
+                ));
+            }
+        }
+        let outcomes = self.run_scenarios(scenarios);
+        metas
+            .into_iter()
+            .zip(outcomes)
+            .map(|((alpha_pct, objective, system, tasks), outcome)| {
+                let solution = outcome.result.expect("feasible within budget");
+                let four = simulate_all(&system, &solution);
+                let rows = tasks
+                    .figure2_order()
+                    .iter()
+                    .map(|&task| {
+                        let p = four.proposed.latency(task).as_ns() as f64;
+                        let r = |b: u64| if b == 0 { 1.0 } else { p / b as f64 };
+                        (
+                            system.task(task).name().to_owned(),
+                            r(four.giotto_cpu.latency(task).as_ns()),
+                            r(four.giotto_dma_a.latency(task).as_ns()),
+                            r(four.giotto_dma_b.latency(task).as_ns()),
+                        )
+                    })
+                    .collect();
+                fig2::Panel {
+                    alpha_pct,
+                    objective,
+                    rows,
+                    transfers: solution.num_transfers(),
+                }
+            })
+            .collect()
+    }
+
+    /// Runs the six cells of Table I ({NO-OBJ, OBJ-DMAT, OBJ-DEL} × α ∈
+    /// {0.2, 0.4}), solving the cells concurrently. Each cell's *running
+    /// time* measures the full pipeline (formulation, heuristic, search,
+    /// validation) on its worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a cell is infeasible (the paper's α values are
+    /// feasible).
+    pub fn table1(&mut self) -> Vec<table1::Cell> {
+        let mut metas = Vec::new();
+        let mut scenarios = Vec::new();
+        for objective in [
+            Objective::None,
+            Objective::MinTransfers,
+            Objective::MinDelayRatio,
+        ] {
+            for alpha_pct in [20u32, 40] {
+                let (system, _) = waters_with_alpha(alpha_pct);
+                metas.push((alpha_pct, objective));
+                scenarios.push((
+                    format!("table1/α=0.{}/{objective}", alpha_pct / 10),
+                    system,
+                    self.scenario_config(objective),
+                ));
+            }
+        }
+        let outcomes = self.run_scenarios(scenarios);
+        metas
+            .into_iter()
+            .zip(outcomes)
+            .map(|((alpha_pct, objective), outcome)| {
+                let running_time = outcome.elapsed;
+                let solution = outcome.result.expect("feasible");
+                let timed_out = match &solution.provenance {
+                    Provenance::Heuristic => true,
+                    Provenance::Milp { status, .. } => {
+                        *status == letdma::milp::SolveStatus::Feasible
+                    }
+                };
+                table1::Cell {
+                    alpha_pct,
+                    objective,
+                    running_time,
+                    transfers: solution.num_transfers(),
+                    timed_out,
+                }
+            })
+            .collect()
+    }
+
+    /// Sweeps α ∈ {10, 20, 30, 40, 50} as in §VII's text, solving the
+    /// schedulable points concurrently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the base case study is unschedulable (never happens).
+    pub fn alpha_sweep(&mut self) -> Vec<alpha_sweep::Point> {
+        let (base, _) = waters_system().expect("case study builds");
+        let warm = heuristic_solution(&base, false).expect("heuristic feasible");
+        let segments = let_task_segments(&base, &warm.schedule);
+        let mut points = Vec::new();
+        let mut scenarios = Vec::new();
+        let mut pending = Vec::new();
+        for alpha_pct in [10u32, 20, 30, 40, 50] {
+            let (mut system, _) = waters_system().expect("builds");
+            let sens = derive_gammas(&system, alpha_pct, &segments).expect("base schedulable");
+            if !sens.schedulable {
+                points.push(alpha_sweep::Point {
+                    alpha_pct,
+                    schedulable: false,
+                    solvable: false,
+                });
+                continue;
+            }
+            apply_gammas(&mut system, &sens);
+            pending.push(points.len());
+            points.push(alpha_sweep::Point {
+                alpha_pct,
+                schedulable: true,
+                solvable: false,
+            });
+            scenarios.push((
+                format!("alpha-sweep/α=0.{}", alpha_pct / 10),
+                system,
+                self.scenario_config(Objective::None),
+            ));
+        }
+        let outcomes = self.run_scenarios(scenarios);
+        for (slot, outcome) in pending.into_iter().zip(outcomes) {
+            points[slot].solvable = outcome.result.is_ok();
+        }
+        points
+    }
+
+    /// Config for one scenario of a multi-scenario experiment: the
+    /// parallelism lives at the scenario level, so each inner solve is
+    /// pinned to one thread (a `LETDMA_THREADS` override must not
+    /// oversubscribe; results are identical either way).
+    fn scenario_config(&self, objective: Objective) -> OptConfig {
+        OptConfig::new()
+            .with_objective(objective)
+            .with_time_limit(self.budget)
+            .with_threads(1)
+    }
+
+    fn run_scenarios(&mut self, scenarios: Vec<(String, System, OptConfig)>) -> Vec<BatchOutcome> {
+        let mut batch = Batch::new();
+        if let Some(n) = self.threads {
+            batch = batch.threads(n);
+        }
+        let names: Vec<String> = scenarios.iter().map(|(n, _, _)| n.clone()).collect();
+        for (_, system, config) in scenarios {
+            batch = batch.scenario(system, config);
+        }
+        let outcomes = batch.run();
+        for (name, outcome) in names.into_iter().zip(&outcomes) {
+            if let Ok(solution) = &outcome.result {
+                self.absorb_workers(solution);
+            }
+            self.shards.push((name, outcome.stats.clone()));
+        }
+        outcomes
+    }
+
+    fn absorb_workers(&mut self, solution: &LetDmaSolution) {
+        let Provenance::Milp { stats, .. } = &solution.provenance else {
+            return;
+        };
+        for w in &stats.workers {
+            while self.workers.len() <= w.worker {
+                self.workers.push(WorkerLoad {
+                    worker: self.workers.len(),
+                    ..Default::default()
+                });
+            }
+            let mine = &mut self.workers[w.worker];
+            mine.jobs += w.jobs;
+            mine.skipped += w.skipped;
+            mine.lp_iterations += w.lp_iterations;
+            mine.pivots += w.pivots;
+            mine.bound_flips += w.bound_flips;
+            mine.refactorizations += w.refactorizations;
+            mine.busy += w.busy;
+        }
+    }
+}
+
+/// Fig. 1 regeneration.
+pub mod fig1 {
+    use super::{simulate, Approach, Duration, Instrument, LetDmaSolution, SimConfig, System};
+    use letdma::model::SystemBuilder;
+
+    /// The fixed two-core example of Fig. 1.
+    pub(crate) fn example_system() -> System {
         let mut b = SystemBuilder::new(2);
         let t1 = b.task("tau1").period_ms(5).core_index(0).add().unwrap();
         let t3 = b.task("tau3").period_ms(10).core_index(0).add().unwrap();
@@ -158,29 +483,20 @@ pub mod fig1 {
             .reader(t6)
             .add()
             .unwrap();
-        let system = b.build().unwrap();
-        let solution = optimize_with(
-            &system,
-            &OptConfig {
-                objective: Objective::MinDelayRatio,
-                time_limit: Some(budget),
-                ..OptConfig::default()
-            },
-            instrument,
-        )
-        .unwrap();
+        b.build().unwrap()
+    }
+
+    /// Simulates the solved example against the Giotto ordering and renders
+    /// the comparison table.
+    pub(crate) fn render(system: &System, solution: &LetDmaSolution) -> String {
         let proposed = simulate(
-            &system,
+            system,
             Some(&solution.schedule),
             &SimConfig::for_approach(Approach::ProposedDma),
         )
         .unwrap();
-        let giotto = simulate(
-            &system,
-            None,
-            &SimConfig::for_approach(Approach::GiottoDmaA),
-        )
-        .unwrap();
+        let giotto =
+            simulate(system, None, &SimConfig::for_approach(Approach::GiottoDmaA)).unwrap();
         let mut out = String::new();
         out.push_str("Fig. 1 — proposed reordering vs Giotto ordering\n");
         out.push_str("task   proposed λ      Giotto λ        ratio\n");
@@ -198,15 +514,36 @@ pub mod fig1 {
         }
         out
     }
+
+    /// Runs the Fig. 1 example; returns the rendered report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fixed example unexpectedly fails to solve.
+    #[deprecated(note = "use `Session::new().budget(b).fig1()` instead")]
+    #[must_use]
+    pub fn run(budget: Duration) -> String {
+        crate::Session::new().budget(budget).fig1()
+    }
+
+    /// [`run`], reporting solver progress through `instrument`.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`run`].
+    #[deprecated(note = "use `Session::new().budget(b).fig1()` and `Session::replay_into` instead")]
+    #[must_use]
+    pub fn run_with(budget: Duration, instrument: &mut dyn Instrument) -> String {
+        let mut session = crate::Session::new().budget(budget);
+        let out = session.fig1();
+        session.replay_into(instrument);
+        out
+    }
 }
 
 /// Fig. 2 regeneration.
 pub mod fig2 {
-    use super::{
-        optimize_waters_with, simulate_all, waters_with_alpha, Instrument, NoopInstrument,
-        Objective,
-    };
-    use std::time::Duration;
+    use super::{Duration, Instrument, Objective};
 
     /// One panel of Fig. 2: per-task ratios against the three baselines.
     #[derive(Debug, Clone)]
@@ -226,9 +563,10 @@ pub mod fig2 {
     /// # Panics
     ///
     /// Panics if the case study cannot be optimized within the budget.
+    #[deprecated(note = "use `Session::new().budget(b).fig2()` instead")]
     #[must_use]
     pub fn run(budget: Duration) -> Vec<Panel> {
-        run_with(budget, &mut NoopInstrument)
+        crate::Session::new().budget(budget).fig2()
     }
 
     /// [`run`], reporting solver progress through `instrument`.
@@ -236,40 +574,12 @@ pub mod fig2 {
     /// # Panics
     ///
     /// Same as [`run`].
+    #[deprecated(note = "use `Session::new().budget(b).fig2()` and `Session::replay_into` instead")]
     #[must_use]
     pub fn run_with(budget: Duration, instrument: &mut dyn Instrument) -> Vec<Panel> {
-        let mut panels = Vec::new();
-        for alpha_pct in [20u32, 40] {
-            for objective in [
-                Objective::None,
-                Objective::MinTransfers,
-                Objective::MinDelayRatio,
-            ] {
-                let (system, tasks) = waters_with_alpha(alpha_pct);
-                let solution = optimize_waters_with(&system, objective, budget, instrument);
-                let four = simulate_all(&system, &solution);
-                let rows = tasks
-                    .figure2_order()
-                    .iter()
-                    .map(|&task| {
-                        let p = four.proposed.latency(task).as_ns() as f64;
-                        let r = |b: u64| if b == 0 { 1.0 } else { p / b as f64 };
-                        (
-                            system.task(task).name().to_owned(),
-                            r(four.giotto_cpu.latency(task).as_ns()),
-                            r(four.giotto_dma_a.latency(task).as_ns()),
-                            r(four.giotto_dma_b.latency(task).as_ns()),
-                        )
-                    })
-                    .collect();
-                panels.push(Panel {
-                    alpha_pct,
-                    objective,
-                    rows,
-                    transfers: solution.num_transfers(),
-                });
-            }
-        }
+        let mut session = crate::Session::new().budget(budget);
+        let panels = session.fig2();
+        session.replay_into(instrument);
         panels
     }
 
@@ -295,9 +605,7 @@ pub mod fig2 {
 
 /// Table I regeneration.
 pub mod table1 {
-    use super::{waters_with_alpha, Duration, Instrument, NoopInstrument, Objective, OptConfig};
-    use letdma::opt::{optimize_with, Provenance};
-    use std::time::Instant;
+    use super::{Duration, Instrument, Objective};
 
     /// One cell of Table I.
     #[derive(Debug, Clone)]
@@ -315,20 +623,16 @@ pub mod table1 {
         pub timed_out: bool,
     }
 
-    /// Runs the six cells of Table I: {NO-OBJ, OBJ-DMAT, OBJ-DEL} × α ∈
-    /// {0.2, 0.4}. `budget` plays the role of the paper's 1 h CPLEX
-    /// timeout.
-    ///
-    /// The warm start is enabled exactly as in our Fig. 2 pipeline; the
-    /// *running time* measures the full `optimize` call (formulation,
-    /// heuristic, search, validation).
+    /// Runs the six cells of Table I. `budget` plays the role of the
+    /// paper's 1 h CPLEX timeout.
     ///
     /// # Panics
     ///
     /// Panics when a cell is infeasible (the paper's α values are feasible).
+    #[deprecated(note = "use `Session::new().budget(b).table1()` instead")]
     #[must_use]
     pub fn run(budget: Duration) -> Vec<Cell> {
-        run_with(budget, &mut NoopInstrument)
+        crate::Session::new().budget(budget).table1()
     }
 
     /// [`run`], reporting solver progress through `instrument` — this is
@@ -337,43 +641,14 @@ pub mod table1 {
     /// # Panics
     ///
     /// Same as [`run`].
+    #[deprecated(
+        note = "use `Session::new().budget(b).table1()` and `Session::replay_into` instead"
+    )]
     #[must_use]
     pub fn run_with(budget: Duration, instrument: &mut dyn Instrument) -> Vec<Cell> {
-        let mut cells = Vec::new();
-        for objective in [
-            Objective::None,
-            Objective::MinTransfers,
-            Objective::MinDelayRatio,
-        ] {
-            for alpha_pct in [20u32, 40] {
-                let (system, _) = waters_with_alpha(alpha_pct);
-                let t0 = Instant::now();
-                let solution = optimize_with(
-                    &system,
-                    &OptConfig {
-                        objective,
-                        time_limit: Some(budget),
-                        ..OptConfig::default()
-                    },
-                    instrument,
-                )
-                .expect("feasible");
-                let running_time = t0.elapsed();
-                let timed_out = match &solution.provenance {
-                    Provenance::Heuristic => true,
-                    Provenance::Milp { status, .. } => {
-                        *status == letdma::milp::SolveStatus::Feasible
-                    }
-                };
-                cells.push(Cell {
-                    alpha_pct,
-                    objective,
-                    running_time,
-                    transfers: solution.num_transfers(),
-                    timed_out,
-                });
-            }
-        }
+        let mut session = crate::Session::new().budget(budget);
+        let cells = session.table1();
+        session.replay_into(instrument);
         cells
     }
 
@@ -420,11 +695,7 @@ pub mod table1 {
 
 /// The α feasibility sweep described in §VII's text.
 pub mod alpha_sweep {
-    use super::{
-        apply_gammas, derive_gammas, heuristic_solution, let_task_segments, waters_system,
-        Duration, Instrument, NoopInstrument, OptConfig,
-    };
-    use letdma::opt::optimize_with;
+    use super::{Duration, Instrument};
 
     /// Outcome per α (percent).
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -442,9 +713,10 @@ pub mod alpha_sweep {
     /// # Panics
     ///
     /// Panics if the base case study is unschedulable (never happens).
+    #[deprecated(note = "use `Session::new().budget(b).alpha_sweep()` instead")]
     #[must_use]
     pub fn run(budget: Duration) -> Vec<Point> {
-        run_with(budget, &mut NoopInstrument)
+        crate::Session::new().budget(budget).alpha_sweep()
     }
 
     /// [`run`], reporting solver progress through `instrument`.
@@ -452,40 +724,15 @@ pub mod alpha_sweep {
     /// # Panics
     ///
     /// Same as [`run`].
+    #[deprecated(
+        note = "use `Session::new().budget(b).alpha_sweep()` and `Session::replay_into` instead"
+    )]
     #[must_use]
     pub fn run_with(budget: Duration, instrument: &mut dyn Instrument) -> Vec<Point> {
-        let (base, _) = waters_system().expect("case study builds");
-        let warm = heuristic_solution(&base, false).expect("heuristic feasible");
-        let segments = let_task_segments(&base, &warm.schedule);
-        [10u32, 20, 30, 40, 50]
-            .into_iter()
-            .map(|alpha_pct| {
-                let (mut system, _) = waters_system().expect("builds");
-                let sens = derive_gammas(&system, alpha_pct, &segments).expect("base schedulable");
-                if !sens.schedulable {
-                    return Point {
-                        alpha_pct,
-                        schedulable: false,
-                        solvable: false,
-                    };
-                }
-                apply_gammas(&mut system, &sens);
-                let solvable = optimize_with(
-                    &system,
-                    &OptConfig {
-                        time_limit: Some(budget),
-                        ..OptConfig::default()
-                    },
-                    instrument,
-                )
-                .is_ok();
-                Point {
-                    alpha_pct,
-                    schedulable: true,
-                    solvable,
-                }
-            })
-            .collect()
+        let mut session = crate::Session::new().budget(budget);
+        let points = session.alpha_sweep();
+        session.replay_into(instrument);
+        points
     }
 
     /// Renders the sweep.

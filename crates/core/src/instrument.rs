@@ -182,13 +182,16 @@ impl SolverStats {
 
     /// Merges another collector into this one (phase totals and counters
     /// add; incumbent timelines concatenate in order).
+    ///
+    /// This is the *sequential* merge: use it when `other` records work
+    /// that happened after this collector's (two solves back to back).
+    /// For work that ran concurrently, use [`absorb_concurrent`]: summing
+    /// wall-clock phases of overlapping workers would overstate elapsed
+    /// time.
+    ///
+    /// [`absorb_concurrent`]: Self::absorb_concurrent
     pub fn absorb(&mut self, other: &SolverStats) {
-        for (&c, &n) in &other.counters {
-            *self.counters.entry(c).or_insert(0) += n;
-        }
-        for (&e, &n) in &other.node_events {
-            *self.node_events.entry(e).or_insert(0) += n;
-        }
+        self.absorb_events(other);
         for &(name, dur, entries) in &other.phase_totals {
             match self.phase_totals.iter_mut().find(|(n, _, _)| *n == name) {
                 Some((_, d, e)) => {
@@ -198,7 +201,73 @@ impl SolverStats {
                 None => self.phase_totals.push((name, dur, entries)),
             }
         }
+    }
+
+    /// Merges a collector recorded *concurrently* with this one (another
+    /// worker's shard, a scenario solved in parallel).
+    ///
+    /// Counters, node events and incumbent timelines still sum and
+    /// concatenate — work is work — but each wall-clock phase takes the
+    /// **maximum** of the two totals instead of their sum: concurrent
+    /// phases overlap, so the larger shard bounds the elapsed time. Entry
+    /// counts still add (they count events, not time).
+    pub fn absorb_concurrent(&mut self, other: &SolverStats) {
+        self.absorb_events(other);
+        for &(name, dur, entries) in &other.phase_totals {
+            match self.phase_totals.iter_mut().find(|(n, _, _)| *n == name) {
+                Some((_, d, e)) => {
+                    *d = (*d).max(dur);
+                    *e += entries;
+                }
+                None => self.phase_totals.push((name, dur, entries)),
+            }
+        }
+    }
+
+    /// Shared part of [`absorb`](Self::absorb) and
+    /// [`absorb_concurrent`](Self::absorb_concurrent): everything except
+    /// the phase-duration policy.
+    fn absorb_events(&mut self, other: &SolverStats) {
+        for (&c, &n) in &other.counters {
+            *self.counters.entry(c).or_insert(0) += n;
+        }
+        for (&e, &n) in &other.node_events {
+            *self.node_events.entry(e).or_insert(0) += n;
+        }
         self.incumbents.extend_from_slice(&other.incumbents);
+    }
+
+    /// Replays everything this collector recorded into another
+    /// [`Instrument`], preserving deterministic order (counters and node
+    /// events in `BTreeMap` order, phases and incumbents in discovery
+    /// order).
+    ///
+    /// This is what makes `SolverStats` a *shard*: a worker thread records
+    /// into its own collector (`SolverStats` is `Send + Sync`, so shards
+    /// move freely across a `thread::scope`), and the coordinator replays
+    /// consumed shards into the user's instrument in a deterministic merge
+    /// order — the user-visible trajectory then never depends on worker
+    /// timing.
+    pub fn replay(&self, into: &mut dyn Instrument) {
+        for (&c, &n) in &self.counters {
+            into.count(c, n);
+        }
+        for (&e, &n) in &self.node_events {
+            for _ in 0..n {
+                into.node_event(e);
+            }
+        }
+        for &(name, dur, entries) in &self.phase_totals {
+            // The first entry carries the accumulated duration; the rest
+            // close with zero so per-phase entry counts are preserved.
+            for i in 0..entries.max(1) {
+                into.phase_started(name);
+                into.phase_finished(name, if i == 0 { dur } else { Duration::ZERO });
+            }
+        }
+        for &r in &self.incumbents {
+            into.incumbent(r);
+        }
     }
 
     /// Renders the collected statistics as an aligned text table (the
@@ -346,6 +415,69 @@ mod tests {
         assert_eq!(a.counter(Counter::Pivots), 5);
         assert_eq!(a.phases()[0], ("lp", Duration::from_millis(3), 2));
         assert_eq!(a.node_events(NodeEvent::Integral), 1);
+    }
+
+    #[test]
+    fn absorb_concurrent_takes_phase_max_and_sums_counts() {
+        let mut a = SolverStats::new();
+        a.count(Counter::Pivots, 2);
+        a.count(Counter::Refactorizations, 1);
+        a.phase_finished("lp", Duration::from_millis(5));
+        let mut b = SolverStats::new();
+        b.count(Counter::Pivots, 3);
+        b.count(Counter::BoundFlips, 4);
+        b.phase_finished("lp", Duration::from_millis(2));
+        b.phase_finished("validate", Duration::from_millis(1));
+        a.absorb_concurrent(&b);
+        // Counters sum across workers...
+        assert_eq!(a.counter(Counter::Pivots), 5);
+        assert_eq!(a.counter(Counter::BoundFlips), 4);
+        assert_eq!(a.counter(Counter::Refactorizations), 1);
+        // ...while overlapping wall-clock phases take the max.
+        assert_eq!(a.phases()[0], ("lp", Duration::from_millis(5), 2));
+        assert_eq!(a.phases()[1], ("validate", Duration::from_millis(1), 1));
+    }
+
+    #[test]
+    fn replay_reproduces_the_collector_exactly() {
+        let mut src = SolverStats::new();
+        src.count(Counter::SimplexIterations, 12);
+        src.count(Counter::Nodes, 3);
+        src.node_event(NodeEvent::Branched);
+        src.node_event(NodeEvent::Branched);
+        src.node_event(NodeEvent::Integral);
+        src.phase_finished("lp", Duration::from_millis(3));
+        src.phase_finished("lp", Duration::from_millis(4));
+        src.incumbent(IncumbentRecord {
+            objective: 2.0,
+            nodes: 1,
+            elapsed: Duration::from_millis(1),
+        });
+        let mut dst = SolverStats::new();
+        src.replay(&mut dst);
+        assert_eq!(src, dst, "replay into an empty collector is a copy");
+        // Replaying again behaves like a second absorb.
+        src.replay(&mut dst);
+        assert_eq!(dst.counter(Counter::SimplexIterations), 24);
+        assert_eq!(dst.phases()[0].2, 4);
+    }
+
+    #[test]
+    fn solver_stats_shards_move_across_threads() {
+        // The shard workflow the parallel solver relies on: collectors are
+        // Send + Sync, recorded on workers, merged on the coordinator.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SolverStats>();
+        let shard = std::thread::spawn(|| {
+            let mut s = SolverStats::new();
+            s.count(Counter::LpSolves, 1);
+            s
+        })
+        .join()
+        .expect("worker shard");
+        let mut total = SolverStats::new();
+        total.absorb_concurrent(&shard);
+        assert_eq!(total.counter(Counter::LpSolves), 1);
     }
 
     #[test]

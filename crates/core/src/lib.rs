@@ -9,14 +9,16 @@
 //! * [`rng`] — a deterministic, seedable, stream-splittable PRNG family
 //!   (SplitMix64 seeding, xoshiro256** generation) used for workload
 //!   generation and randomized testing;
-//! * [`instrument`] — the [`Instrument`](instrument::Instrument) observer
-//!   trait and the [`SolverStats`](instrument::SolverStats) collector that
+//! * [`instrument`] — the [`Instrument`] observer
+//!   trait and the [`SolverStats`] collector that
 //!   the MILP solver and the optimizer report iteration counts, pivot and
 //!   refactorization counters, branch-and-bound node events and wall-clock
 //!   phases through;
 //! * [`cases`] — a shrink-free, seeded test-case harness replacing the
 //!   `proptest` suites: N deterministic cases per property, reproducible
-//!   from the failure message alone.
+//!   from the failure message alone;
+//! * [`parallel`] — worker-pool sizing shared by every layer that fans
+//!   out over `std::thread` (`LETDMA_THREADS`, explicit overrides).
 //!
 //! Everything here is plain safe `std` Rust. Keeping this crate
 //! dependency-free is a hard policy (see DESIGN.md §"Dependency policy");
@@ -29,8 +31,10 @@
 
 pub mod cases;
 pub mod instrument;
+pub mod parallel;
 pub mod rng;
 
 pub use cases::Cases;
 pub use instrument::{Counter, Instrument, NodeEvent, NoopInstrument, SolverStats};
+pub use parallel::resolve_threads;
 pub use rng::{Rng, SplitMix64, Xoshiro256};

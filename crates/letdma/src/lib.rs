@@ -27,7 +27,7 @@
 //!
 //! ```
 //! use letdma::model::SystemBuilder;
-//! use letdma::opt::{optimize, OptConfig};
+//! use letdma::opt::Optimizer;
 //! use letdma::sim::{simulate, Approach, SimConfig};
 //!
 //! // Two cores, one camera pipeline crossing them.
@@ -38,7 +38,7 @@
 //! let system = b.build()?;
 //!
 //! // Jointly derive the memory layout and the DMA transfer schedule …
-//! let solution = optimize(&system, &OptConfig::default())?;
+//! let solution = Optimizer::new(&system).run()?;
 //!
 //! // … and simulate the protocol over one hyperperiod.
 //! let report = simulate(

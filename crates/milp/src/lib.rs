@@ -16,7 +16,7 @@
 //! # Examples
 //!
 //! ```
-//! use milp::{Model, ObjectiveSense, SolveOptions};
+//! use milp::{Model, ObjectiveSense};
 //!
 //! // Maximize 3a + 4b + 5c subject to 2a + 3b + 4c ≤ 6 over binaries.
 //! let mut m = Model::new();
@@ -26,10 +26,15 @@
 //! m.add_constraint("capacity", (2.0 * a + 3.0 * b + 4.0 * c).le(6.0));
 //! m.set_objective(ObjectiveSense::Maximize, 3.0 * a + 4.0 * b + 5.0 * c);
 //!
-//! let solution = m.solve(&SolveOptions::default())?;
+//! let solution = m.solver().run()?;
 //! assert_eq!(solution.objective().round(), 8.0);
 //! # Ok::<(), milp::SolveError>(())
 //! ```
+//!
+//! Node LP relaxations can be evaluated by a worker pool
+//! (`m.solver().threads(4)`, or the `LETDMA_THREADS` environment
+//! variable); the default deterministic mode merges results in node-id
+//! order, so the search trajectory is byte-identical at any thread count.
 //!
 //! Models can also be exported in CPLEX LP format for cross-checking with
 //! external solvers — see [`Model::to_lp_format`].
@@ -48,7 +53,9 @@ mod solver;
 pub use basis::{Basis, DenseInverse};
 pub use expr::{LinExpr, Var};
 pub use model::{Comparison, Constraint, Model, ObjectiveSense, Sense, VarDef, VarType};
-pub use solver::{MilpSolution, SolveError, SolveOptions, SolveStats, SolveStatus};
+pub use solver::{
+    MilpSolution, SolveError, SolveOptions, SolveStats, SolveStatus, Solver, WorkerLoad,
+};
 
 #[cfg(test)]
 mod tests {

@@ -156,7 +156,7 @@ pub enum ObjectiveSense {
 /// A tiny knapsack:
 ///
 /// ```
-/// use milp::{Model, ObjectiveSense, SolveOptions};
+/// use milp::{Model, ObjectiveSense};
 ///
 /// let mut m = Model::new();
 /// let a = m.add_binary("a"); // value 3, weight 2
@@ -165,7 +165,7 @@ pub enum ObjectiveSense {
 /// m.add_constraint("capacity", (2.0 * a + 3.0 * b + 4.0 * c).le(6.0));
 /// m.set_objective(ObjectiveSense::Maximize, 3.0 * a + 4.0 * b + 5.0 * c);
 ///
-/// let solution = m.solve(&SolveOptions::default())?;
+/// let solution = m.solver().run()?;
 /// assert_eq!(solution.objective().round(), 8.0); // take a and c (weight 6, value 8)
 /// # Ok::<(), milp::SolveError>(())
 /// ```

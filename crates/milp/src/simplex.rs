@@ -18,9 +18,9 @@
 //!
 //! Pricing uses Dantzig's rule with an automatic switch to Bland's rule when
 //! the objective stalls (anti-cycling). The basis inverse is maintained
-//! behind the [`Basis`](crate::basis::Basis) trait; the default
+//! behind the [`Basis`] trait; the default
 //! representation is the dense product-form inverse of
-//! [`DenseInverse`](crate::basis::DenseInverse) with periodic Gauss-Jordan
+//! [`DenseInverse`] with periodic Gauss-Jordan
 //! refactorization, which is simple, predictable and fast enough for the
 //! problem sizes of this workspace (hundreds to a few thousand rows).
 //! Alternative representations (factorized LU/eta files, enabling

@@ -1,4 +1,5 @@
-//! Branch and bound over the LP relaxation.
+//! Branch and bound over the LP relaxation, with a deterministic parallel
+//! node evaluator.
 //!
 //! The search is *best-first* (nodes ordered by their parent's LP bound, ties
 //! broken depth-first so the solver dives early for incumbents), branches on
@@ -6,21 +7,60 @@
 //! assignment or any rounded LP solution becomes an incumbent immediately, so
 //! hitting the time or node limit still returns the best feasible solution
 //! found together with the proven bound.
+//!
+//! # Parallel search
+//!
+//! Node LPs are evaluated by a [`std::thread`]-scoped worker pool. The
+//! search proceeds in *rounds*: the coordinator pops a fixed-width batch of
+//! non-fathomed nodes from the best-first queue, the workers solve the
+//! batch's LP relaxations concurrently (pruning speculatively against the
+//! incumbent objective published through an atomic bound), and the
+//! coordinator merges the results — fathoming, accepting incumbents,
+//! branching — strictly in node-id order.
+//!
+//! Because the batch width ([`SolveOptions::speculation`]) is fixed
+//! independently of the worker count, and because a worker-side skip is only
+//! taken when the merge-time fathoming test is already guaranteed to discard
+//! the node (the incumbent objective only ever improves), the merge sequence
+//! — and with it every counter, node event, incumbent record and the
+//! returned solution vector — is a pure function of the model and options.
+//! Equal seeds yield byte-identical trajectories at 1, 2 or 64 threads.
+//! Setting [`SolveOptions::deterministic`] to `false` merges results in
+//! arrival order instead, which can propagate incumbents to the pruning
+//! bound a little earlier at the cost of reproducibility.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 use letdma_core::instrument::{Counter, IncumbentRecord, Instrument, NodeEvent, NoopInstrument};
+use letdma_core::parallel::resolve_threads;
 
 use crate::expr::Var;
 use crate::model::{Model, ObjectiveSense};
 use crate::simplex::{LpOutcome, SimplexSolver};
 
-/// Options controlling [`Model::solve`].
+/// Options controlling a [`Model::solver`] session.
+///
+/// The struct is `#[non_exhaustive]`: build it with
+/// [`SolveOptions::new`]/[`Default`] and the chainable `with_*` methods so
+/// new knobs can be added without breaking downstream code.
+///
+/// ```
+/// use std::time::Duration;
+/// use milp::SolveOptions;
+///
+/// let opts = SolveOptions::new()
+///     .with_time_limit(Duration::from_secs(5))
+///     .with_threads(4);
+/// assert_eq!(opts.threads, Some(4));
+/// ```
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct SolveOptions {
     /// Wall-clock budget; `None` means unlimited.
     pub time_limit: Option<Duration>,
@@ -34,6 +74,20 @@ pub struct SolveOptions {
     pub warm_start: Option<Vec<f64>>,
     /// Emit progress lines on stderr.
     pub log: bool,
+    /// Worker threads evaluating node LPs. `None` defers to the
+    /// `LETDMA_THREADS` environment variable (default: sequential). The
+    /// trajectory does not depend on this value in deterministic mode.
+    pub threads: Option<usize>,
+    /// Merge node results in node-id order (`true`, default), making the
+    /// search trajectory independent of thread count and timing; `false`
+    /// merges in arrival order (faster incumbent propagation, not
+    /// reproducible across runs).
+    pub deterministic: bool,
+    /// Nodes popped per scheduling round — the window of LP relaxations
+    /// solved concurrently (and hence the useful upper bound on
+    /// [`threads`](Self::threads)). Part of the trajectory: two solves
+    /// agree byte-for-byte only when their widths agree. Clamped to ≥ 1.
+    pub speculation: usize,
 }
 
 impl Default for SolveOptions {
@@ -45,18 +99,83 @@ impl Default for SolveOptions {
             gap_abs: 1e-6,
             warm_start: None,
             log: false,
+            threads: None,
+            deterministic: true,
+            speculation: 8,
         }
     }
 }
 
 impl SolveOptions {
-    /// Convenience: a time-limited configuration.
+    /// Default options (alias of [`Default::default`], reads better at the
+    /// head of a `with_*` chain).
     #[must_use]
-    pub fn with_time_limit(limit: Duration) -> Self {
-        Self {
-            time_limit: Some(limit),
-            ..Self::default()
-        }
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the wall-clock budget.
+    #[must_use]
+    pub fn with_time_limit(mut self, limit: Duration) -> Self {
+        self.time_limit = Some(limit);
+        self
+    }
+
+    /// Sets the branch-and-bound node budget.
+    #[must_use]
+    pub fn with_node_limit(mut self, limit: u64) -> Self {
+        self.node_limit = Some(limit);
+        self
+    }
+
+    /// Sets the integrality tolerance.
+    #[must_use]
+    pub fn with_integrality_tol(mut self, tol: f64) -> Self {
+        self.integrality_tol = tol;
+        self
+    }
+
+    /// Sets the absolute optimality gap.
+    #[must_use]
+    pub fn with_gap_abs(mut self, gap: f64) -> Self {
+        self.gap_abs = gap;
+        self
+    }
+
+    /// Seeds the search with a known-feasible assignment.
+    #[must_use]
+    pub fn with_warm_start(mut self, assignment: Vec<f64>) -> Self {
+        self.warm_start = Some(assignment);
+        self
+    }
+
+    /// Enables or disables stderr progress lines.
+    #[must_use]
+    pub fn with_log(mut self, log: bool) -> Self {
+        self.log = log;
+        self
+    }
+
+    /// Requests an explicit worker-thread count (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Selects deterministic (node-id-ordered) or opportunistic
+    /// (arrival-ordered) result merging.
+    #[must_use]
+    pub fn with_deterministic(mut self, deterministic: bool) -> Self {
+        self.deterministic = deterministic;
+        self
+    }
+
+    /// Sets the per-round speculation window (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_speculation(mut self, width: usize) -> Self {
+        self.speculation = width.max(1);
+        self
     }
 }
 
@@ -69,28 +188,110 @@ pub enum SolveStatus {
     Feasible,
 }
 
+/// Work actually executed by one worker of the parallel pool.
+///
+/// Unlike everything else the solver reports, this is **not** part of the
+/// deterministic trajectory: which worker claims which job — and whether a
+/// job is skipped against the atomically published incumbent or solved and
+/// then discarded at merge — depends on thread timing. The loads exist so
+/// `repro --stats` can show how the pool spent its time; never compare
+/// them across runs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorkerLoad {
+    /// Worker index within the pool (0 = the coordinator in sequential
+    /// runs).
+    pub worker: usize,
+    /// Node LPs this worker solved (including ones later discarded as
+    /// fathomed at merge).
+    pub jobs: u64,
+    /// Jobs skipped against the published incumbent bound without solving.
+    pub skipped: u64,
+    /// Simplex iterations executed by this worker.
+    pub lp_iterations: u64,
+    /// Simplex pivots executed by this worker.
+    pub pivots: u64,
+    /// Bound flips executed by this worker.
+    pub bound_flips: u64,
+    /// Basis refactorizations executed by this worker.
+    pub refactorizations: u64,
+    /// Wall-clock time spent claiming and processing jobs.
+    pub busy: Duration,
+}
+
+impl WorkerLoad {
+    /// Accumulates another load report for the same worker (later rounds
+    /// of the same solve: durations add).
+    fn accumulate(&mut self, other: &WorkerLoad) {
+        self.jobs += other.jobs;
+        self.skipped += other.skipped;
+        self.lp_iterations += other.lp_iterations;
+        self.pivots += other.pivots;
+        self.bound_flips += other.bound_flips;
+        self.refactorizations += other.refactorizations;
+        self.busy += other.busy;
+    }
+}
+
 /// Search statistics of one solve.
 ///
 /// Finer-grained data — per-phase wall clock, node outcome breakdown, the
 /// incumbent timeline — flows through the [`letdma_core::Instrument`]
-/// observer passed to [`Model::solve_with`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// observer attached to the [`Solver`] session. All fields except
+/// [`elapsed`](Self::elapsed) and [`workers`](Self::workers) are part of
+/// the deterministic trajectory: they count *consumed* work only, so they
+/// are identical at any thread count.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SolveStats {
     /// Branch-and-bound nodes processed.
     pub nodes: u64,
-    /// Total simplex iterations across all LP solves.
+    /// Total simplex iterations across all consumed LP solves.
     pub lp_iterations: u64,
-    /// Simplex basis changes (pivots) across all LP solves.
+    /// Simplex basis changes (pivots) across all consumed LP solves.
     pub pivots: u64,
-    /// Nonbasic bound-to-bound flips across all LP solves.
+    /// Nonbasic bound-to-bound flips across all consumed LP solves.
     pub bound_flips: u64,
-    /// Basis refactorizations across all LP solves.
+    /// Basis refactorizations across all consumed LP solves.
     pub refactorizations: u64,
     /// Wall-clock time spent.
     pub elapsed: Duration,
     /// Best proven bound on the optimum (in the model's objective sense);
     /// `None` when the search tree was exhausted before any bound was left.
     pub best_bound: Option<f64>,
+    /// Per-worker executed-work breakdown (timing-dependent; empty only
+    /// when the solve ended before any node was attempted).
+    pub workers: Vec<WorkerLoad>,
+}
+
+impl SolveStats {
+    /// Merges statistics of a solve that ran *concurrently* with this one
+    /// (independent scenarios in a batch): executed-work counters sum,
+    /// wall-clock takes the maximum (the runs overlapped), per-worker
+    /// loads merge by worker index with `busy` also taking the maximum.
+    /// `best_bound` is cleared — bounds of different models do not
+    /// combine.
+    pub fn merge_concurrent(&mut self, other: &SolveStats) {
+        self.nodes += other.nodes;
+        self.lp_iterations += other.lp_iterations;
+        self.pivots += other.pivots;
+        self.bound_flips += other.bound_flips;
+        self.refactorizations += other.refactorizations;
+        self.elapsed = self.elapsed.max(other.elapsed);
+        self.best_bound = None;
+        for load in &other.workers {
+            match self.workers.iter_mut().find(|w| w.worker == load.worker) {
+                Some(mine) => {
+                    mine.jobs += load.jobs;
+                    mine.skipped += load.skipped;
+                    mine.lp_iterations += load.lp_iterations;
+                    mine.pivots += load.pivots;
+                    mine.bound_flips += load.bound_flips;
+                    mine.refactorizations += load.refactorizations;
+                    mine.busy = mine.busy.max(load.busy);
+                }
+                None => self.workers.push(load.clone()),
+            }
+        }
+    }
 }
 
 /// A feasible (possibly optimal) MILP solution.
@@ -178,9 +379,11 @@ struct Node {
     /// Parent LP bound in minimization form (the node can't do better).
     bound: f64,
     depth: u32,
-    /// Creation sequence: on equal bounds the most recently created node is
-    /// explored first (LIFO), turning tie regions into depth-first dives —
-    /// crucial for finding incumbents in feasibility problems.
+    /// Creation sequence — the node id. On equal bounds the most recently
+    /// created node is explored first (LIFO), turning tie regions into
+    /// depth-first dives — crucial for finding incumbents in feasibility
+    /// problems. The same id orders result merging (and hence incumbent
+    /// tie-breaking) in deterministic mode.
     seq: u64,
 }
 
@@ -208,24 +411,17 @@ impl Ord for Node {
 }
 
 impl Model {
-    /// Solves the model with branch and bound over the built-in simplex.
+    /// Starts a solve session: configure it with the builder methods and
+    /// finish with [`Solver::run`].
     ///
-    /// The solver is *anytime*: with a [`SolveOptions::time_limit`] it
-    /// returns the best feasible solution found so far (status
-    /// [`SolveStatus::Feasible`]) instead of failing, provided any incumbent
-    /// exists.
-    ///
-    /// # Errors
-    ///
-    /// * [`SolveError::Infeasible`] — no assignment satisfies the constraints;
-    /// * [`SolveError::Unbounded`] — the LP relaxation is unbounded;
-    /// * [`SolveError::LimitReached`] — a limit was hit before any feasible
-    ///   solution was found.
+    /// The solver is *anytime*: with a time limit it returns the best
+    /// feasible solution found so far (status [`SolveStatus::Feasible`])
+    /// instead of failing, provided any incumbent exists.
     ///
     /// # Examples
     ///
     /// ```
-    /// use milp::{Model, ObjectiveSense, SolveOptions, SolveStatus};
+    /// use milp::{Model, ObjectiveSense, SolveStatus};
     ///
     /// // max x + y  s.t.  2x + y ≤ 3, integral
     /// let mut m = Model::new();
@@ -233,22 +429,46 @@ impl Model {
     /// let y = m.add_integer("y", 0.0, 10.0);
     /// m.add_constraint("cap", (2.0 * x + y).le(3.0));
     /// m.set_objective(ObjectiveSense::Maximize, x + y);
-    /// let s = m.solve(&SolveOptions::default())?;
+    /// let s = m.solver().run()?;
     /// assert_eq!(s.status(), SolveStatus::Optimal);
     /// assert_eq!(s.objective().round(), 3.0); // x = 0, y = 3
     /// # Ok::<(), milp::SolveError>(())
     /// ```
-    pub fn solve(&self, options: &SolveOptions) -> Result<MilpSolution, SolveError> {
-        self.solve_with(options, &mut NoopInstrument)
+    ///
+    /// With an instrument and a worker pool:
+    ///
+    /// ```
+    /// use letdma_core::SolverStats;
+    /// use milp::{Model, ObjectiveSense};
+    ///
+    /// let mut m = Model::new();
+    /// let x = m.add_integer("x", 0.0, 10.0);
+    /// m.add_constraint("c", (2.0 * x).le(5.0));
+    /// m.set_objective(ObjectiveSense::Maximize, 1.0 * x);
+    /// let mut stats = SolverStats::new();
+    /// let s = m.solver().threads(2).instrument(&mut stats).run()?;
+    /// assert_eq!(s.objective().round(), 2.0);
+    /// # Ok::<(), milp::SolveError>(())
+    /// ```
+    pub fn solver(&self) -> Solver<'_, 'static> {
+        Solver {
+            model: self,
+            options: SolveOptions::default(),
+            instrument: None,
+        }
     }
 
-    /// Like [`solve`](Model::solve), reporting search progress — simplex
-    /// iteration/pivot/refactorization counters, branch-and-bound node
-    /// events and the incumbent timeline — through `instrument`.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`solve`](Model::solve).
+    /// Solves the model with default reporting.
+    #[deprecated(note = "use `model.solver().options(options).run()` instead")]
+    pub fn solve(&self, options: &SolveOptions) -> Result<MilpSolution, SolveError> {
+        let mut noop = NoopInstrument;
+        BranchAndBound::new(self, options, &mut noop).run()
+    }
+
+    /// Solves the model, reporting progress through `instrument`.
+    #[deprecated(
+        note = "use `model.solver().options(options).instrument(instrument).run()` instead"
+    )]
     pub fn solve_with(
         &self,
         options: &SolveOptions,
@@ -258,7 +478,184 @@ impl Model {
     }
 }
 
-/// Internal search driver.
+/// A configured solve session, created by [`Model::solver`].
+///
+/// The session replaces the former `solve`/`solve_with` pair: options,
+/// instrumentation and the worker pool all chain onto one entry point.
+#[must_use = "a solver session does nothing until `.run()` is called"]
+pub struct Solver<'m, 'i> {
+    model: &'m Model,
+    options: SolveOptions,
+    instrument: Option<&'i mut dyn Instrument>,
+}
+
+impl fmt::Debug for Solver<'_, '_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Solver")
+            .field("options", &self.options)
+            .field("instrumented", &self.instrument.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'m, 'i> Solver<'m, 'i> {
+    /// Replaces the whole option block.
+    pub fn options(mut self, options: SolveOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Sets the wall-clock budget.
+    pub fn time_limit(mut self, limit: Duration) -> Self {
+        self.options.time_limit = Some(limit);
+        self
+    }
+
+    /// Sets the node budget.
+    pub fn node_limit(mut self, limit: u64) -> Self {
+        self.options.node_limit = Some(limit);
+        self
+    }
+
+    /// Seeds the search with a known-feasible assignment.
+    pub fn warm_start(mut self, assignment: Vec<f64>) -> Self {
+        self.options.warm_start = Some(assignment);
+        self
+    }
+
+    /// Enables stderr progress lines.
+    pub fn log(mut self, log: bool) -> Self {
+        self.options.log = log;
+        self
+    }
+
+    /// Requests an explicit worker-thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.options.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Selects deterministic or arrival-ordered result merging.
+    pub fn deterministic(mut self, deterministic: bool) -> Self {
+        self.options.deterministic = deterministic;
+        self
+    }
+
+    /// Attaches a progress observer (counters, node events, the incumbent
+    /// timeline).
+    pub fn instrument<'j>(self, instrument: &'j mut dyn Instrument) -> Solver<'m, 'j> {
+        Solver {
+            model: self.model,
+            options: self.options,
+            instrument: Some(instrument),
+        }
+    }
+
+    /// Runs the branch-and-bound search.
+    ///
+    /// # Errors
+    ///
+    /// * [`SolveError::Infeasible`] — no assignment satisfies the
+    ///   constraints;
+    /// * [`SolveError::Unbounded`] — the LP relaxation is unbounded;
+    /// * [`SolveError::LimitReached`] — a limit was hit before any feasible
+    ///   solution was found.
+    pub fn run(self) -> Result<MilpSolution, SolveError> {
+        let mut noop = NoopInstrument;
+        let instrument: &mut dyn Instrument = match self.instrument {
+            Some(i) => i,
+            None => &mut noop,
+        };
+        BranchAndBound::new(self.model, &self.options, instrument).run()
+    }
+}
+
+/// Outcome of one node LP.
+enum PureLp {
+    Solved { values: Vec<f64>, min_obj: f64 },
+    Infeasible,
+    Unbounded,
+    TimedOut,
+}
+
+/// Deterministic counters of one node LP, recorded worker-side and
+/// absorbed by the coordinator only when the node is consumed.
+#[derive(Default)]
+struct LpShard {
+    lp_solves: u64,
+    iterations: u64,
+    phase1_iterations: u64,
+    pivots: u64,
+    bound_flips: u64,
+    refactorizations: u64,
+}
+
+/// Solves the LP relaxation of one node. Free function (no `&self`) so
+/// worker threads can run it without borrowing the search driver.
+fn solve_node_lp(
+    model: &Model,
+    overrides: &[(Var, f64, f64)],
+    deadline: Option<Instant>,
+    scale: f64,
+) -> (PureLp, LpShard) {
+    let mut shard = LpShard::default();
+    // Apply overrides on a scratch copy of the model bounds.
+    let mut scratch = model.clone();
+    for &(v, l, u) in overrides {
+        let def = scratch.var_def(v);
+        let nl = def.lower().max(l);
+        let nu = def.upper().min(u);
+        if nl > nu {
+            return (PureLp::Infeasible, shard);
+        }
+        scratch.set_bounds(v, nl, nu);
+    }
+    let mut lp = SimplexSolver::from_model(&scratch);
+    lp.deadline = deadline;
+    let outcome = lp.solve();
+    shard.lp_solves = 1;
+    shard.iterations = lp.iterations;
+    shard.phase1_iterations = lp.phase1_iterations;
+    shard.pivots = lp.pivots();
+    shard.bound_flips = lp.bound_flips;
+    shard.refactorizations = lp.refactorizations();
+    let lp = match outcome {
+        LpOutcome::Optimal { values, objective } => PureLp::Solved {
+            values,
+            min_obj: scale * objective,
+        },
+        LpOutcome::Infeasible => PureLp::Infeasible,
+        LpOutcome::Unbounded => PureLp::Unbounded,
+        LpOutcome::IterationLimit => PureLp::Infeasible, // numerical brake: drop node
+        LpOutcome::TimedOut => PureLp::TimedOut,
+    };
+    (lp, shard)
+}
+
+/// A node result traveling from a worker to the coordinator.
+enum JobOutcome {
+    /// The worker skipped the LP against the published incumbent bound.
+    /// Sound: the incumbent only improves, so the merge-time fathoming
+    /// test is guaranteed to discard the node anyway.
+    Skipped,
+    Finished(PureLp, LpShard),
+}
+
+/// What the coordinator decided while merging one job.
+enum MergeControl {
+    Continue,
+    /// A budget expired (or the LP timed out): push the node back and end
+    /// the search.
+    PushBackAndStop,
+}
+
+/// What a whole round decided.
+enum RoundControl {
+    Continue,
+    Stop,
+}
+
+/// Internal search driver (the per-round coordinator).
 struct BranchAndBound<'a> {
     model: &'a Model,
     options: &'a SolveOptions,
@@ -266,6 +663,8 @@ struct BranchAndBound<'a> {
     /// ±1 factor converting the model objective into minimization form.
     scale: f64,
     start: Instant,
+    threads: usize,
+    batch_width: usize,
     nodes: u64,
     lp_iterations: u64,
     pivots: u64,
@@ -276,6 +675,7 @@ struct BranchAndBound<'a> {
     open: BinaryHeap<Node>,
     root_bound: Option<f64>,
     node_seq: u64,
+    worker_loads: Vec<WorkerLoad>,
 }
 
 impl<'a> BranchAndBound<'a> {
@@ -294,6 +694,8 @@ impl<'a> BranchAndBound<'a> {
             instrument,
             scale,
             start: Instant::now(),
+            threads: resolve_threads(options.threads),
+            batch_width: options.speculation.max(1),
             nodes: 0,
             lp_iterations: 0,
             pivots: 0,
@@ -303,6 +705,7 @@ impl<'a> BranchAndBound<'a> {
             open: BinaryHeap::new(),
             root_bound: None,
             node_seq: 0,
+            worker_loads: Vec::new(),
         }
     }
 
@@ -314,6 +717,10 @@ impl<'a> BranchAndBound<'a> {
     /// Minimization form → model-sense objective.
     fn to_model(&self, min_obj: f64) -> f64 {
         self.scale * min_obj
+    }
+
+    fn deadline(&self) -> Option<Instant> {
+        self.options.time_limit.map(|limit| self.start + limit)
     }
 
     fn out_of_budget(&self) -> bool {
@@ -328,6 +735,35 @@ impl<'a> BranchAndBound<'a> {
             }
         }
         false
+    }
+
+    /// The merge-time fathoming test: can a node with this min-form bound
+    /// still beat the incumbent?
+    fn fathomed(&self, bound: f64) -> bool {
+        match &self.incumbent {
+            Some((_, inc)) => bound >= *inc - self.options.gap_abs,
+            None => false,
+        }
+    }
+
+    /// The worker-visible pruning threshold (min-form incumbent objective,
+    /// `+∞` when none).
+    fn incumbent_bits(&self) -> u64 {
+        self.incumbent
+            .as_ref()
+            .map_or(f64::INFINITY, |(_, inc)| *inc)
+            .to_bits()
+    }
+
+    fn worker_load_mut(&mut self, worker: usize) -> &mut WorkerLoad {
+        while self.worker_loads.len() <= worker {
+            let next = self.worker_loads.len();
+            self.worker_loads.push(WorkerLoad {
+                worker: next,
+                ..WorkerLoad::default()
+            });
+        }
+        &mut self.worker_loads[worker]
     }
 
     fn consider_incumbent(&mut self, values: Vec<f64>, model_obj: f64) {
@@ -390,45 +826,42 @@ impl<'a> BranchAndBound<'a> {
         best.map(|(v, val, _)| (v, val))
     }
 
-    /// Solves the LP of one node; returns values and min-form objective.
-    fn solve_node_lp(&mut self, overrides: &[(Var, f64, f64)]) -> NodeLp {
-        // Apply overrides on a scratch copy of the model bounds.
-        let mut scratch = self.model.clone();
-        for &(v, l, u) in overrides {
-            let def = scratch.var_def(v);
-            let nl = def.lower().max(l);
-            let nu = def.upper().min(u);
-            if nl > nu {
-                return NodeLp::Infeasible;
-            }
-            scratch.set_bounds(v, nl, nu);
+    /// Absorbs the deterministic counters of one *consumed* LP into the
+    /// aggregate statistics and the instrument.
+    fn absorb_shard(&mut self, shard: &LpShard) {
+        self.lp_iterations += shard.iterations;
+        self.pivots += shard.pivots;
+        self.bound_flips += shard.bound_flips;
+        self.refactorizations += shard.refactorizations;
+        if shard.lp_solves > 0 {
+            self.instrument.count(Counter::LpSolves, shard.lp_solves);
+            self.instrument
+                .count(Counter::SimplexIterations, shard.iterations);
+            self.instrument
+                .count(Counter::Phase1Iterations, shard.phase1_iterations);
+            self.instrument.count(Counter::Pivots, shard.pivots);
+            self.instrument
+                .count(Counter::BoundFlips, shard.bound_flips);
+            self.instrument
+                .count(Counter::Refactorizations, shard.refactorizations);
         }
-        let mut lp = SimplexSolver::from_model(&scratch);
-        lp.deadline = self.options.time_limit.map(|limit| self.start + limit);
-        let outcome = lp.solve();
-        self.lp_iterations += lp.iterations;
-        self.pivots += lp.pivots();
-        self.bound_flips += lp.bound_flips;
-        self.refactorizations += lp.refactorizations();
-        self.instrument.count(Counter::LpSolves, 1);
-        self.instrument
-            .count(Counter::SimplexIterations, lp.iterations);
-        self.instrument
-            .count(Counter::Phase1Iterations, lp.phase1_iterations);
-        self.instrument.count(Counter::Pivots, lp.pivots());
-        self.instrument.count(Counter::BoundFlips, lp.bound_flips);
-        self.instrument
-            .count(Counter::Refactorizations, lp.refactorizations());
-        match outcome {
-            LpOutcome::Optimal { values, objective } => NodeLp::Solved {
-                values,
-                min_obj: self.to_min(objective),
-            },
-            LpOutcome::Infeasible => NodeLp::Infeasible,
-            LpOutcome::Unbounded => NodeLp::Unbounded,
-            LpOutcome::IterationLimit => NodeLp::Infeasible, // numerical brake: drop node
-            LpOutcome::TimedOut => NodeLp::TimedOut,
-        }
+    }
+
+    /// Solves one node LP inline on the coordinator, charging the work to
+    /// worker 0 (the sequential path, the root node, and the defensive
+    /// fallback for a worker skip that the monotonicity argument says
+    /// cannot be consumed).
+    fn solve_inline(&mut self, overrides: &[(Var, f64, f64)]) -> (PureLp, LpShard) {
+        let t0 = Instant::now();
+        let (lp, shard) = solve_node_lp(self.model, overrides, self.deadline(), self.scale);
+        let load = self.worker_load_mut(0);
+        load.jobs += 1;
+        load.lp_iterations += shard.iterations;
+        load.pivots += shard.pivots;
+        load.bound_flips += shard.bound_flips;
+        load.refactorizations += shard.refactorizations;
+        load.busy += t0.elapsed();
+        (lp, shard)
     }
 
     fn run(mut self) -> Result<MilpSolution, SolveError> {
@@ -454,6 +887,7 @@ impl<'a> BranchAndBound<'a> {
                             refactorizations: 0,
                             elapsed: self.start.elapsed(),
                             best_bound: Some(self.scale * min_obj),
+                            workers: Vec::new(),
                         },
                     });
                 }
@@ -464,65 +898,65 @@ impl<'a> BranchAndBound<'a> {
         // the incumbent is proven optimal); any budget break clears it.
         let mut exhausted = true;
 
-        // Root node.
+        // Root node, inline on the coordinator.
         if self.out_of_budget() {
             exhausted = false;
         } else {
             self.nodes += 1;
             self.instrument.count(Counter::Nodes, 1);
-            match self.solve_node_lp(&[]) {
-                NodeLp::Infeasible => {
+            let (lp, shard) = self.solve_inline(&[]);
+            self.absorb_shard(&shard);
+            match lp {
+                PureLp::Infeasible => {
                     self.instrument.node_event(NodeEvent::Infeasible);
                     return Err(SolveError::Infeasible);
                 }
-                NodeLp::Unbounded => {
+                PureLp::Unbounded => {
                     return Err(SolveError::Unbounded);
                 }
-                NodeLp::TimedOut => {
+                PureLp::TimedOut => {
                     self.instrument.node_event(NodeEvent::Abandoned);
                     exhausted = false;
                 }
-                NodeLp::Solved { values, min_obj } => {
+                PureLp::Solved { values, min_obj } => {
                     self.root_bound = Some(min_obj);
                     self.process_lp(values, min_obj, Vec::new(), 0);
                 }
             }
         }
 
-        // Main loop.
-        while let Some(node) = self.open.pop() {
-            // Global bound pruning.
-            if let Some((_, inc)) = &self.incumbent {
-                if node.bound >= *inc - self.options.gap_abs {
-                    self.instrument.node_event(NodeEvent::FathomedByBound);
-                    continue;
+        // Main loop: rounds of up to `batch_width` node LPs.
+        loop {
+            let mut batch = Vec::with_capacity(self.batch_width);
+            while batch.len() < self.batch_width {
+                match self.open.pop() {
+                    None => break,
+                    Some(node) => {
+                        if self.fathomed(node.bound) {
+                            self.instrument.node_event(NodeEvent::FathomedByBound);
+                        } else {
+                            batch.push(node);
+                        }
+                    }
                 }
             }
+            if batch.is_empty() {
+                break;
+            }
             if self.out_of_budget() {
-                // Put the node back: its bound still counts for reporting.
-                self.open.push(node);
+                // Put the nodes back: their bounds still count for
+                // reporting.
+                for node in batch {
+                    self.open.push(node);
+                }
                 exhausted = false;
                 break;
             }
-            self.nodes += 1;
-            self.instrument.count(Counter::Nodes, 1);
-            match self.solve_node_lp(&node.overrides) {
-                NodeLp::Infeasible => {
-                    self.instrument.node_event(NodeEvent::Infeasible);
-                }
-                NodeLp::Unbounded => {
-                    // With bounded integrals this cannot happen unless the
-                    // model itself is unbounded; be conservative.
-                    return Err(SolveError::Unbounded);
-                }
-                NodeLp::TimedOut => {
-                    self.instrument.node_event(NodeEvent::Abandoned);
-                    self.open.push(node);
+            match self.run_round(batch)? {
+                RoundControl::Continue => {}
+                RoundControl::Stop => {
                     exhausted = false;
                     break;
-                }
-                NodeLp::Solved { values, min_obj } => {
-                    self.process_lp(values, min_obj, node.overrides, node.depth);
                 }
             }
         }
@@ -547,6 +981,7 @@ impl<'a> BranchAndBound<'a> {
             refactorizations: self.refactorizations,
             elapsed: self.start.elapsed(),
             best_bound: best_bound_min.map(|b| self.to_model(b)),
+            workers: self.worker_loads,
         };
 
         match self.incumbent {
@@ -567,6 +1002,210 @@ impl<'a> BranchAndBound<'a> {
         }
     }
 
+    /// Runs one round over `batch`, sequentially or on the worker pool.
+    fn run_round(&mut self, batch: Vec<Node>) -> Result<RoundControl, SolveError> {
+        if self.threads.min(batch.len()) <= 1 {
+            self.run_round_inline(batch)
+        } else {
+            self.run_round_parallel(batch)
+        }
+    }
+
+    /// The sequential path: solve and merge each job in node-id order.
+    /// This *is* the reference trajectory the parallel path reproduces.
+    fn run_round_inline(&mut self, batch: Vec<Node>) -> Result<RoundControl, SolveError> {
+        let mut jobs = batch.into_iter();
+        while let Some(node) = jobs.next() {
+            match self.merge_job(&node, None)? {
+                MergeControl::Continue => {}
+                MergeControl::PushBackAndStop => {
+                    self.open.push(node);
+                    for rest in jobs {
+                        self.open.push(rest);
+                    }
+                    return Ok(RoundControl::Stop);
+                }
+            }
+        }
+        Ok(RoundControl::Continue)
+    }
+
+    /// The parallel path: workers race through the batch (skipping jobs
+    /// the published incumbent already fathoms), the coordinator merges in
+    /// node-id order (deterministic mode) or arrival order.
+    fn run_round_parallel(&mut self, batch: Vec<Node>) -> Result<RoundControl, SolveError> {
+        let threads = self.threads.min(batch.len());
+        // Shared refs copied out of `self` so worker closures borrow
+        // nothing of the coordinator's mutable state.
+        let model = self.model;
+        let gap_abs = self.options.gap_abs;
+        let deadline = self.deadline();
+        let scale = self.scale;
+        let deterministic = self.options.deterministic;
+        let inc_bits = AtomicU64::new(self.incumbent_bits());
+        let next_job = AtomicUsize::new(0);
+        let jobs = &batch;
+
+        let mut merged = vec![false; batch.len()];
+        let mut control = RoundControl::Continue;
+        let mut error: Option<SolveError> = None;
+        let mut loads: Vec<WorkerLoad> = Vec::with_capacity(threads);
+
+        std::thread::scope(|s| {
+            let (tx, rx) = mpsc::channel::<(usize, JobOutcome)>();
+            let mut handles = Vec::with_capacity(threads);
+            for _ in 0..threads {
+                let tx = tx.clone();
+                let inc_bits = &inc_bits;
+                let next_job = &next_job;
+                handles.push(s.spawn(move || {
+                    let mut load = WorkerLoad::default();
+                    loop {
+                        let i = next_job.fetch_add(1, AtomicOrdering::Relaxed);
+                        if i >= jobs.len() {
+                            break;
+                        }
+                        let t0 = Instant::now();
+                        let node = &jobs[i];
+                        let threshold = f64::from_bits(inc_bits.load(AtomicOrdering::Relaxed));
+                        let outcome = if node.bound >= threshold - gap_abs {
+                            load.skipped += 1;
+                            JobOutcome::Skipped
+                        } else {
+                            let (lp, shard) =
+                                solve_node_lp(model, &node.overrides, deadline, scale);
+                            load.jobs += 1;
+                            load.lp_iterations += shard.iterations;
+                            load.pivots += shard.pivots;
+                            load.bound_flips += shard.bound_flips;
+                            load.refactorizations += shard.refactorizations;
+                            JobOutcome::Finished(lp, shard)
+                        };
+                        load.busy += t0.elapsed();
+                        if tx.send((i, outcome)).is_err() {
+                            break;
+                        }
+                    }
+                    load
+                }));
+            }
+            drop(tx);
+
+            let mut stopped = false;
+            let mut merge_one = |this: &mut Self, i: usize, outcome: JobOutcome| {
+                if stopped {
+                    return;
+                }
+                match this.merge_job(&jobs[i], Some(outcome)) {
+                    Ok(MergeControl::Continue) => {
+                        merged[i] = true;
+                        // Publish the (possibly improved) incumbent so
+                        // workers prune in flight.
+                        inc_bits.store(this.incumbent_bits(), AtomicOrdering::Relaxed);
+                    }
+                    Ok(MergeControl::PushBackAndStop) => {
+                        stopped = true;
+                        control = RoundControl::Stop;
+                    }
+                    Err(e) => {
+                        stopped = true;
+                        error = Some(e);
+                    }
+                }
+                if stopped {
+                    // Make the remaining jobs skip instantly: every bound
+                    // compares ≥ −∞.
+                    inc_bits.store(f64::NEG_INFINITY.to_bits(), AtomicOrdering::Relaxed);
+                }
+            };
+
+            if deterministic {
+                let mut pending: BTreeMap<usize, JobOutcome> = BTreeMap::new();
+                let mut next_merge = 0usize;
+                for (i, outcome) in rx {
+                    pending.insert(i, outcome);
+                    while let Some(outcome) = pending.remove(&next_merge) {
+                        merge_one(self, next_merge, outcome);
+                        next_merge += 1;
+                    }
+                }
+            } else {
+                for (i, outcome) in rx {
+                    merge_one(self, i, outcome);
+                }
+            }
+
+            for handle in handles {
+                loads.push(handle.join().expect("solver worker panicked"));
+            }
+        });
+
+        for (worker, load) in loads.iter().enumerate() {
+            self.worker_load_mut(worker).accumulate(load);
+        }
+
+        if let Some(e) = error {
+            return Err(e);
+        }
+        if matches!(control, RoundControl::Stop) {
+            // Unmerged nodes (including the one that tripped the budget)
+            // stay open: their bounds still count for reporting.
+            for (i, node) in batch.into_iter().enumerate() {
+                if !merged[i] {
+                    self.open.push(node);
+                }
+            }
+        }
+        Ok(control)
+    }
+
+    /// Consumes one job in merge order: re-check fathoming against the
+    /// *current* incumbent, enforce budgets, then process the LP result.
+    /// `outcome: None` (and, defensively, a worker-side skip) solves the
+    /// LP inline.
+    fn merge_job(
+        &mut self,
+        node: &Node,
+        outcome: Option<JobOutcome>,
+    ) -> Result<MergeControl, SolveError> {
+        if self.fathomed(node.bound) {
+            self.instrument.node_event(NodeEvent::FathomedByBound);
+            return Ok(MergeControl::Continue);
+        }
+        if self.out_of_budget() {
+            return Ok(MergeControl::PushBackAndStop);
+        }
+        let (lp, shard) = match outcome {
+            Some(JobOutcome::Finished(lp, shard)) => (lp, shard),
+            // A worker skip can only be consumed if the incumbent that
+            // justified it disappeared — impossible, since incumbents only
+            // improve — but solving inline keeps even that path correct.
+            Some(JobOutcome::Skipped) | None => self.solve_inline(&node.overrides),
+        };
+        self.nodes += 1;
+        self.instrument.count(Counter::Nodes, 1);
+        self.absorb_shard(&shard);
+        match lp {
+            PureLp::Infeasible => {
+                self.instrument.node_event(NodeEvent::Infeasible);
+                Ok(MergeControl::Continue)
+            }
+            PureLp::Unbounded => {
+                // With bounded integrals this cannot happen unless the
+                // model itself is unbounded; be conservative.
+                Err(SolveError::Unbounded)
+            }
+            PureLp::TimedOut => {
+                self.instrument.node_event(NodeEvent::Abandoned);
+                Ok(MergeControl::PushBackAndStop)
+            }
+            PureLp::Solved { values, min_obj } => {
+                self.process_lp(values, min_obj, node.overrides.clone(), node.depth);
+                Ok(MergeControl::Continue)
+            }
+        }
+    }
+
     /// Handles a solved LP: fathom by bound, accept integral solutions, or
     /// branch.
     fn process_lp(
@@ -576,11 +1215,9 @@ impl<'a> BranchAndBound<'a> {
         overrides: Vec<(Var, f64, f64)>,
         depth: u32,
     ) {
-        if let Some((_, inc)) = &self.incumbent {
-            if min_obj >= *inc - self.options.gap_abs {
-                self.instrument.node_event(NodeEvent::FathomedByBound);
-                return; // fathomed by bound
-            }
+        if self.fathomed(min_obj) {
+            self.instrument.node_event(NodeEvent::FathomedByBound);
+            return; // fathomed by bound
         }
         match self.pick_branch_var(&values) {
             None => {
@@ -595,10 +1232,9 @@ impl<'a> BranchAndBound<'a> {
                 let obj = self.model.objective().evaluate(&snapped);
                 if self.model.is_feasible(&snapped, 1e-5) {
                     self.consider_incumbent(snapped, obj);
-                } else {
-                    // Rounding glitch: keep the LP value as incumbent basis.
-                    self.consider_incumbent_unsnapped(min_obj);
                 }
+                // else: numerically marginal integral point; ignore (a
+                // cleaner point will be found deeper in the tree).
             }
             Some((var, value)) => {
                 self.instrument.node_event(NodeEvent::Branched);
@@ -630,19 +1266,6 @@ impl<'a> BranchAndBound<'a> {
             }
         }
     }
-
-    fn consider_incumbent_unsnapped(&mut self, _min_obj: f64) {
-        // Numerically marginal integral point; ignore (a cleaner point will
-        // be found deeper in the tree).
-    }
-}
-
-/// Outcome of one node LP.
-enum NodeLp {
-    Solved { values: Vec<f64>, min_obj: f64 },
-    Infeasible,
-    Unbounded,
-    TimedOut,
 }
 
 #[cfg(test)]
@@ -650,8 +1273,8 @@ mod tests {
     use super::*;
     use crate::LinExpr;
 
-    fn opts() -> SolveOptions {
-        SolveOptions::default()
+    fn solve(m: &Model) -> Result<MilpSolution, SolveError> {
+        m.solver().run()
     }
 
     #[test]
@@ -660,7 +1283,7 @@ mod tests {
         let x = m.add_continuous("x", 0.0, 4.0);
         m.add_constraint("c", (2.0 * x).le(5.0));
         m.set_objective(ObjectiveSense::Maximize, LinExpr::from(x));
-        let s = m.solve(&opts()).unwrap();
+        let s = solve(&m).unwrap();
         assert_eq!(s.status(), SolveStatus::Optimal);
         assert!((s.objective() - 2.5).abs() < 1e-6);
         assert!((s.value(x) - 2.5).abs() < 1e-6);
@@ -680,7 +1303,7 @@ mod tests {
         m.add_constraint("cap", weight.le(50.0));
         let value = LinExpr::weighted_sum(vars.iter().copied().zip(items.iter().map(|i| i.0)));
         m.set_objective(ObjectiveSense::Maximize, value);
-        let s = m.solve(&opts()).unwrap();
+        let s = solve(&m).unwrap();
         // Optimal: items 2 and 3 → 220.
         assert_eq!(s.status(), SolveStatus::Optimal);
         assert!((s.objective() - 220.0).abs() < 1e-6);
@@ -696,7 +1319,7 @@ mod tests {
         let x = m.add_integer("x", 0.0, 10.0);
         m.add_constraint("c", (2.0 * x).le(5.0));
         m.set_objective(ObjectiveSense::Maximize, LinExpr::from(x));
-        let s = m.solve(&opts()).unwrap();
+        let s = solve(&m).unwrap();
         assert_eq!(s.objective().round(), 2.0);
         assert_eq!(s.status(), SolveStatus::Optimal);
     }
@@ -708,7 +1331,7 @@ mod tests {
         let x = m.add_integer("x", 0.0, 1.0);
         m.add_constraint("lo", (10.0 * x).ge(4.0));
         m.add_constraint("hi", (10.0 * x).le(6.0));
-        assert_eq!(m.solve(&opts()).unwrap_err(), SolveError::Infeasible);
+        assert_eq!(solve(&m).unwrap_err(), SolveError::Infeasible);
     }
 
     #[test]
@@ -716,7 +1339,7 @@ mod tests {
         let mut m = Model::new();
         let x = m.add_continuous("x", 0.0, 1.0);
         m.add_constraint("c", LinExpr::from(x).ge(2.0));
-        assert_eq!(m.solve(&opts()).unwrap_err(), SolveError::Infeasible);
+        assert_eq!(solve(&m).unwrap_err(), SolveError::Infeasible);
     }
 
     #[test]
@@ -724,7 +1347,7 @@ mod tests {
         let mut m = Model::new();
         let x = m.add_continuous("x", 0.0, f64::INFINITY);
         m.set_objective(ObjectiveSense::Maximize, LinExpr::from(x));
-        assert_eq!(m.solve(&opts()).unwrap_err(), SolveError::Unbounded);
+        assert_eq!(solve(&m).unwrap_err(), SolveError::Unbounded);
     }
 
     #[test]
@@ -734,12 +1357,12 @@ mod tests {
         let y = m.add_binary("y");
         m.add_constraint("c", (x + y).le(1.0));
         m.set_objective(ObjectiveSense::Maximize, 2.0 * x + y);
-        let options = SolveOptions {
-            warm_start: Some(vec![0.0, 1.0]), // feasible, obj 1
-            node_limit: Some(0),              // forbid any search
-            ..SolveOptions::default()
-        };
-        let s = m.solve(&options).unwrap();
+        let s = m
+            .solver()
+            .warm_start(vec![0.0, 1.0]) // feasible, obj 1
+            .node_limit(0) // forbid any search
+            .run()
+            .unwrap();
         // Node limit 0: the warm start is all we have.
         assert_eq!(s.status(), SolveStatus::Feasible);
         assert!((s.objective() - 1.0).abs() < 1e-9);
@@ -750,11 +1373,11 @@ mod tests {
         let mut m = Model::new();
         let x = m.add_binary("x");
         m.set_objective(ObjectiveSense::Maximize, LinExpr::from(x));
-        let options = SolveOptions {
-            warm_start: Some(vec![2.0]), // out of bounds
-            ..SolveOptions::default()
-        };
-        let s = m.solve(&options).unwrap();
+        let s = m
+            .solver()
+            .warm_start(vec![2.0]) // out of bounds
+            .run()
+            .unwrap();
         assert!((s.objective() - 1.0).abs() < 1e-9);
         assert_eq!(s.status(), SolveStatus::Optimal);
     }
@@ -768,7 +1391,7 @@ mod tests {
         m.add_constraint("sum", (x + y).eq(7.0));
         m.add_constraint("diff", (x - y).eq(1.0));
         m.set_objective(ObjectiveSense::Minimize, LinExpr::from(x));
-        let s = m.solve(&opts()).unwrap();
+        let s = solve(&m).unwrap();
         assert!((s.value(x) - 4.0).abs() < 1e-6);
         assert!((s.value(y) - 3.0).abs() < 1e-6);
     }
@@ -779,9 +1402,13 @@ mod tests {
         let x = m.add_integer("x", 0.0, 10.0);
         m.add_constraint("c", (2.0 * x).le(5.0));
         m.set_objective(ObjectiveSense::Maximize, LinExpr::from(x));
-        let s = m.solve(&opts()).unwrap();
+        let s = solve(&m).unwrap();
         assert!(s.stats().nodes >= 1);
         assert!(s.stats().lp_iterations >= 1);
+        // Work executed shows up in the per-worker loads (worker 0 — the
+        // coordinator — in a sequential run).
+        let executed: u64 = s.stats().workers.iter().map(|w| w.jobs).sum();
+        assert!(executed >= s.stats().nodes);
     }
 
     #[test]
@@ -790,18 +1417,13 @@ mod tests {
         let x = m.add_binary("x");
         let y = m.add_binary("y");
         m.add_constraint("pick", (x + y).eq(1.0));
-        let s = m.solve(&opts()).unwrap();
+        let s = solve(&m).unwrap();
         assert_eq!(s.status(), SolveStatus::Optimal);
         let total = s.value(x) + s.value(y);
         assert!((total - 1.0).abs() < 1e-6);
     }
 
-    #[test]
-    fn bigger_assignment_milp() {
-        // 4×4 assignment problem with distinct costs; optimum is the
-        // diagonal of the cost matrix after the greedy-safe construction
-        // below (costs constructed so the identity matching is optimal).
-        let n = 4;
+    fn assignment_model(n: usize) -> (Model, Vec<Var>) {
         let mut m = Model::new();
         let mut x = vec![];
         for i in 0..n {
@@ -815,18 +1437,120 @@ mod tests {
             let col = LinExpr::weighted_sum((0..n).map(|j| (x[j * n + i], 1.0)));
             m.add_constraint(format!("col{i}"), col.eq(1.0));
         }
-        // cost(i,j) = 1 + |i−j| → identity assignment costs 4, any
+        // cost(i,j) = 1 + |i−j| → identity assignment costs n, any
         // off-diagonal swap strictly more.
         let obj = LinExpr::weighted_sum((0..n * n).map(|k| {
             let (i, j) = (k / n, k % n);
             (x[k], 1.0 + (i as f64 - j as f64).abs())
         }));
         m.set_objective(ObjectiveSense::Minimize, obj);
-        let s = m.solve(&opts()).unwrap();
+        (m, x)
+    }
+
+    #[test]
+    fn bigger_assignment_milp() {
+        let n = 4;
+        let (m, x) = assignment_model(n);
+        let s = solve(&m).unwrap();
         assert!((s.objective() - 4.0).abs() < 1e-6);
         for i in 0..n {
             assert!(s.value(x[i * n + i]) > 0.5, "diagonal {i} not chosen");
         }
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential_bit_for_bit() {
+        let (m, _) = assignment_model(4);
+        let mut seq_stats = letdma_core::SolverStats::new();
+        let seq = m
+            .solver()
+            .threads(1)
+            .instrument(&mut seq_stats)
+            .run()
+            .unwrap();
+        for threads in [2, 3, 8] {
+            let mut par_stats = letdma_core::SolverStats::new();
+            let par = m
+                .solver()
+                .threads(threads)
+                .instrument(&mut par_stats)
+                .run()
+                .unwrap();
+            assert_eq!(seq.values(), par.values(), "{threads} threads");
+            assert_eq!(seq.objective().to_bits(), par.objective().to_bits());
+            assert_eq!(seq.stats().nodes, par.stats().nodes);
+            assert_eq!(seq.stats().lp_iterations, par.stats().lp_iterations);
+            assert_eq!(seq_stats.counters(), par_stats.counters());
+            let timeline = |s: &letdma_core::SolverStats| -> Vec<(u64, u64)> {
+                s.incumbents()
+                    .iter()
+                    .map(|r| (r.nodes, r.objective.to_bits()))
+                    .collect()
+            };
+            assert_eq!(timeline(&seq_stats), timeline(&par_stats));
+        }
+    }
+
+    #[test]
+    fn opportunistic_mode_still_finds_the_optimum() {
+        let (m, _) = assignment_model(4);
+        let s = m.solver().threads(4).deterministic(false).run().unwrap();
+        assert_eq!(s.status(), SolveStatus::Optimal);
+        assert!((s.objective() - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn options_chain() {
+        let o = SolveOptions::new()
+            .with_time_limit(Duration::from_secs(7))
+            .with_node_limit(9)
+            .with_gap_abs(1e-3)
+            .with_integrality_tol(1e-5)
+            .with_warm_start(vec![1.0])
+            .with_log(false)
+            .with_threads(0)
+            .with_deterministic(false)
+            .with_speculation(0);
+        assert_eq!(o.time_limit, Some(Duration::from_secs(7)));
+        assert_eq!(o.node_limit, Some(9));
+        assert_eq!(o.threads, Some(1), "threads clamp to ≥ 1");
+        assert_eq!(o.speculation, 1, "speculation clamps to ≥ 1");
+        assert!(!o.deterministic);
+    }
+
+    #[test]
+    fn merge_concurrent_sums_counts_maxes_wall_clock() {
+        let mk = |nodes, pivots, ms, worker| SolveStats {
+            nodes,
+            lp_iterations: 10 * nodes,
+            pivots,
+            bound_flips: 1,
+            refactorizations: 2,
+            elapsed: Duration::from_millis(ms),
+            best_bound: Some(1.0),
+            workers: vec![WorkerLoad {
+                worker,
+                jobs: nodes,
+                busy: Duration::from_millis(ms),
+                ..WorkerLoad::default()
+            }],
+        };
+        let mut a = mk(3, 7, 40, 0);
+        let b = mk(5, 11, 90, 1);
+        a.merge_concurrent(&b);
+        assert_eq!(a.nodes, 8);
+        assert_eq!(a.pivots, 18);
+        assert_eq!(a.bound_flips, 2);
+        assert_eq!(a.refactorizations, 4);
+        assert_eq!(a.elapsed, Duration::from_millis(90), "wall clock is max");
+        assert_eq!(a.best_bound, None, "bounds of different models drop");
+        assert_eq!(a.workers.len(), 2);
+        // Same worker id merges in place, busy takes the max.
+        let c = mk(2, 1, 200, 0);
+        a.merge_concurrent(&c);
+        assert_eq!(a.workers.len(), 2);
+        assert_eq!(a.workers[0].jobs, 5);
+        assert_eq!(a.workers[0].busy, Duration::from_millis(200));
     }
 
     #[test]

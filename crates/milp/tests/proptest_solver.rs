@@ -7,7 +7,7 @@
 //! the `LETDMA_CASE_SEED` needed to replay it.
 
 use letdma_core::{Cases, Rng, Xoshiro256};
-use milp::{LinExpr, Model, ObjectiveSense, Sense, SolveError, SolveOptions};
+use milp::{LinExpr, Model, ObjectiveSense, Sense, SolveError};
 
 /// A randomly generated binary program.
 #[derive(Debug, Clone)]
@@ -128,7 +128,7 @@ fn solver_matches_brute_force() {
         let bip = random_bip(rng);
         let (model, _) = build_model(&bip);
         let expected = brute_force(&bip);
-        match model.solve(&SolveOptions::default()) {
+        match model.solver().run() {
             Ok(solution) => {
                 let exp = expected.expect("solver found a solution where brute force found none");
                 assert!(
@@ -193,13 +193,11 @@ fn time_limited_solve_is_anytime() {
         ObjectiveSense::Maximize,
         LinExpr::weighted_sum(vars.iter().copied().zip(values.iter().copied())),
     );
-    let options = SolveOptions {
-        time_limit: Some(std::time::Duration::from_millis(5)),
-        warm_start: Some(vec![0.0; n]),
-        ..SolveOptions::default()
-    };
     let s = m
-        .solve(&options)
+        .solver()
+        .time_limit(std::time::Duration::from_millis(5))
+        .warm_start(vec![0.0; n])
+        .run()
         .expect("anytime solve must return the warm start at worst");
     assert!(m.is_feasible(s.values(), 1e-6));
 }
@@ -211,11 +209,11 @@ fn node_limit_respected() {
     let y = m.add_integer("y", 0.0, 100.0);
     m.add_constraint("c", (3.0 * x + 7.0 * y).le(100.0));
     m.set_objective(ObjectiveSense::Maximize, 2.0 * x + 5.0 * y);
-    let options = SolveOptions {
-        node_limit: Some(3),
-        warm_start: Some(vec![0.0, 0.0]),
-        ..SolveOptions::default()
-    };
-    let s = m.solve(&options).unwrap();
+    let s = m
+        .solver()
+        .node_limit(3)
+        .warm_start(vec![0.0, 0.0])
+        .run()
+        .unwrap();
     assert!(s.stats().nodes <= 3 + 1); // root + limit slack
 }

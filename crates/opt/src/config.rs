@@ -27,8 +27,24 @@ impl std::fmt::Display for Objective {
     }
 }
 
-/// Options for [`crate::optimize`].
+/// Options for an [`Optimizer`](crate::Optimizer) session.
+///
+/// The struct is `#[non_exhaustive]`: build it with
+/// [`OptConfig::new`]/[`Default`] and the chainable `with_*` methods so new
+/// knobs can be added without breaking downstream code.
+///
+/// ```
+/// use std::time::Duration;
+/// use letdma_opt::{Objective, OptConfig};
+///
+/// let config = OptConfig::new()
+///     .with_objective(Objective::MinTransfers)
+///     .with_time_limit(Duration::from_secs(30))
+///     .with_threads(4);
+/// assert_eq!(config.objective, Objective::MinTransfers);
+/// ```
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct OptConfig {
     /// Which objective to optimize.
     pub objective: Objective,
@@ -53,6 +69,14 @@ pub struct OptConfig {
     pub warm_start: bool,
     /// Emit solver progress on stderr.
     pub log: bool,
+    /// Worker threads for the MILP node evaluator. `None` defers to the
+    /// `LETDMA_THREADS` environment variable (default: sequential). The
+    /// solution is identical at any thread count in deterministic mode.
+    pub threads: Option<usize>,
+    /// Deterministic (node-id-ordered, default) vs. arrival-ordered merge
+    /// in the parallel MILP search — see
+    /// [`milp::SolveOptions::deterministic`].
+    pub deterministic: bool,
 }
 
 impl Default for OptConfig {
@@ -65,20 +89,91 @@ impl Default for OptConfig {
             node_limit: None,
             warm_start: true,
             log: false,
+            threads: None,
+            deterministic: true,
         }
     }
 }
 
 impl OptConfig {
-    /// Configuration for one of the paper's three objective variants with
-    /// the given time budget.
+    /// Default configuration (alias of [`Default::default`], reads better
+    /// at the head of a `with_*` chain).
     #[must_use]
-    pub fn with_objective(objective: Objective, time_limit: Duration) -> Self {
-        Self {
-            objective,
-            time_limit: Some(time_limit),
-            ..Self::default()
-        }
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Selects one of the paper's three objective variants.
+    #[must_use]
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Caps the number of DMA transfer slots offered to the MILP.
+    #[must_use]
+    pub fn with_max_transfers(mut self, max_transfers: usize) -> Self {
+        self.max_transfers = Some(max_transfers);
+        self
+    }
+
+    /// Also allocates private labels in the local layouts.
+    #[must_use]
+    pub fn with_include_private_labels(mut self, include: bool) -> Self {
+        self.include_private_labels = include;
+        self
+    }
+
+    /// Sets the wall-clock budget of the MILP search.
+    #[must_use]
+    pub fn with_time_limit(mut self, limit: Duration) -> Self {
+        self.time_limit = Some(limit);
+        self
+    }
+
+    /// Removes the wall-clock budget (the default has one: 60 s). Used by
+    /// determinism regressions, where a node budget must be the only
+    /// stopping rule.
+    #[must_use]
+    pub fn without_time_limit(mut self) -> Self {
+        self.time_limit = None;
+        self
+    }
+
+    /// Sets the node budget of the MILP search.
+    #[must_use]
+    pub fn with_node_limit(mut self, limit: u64) -> Self {
+        self.node_limit = Some(limit);
+        self
+    }
+
+    /// Enables or disables the heuristic warm start.
+    #[must_use]
+    pub fn with_warm_start(mut self, warm_start: bool) -> Self {
+        self.warm_start = warm_start;
+        self
+    }
+
+    /// Enables or disables solver progress on stderr.
+    #[must_use]
+    pub fn with_log(mut self, log: bool) -> Self {
+        self.log = log;
+        self
+    }
+
+    /// Requests an explicit MILP worker-thread count (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Selects deterministic or arrival-ordered merging in the parallel
+    /// MILP search.
+    #[must_use]
+    pub fn with_deterministic(mut self, deterministic: bool) -> Self {
+        self.deterministic = deterministic;
+        self
     }
 }
 
@@ -99,5 +194,25 @@ mod tests {
         assert_eq!(c.objective, Objective::None);
         assert!(c.warm_start);
         assert!(c.max_transfers.is_none());
+        assert!(c.threads.is_none());
+        assert!(c.deterministic);
+    }
+
+    #[test]
+    fn config_chain() {
+        let c = OptConfig::new()
+            .with_objective(Objective::MinDelayRatio)
+            .with_max_transfers(7)
+            .with_include_private_labels(true)
+            .with_time_limit(Duration::from_secs(3))
+            .with_node_limit(50)
+            .with_warm_start(false)
+            .with_threads(0)
+            .with_deterministic(false);
+        assert_eq!(c.objective, Objective::MinDelayRatio);
+        assert_eq!(c.max_transfers, Some(7));
+        assert!(c.include_private_labels);
+        assert_eq!(c.time_limit, Some(Duration::from_secs(3)));
+        assert_eq!(c.without_time_limit().time_limit, None);
     }
 }

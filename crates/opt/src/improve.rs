@@ -139,7 +139,7 @@ fn precedence_ok(order: &[&letdma_model::DmaTransfer]) -> bool {
     true
 }
 
-/// How far [`improve_transfer_order_with`] should push.
+/// How far a [`Reorder`] pass should push.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ImproveGoal {
     /// Stop as soon as no acquisition deadline is violated ("any feasible
@@ -150,17 +150,15 @@ pub enum ImproveGoal {
     MinDelayRatio,
 }
 
-/// Improves the order of `schedule`'s transfers by steepest-descent
-/// relocation moves; grouping and layout are untouched, so the result is
-/// valid whenever the input is.
-///
-/// Returns the improved schedule (possibly identical to the input).
+/// A configured transfer-reordering pass: steepest-descent relocation
+/// moves over the transfers of one schedule. Grouping and layout are
+/// untouched, so the result is valid whenever the input is.
 ///
 /// # Examples
 ///
 /// ```
 /// use letdma_model::SystemBuilder;
-/// use letdma_opt::{heuristic, improve_transfer_order};
+/// use letdma_opt::{heuristic, Reorder};
 ///
 /// let mut b = SystemBuilder::new(2);
 /// let fast = b.task("fast").period_ms(5).core_index(0).add()?;
@@ -172,21 +170,65 @@ pub enum ImproveGoal {
 /// let system = b.build()?;
 ///
 /// let h = heuristic::construct(&system, false).expect("has comms");
-/// let improved = improve_transfer_order(&system, &h.schedule);
+/// let improved = Reorder::new(&system, &h.schedule).run();
 /// let latencies = improved.worst_case_latencies(&system);
 /// let baseline = h.schedule.worst_case_latencies(&system);
 /// let fr = system.task_by_name("fast_r").unwrap().id();
 /// assert!(latencies[&fr] <= baseline[&fr]);
 /// # Ok::<(), letdma_model::ModelError>(())
 /// ```
-#[must_use]
-pub fn improve_transfer_order(system: &System, schedule: &TransferSchedule) -> TransferSchedule {
-    improve_transfer_order_with(system, schedule, ImproveGoal::MinDelayRatio)
+#[derive(Debug, Clone, Copy)]
+#[must_use = "a Reorder does nothing until `.run()` is called"]
+pub struct Reorder<'s> {
+    system: &'s System,
+    schedule: &'s TransferSchedule,
+    goal: ImproveGoal,
 }
 
-/// [`improve_transfer_order`] with an explicit stopping goal.
+impl<'s> Reorder<'s> {
+    /// Starts a reordering pass over `schedule` with the default goal
+    /// ([`ImproveGoal::MinDelayRatio`]).
+    pub fn new(system: &'s System, schedule: &'s TransferSchedule) -> Self {
+        Self {
+            system,
+            schedule,
+            goal: ImproveGoal::MinDelayRatio,
+        }
+    }
+
+    /// Sets the stopping goal.
+    pub fn goal(mut self, goal: ImproveGoal) -> Self {
+        self.goal = goal;
+        self
+    }
+
+    /// Runs the pass and returns the improved schedule (possibly identical
+    /// to the input).
+    #[must_use = "the input schedule is not modified in place"]
+    pub fn run(self) -> TransferSchedule {
+        reorder_impl(self.system, self.schedule, self.goal)
+    }
+}
+
+/// Improves the order of `schedule`'s transfers with the default goal.
+#[deprecated(note = "use `Reorder::new(&system, &schedule).run()` instead")]
+#[must_use]
+pub fn improve_transfer_order(system: &System, schedule: &TransferSchedule) -> TransferSchedule {
+    reorder_impl(system, schedule, ImproveGoal::MinDelayRatio)
+}
+
+/// Improves the order of `schedule`'s transfers with an explicit goal.
+#[deprecated(note = "use `Reorder::new(&system, &schedule).goal(goal).run()` instead")]
 #[must_use]
 pub fn improve_transfer_order_with(
+    system: &System,
+    schedule: &TransferSchedule,
+    goal: ImproveGoal,
+) -> TransferSchedule {
+    reorder_impl(system, schedule, goal)
+}
+
+fn reorder_impl(
     system: &System,
     schedule: &TransferSchedule,
     goal: ImproveGoal,
@@ -275,7 +317,7 @@ mod tests {
     fn front_loads_latency_critical_pair() {
         let sys = fig1_system();
         let h = construct(&sys, false).unwrap();
-        let improved = improve_transfer_order(&sys, &h.schedule);
+        let improved = Reorder::new(&sys, &h.schedule).run();
         let t2 = sys.task_by_name("tau2").unwrap().id();
         let before = h.schedule.worst_case_latencies(&sys)[&t2];
         let after = improved.worst_case_latencies(&sys)[&t2];
@@ -292,7 +334,7 @@ mod tests {
     fn max_ratio_never_worse() {
         let sys = fig1_system();
         let h = construct(&sys, false).unwrap();
-        let improved = improve_transfer_order(&sys, &h.schedule);
+        let improved = Reorder::new(&sys, &h.schedule).run();
         let ratio = |s: &TransferSchedule| {
             s.worst_case_latencies(&sys)
                 .iter()
@@ -306,7 +348,7 @@ mod tests {
     fn precedences_preserved() {
         let sys = fig1_system();
         let h = construct(&sys, false).unwrap();
-        let improved = improve_transfer_order(&sys, &h.schedule);
+        let improved = Reorder::new(&sys, &h.schedule).run();
         let order: Vec<_> = improved.transfers().iter().collect();
         assert!(precedence_ok(&order));
     }
@@ -319,7 +361,7 @@ mod tests {
         b.label("l").size(64).writer(p).reader(c).add().unwrap();
         let sys = b.build().unwrap();
         let h = construct(&sys, false).unwrap();
-        let improved = improve_transfer_order(&sys, &h.schedule);
+        let improved = Reorder::new(&sys, &h.schedule).run();
         assert_eq!(improved, h.schedule);
     }
 
@@ -333,7 +375,7 @@ mod tests {
         let h = construct(&sys, false).unwrap();
         let base = h.schedule.worst_case_latencies(&sys);
         sys.set_acquisition_deadline(t4, Some(base[&t4]));
-        let improved = improve_transfer_order(&sys, &h.schedule);
+        let improved = Reorder::new(&sys, &h.schedule).run();
         let after = improved.worst_case_latencies(&sys);
         assert!(after[&t4] <= base[&t4], "γ must not be sacrificed");
     }

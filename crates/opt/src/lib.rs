@@ -24,7 +24,7 @@
 //!
 //! ```
 //! use letdma_model::SystemBuilder;
-//! use letdma_opt::{optimize, Objective, OptConfig};
+//! use letdma_opt::{Objective, Optimizer};
 //! use std::time::Duration;
 //!
 //! let mut b = SystemBuilder::new(2);
@@ -33,16 +33,25 @@
 //! b.label("frame").size(32 * 1024).writer(cam).reader(det).add()?;
 //! let system = b.build()?;
 //!
-//! let config = OptConfig::with_objective(Objective::MinTransfers, Duration::from_secs(5));
-//! let solution = optimize(&system, &config)?;
+//! let solution = Optimizer::new(&system)
+//!     .objective(Objective::MinTransfers)
+//!     .time_limit(Duration::from_secs(5))
+//!     .run()?;
 //! println!("transfers: {}", solution.num_transfers());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! Independent scenarios parallelize at the batch level with
+//! [`Batch`]/[`optimize_batch`]; a single large solve parallelizes at the
+//! node level via [`OptConfig::with_threads`] (or `LETDMA_THREADS`), with
+//! bit-identical results at any thread count in the default deterministic
+//! mode.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod batch;
 mod config;
 mod formulation;
 pub mod heuristic;
@@ -50,10 +59,16 @@ mod improve;
 mod optimizer;
 mod solution;
 
+pub use batch::{optimize_batch, Batch, BatchOutcome};
 pub use config::{Objective, OptConfig};
-pub use improve::{improve_transfer_order, improve_transfer_order_with, ImproveGoal};
-pub use optimizer::{formulation_lp, heuristic_solution, optimize, optimize_with, OptError};
+pub use improve::{ImproveGoal, Reorder};
+pub use optimizer::{formulation_lp, heuristic_solution, OptError, Optimizer};
 pub use solution::{LetDmaSolution, Provenance};
+
+#[allow(deprecated)]
+pub use improve::{improve_transfer_order, improve_transfer_order_with};
+#[allow(deprecated)]
+pub use optimizer::{optimize, optimize_with};
 
 /// Diagnostics used by development probes; not part of the public API.
 #[doc(hidden)]

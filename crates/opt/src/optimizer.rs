@@ -3,6 +3,7 @@
 
 use std::error::Error;
 use std::fmt;
+use std::time::Duration;
 
 use letdma_core::instrument::{timed_phase, Instrument, NoopInstrument};
 use letdma_model::conformance::{verify, VerifyOptions, Violation};
@@ -14,7 +15,7 @@ use crate::formulation;
 use crate::heuristic;
 use crate::solution::{extract, from_heuristic, warm_start_assignment, LetDmaSolution};
 
-/// Errors of [`optimize`].
+/// Errors of an [`Optimizer`] run.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum OptError {
@@ -27,8 +28,9 @@ pub enum OptError {
     /// Internal consistency failure: the solver returned an assignment that
     /// does not survive independent conformance checking.
     InvalidSolution(Vec<Violation>),
-    /// Unexpected solver failure.
-    Solver(String),
+    /// Unexpected solver failure; the underlying [`SolveError`] is carried
+    /// as the [`Error::source`].
+    Solver(SolveError),
 }
 
 impl fmt::Display for OptError {
@@ -49,32 +51,31 @@ impl fmt::Display for OptError {
                     v.len()
                 )
             }
-            Self::Solver(msg) => write!(f, "solver failure: {msg}"),
+            Self::Solver(e) => write!(f, "solver failure: {e}"),
         }
     }
 }
 
-impl Error for OptError {}
+impl Error for OptError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Solver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
-/// Solves the optimal memory-allocation and DMA-scheduling problem of §VI.
+/// A configured optimization session over one [`System`].
 ///
-/// The returned solution is always re-validated with the independent
-/// conformance checker ([`letdma_model::conformance::verify`]) — Properties
-/// 1–3, per-instant contiguity and acquisition deadlines — so a successful
-/// return is a machine-checked certificate, not just solver output.
-///
-/// # Errors
-///
-/// See [`OptError`]. With [`OptConfig::warm_start`] enabled (the default)
-/// a time-limited run degrades gracefully: if the MILP search cannot improve
-/// on the constructive heuristic within the budget, the (valid) heuristic
-/// solution is returned instead of an error.
+/// Built by [`Optimizer::new`]; chain the setters, then call
+/// [`run`](Optimizer::run). This replaces the old `optimize`/`optimize_with`
+/// free-function pair with a single entry point.
 ///
 /// # Examples
 ///
 /// ```
 /// use letdma_model::SystemBuilder;
-/// use letdma_opt::{optimize, OptConfig};
+/// use letdma_opt::Optimizer;
 ///
 /// let mut b = SystemBuilder::new(2);
 /// let p = b.task("producer").period_ms(5).core_index(0).add()?;
@@ -82,28 +83,180 @@ impl Error for OptError {}
 /// b.label("frame").size(1024).writer(p).reader(c).add()?;
 /// let system = b.build()?;
 ///
-/// let solution = optimize(&system, &OptConfig::default())?;
+/// let solution = Optimizer::new(&system).run()?;
 /// assert!(solution.num_transfers() >= 2); // at least one write + one read
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn optimize(system: &System, config: &OptConfig) -> Result<LetDmaSolution, OptError> {
-    optimize_with(system, config, &mut NoopInstrument)
+///
+/// With an objective, a thread count and an instrument:
+///
+/// ```
+/// use letdma_core::SolverStats;
+/// use letdma_model::SystemBuilder;
+/// use letdma_opt::{Objective, Optimizer};
+///
+/// # let mut b = SystemBuilder::new(2);
+/// # let p = b.task("p").period_ms(5).core_index(0).add()?;
+/// # let c = b.task("c").period_ms(5).core_index(1).add()?;
+/// # b.label("l").size(64).writer(p).reader(c).add()?;
+/// # let system = b.build()?;
+/// let mut stats = SolverStats::new();
+/// let solution = Optimizer::new(&system)
+///     .objective(Objective::MinTransfers)
+///     .threads(2)
+///     .instrument(&mut stats)
+///     .run()?;
+/// assert!(stats.phases().iter().any(|(name, _, _)| *name == "milp-search"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use = "an Optimizer does nothing until `.run()` is called"]
+pub struct Optimizer<'s, 'i> {
+    system: &'s System,
+    config: OptConfig,
+    instrument: Option<&'i mut dyn Instrument>,
 }
 
-/// Like [`optimize`], reporting progress through `instrument`.
-///
-/// The pipeline is split into four instrumented phases — `heuristic`
-/// (constructive heuristic plus local-search reordering), `formulation`
-/// (MILP build and warm-start translation), `milp-search` (branch-and-bound,
-/// which additionally streams per-node counters and incumbent records) and
-/// `validate` (post-pass reordering plus independent conformance
-/// re-verification). Collect them with [`letdma_core::SolverStats`] to get
-/// the `--stats` view of the reproduction binary.
+impl fmt::Debug for Optimizer<'_, '_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Optimizer")
+            .field("config", &self.config)
+            .field("instrumented", &self.instrument.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'s> Optimizer<'s, 'static> {
+    /// Starts a session with [`OptConfig::default`].
+    pub fn new(system: &'s System) -> Self {
+        Optimizer {
+            system,
+            config: OptConfig::default(),
+            instrument: None,
+        }
+    }
+}
+
+impl<'s, 'i> Optimizer<'s, 'i> {
+    /// Replaces the whole configuration at once.
+    pub fn config(mut self, config: OptConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Selects one of the paper's three objective variants.
+    pub fn objective(mut self, objective: Objective) -> Self {
+        self.config = self.config.with_objective(objective);
+        self
+    }
+
+    /// Sets the wall-clock budget of the MILP search.
+    pub fn time_limit(mut self, limit: Duration) -> Self {
+        self.config = self.config.with_time_limit(limit);
+        self
+    }
+
+    /// Sets the node budget of the MILP search.
+    pub fn node_limit(mut self, limit: u64) -> Self {
+        self.config = self.config.with_node_limit(limit);
+        self
+    }
+
+    /// Enables or disables the heuristic warm start.
+    pub fn warm_start(mut self, warm_start: bool) -> Self {
+        self.config = self.config.with_warm_start(warm_start);
+        self
+    }
+
+    /// Emits solver progress on stderr.
+    pub fn log(mut self, log: bool) -> Self {
+        self.config = self.config.with_log(log);
+        self
+    }
+
+    /// Requests an explicit MILP worker-thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config = self.config.with_threads(threads);
+        self
+    }
+
+    /// Selects deterministic (default) or arrival-ordered merging in the
+    /// parallel MILP search.
+    pub fn deterministic(mut self, deterministic: bool) -> Self {
+        self.config = self.config.with_deterministic(deterministic);
+        self
+    }
+
+    /// Streams phase timings, solver counters and incumbent records into
+    /// `instrument` during the run.
+    pub fn instrument<'j>(self, instrument: &'j mut dyn Instrument) -> Optimizer<'s, 'j> {
+        Optimizer {
+            system: self.system,
+            config: self.config,
+            instrument: Some(instrument),
+        }
+    }
+
+    /// Solves the optimal memory-allocation and DMA-scheduling problem of
+    /// §VI.
+    ///
+    /// The returned solution is always re-validated with the independent
+    /// conformance checker ([`letdma_model::conformance::verify`]) —
+    /// Properties 1–3, per-instant contiguity and acquisition deadlines — so
+    /// a successful return is a machine-checked certificate, not just solver
+    /// output.
+    ///
+    /// The pipeline runs four instrumented phases — `heuristic`
+    /// (constructive heuristic plus local-search reordering), `formulation`
+    /// (MILP build and warm-start translation), `milp-search`
+    /// (branch-and-bound, which additionally streams per-node counters and
+    /// incumbent records) and `validate` (post-pass reordering plus
+    /// independent conformance re-verification). Collect them with
+    /// [`letdma_core::SolverStats`] to get the `--stats` view of the
+    /// reproduction binary.
+    ///
+    /// # Errors
+    ///
+    /// See [`OptError`]. With [`OptConfig::warm_start`] enabled (the
+    /// default) a time-limited run degrades gracefully: if the MILP search
+    /// cannot improve on the constructive heuristic within the budget, the
+    /// (valid) heuristic solution is returned instead of an error.
+    pub fn run(self) -> Result<LetDmaSolution, OptError> {
+        match self.instrument {
+            Some(instrument) => run_pipeline(self.system, &self.config, instrument),
+            None => run_pipeline(self.system, &self.config, &mut NoopInstrument),
+        }
+    }
+}
+
+/// Solves with the default pipeline; superseded by the [`Optimizer`]
+/// session API.
 ///
 /// # Errors
 ///
-/// Same as [`optimize`].
+/// See [`OptError`].
+#[deprecated(note = "use `Optimizer::new(&system).config(config).run()` instead")]
+pub fn optimize(system: &System, config: &OptConfig) -> Result<LetDmaSolution, OptError> {
+    run_pipeline(system, config, &mut NoopInstrument)
+}
+
+/// Solves with an instrument attached; superseded by the [`Optimizer`]
+/// session API.
+///
+/// # Errors
+///
+/// See [`OptError`].
+#[deprecated(
+    note = "use `Optimizer::new(&system).config(config).instrument(&mut i).run()` instead"
+)]
 pub fn optimize_with(
+    system: &System,
+    config: &OptConfig,
+    instrument: &mut dyn Instrument,
+) -> Result<LetDmaSolution, OptError> {
+    run_pipeline(system, config, instrument)
+}
+
+fn run_pipeline(
     system: &System,
     config: &OptConfig,
     instrument: &mut dyn Instrument,
@@ -141,7 +294,9 @@ pub fn optimize_with(
     let (heuristic, heuristic_valid) = timed_phase(instrument, "heuristic", |_| {
         let heuristic = heuristic::construct(system, config.include_private_labels).map(|mut h| {
             if let Some(goal) = reorder_goal {
-                h.schedule = crate::improve::improve_transfer_order_with(system, &h.schedule, goal);
+                h.schedule = crate::improve::Reorder::new(system, &h.schedule)
+                    .goal(goal)
+                    .run();
             }
             h
         });
@@ -161,18 +316,25 @@ pub fn optimize_with(
         } else {
             None
         };
-        let solve_options = SolveOptions {
-            time_limit: config.time_limit,
-            node_limit: config.node_limit,
-            warm_start: warm,
-            log: config.log,
-            ..SolveOptions::default()
-        };
+        // `SolveOptions` is non-exhaustive in a foreign crate, so the
+        // `Option`-valued budgets are assigned field-wise instead of
+        // threading them through the `with_*` chain.
+        let mut solve_options = SolveOptions::new()
+            .with_log(config.log)
+            .with_deterministic(config.deterministic);
+        solve_options.time_limit = config.time_limit;
+        solve_options.node_limit = config.node_limit;
+        solve_options.warm_start = warm;
+        solve_options.threads = config.threads;
         (f, solve_options)
     });
 
     let solve_result = timed_phase(instrument, "milp-search", |ins| {
-        f.model.solve_with(&solve_options, ins)
+        f.model
+            .solver()
+            .options(solve_options.clone())
+            .instrument(ins)
+            .run()
     });
     match solve_result {
         Ok(milp_solution) => timed_phase(instrument, "validate", |_| {
@@ -181,8 +343,9 @@ pub fn optimize_with(
             // but its order may still admit improvement within the budget's
             // gap; relocation moves are free wins.
             if let Some(goal) = reorder_goal {
-                let improved =
-                    crate::improve::improve_transfer_order_with(system, &solution.schedule, goal);
+                let improved = crate::improve::Reorder::new(system, &solution.schedule)
+                    .goal(goal)
+                    .run();
                 if improved != solution.schedule {
                     solution.schedule = improved;
                     solution.latencies = solution.schedule.worst_case_latencies(system);
@@ -199,7 +362,6 @@ pub fn optimize_with(
             }
         }),
         Err(SolveError::Infeasible) => Err(OptError::Infeasible),
-        Err(SolveError::Unbounded) => Err(OptError::Solver("LP relaxation unbounded".into())),
         Err(SolveError::LimitReached { .. }) => {
             // No incumbent found by the search: fall back to the heuristic
             // when it is valid.
@@ -208,7 +370,7 @@ pub fn optimize_with(
                 _ => Err(OptError::BudgetExhausted),
             }
         }
-        Err(other) => Err(OptError::Solver(other.to_string())),
+        Err(other) => Err(OptError::Solver(other)),
     }
 }
 
@@ -226,7 +388,7 @@ pub fn heuristic_solution(
 ) -> Result<LetDmaSolution, OptError> {
     let mut h =
         heuristic::construct(system, include_private_labels).ok_or(OptError::NoCommunications)?;
-    h.schedule = crate::improve::improve_transfer_order(system, &h.schedule);
+    h.schedule = crate::improve::Reorder::new(system, &h.schedule).run();
     let violations = verify(
         system,
         &h.layout,
@@ -270,7 +432,7 @@ mod tests {
         b.task("solo").period_ms(5).core_index(0).add().unwrap();
         let sys = b.build().unwrap();
         assert_eq!(
-            optimize(&sys, &OptConfig::default()).unwrap_err(),
+            Optimizer::new(&sys).run().unwrap_err(),
             OptError::NoCommunications
         );
     }
@@ -278,7 +440,7 @@ mod tests {
     #[test]
     fn single_pair_solves() {
         let sys = pair_system();
-        let sol = optimize(&sys, &OptConfig::default()).unwrap();
+        let sol = Optimizer::new(&sys).run().unwrap();
         assert_eq!(sol.num_transfers(), 2);
     }
 
@@ -288,11 +450,31 @@ mod tests {
         let c = sys.task_by_name("c").unwrap().id();
         // One transfer takes at least λ_O = 13.36 µs; demand 1 µs.
         sys.set_acquisition_deadline(c, Some(TimeNs::from_us(1)));
-        let config = OptConfig {
-            warm_start: false,
-            ..OptConfig::default()
-        };
-        assert_eq!(optimize(&sys, &config).unwrap_err(), OptError::Infeasible);
+        assert_eq!(
+            Optimizer::new(&sys).warm_start(false).run().unwrap_err(),
+            OptError::Infeasible
+        );
+    }
+
+    #[test]
+    fn deprecated_shims_agree_with_the_session() {
+        let sys = pair_system();
+        #[allow(deprecated)]
+        let via_shim = optimize(&sys, &OptConfig::default()).unwrap();
+        let via_session = Optimizer::new(&sys).run().unwrap();
+        // Wall-clock fields are the only legitimate difference.
+        assert_eq!(
+            crate::solution::scrub_timing(via_shim),
+            crate::solution::scrub_timing(via_session)
+        );
+    }
+
+    #[test]
+    fn solver_error_chains_its_source() {
+        let err = OptError::Solver(SolveError::Unbounded);
+        assert!(err.to_string().starts_with("solver failure:"));
+        let source = Error::source(&err).expect("source must be chained");
+        assert_eq!(source.to_string(), SolveError::Unbounded.to_string());
     }
 
     #[test]

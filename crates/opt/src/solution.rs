@@ -71,6 +71,18 @@ impl LetDmaSolution {
     }
 }
 
+/// Zeroes the wall-clock fields of a solution's provenance (elapsed time
+/// and the per-worker load breakdown) so trajectory comparisons in tests
+/// ignore the only run-to-run nondeterminism.
+#[cfg(test)]
+pub(crate) fn scrub_timing(mut s: LetDmaSolution) -> LetDmaSolution {
+    if let Provenance::Milp { stats, .. } = &mut s.provenance {
+        stats.elapsed = std::time::Duration::ZERO;
+        stats.workers.clear();
+    }
+    s
+}
+
 /// Builds a [`LetDmaSolution`] from a heuristic construction.
 #[must_use]
 pub(crate) fn from_heuristic(
@@ -136,7 +148,7 @@ pub(crate) fn extract(
         objective_value: formulation.objective_var.map(|_| solution.objective()),
         provenance: Provenance::Milp {
             status: solution.status(),
-            stats: *solution.stats(),
+            stats: solution.stats().clone(),
         },
     }
 }
@@ -314,10 +326,7 @@ mod tests {
         for t in [0u32, 1, 2, 3] {
             sys.set_acquisition_deadline(letdma_model::TaskId::new(t), Some(TimeNs::from_ms(4)));
         }
-        let config = OptConfig {
-            objective: Objective::MinDelayRatio,
-            ..OptConfig::default()
-        };
+        let config = OptConfig::new().with_objective(Objective::MinDelayRatio);
         let f = build(&sys, &config);
         let h = construct(&sys, false).unwrap();
         let warm = warm_start_assignment(&sys, &f, &h).expect("warm start");

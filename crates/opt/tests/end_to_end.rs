@@ -5,7 +5,7 @@ use std::time::Duration;
 
 use letdma_model::conformance::{verify, VerifyOptions};
 use letdma_model::{CopyCost, CostModel, SystemBuilder, TimeNs};
-use letdma_opt::{heuristic_solution, optimize, Objective, OptConfig, Provenance};
+use letdma_opt::{heuristic_solution, Objective, Optimizer, Provenance};
 
 /// Two cores, four producer/consumer chains with mixed periods.
 fn mixed_system() -> letdma_model::System {
@@ -30,12 +30,11 @@ fn mixed_system() -> letdma_model::System {
 fn milp_matches_or_beats_heuristic_on_transfer_count() {
     let sys = mixed_system();
     let heuristic = heuristic_solution(&sys, false).unwrap();
-    let config = OptConfig {
-        objective: Objective::MinTransfers,
-        time_limit: Some(Duration::from_secs(10)),
-        ..OptConfig::default()
-    };
-    let optimized = optimize(&sys, &config).unwrap();
+    let optimized = Optimizer::new(&sys)
+        .objective(Objective::MinTransfers)
+        .time_limit(Duration::from_secs(10))
+        .run()
+        .unwrap();
     assert!(
         optimized.num_transfers() <= heuristic.num_transfers(),
         "MILP ({}) must not be worse than heuristic ({})",
@@ -55,12 +54,11 @@ fn milp_matches_or_beats_heuristic_on_transfer_count() {
 fn obj_del_reduces_worst_ratio() {
     let sys = mixed_system();
     let heuristic = heuristic_solution(&sys, false).unwrap();
-    let config = OptConfig {
-        objective: Objective::MinDelayRatio,
-        time_limit: Some(Duration::from_secs(10)),
-        ..OptConfig::default()
-    };
-    let optimized = optimize(&sys, &config).unwrap();
+    let optimized = Optimizer::new(&sys)
+        .objective(Objective::MinDelayRatio)
+        .time_limit(Duration::from_secs(10))
+        .run()
+        .unwrap();
     let h_ratio = heuristic.max_delay_ratio(&sys);
     let o_ratio = optimized.max_delay_ratio(&sys);
     assert!(
@@ -72,15 +70,14 @@ fn obj_del_reduces_worst_ratio() {
 #[test]
 fn no_obj_finds_feasible_without_warm_start() {
     let sys = mixed_system();
-    let config = OptConfig {
-        objective: Objective::None,
-        warm_start: false,
-        // Pure feasibility search has no heuristic fallback to lean on, so
-        // give it a generous budget (it stops at the first incumbent).
-        time_limit: Some(Duration::from_secs(120)),
-        ..OptConfig::default()
-    };
-    let sol = optimize(&sys, &config).unwrap();
+    // Pure feasibility search has no heuristic fallback to lean on, so
+    // give it a generous budget (it stops at the first incumbent).
+    let sol = Optimizer::new(&sys)
+        .objective(Objective::None)
+        .warm_start(false)
+        .time_limit(Duration::from_secs(120))
+        .run()
+        .unwrap();
     assert!(matches!(sol.provenance, Provenance::Milp { .. }));
     let violations = verify(&sys, &sol.layout, &sol.schedule, VerifyOptions::default());
     assert!(violations.is_empty(), "{violations:?}");
@@ -109,11 +106,10 @@ fn tight_but_feasible_deadlines_solved() {
             sys.set_acquisition_deadline(task.id(), Some(l + TimeNs::from_us(1)));
         }
     }
-    let config = OptConfig {
-        time_limit: Some(Duration::from_secs(10)),
-        ..OptConfig::default()
-    };
-    let sol = optimize(&sys, &config).unwrap();
+    let sol = Optimizer::new(&sys)
+        .time_limit(Duration::from_secs(10))
+        .run()
+        .unwrap();
     let violations = verify(&sys, &sol.layout, &sol.schedule, VerifyOptions::default());
     assert!(violations.is_empty(), "{violations:?}");
 }

@@ -11,7 +11,7 @@ use std::time::Duration;
 
 use letdma_core::{Cases, Rng, Xoshiro256};
 use letdma_model::conformance::{verify, VerifyOptions};
-use letdma_opt::{heuristic_solution, optimize, Objective, OptConfig, OptError};
+use letdma_opt::{heuristic_solution, Objective, OptConfig, OptError, Optimizer};
 use waters2019::gen::{generate, GenConfig};
 
 fn random_config(rng: &mut Xoshiro256) -> GenConfig {
@@ -44,12 +44,10 @@ fn optimize_output_always_conforms() {
             ])
             .expect("nonempty");
         let system = generate(&cfg);
-        let config = OptConfig {
-            objective,
-            time_limit: Some(Duration::from_millis(1500)),
-            ..OptConfig::default()
-        };
-        match optimize(&system, &config) {
+        let config = OptConfig::new()
+            .with_objective(objective)
+            .with_time_limit(Duration::from_millis(1500));
+        match Optimizer::new(&system).config(config).run() {
             Ok(solution) => {
                 let violations = verify(
                     &system,

@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release -p letdma --example custom_platform`
 
 use letdma::model::{MemoryId, SystemBuilder, TimeNs};
-use letdma::opt::{formulation_lp, heuristic_solution, optimize, OptConfig};
+use letdma::opt::{formulation_lp, heuristic_solution, OptConfig, Optimizer};
 use letdma::sim::{simulate, Approach, SimConfig};
 use std::error::Error;
 use std::time::Duration;
@@ -77,11 +77,8 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("heuristic: {} transfers", quick.num_transfers());
 
     // Full optimization.
-    let config = OptConfig {
-        time_limit: Some(Duration::from_secs(10)),
-        ..OptConfig::default()
-    };
-    let best = optimize(&system, &config)?;
+    let config = OptConfig::new().with_time_limit(Duration::from_secs(10));
+    let best = Optimizer::new(&system).config(config.clone()).run()?;
     println!("optimized: {} transfers", best.num_transfers());
 
     // Show the consumer-side layouts: each reader core holds its own copy.

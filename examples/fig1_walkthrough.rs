@@ -10,7 +10,7 @@
 //! Run with: `cargo run --release -p letdma --example fig1_walkthrough`
 
 use letdma::model::SystemBuilder;
-use letdma::opt::{optimize, Objective, OptConfig};
+use letdma::opt::{Objective, Optimizer};
 use letdma::sim::{simulate, Approach, SimConfig};
 use std::error::Error;
 use std::time::Duration;
@@ -63,12 +63,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let system = b.build()?;
 
     // Optimize with OBJ-DEL so the solver front-loads τ2's communications.
-    let config = OptConfig {
-        objective: Objective::MinDelayRatio,
-        time_limit: Some(Duration::from_secs(20)),
-        ..OptConfig::default()
-    };
-    let solution = optimize(&system, &config)?;
+    let solution = Optimizer::new(&system)
+        .objective(Objective::MinDelayRatio)
+        .time_limit(Duration::from_secs(20))
+        .run()?;
 
     println!("optimized transfer order at s0:");
     for (g, tr) in solution.schedule.transfers().iter().enumerate() {

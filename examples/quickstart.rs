@@ -4,7 +4,7 @@
 //! Run with: `cargo run --release -p letdma --example quickstart`
 
 use letdma::model::SystemBuilder;
-use letdma::opt::{optimize, Objective, OptConfig};
+use letdma::opt::{Objective, Optimizer};
 use std::error::Error;
 use std::time::Duration;
 
@@ -64,12 +64,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
 
     // --- 2. Jointly optimize allocation and DMA schedule -----------------
-    let config = OptConfig {
-        objective: Objective::MinDelayRatio, // the paper's OBJ-DEL
-        time_limit: Some(Duration::from_secs(10)),
-        ..OptConfig::default()
-    };
-    let solution = optimize(&system, &config)?;
+    let solution = Optimizer::new(&system)
+        .objective(Objective::MinDelayRatio) // the paper's OBJ-DEL
+        .time_limit(Duration::from_secs(10))
+        .run()?;
 
     // --- 3. Inspect the result -------------------------------------------
     println!("\nDMA transfers at the synchronous start (execution order):");

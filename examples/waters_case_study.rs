@@ -9,7 +9,7 @@
 //! Run with: `cargo run --release -p letdma --example waters_case_study`
 
 use letdma::analysis::{derive_gammas, let_task_segments};
-use letdma::opt::{heuristic_solution, optimize, Objective, OptConfig};
+use letdma::opt::{heuristic_solution, Objective, Optimizer};
 use letdma::sim::{simulate, Approach, SimConfig};
 use letdma::waters::waters_system;
 use std::error::Error;
@@ -39,12 +39,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     letdma::analysis::apply_gammas(&mut system, &sensitivity);
 
     // --- 2. optimize -------------------------------------------------------
-    let config = OptConfig {
-        objective: Objective::MinDelayRatio,
-        time_limit: Some(Duration::from_secs(60)),
-        ..OptConfig::default()
-    };
-    let solution = optimize(&system, &config)?;
+    let solution = Optimizer::new(&system)
+        .objective(Objective::MinDelayRatio)
+        .time_limit(Duration::from_secs(60))
+        .run()?;
     println!(
         "\noptimized: {} DMA transfers, max λ/T = {:.5}",
         solution.num_transfers(),

@@ -10,8 +10,17 @@ cd "$(dirname "$0")/.."
 echo "== cargo build --release =="
 cargo build --workspace --release --offline
 
-echo "== cargo test =="
-cargo test --workspace --quiet --offline
+echo "== cargo test (LETDMA_THREADS=1) =="
+LETDMA_THREADS=1 cargo test --workspace --quiet --offline
+
+echo "== cargo test (LETDMA_THREADS=4) =="
+# Same suite on a multi-threaded solver pool: deterministic mode must make
+# every assertion thread-count-invariant (DESIGN.md §"Concurrency
+# architecture").
+LETDMA_THREADS=4 cargo test --workspace --quiet --offline
+
+echo "== cargo doc --no-deps =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
 
 echo "== cargo fmt --check =="
 cargo fmt --all --check

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/letdma-5999a37ed8354558.d: crates/letdma/src/lib.rs
+
+/root/repo/target/debug/deps/libletdma-5999a37ed8354558.rmeta: crates/letdma/src/lib.rs
+
+crates/letdma/src/lib.rs:

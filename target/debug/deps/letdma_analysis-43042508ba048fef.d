@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/letdma_analysis-43042508ba048fef.d: crates/analysis/src/lib.rs crates/analysis/src/holistic.rs crates/analysis/src/interference.rs crates/analysis/src/rta.rs crates/analysis/src/sensitivity.rs
+
+/root/repo/target/debug/deps/libletdma_analysis-43042508ba048fef.rmeta: crates/analysis/src/lib.rs crates/analysis/src/holistic.rs crates/analysis/src/interference.rs crates/analysis/src/rta.rs crates/analysis/src/sensitivity.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/holistic.rs:
+crates/analysis/src/interference.rs:
+crates/analysis/src/rta.rs:
+crates/analysis/src/sensitivity.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/letdma_bench-5b052664b63d242e.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libletdma_bench-5b052664b63d242e.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

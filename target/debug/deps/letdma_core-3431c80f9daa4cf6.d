@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/letdma_core-3431c80f9daa4cf6.d: crates/core/src/lib.rs crates/core/src/cases.rs crates/core/src/instrument.rs crates/core/src/rng.rs Cargo.toml
+/root/repo/target/debug/deps/letdma_core-3431c80f9daa4cf6.d: crates/core/src/lib.rs crates/core/src/cases.rs crates/core/src/instrument.rs crates/core/src/parallel.rs crates/core/src/rng.rs Cargo.toml
 
-/root/repo/target/debug/deps/libletdma_core-3431c80f9daa4cf6.rmeta: crates/core/src/lib.rs crates/core/src/cases.rs crates/core/src/instrument.rs crates/core/src/rng.rs Cargo.toml
+/root/repo/target/debug/deps/libletdma_core-3431c80f9daa4cf6.rmeta: crates/core/src/lib.rs crates/core/src/cases.rs crates/core/src/instrument.rs crates/core/src/parallel.rs crates/core/src/rng.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/cases.rs:
 crates/core/src/instrument.rs:
+crates/core/src/parallel.rs:
 crates/core/src/rng.rs:
 Cargo.toml:
 

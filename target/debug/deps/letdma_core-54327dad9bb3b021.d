@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/letdma_core-54327dad9bb3b021.d: crates/core/src/lib.rs crates/core/src/cases.rs crates/core/src/instrument.rs crates/core/src/rng.rs
+/root/repo/target/debug/deps/letdma_core-54327dad9bb3b021.d: crates/core/src/lib.rs crates/core/src/cases.rs crates/core/src/instrument.rs crates/core/src/parallel.rs crates/core/src/rng.rs
 
-/root/repo/target/debug/deps/libletdma_core-54327dad9bb3b021.rlib: crates/core/src/lib.rs crates/core/src/cases.rs crates/core/src/instrument.rs crates/core/src/rng.rs
+/root/repo/target/debug/deps/libletdma_core-54327dad9bb3b021.rlib: crates/core/src/lib.rs crates/core/src/cases.rs crates/core/src/instrument.rs crates/core/src/parallel.rs crates/core/src/rng.rs
 
-/root/repo/target/debug/deps/libletdma_core-54327dad9bb3b021.rmeta: crates/core/src/lib.rs crates/core/src/cases.rs crates/core/src/instrument.rs crates/core/src/rng.rs
+/root/repo/target/debug/deps/libletdma_core-54327dad9bb3b021.rmeta: crates/core/src/lib.rs crates/core/src/cases.rs crates/core/src/instrument.rs crates/core/src/parallel.rs crates/core/src/rng.rs
 
 crates/core/src/lib.rs:
 crates/core/src/cases.rs:
 crates/core/src/instrument.rs:
+crates/core/src/parallel.rs:
 crates/core/src/rng.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/letdma_core-5f63f60ab2cc44b3.d: crates/core/src/lib.rs crates/core/src/cases.rs crates/core/src/instrument.rs crates/core/src/rng.rs Cargo.toml
+/root/repo/target/debug/deps/letdma_core-5f63f60ab2cc44b3.d: crates/core/src/lib.rs crates/core/src/cases.rs crates/core/src/instrument.rs crates/core/src/parallel.rs crates/core/src/rng.rs Cargo.toml
 
-/root/repo/target/debug/deps/libletdma_core-5f63f60ab2cc44b3.rmeta: crates/core/src/lib.rs crates/core/src/cases.rs crates/core/src/instrument.rs crates/core/src/rng.rs Cargo.toml
+/root/repo/target/debug/deps/libletdma_core-5f63f60ab2cc44b3.rmeta: crates/core/src/lib.rs crates/core/src/cases.rs crates/core/src/instrument.rs crates/core/src/parallel.rs crates/core/src/rng.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/cases.rs:
 crates/core/src/instrument.rs:
+crates/core/src/parallel.rs:
 crates/core/src/rng.rs:
 Cargo.toml:
 

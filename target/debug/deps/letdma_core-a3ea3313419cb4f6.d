@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/letdma_core-a3ea3313419cb4f6.d: crates/core/src/lib.rs crates/core/src/cases.rs crates/core/src/instrument.rs crates/core/src/rng.rs
+/root/repo/target/debug/deps/letdma_core-a3ea3313419cb4f6.d: crates/core/src/lib.rs crates/core/src/cases.rs crates/core/src/instrument.rs crates/core/src/parallel.rs crates/core/src/rng.rs
 
-/root/repo/target/debug/deps/letdma_core-a3ea3313419cb4f6: crates/core/src/lib.rs crates/core/src/cases.rs crates/core/src/instrument.rs crates/core/src/rng.rs
+/root/repo/target/debug/deps/letdma_core-a3ea3313419cb4f6: crates/core/src/lib.rs crates/core/src/cases.rs crates/core/src/instrument.rs crates/core/src/parallel.rs crates/core/src/rng.rs
 
 crates/core/src/lib.rs:
 crates/core/src/cases.rs:
 crates/core/src/instrument.rs:
+crates/core/src/parallel.rs:
 crates/core/src/rng.rs:

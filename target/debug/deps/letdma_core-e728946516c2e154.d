@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/letdma_core-e728946516c2e154.d: crates/core/src/lib.rs crates/core/src/cases.rs crates/core/src/instrument.rs crates/core/src/parallel.rs crates/core/src/rng.rs
+
+/root/repo/target/debug/deps/libletdma_core-e728946516c2e154.rmeta: crates/core/src/lib.rs crates/core/src/cases.rs crates/core/src/instrument.rs crates/core/src/parallel.rs crates/core/src/rng.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cases.rs:
+crates/core/src/instrument.rs:
+crates/core/src/parallel.rs:
+crates/core/src/rng.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/letdma_model-42e5dbc9212e4cb7.d: crates/model/src/lib.rs crates/model/src/conformance.rs crates/model/src/error.rs crates/model/src/ids.rs crates/model/src/label.rs crates/model/src/let_semantics.rs crates/model/src/platform.rs crates/model/src/system.rs crates/model/src/task.rs crates/model/src/time.rs crates/model/src/transfer.rs
+
+/root/repo/target/debug/deps/libletdma_model-42e5dbc9212e4cb7.rmeta: crates/model/src/lib.rs crates/model/src/conformance.rs crates/model/src/error.rs crates/model/src/ids.rs crates/model/src/label.rs crates/model/src/let_semantics.rs crates/model/src/platform.rs crates/model/src/system.rs crates/model/src/task.rs crates/model/src/time.rs crates/model/src/transfer.rs
+
+crates/model/src/lib.rs:
+crates/model/src/conformance.rs:
+crates/model/src/error.rs:
+crates/model/src/ids.rs:
+crates/model/src/label.rs:
+crates/model/src/let_semantics.rs:
+crates/model/src/platform.rs:
+crates/model/src/system.rs:
+crates/model/src/task.rs:
+crates/model/src/time.rs:
+crates/model/src/transfer.rs:

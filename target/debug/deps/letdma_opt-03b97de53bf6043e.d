@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/letdma_opt-03b97de53bf6043e.d: crates/opt/src/lib.rs crates/opt/src/config.rs crates/opt/src/formulation.rs crates/opt/src/heuristic.rs crates/opt/src/improve.rs crates/opt/src/optimizer.rs crates/opt/src/solution.rs Cargo.toml
+/root/repo/target/debug/deps/letdma_opt-03b97de53bf6043e.d: crates/opt/src/lib.rs crates/opt/src/batch.rs crates/opt/src/config.rs crates/opt/src/formulation.rs crates/opt/src/heuristic.rs crates/opt/src/improve.rs crates/opt/src/optimizer.rs crates/opt/src/solution.rs Cargo.toml
 
-/root/repo/target/debug/deps/libletdma_opt-03b97de53bf6043e.rmeta: crates/opt/src/lib.rs crates/opt/src/config.rs crates/opt/src/formulation.rs crates/opt/src/heuristic.rs crates/opt/src/improve.rs crates/opt/src/optimizer.rs crates/opt/src/solution.rs Cargo.toml
+/root/repo/target/debug/deps/libletdma_opt-03b97de53bf6043e.rmeta: crates/opt/src/lib.rs crates/opt/src/batch.rs crates/opt/src/config.rs crates/opt/src/formulation.rs crates/opt/src/heuristic.rs crates/opt/src/improve.rs crates/opt/src/optimizer.rs crates/opt/src/solution.rs Cargo.toml
 
 crates/opt/src/lib.rs:
+crates/opt/src/batch.rs:
 crates/opt/src/config.rs:
 crates/opt/src/formulation.rs:
 crates/opt/src/heuristic.rs:

@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/letdma_opt-21036213436ee9f6.d: crates/opt/src/lib.rs crates/opt/src/config.rs crates/opt/src/formulation.rs crates/opt/src/heuristic.rs crates/opt/src/improve.rs crates/opt/src/optimizer.rs crates/opt/src/solution.rs
+/root/repo/target/debug/deps/letdma_opt-21036213436ee9f6.d: crates/opt/src/lib.rs crates/opt/src/batch.rs crates/opt/src/config.rs crates/opt/src/formulation.rs crates/opt/src/heuristic.rs crates/opt/src/improve.rs crates/opt/src/optimizer.rs crates/opt/src/solution.rs
 
-/root/repo/target/debug/deps/letdma_opt-21036213436ee9f6: crates/opt/src/lib.rs crates/opt/src/config.rs crates/opt/src/formulation.rs crates/opt/src/heuristic.rs crates/opt/src/improve.rs crates/opt/src/optimizer.rs crates/opt/src/solution.rs
+/root/repo/target/debug/deps/letdma_opt-21036213436ee9f6: crates/opt/src/lib.rs crates/opt/src/batch.rs crates/opt/src/config.rs crates/opt/src/formulation.rs crates/opt/src/heuristic.rs crates/opt/src/improve.rs crates/opt/src/optimizer.rs crates/opt/src/solution.rs
 
 crates/opt/src/lib.rs:
+crates/opt/src/batch.rs:
 crates/opt/src/config.rs:
 crates/opt/src/formulation.rs:
 crates/opt/src/heuristic.rs:

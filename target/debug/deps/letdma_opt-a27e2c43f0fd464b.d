@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/letdma_opt-a27e2c43f0fd464b.d: crates/opt/src/lib.rs crates/opt/src/config.rs crates/opt/src/formulation.rs crates/opt/src/heuristic.rs crates/opt/src/improve.rs crates/opt/src/optimizer.rs crates/opt/src/solution.rs Cargo.toml
+/root/repo/target/debug/deps/letdma_opt-a27e2c43f0fd464b.d: crates/opt/src/lib.rs crates/opt/src/batch.rs crates/opt/src/config.rs crates/opt/src/formulation.rs crates/opt/src/heuristic.rs crates/opt/src/improve.rs crates/opt/src/optimizer.rs crates/opt/src/solution.rs Cargo.toml
 
-/root/repo/target/debug/deps/libletdma_opt-a27e2c43f0fd464b.rmeta: crates/opt/src/lib.rs crates/opt/src/config.rs crates/opt/src/formulation.rs crates/opt/src/heuristic.rs crates/opt/src/improve.rs crates/opt/src/optimizer.rs crates/opt/src/solution.rs Cargo.toml
+/root/repo/target/debug/deps/libletdma_opt-a27e2c43f0fd464b.rmeta: crates/opt/src/lib.rs crates/opt/src/batch.rs crates/opt/src/config.rs crates/opt/src/formulation.rs crates/opt/src/heuristic.rs crates/opt/src/improve.rs crates/opt/src/optimizer.rs crates/opt/src/solution.rs Cargo.toml
 
 crates/opt/src/lib.rs:
+crates/opt/src/batch.rs:
 crates/opt/src/config.rs:
 crates/opt/src/formulation.rs:
 crates/opt/src/heuristic.rs:

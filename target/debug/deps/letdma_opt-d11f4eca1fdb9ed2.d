@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/letdma_opt-d11f4eca1fdb9ed2.d: crates/opt/src/lib.rs crates/opt/src/batch.rs crates/opt/src/config.rs crates/opt/src/formulation.rs crates/opt/src/heuristic.rs crates/opt/src/improve.rs crates/opt/src/optimizer.rs crates/opt/src/solution.rs
+
+/root/repo/target/debug/deps/libletdma_opt-d11f4eca1fdb9ed2.rmeta: crates/opt/src/lib.rs crates/opt/src/batch.rs crates/opt/src/config.rs crates/opt/src/formulation.rs crates/opt/src/heuristic.rs crates/opt/src/improve.rs crates/opt/src/optimizer.rs crates/opt/src/solution.rs
+
+crates/opt/src/lib.rs:
+crates/opt/src/batch.rs:
+crates/opt/src/config.rs:
+crates/opt/src/formulation.rs:
+crates/opt/src/heuristic.rs:
+crates/opt/src/improve.rs:
+crates/opt/src/optimizer.rs:
+crates/opt/src/solution.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/letdma_opt-f6edbac2e1784ca0.d: crates/opt/src/lib.rs crates/opt/src/config.rs crates/opt/src/formulation.rs crates/opt/src/heuristic.rs crates/opt/src/improve.rs crates/opt/src/optimizer.rs crates/opt/src/solution.rs
+/root/repo/target/debug/deps/letdma_opt-f6edbac2e1784ca0.d: crates/opt/src/lib.rs crates/opt/src/batch.rs crates/opt/src/config.rs crates/opt/src/formulation.rs crates/opt/src/heuristic.rs crates/opt/src/improve.rs crates/opt/src/optimizer.rs crates/opt/src/solution.rs
 
-/root/repo/target/debug/deps/libletdma_opt-f6edbac2e1784ca0.rlib: crates/opt/src/lib.rs crates/opt/src/config.rs crates/opt/src/formulation.rs crates/opt/src/heuristic.rs crates/opt/src/improve.rs crates/opt/src/optimizer.rs crates/opt/src/solution.rs
+/root/repo/target/debug/deps/libletdma_opt-f6edbac2e1784ca0.rlib: crates/opt/src/lib.rs crates/opt/src/batch.rs crates/opt/src/config.rs crates/opt/src/formulation.rs crates/opt/src/heuristic.rs crates/opt/src/improve.rs crates/opt/src/optimizer.rs crates/opt/src/solution.rs
 
-/root/repo/target/debug/deps/libletdma_opt-f6edbac2e1784ca0.rmeta: crates/opt/src/lib.rs crates/opt/src/config.rs crates/opt/src/formulation.rs crates/opt/src/heuristic.rs crates/opt/src/improve.rs crates/opt/src/optimizer.rs crates/opt/src/solution.rs
+/root/repo/target/debug/deps/libletdma_opt-f6edbac2e1784ca0.rmeta: crates/opt/src/lib.rs crates/opt/src/batch.rs crates/opt/src/config.rs crates/opt/src/formulation.rs crates/opt/src/heuristic.rs crates/opt/src/improve.rs crates/opt/src/optimizer.rs crates/opt/src/solution.rs
 
 crates/opt/src/lib.rs:
+crates/opt/src/batch.rs:
 crates/opt/src/config.rs:
 crates/opt/src/formulation.rs:
 crates/opt/src/heuristic.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/letdma_sim-1c15c5e82c7585f1.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/report.rs
+
+/root/repo/target/debug/deps/libletdma_sim-1c15c5e82c7585f1.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/report.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/report.rs:

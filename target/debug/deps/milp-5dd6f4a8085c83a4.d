@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/milp-5dd6f4a8085c83a4.d: crates/milp/src/lib.rs crates/milp/src/basis.rs crates/milp/src/expr.rs crates/milp/src/lp_format.rs crates/milp/src/model.rs crates/milp/src/simplex.rs crates/milp/src/solver.rs
+
+/root/repo/target/debug/deps/libmilp-5dd6f4a8085c83a4.rmeta: crates/milp/src/lib.rs crates/milp/src/basis.rs crates/milp/src/expr.rs crates/milp/src/lp_format.rs crates/milp/src/model.rs crates/milp/src/simplex.rs crates/milp/src/solver.rs
+
+crates/milp/src/lib.rs:
+crates/milp/src/basis.rs:
+crates/milp/src/expr.rs:
+crates/milp/src/lp_format.rs:
+crates/milp/src/model.rs:
+crates/milp/src/simplex.rs:
+crates/milp/src/solver.rs:

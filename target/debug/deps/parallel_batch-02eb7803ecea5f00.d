@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_batch-02eb7803ecea5f00.d: crates/letdma/../../tests/parallel_batch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_batch-02eb7803ecea5f00.rmeta: crates/letdma/../../tests/parallel_batch.rs Cargo.toml
+
+crates/letdma/../../tests/parallel_batch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

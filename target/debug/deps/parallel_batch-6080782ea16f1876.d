@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_batch-6080782ea16f1876.d: crates/letdma/../../tests/parallel_batch.rs
+
+/root/repo/target/debug/deps/parallel_batch-6080782ea16f1876: crates/letdma/../../tests/parallel_batch.rs
+
+crates/letdma/../../tests/parallel_batch.rs:

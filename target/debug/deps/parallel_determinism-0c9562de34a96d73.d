@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_determinism-0c9562de34a96d73.d: crates/milp/tests/parallel_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_determinism-0c9562de34a96d73.rmeta: crates/milp/tests/parallel_determinism.rs Cargo.toml
+
+crates/milp/tests/parallel_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_determinism-ab93a830b7049991.d: crates/milp/tests/parallel_determinism.rs
+
+/root/repo/target/debug/deps/parallel_determinism-ab93a830b7049991: crates/milp/tests/parallel_determinism.rs
+
+crates/milp/tests/parallel_determinism.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/waters2019-f938a4b4a4d3f09a.d: crates/waters/src/lib.rs crates/waters/src/case_study.rs crates/waters/src/gen.rs
+
+/root/repo/target/debug/deps/libwaters2019-f938a4b4a4d3f09a.rmeta: crates/waters/src/lib.rs crates/waters/src/case_study.rs crates/waters/src/gen.rs
+
+crates/waters/src/lib.rs:
+crates/waters/src/case_study.rs:
+crates/waters/src/gen.rs:

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["milp",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/convert/trait.From.html\" title=\"trait core::convert::From\">From</a>&lt;<a class=\"primitive\" href=\"https://doc.rust-lang.org/1.95.0/std/primitive.f64.html\">f64</a>&gt; for <a class=\"struct\" href=\"milp/struct.LinExpr.html\" title=\"struct milp::LinExpr\">LinExpr</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/convert/trait.From.html\" title=\"trait core::convert::From\">From</a>&lt;<a class=\"struct\" href=\"milp/struct.Var.html\" title=\"struct milp::Var\">Var</a>&gt; for <a class=\"struct\" href=\"milp/struct.LinExpr.html\" title=\"struct milp::LinExpr\">LinExpr</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[699]}

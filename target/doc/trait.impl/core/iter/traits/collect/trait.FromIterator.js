@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["letdma_model",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/iter/traits/collect/trait.FromIterator.html\" title=\"trait core::iter::traits::collect::FromIterator\">FromIterator</a>&lt;<a class=\"struct\" href=\"letdma_model/transfer/struct.DmaTransfer.html\" title=\"struct letdma_model::transfer::DmaTransfer\">DmaTransfer</a>&gt; for <a class=\"struct\" href=\"letdma_model/transfer/struct.TransferSchedule.html\" title=\"struct letdma_model::transfer::TransferSchedule\">TransferSchedule</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[528]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["letdma_model",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/arith/trait.AddAssign.html\" title=\"trait core::ops::arith::AddAssign\">AddAssign</a> for <a class=\"struct\" href=\"letdma_model/time/struct.TimeNs.html\" title=\"struct letdma_model::time::TimeNs\">TimeNs</a>",0]]],["milp",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/arith/trait.AddAssign.html\" title=\"trait core::ops::arith::AddAssign\">AddAssign</a> for <a class=\"struct\" href=\"milp/struct.LinExpr.html\" title=\"struct milp::LinExpr\">LinExpr</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[309,278]}

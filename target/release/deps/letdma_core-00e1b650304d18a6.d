@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/letdma_core-00e1b650304d18a6.d: crates/core/src/lib.rs crates/core/src/cases.rs crates/core/src/instrument.rs crates/core/src/rng.rs
+/root/repo/target/release/deps/letdma_core-00e1b650304d18a6.d: crates/core/src/lib.rs crates/core/src/cases.rs crates/core/src/instrument.rs crates/core/src/parallel.rs crates/core/src/rng.rs
 
-/root/repo/target/release/deps/libletdma_core-00e1b650304d18a6.rlib: crates/core/src/lib.rs crates/core/src/cases.rs crates/core/src/instrument.rs crates/core/src/rng.rs
+/root/repo/target/release/deps/libletdma_core-00e1b650304d18a6.rlib: crates/core/src/lib.rs crates/core/src/cases.rs crates/core/src/instrument.rs crates/core/src/parallel.rs crates/core/src/rng.rs
 
-/root/repo/target/release/deps/libletdma_core-00e1b650304d18a6.rmeta: crates/core/src/lib.rs crates/core/src/cases.rs crates/core/src/instrument.rs crates/core/src/rng.rs
+/root/repo/target/release/deps/libletdma_core-00e1b650304d18a6.rmeta: crates/core/src/lib.rs crates/core/src/cases.rs crates/core/src/instrument.rs crates/core/src/parallel.rs crates/core/src/rng.rs
 
 crates/core/src/lib.rs:
 crates/core/src/cases.rs:
 crates/core/src/instrument.rs:
+crates/core/src/parallel.rs:
 crates/core/src/rng.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/letdma_core-ba48d95360fe9cee.d: crates/core/src/lib.rs crates/core/src/cases.rs crates/core/src/instrument.rs crates/core/src/rng.rs
+/root/repo/target/release/deps/letdma_core-ba48d95360fe9cee.d: crates/core/src/lib.rs crates/core/src/cases.rs crates/core/src/instrument.rs crates/core/src/parallel.rs crates/core/src/rng.rs
 
-/root/repo/target/release/deps/libletdma_core-ba48d95360fe9cee.rlib: crates/core/src/lib.rs crates/core/src/cases.rs crates/core/src/instrument.rs crates/core/src/rng.rs
+/root/repo/target/release/deps/libletdma_core-ba48d95360fe9cee.rlib: crates/core/src/lib.rs crates/core/src/cases.rs crates/core/src/instrument.rs crates/core/src/parallel.rs crates/core/src/rng.rs
 
-/root/repo/target/release/deps/libletdma_core-ba48d95360fe9cee.rmeta: crates/core/src/lib.rs crates/core/src/cases.rs crates/core/src/instrument.rs crates/core/src/rng.rs
+/root/repo/target/release/deps/libletdma_core-ba48d95360fe9cee.rmeta: crates/core/src/lib.rs crates/core/src/cases.rs crates/core/src/instrument.rs crates/core/src/parallel.rs crates/core/src/rng.rs
 
 crates/core/src/lib.rs:
 crates/core/src/cases.rs:
 crates/core/src/instrument.rs:
+crates/core/src/parallel.rs:
 crates/core/src/rng.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/letdma_opt-5c8c482db8cb81f5.d: crates/opt/src/lib.rs crates/opt/src/config.rs crates/opt/src/formulation.rs crates/opt/src/heuristic.rs crates/opt/src/improve.rs crates/opt/src/optimizer.rs crates/opt/src/solution.rs
+/root/repo/target/release/deps/letdma_opt-5c8c482db8cb81f5.d: crates/opt/src/lib.rs crates/opt/src/batch.rs crates/opt/src/config.rs crates/opt/src/formulation.rs crates/opt/src/heuristic.rs crates/opt/src/improve.rs crates/opt/src/optimizer.rs crates/opt/src/solution.rs
 
-/root/repo/target/release/deps/libletdma_opt-5c8c482db8cb81f5.rlib: crates/opt/src/lib.rs crates/opt/src/config.rs crates/opt/src/formulation.rs crates/opt/src/heuristic.rs crates/opt/src/improve.rs crates/opt/src/optimizer.rs crates/opt/src/solution.rs
+/root/repo/target/release/deps/libletdma_opt-5c8c482db8cb81f5.rlib: crates/opt/src/lib.rs crates/opt/src/batch.rs crates/opt/src/config.rs crates/opt/src/formulation.rs crates/opt/src/heuristic.rs crates/opt/src/improve.rs crates/opt/src/optimizer.rs crates/opt/src/solution.rs
 
-/root/repo/target/release/deps/libletdma_opt-5c8c482db8cb81f5.rmeta: crates/opt/src/lib.rs crates/opt/src/config.rs crates/opt/src/formulation.rs crates/opt/src/heuristic.rs crates/opt/src/improve.rs crates/opt/src/optimizer.rs crates/opt/src/solution.rs
+/root/repo/target/release/deps/libletdma_opt-5c8c482db8cb81f5.rmeta: crates/opt/src/lib.rs crates/opt/src/batch.rs crates/opt/src/config.rs crates/opt/src/formulation.rs crates/opt/src/heuristic.rs crates/opt/src/improve.rs crates/opt/src/optimizer.rs crates/opt/src/solution.rs
 
 crates/opt/src/lib.rs:
+crates/opt/src/batch.rs:
 crates/opt/src/config.rs:
 crates/opt/src/formulation.rs:
 crates/opt/src/heuristic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_milp-7f98653cdc80a7b1.d: crates/bench/benches/table1_milp.rs
+
+/root/repo/target/release/deps/table1_milp-7f98653cdc80a7b1: crates/bench/benches/table1_milp.rs
+
+crates/bench/benches/table1_milp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/probe-4ab6179aeecfb858.d: crates/bench/examples/probe.rs
+
+/root/repo/target/release/examples/probe-4ab6179aeecfb858: crates/bench/examples/probe.rs
+
+crates/bench/examples/probe.rs:

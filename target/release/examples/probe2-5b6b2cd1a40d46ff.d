@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/probe2-5b6b2cd1a40d46ff.d: crates/bench/examples/probe2.rs
+
+/root/repo/target/release/examples/probe2-5b6b2cd1a40d46ff: crates/bench/examples/probe2.rs
+
+crates/bench/examples/probe2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/probe_timing-17dca8a088b8be7c.d: crates/letdma/examples/probe_timing.rs
+
+/root/repo/target/release/examples/probe_timing-17dca8a088b8be7c: crates/letdma/examples/probe_timing.rs
+
+crates/letdma/examples/probe_timing.rs:

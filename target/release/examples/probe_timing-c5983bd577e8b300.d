@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/probe_timing-c5983bd577e8b300.d: crates/bench/examples/probe_timing.rs
+
+/root/repo/target/release/examples/probe_timing-c5983bd577e8b300: crates/bench/examples/probe_timing.rs
+
+crates/bench/examples/probe_timing.rs:

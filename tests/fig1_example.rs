@@ -4,7 +4,7 @@
 //! scheduled ahead of the bulky unrelated ones.
 
 use letdma::model::{SystemBuilder, TimeNs};
-use letdma::opt::{optimize, Objective, OptConfig};
+use letdma::opt::{Objective, Optimizer};
 use letdma::sim::{simulate, Approach, SimConfig};
 use std::time::Duration;
 
@@ -33,12 +33,11 @@ fn tau2_ready_much_earlier_than_giotto() {
         .unwrap();
     let system = b.build().unwrap();
 
-    let config = OptConfig {
-        objective: Objective::MinDelayRatio,
-        time_limit: Some(Duration::from_secs(20)),
-        ..OptConfig::default()
-    };
-    let solution = optimize(&system, &config).unwrap();
+    let solution = Optimizer::new(&system)
+        .objective(Objective::MinDelayRatio)
+        .time_limit(Duration::from_secs(20))
+        .run()
+        .unwrap();
 
     let proposed = simulate(
         &system,

@@ -4,7 +4,7 @@
 use letdma::analysis::{apply_gammas, derive_gammas, let_task_segments};
 use letdma::model::conformance::{verify, VerifyOptions};
 use letdma::model::TimeNs;
-use letdma::opt::{heuristic_solution, optimize, Objective, OptConfig};
+use letdma::opt::{heuristic_solution, Objective, Optimizer};
 use letdma::sim::{simulate, Approach, SimConfig};
 use letdma::waters::waters_system;
 use std::time::Duration;
@@ -22,12 +22,11 @@ fn waters_pipeline_alpha30() {
     apply_gammas(&mut system, &sens);
 
     // Optimize under the derived deadlines.
-    let config = OptConfig {
-        objective: Objective::MinDelayRatio,
-        time_limit: Some(Duration::from_secs(20)),
-        ..OptConfig::default()
-    };
-    let solution = optimize(&system, &config).unwrap();
+    let solution = Optimizer::new(&system)
+        .objective(Objective::MinDelayRatio)
+        .time_limit(Duration::from_secs(20))
+        .run()
+        .unwrap();
     let violations = verify(
         &system,
         &solution.layout,
@@ -107,11 +106,11 @@ fn waters_alpha_sweep_shape() {
             continue;
         }
         apply_gammas(&mut sys, &sens);
-        let config = OptConfig {
-            time_limit: Some(Duration::from_secs(10)),
-            ..OptConfig::default()
-        };
-        if optimize(&sys, &config).is_ok() {
+        if Optimizer::new(&sys)
+            .time_limit(Duration::from_secs(10))
+            .run()
+            .is_ok()
+        {
             feasible_alphas.push(alpha);
         }
     }

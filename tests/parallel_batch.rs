@@ -1,0 +1,134 @@
+//! Regression: batch solving (`Batch` / `optimize_batch`) must return
+//! exactly what a sequential loop of `Optimizer` runs returns, scenario by
+//! scenario, at any worker-thread count. The only tolerated differences are
+//! wall-clock measurements (`elapsed`) and the per-worker load breakdown
+//! (which worker happened to grab which node) — everything decision-
+//! relevant (layout, schedule, latencies, search counters) is pinned.
+
+use letdma::model::{System, SystemBuilder};
+use letdma::opt::{
+    optimize_batch, Batch, LetDmaSolution, Objective, OptConfig, Optimizer, Provenance,
+};
+use std::time::Duration;
+
+/// Zeroes the fields that legitimately vary run to run: wall-clock time and
+/// the timing-dependent worker-load breakdown.
+fn scrub(mut s: LetDmaSolution) -> LetDmaSolution {
+    if let Provenance::Milp { stats, .. } = &mut s.provenance {
+        stats.elapsed = Duration::ZERO;
+        stats.workers.clear();
+    }
+    s
+}
+
+/// A small two-core pipeline; `flip` varies the label sizes so the
+/// scenarios in a batch are genuinely different problems.
+fn pipeline_system(flip: bool) -> System {
+    let mut b = SystemBuilder::new(2);
+    let (a, c) = if flip { (2_048, 256) } else { (256, 2_048) };
+    let p1 = b.task("p1").period_ms(5).core_index(0).add().unwrap();
+    let c1 = b.task("c1").period_ms(5).core_index(1).add().unwrap();
+    let p2 = b.task("p2").period_ms(10).core_index(0).add().unwrap();
+    let c2 = b.task("c2").period_ms(10).core_index(1).add().unwrap();
+    b.label("a").size(a).writer(p1).reader(c1).add().unwrap();
+    b.label("b").size(512).writer(p1).reader(c2).add().unwrap();
+    b.label("c").size(c).writer(p2).reader(c1).add().unwrap();
+    b.build().unwrap()
+}
+
+fn scenarios() -> Vec<(System, OptConfig)> {
+    // No time limits: every scenario must run to a deterministic stopping
+    // point (proved optimum / first incumbent), otherwise the comparison
+    // against the sequential loop would depend on machine load.
+    vec![
+        (
+            pipeline_system(false),
+            OptConfig::new()
+                .with_objective(Objective::MinTransfers)
+                .without_time_limit(),
+        ),
+        (
+            pipeline_system(true),
+            OptConfig::new()
+                .with_objective(Objective::MinTransfers)
+                .without_time_limit(),
+        ),
+        (
+            pipeline_system(false),
+            OptConfig::new().without_time_limit(),
+        ),
+        (pipeline_system(true), OptConfig::new().without_time_limit()),
+    ]
+}
+
+/// The reference result: one `Optimizer` run per scenario, in order.
+fn sequential_reference() -> Vec<LetDmaSolution> {
+    scenarios()
+        .into_iter()
+        .map(|(system, config)| {
+            scrub(
+                Optimizer::new(&system)
+                    .config(config)
+                    .run()
+                    .expect("reference scenario must solve"),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn optimize_batch_matches_the_sequential_loop() {
+    let reference = sequential_reference();
+    let outcomes = optimize_batch(scenarios());
+    assert_eq!(outcomes.len(), reference.len());
+    for (i, (outcome, expected)) in outcomes.into_iter().zip(reference).enumerate() {
+        let got = scrub(outcome.result.unwrap_or_else(|e| {
+            panic!("scenario {i} failed in the batch but not sequentially: {e}")
+        }));
+        assert_eq!(
+            got, expected,
+            "scenario {i} diverged from the sequential loop"
+        );
+    }
+}
+
+#[test]
+fn batch_is_invariant_in_the_worker_thread_count() {
+    let reference = sequential_reference();
+    for threads in [1usize, 2, 8] {
+        let mut batch = Batch::new().threads(threads);
+        for (system, config) in scenarios() {
+            batch = batch.scenario(system, config);
+        }
+        let outcomes = batch.run();
+        assert_eq!(outcomes.len(), reference.len());
+        for (i, (outcome, expected)) in outcomes.into_iter().zip(reference.iter()).enumerate() {
+            let got = scrub(outcome.result.expect("batch scenario must solve"));
+            assert_eq!(
+                &got, expected,
+                "scenario {i} diverged at {threads} worker threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn batch_reports_per_scenario_stats() {
+    // Each outcome carries its own deterministic shard: node and LP-solve
+    // counters must agree with the stats embedded in the solution itself.
+    let mut batch = Batch::new().threads(2);
+    for (system, config) in scenarios() {
+        batch = batch.scenario(system, config);
+    }
+    for (i, outcome) in batch.run().into_iter().enumerate() {
+        let solution = outcome.result.expect("scenario must solve");
+        if let Provenance::Milp { stats, .. } = &solution.provenance {
+            use letdma::core::Counter;
+            assert_eq!(
+                outcome.stats.counter(Counter::Nodes),
+                stats.nodes,
+                "scenario {i}: shard node count disagrees with the solution stats"
+            );
+        }
+    }
+}

@@ -10,7 +10,7 @@ use std::time::Duration;
 
 use letdma::core::{Counter, SolverStats};
 use letdma::model::{SystemBuilder, TimeNs};
-use letdma::opt::{heuristic_solution, optimize, Objective, OptConfig};
+use letdma::opt::{heuristic_solution, Objective, OptConfig, Optimizer};
 use letdma::sim::{simulate, Approach, SimConfig};
 use letdma::waters::gen::{generate, GenConfig};
 use letdma::waters::waters_system;
@@ -57,15 +57,11 @@ fn fig1_tau2_latency_improvement_pinned() {
         .unwrap();
     let system = b.build().unwrap();
 
-    let solution = optimize(
-        &system,
-        &OptConfig {
-            objective: Objective::MinDelayRatio,
-            time_limit: Some(Duration::from_secs(20)),
-            ..OptConfig::default()
-        },
-    )
-    .expect("Fig. 1 example solves");
+    let solution = Optimizer::new(&system)
+        .objective(Objective::MinDelayRatio)
+        .time_limit(Duration::from_secs(20))
+        .run()
+        .expect("Fig. 1 example solves");
     let proposed = simulate(
         &system,
         Some(&solution.schedule),
@@ -129,17 +125,15 @@ fn solver_trajectory_is_deterministic() {
         // No time limit: wall-clock cutoffs are the one legitimate source
         // of run-to-run divergence, so the trajectory comparison must be
         // bounded by nodes only.
-        let solution = letdma::opt::optimize_with(
-            &system,
-            &OptConfig {
-                objective: Objective::MinTransfers,
-                time_limit: None,
-                node_limit: Some(100),
-                ..OptConfig::default()
-            },
-            &mut stats,
-        )
-        .expect("feasible");
+        let config = OptConfig::new()
+            .with_objective(Objective::MinTransfers)
+            .without_time_limit()
+            .with_node_limit(100);
+        let solution = Optimizer::new(&system)
+            .config(config)
+            .instrument(&mut stats)
+            .run()
+            .expect("feasible");
         (solution.num_transfers(), stats)
     };
     let (transfers_a, stats_a) = run();
