@@ -6,6 +6,7 @@
 //! cargo run --release -p letdma-bench --bin repro -- fig2 --budget 60 --threads 4
 //! cargo run --release -p letdma-bench --bin repro -- table1 --budget 120 --stats
 //! cargo run --release -p letdma-bench --bin repro -- alpha-sweep
+//! cargo run --release -p letdma-bench --bin repro -- bench-milp --nodes 12 --out BENCH_milp.json
 //! ```
 //!
 //! `--budget <seconds>` bounds each MILP solve (default 30 s; the paper
@@ -15,21 +16,32 @@
 //! parallelism for `fig1`; results are bit-identical at any thread count.
 //! `--stats` appends the solver statistics accumulated across every solve
 //! of the command: the deterministic aggregate (per-phase wall clock,
-//! simplex/branch-and-bound counters, node outcome breakdown, incumbent
-//! timeline), the per-scenario shards and the timing-dependent per-worker
-//! loads.
+//! simplex/branch-and-bound counters including the warm-re-solve split,
+//! node outcome breakdown, incumbent timeline), the per-scenario shards
+//! and the timing-dependent per-worker loads.
+//!
+//! `bench-milp` solves the six Table I scenarios twice — warm
+//! (dual-simplex node re-solves, the default) and cold — under a node
+//! budget (`--nodes`, default 12 — each WATERS node LP costs thousands of
+//! simplex iterations, so modest budgets already take minutes;
+//! deterministic, so both runs visit the
+//! same trajectory), prints the iteration split and writes the
+//! machine-readable report to `--out` (default `BENCH_milp.json`, schema
+//! in DESIGN.md §"Warm-started node re-solves").
 
 use std::process::ExitCode;
 use std::time::Duration;
 
 use letdma::core::Counter;
-use letdma_bench::{alpha_sweep, fig2, table1, Session};
+use letdma_bench::{alpha_sweep, fig2, milp_bench, table1, Session};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut budget = Duration::from_secs(30);
     let mut threads: Option<usize> = None;
     let mut stats = false;
+    let mut nodes: u64 = 12;
+    let mut out_path = String::from("BENCH_milp.json");
     let mut command: Option<String> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -61,6 +73,26 @@ fn main() -> ExitCode {
                 }
             }
             "--stats" => stats = true,
+            "--nodes" => {
+                let Some(value) = iter.next() else {
+                    eprintln!("--nodes needs a node budget");
+                    return ExitCode::FAILURE;
+                };
+                match value.parse::<u64>() {
+                    Ok(n) if n >= 1 => nodes = n,
+                    _ => {
+                        eprintln!("invalid node budget `{value}`");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--out" => {
+                let Some(value) = iter.next() else {
+                    eprintln!("--out needs a file path");
+                    return ExitCode::FAILURE;
+                };
+                out_path = value.clone();
+            }
             other if command.is_none() => command = Some(other.to_owned()),
             other => {
                 eprintln!("unexpected argument `{other}`");
@@ -79,6 +111,20 @@ fn main() -> ExitCode {
         "fig2" => print!("{}", fig2::render(&session.fig2())),
         "table1" => print!("{}", table1::render(&session.table1())),
         "alpha-sweep" => print!("{}", alpha_sweep::render(&session.alpha_sweep())),
+        "bench-milp" => {
+            let bench = milp_bench::run(nodes);
+            print!("{}", bench.render());
+            let value = bench.to_json();
+            if let Err(problem) = milp_bench::validate(&value) {
+                eprintln!("internal error: benchmark report fails its own schema: {problem}");
+                return ExitCode::FAILURE;
+            }
+            if let Err(e) = std::fs::write(&out_path, value.render()) {
+                eprintln!("cannot write `{out_path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {out_path}");
+        }
         "all" => {
             println!("== Fig. 1 =================================================");
             print!("{}", session.fig1());
@@ -90,7 +136,9 @@ fn main() -> ExitCode {
             print!("{}", alpha_sweep::render(&session.alpha_sweep()));
         }
         other => {
-            eprintln!("unknown command `{other}` (use fig1|fig2|table1|alpha-sweep|all)");
+            eprintln!(
+                "unknown command `{other}` (use fig1|fig2|table1|alpha-sweep|bench-milp|all)"
+            );
             return ExitCode::FAILURE;
         }
     }
@@ -110,9 +158,11 @@ fn main() -> ExitCode {
                         .map_or(0, |(_, v)| *v)
                 };
                 println!(
-                    "{name:<28} {:>8} nodes  {:>10} simplex iterations  {:>4} incumbents",
+                    "{name:<28} {:>8} nodes  {:>10} simplex iterations  {:>8} dual iterations  {:>4} warm fathoms  {:>4} incumbents",
                     count(Counter::Nodes),
                     count(Counter::SimplexIterations),
+                    count(Counter::DualIterations),
+                    count(Counter::WarmFathoms),
                     count(Counter::Incumbents),
                 );
             }

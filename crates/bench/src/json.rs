@@ -1,0 +1,185 @@
+//! Minimal hand-rolled JSON emitter (no serde — see DESIGN.md
+//! §"Dependency policy").
+//!
+//! The workspace builds with the crates-io registry unreachable, so the
+//! machine-readable benchmark output (`BENCH_milp.json`) is produced by
+//! this ~100-line tree-of-values writer instead of a serialization
+//! framework. It emits pretty-printed, deterministic output: object keys
+//! appear in insertion order and floats are formatted with a fixed number
+//! of decimals, so two runs with identical counters produce byte-identical
+//! files.
+
+use std::fmt::Write as _;
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (kept exact — solver counters are `u64`).
+    Int(i64),
+    /// A float, emitted with three decimals (milliseconds, percentages).
+    Float(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys render in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for an object.
+    #[must_use]
+    pub fn obj(fields: Vec<(&str, Json)>) -> Self {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// Convenience constructor for a string value.
+    #[must_use]
+    pub fn str(s: impl Into<String>) -> Self {
+        Json::Str(s.into())
+    }
+
+    /// Looks up a key of an object; `None` for non-objects/missing keys.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Pretty-prints with two-space indentation and a trailing newline.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Float(f) => {
+                // JSON has no NaN/Inf; clamp to null like `JSON.stringify`.
+                if f.is_finite() {
+                    let _ = write!(out, "{f:.3}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render(), "null\n");
+        assert_eq!(Json::Bool(true).render(), "true\n");
+        assert_eq!(Json::Int(-7).render(), "-7\n");
+        assert_eq!(Json::Float(1.5).render(), "1.500\n");
+        assert_eq!(Json::Float(f64::NAN).render(), "null\n");
+    }
+
+    #[test]
+    fn strings_escape_controls_and_quotes() {
+        assert_eq!(
+            Json::str("a\"b\\c\nd\u{1}").render(),
+            "\"a\\\"b\\\\c\\nd\\u0001\"\n"
+        );
+    }
+
+    #[test]
+    fn objects_keep_insertion_order_and_indent() {
+        let v = Json::obj(vec![
+            ("b", Json::Int(1)),
+            ("a", Json::Arr(vec![Json::Int(2), Json::Int(3)])),
+            ("empty", Json::Arr(Vec::new())),
+        ]);
+        let expected = "{\n  \"b\": 1,\n  \"a\": [\n    2,\n    3\n  ],\n  \"empty\": []\n}\n";
+        assert_eq!(v.render(), expected);
+    }
+
+    #[test]
+    fn get_finds_object_keys() {
+        let v = Json::obj(vec![("x", Json::Int(4))]);
+        assert_eq!(v.get("x"), Some(&Json::Int(4)));
+        assert_eq!(v.get("y"), None);
+        assert_eq!(Json::Int(4).get("x"), None);
+    }
+}

@@ -11,7 +11,9 @@
 //! * **Table I** — MILP running times and DMA-transfer counts
 //!   ([`Session::table1`]);
 //! * the **α sensitivity sweep** described in the §VII text
-//!   ([`Session::alpha_sweep`]).
+//!   ([`Session::alpha_sweep`]);
+//! * the **MILP warm-start A/B** ([`milp_bench`]) behind
+//!   `repro bench-milp` and the committed `BENCH_milp.json` baseline.
 //!
 //! All experiments run through one [`Session`], which owns the solve
 //! budget, the thread count and the per-scenario [`SolverStats`] shards
@@ -25,6 +27,8 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod json;
+pub mod milp_bench;
 
 use std::time::Duration;
 

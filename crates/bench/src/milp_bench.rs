@@ -1,0 +1,435 @@
+//! The MILP warm-start A/B benchmark behind `repro bench-milp` and the
+//! committed `BENCH_milp.json` baseline.
+//!
+//! Each Table I scenario ({NO-OBJ, OBJ-DMAT, OBJ-DEL} × α ∈ {0.2, 0.4})
+//! is solved twice under the *same node budget*: once with warm
+//! (dual-simplex) node re-solves enabled and once cold
+//! ([`OptConfig::with_warm_basis`]). The node budget — not a wall-clock
+//! budget — is the stopping rule, so both runs visit the exact same search
+//! trajectory (warm re-solves never change a solution bit, only the work
+//! spent) and the iteration split is a like-for-like comparison.
+//!
+//! The accounting is honest about where the work goes: warm runs report
+//! *primal* and *dual* simplex iterations separately, and the headline
+//! `iteration_reduction_pct` compares cold primal iterations against the
+//! warm primal + dual total, so the dual pivots the warm path spends are
+//! counted against it. On the WATERS big-M relaxation the value-free
+//! certificates essentially never fire (every child bound starts far
+//! below the cutoff), so expect the committed baseline to show a small
+//! bounded overhead, not a saving — DESIGN.md §"Warm-started node
+//! re-solves" documents the measurement and the trade.
+
+use std::time::{Duration, Instant};
+
+use letdma::core::{Counter, SolverStats};
+use letdma::opt::{Objective, OptConfig, Optimizer};
+
+use crate::json::Json;
+use crate::waters_with_alpha;
+
+/// Solver counters of one (scenario, mode) run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ModeReport {
+    /// Branch-and-bound nodes processed.
+    pub nodes: u64,
+    /// Primal simplex iterations (phase 1 + phase 2, all node LPs).
+    pub primal_iterations: u64,
+    /// Dual simplex iterations spent on warm re-solve attempts.
+    pub dual_iterations: u64,
+    /// Warm re-solves attempted.
+    pub warm_attempts: u64,
+    /// Warm re-solves that fathomed the node against the incumbent cutoff.
+    pub warm_fathoms: u64,
+    /// Warm re-solves that certified the child LP infeasible.
+    pub warm_infeasible: u64,
+    /// Warm re-solves that gave up and fell back to the cold primal path.
+    pub warm_fallbacks: u64,
+    /// Parent-minus-dual iteration proxy for the work warm outcomes saved.
+    pub warm_iterations_saved: u64,
+    /// Wall clock of the full pipeline (heuristic + formulation + search +
+    /// validation). Timing-dependent; everything else here is
+    /// deterministic.
+    pub wall_clock: Duration,
+}
+
+impl ModeReport {
+    fn from_stats(stats: &SolverStats, wall_clock: Duration) -> Self {
+        Self {
+            nodes: stats.counter(Counter::Nodes),
+            primal_iterations: stats.counter(Counter::SimplexIterations),
+            dual_iterations: stats.counter(Counter::DualIterations),
+            warm_attempts: stats.counter(Counter::WarmAttempts),
+            warm_fathoms: stats.counter(Counter::WarmFathoms),
+            warm_infeasible: stats.counter(Counter::WarmInfeasible),
+            warm_fallbacks: stats.counter(Counter::WarmFallbacks),
+            warm_iterations_saved: stats.counter(Counter::WarmIterationsSaved),
+            wall_clock,
+        }
+    }
+
+    /// Primal + dual iterations: every simplex pivot this mode paid for.
+    #[must_use]
+    pub fn total_iterations(&self) -> u64 {
+        self.primal_iterations + self.dual_iterations
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("nodes", Json::Int(self.nodes as i64)),
+            (
+                "primal_iterations",
+                Json::Int(self.primal_iterations as i64),
+            ),
+            ("dual_iterations", Json::Int(self.dual_iterations as i64)),
+            (
+                "total_iterations",
+                Json::Int(self.total_iterations() as i64),
+            ),
+            ("warm_attempts", Json::Int(self.warm_attempts as i64)),
+            ("warm_fathoms", Json::Int(self.warm_fathoms as i64)),
+            ("warm_infeasible", Json::Int(self.warm_infeasible as i64)),
+            ("warm_fallbacks", Json::Int(self.warm_fallbacks as i64)),
+            (
+                "warm_iterations_saved",
+                Json::Int(self.warm_iterations_saved as i64),
+            ),
+            (
+                "wall_clock_ms",
+                Json::Float(self.wall_clock.as_secs_f64() * 1e3),
+            ),
+        ])
+    }
+}
+
+/// One Table I scenario solved warm and cold.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Scenario name, e.g. `table1/alpha=0.2/OBJ-DMAT`.
+    pub name: String,
+    /// α in percent.
+    pub alpha_pct: u32,
+    /// Objective variant.
+    pub objective: Objective,
+    /// Counters with warm re-solves enabled (the default configuration).
+    pub warm: ModeReport,
+    /// Counters with warm re-solves disabled.
+    pub cold: ModeReport,
+}
+
+impl ScenarioReport {
+    /// Percentage of total simplex iterations the warm mode saved over
+    /// cold (0 when cold spent none).
+    #[must_use]
+    pub fn iteration_reduction_pct(&self) -> f64 {
+        reduction_pct(self.warm.total_iterations(), self.cold.total_iterations())
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::str(self.name.clone())),
+            ("alpha_pct", Json::Int(i64::from(self.alpha_pct))),
+            ("objective", Json::str(self.objective.to_string())),
+            ("warm", self.warm.to_json()),
+            ("cold", self.cold.to_json()),
+            (
+                "iteration_reduction_pct",
+                Json::Float(self.iteration_reduction_pct()),
+            ),
+        ])
+    }
+}
+
+/// The full warm-vs-cold benchmark over the six Table I scenarios.
+#[derive(Debug, Clone)]
+pub struct MilpBench {
+    /// Node budget each solve ran under (the deterministic stopping rule).
+    pub node_limit: u64,
+    /// Per-scenario reports, in Table I order.
+    pub scenarios: Vec<ScenarioReport>,
+}
+
+impl MilpBench {
+    /// Summed warm total iterations across scenarios.
+    #[must_use]
+    pub fn warm_total(&self) -> u64 {
+        self.scenarios
+            .iter()
+            .map(|s| s.warm.total_iterations())
+            .sum()
+    }
+
+    /// Summed cold total iterations across scenarios.
+    #[must_use]
+    pub fn cold_total(&self) -> u64 {
+        self.scenarios
+            .iter()
+            .map(|s| s.cold.total_iterations())
+            .sum()
+    }
+
+    /// Headline number: percentage of total simplex iterations saved by
+    /// warm re-solves over the whole Table I suite.
+    #[must_use]
+    pub fn iteration_reduction_pct(&self) -> f64 {
+        reduction_pct(self.warm_total(), self.cold_total())
+    }
+
+    /// The `BENCH_milp.json` value (schema documented in DESIGN.md
+    /// §"Warm-started node re-solves").
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema", Json::str(SCHEMA)),
+            ("generated_by", Json::str("repro bench-milp")),
+            ("node_limit", Json::Int(self.node_limit as i64)),
+            (
+                "scenarios",
+                Json::Arr(self.scenarios.iter().map(ScenarioReport::to_json).collect()),
+            ),
+            (
+                "totals",
+                Json::obj(vec![
+                    ("warm_total_iterations", Json::Int(self.warm_total() as i64)),
+                    ("cold_total_iterations", Json::Int(self.cold_total() as i64)),
+                    (
+                        "iteration_reduction_pct",
+                        Json::Float(self.iteration_reduction_pct()),
+                    ),
+                ]),
+            ),
+        ])
+    }
+
+    /// Human-readable summary table for the terminal.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "MILP warm-start A/B — Table I scenarios, node budget {}\n",
+            self.node_limit
+        ));
+        out.push_str(
+            "scenario                        nodes   cold iters   warm iters (primal+dual)   saved\n",
+        );
+        for s in &self.scenarios {
+            out.push_str(&format!(
+                "{:<30} {:>6} {:>12} {:>12} ({:>8}+{:<7}) {:>6.1}%\n",
+                s.name,
+                s.warm.nodes,
+                s.cold.total_iterations(),
+                s.warm.total_iterations(),
+                s.warm.primal_iterations,
+                s.warm.dual_iterations,
+                s.iteration_reduction_pct(),
+            ));
+        }
+        out.push_str(&format!(
+            "total: cold {} vs warm {} simplex iterations — {:.1}% saved\n",
+            self.cold_total(),
+            self.warm_total(),
+            self.iteration_reduction_pct(),
+        ));
+        out
+    }
+}
+
+/// Schema identifier of `BENCH_milp.json`; bump on breaking layout change.
+pub const SCHEMA: &str = "letdma-bench-milp/1";
+
+fn reduction_pct(warm: u64, cold: u64) -> f64 {
+    if cold == 0 {
+        0.0
+    } else {
+        100.0 * (1.0 - warm as f64 / cold as f64)
+    }
+}
+
+/// Runs the benchmark: six Table I scenarios × {warm, cold}, each under
+/// `node_limit` nodes with no wall-clock limit (so warm and cold visit the
+/// same deterministic trajectory and their node counts agree).
+///
+/// # Panics
+///
+/// Panics if a scenario fails to produce a solution (cannot happen: the
+/// constructive heuristic is feasible on the WATERS case study, so a
+/// node-limited search always has the heuristic fallback), or if a warm
+/// run's trajectory diverges from its cold twin (would indicate a
+/// determinism bug in the warm re-solve path).
+#[must_use]
+pub fn run(node_limit: u64) -> MilpBench {
+    let mut scenarios = Vec::new();
+    for objective in [
+        Objective::None,
+        Objective::MinTransfers,
+        Objective::MinDelayRatio,
+    ] {
+        for alpha_pct in [20u32, 40] {
+            let (system, _) = waters_with_alpha(alpha_pct);
+            let mode = |warm_basis: bool| -> ModeReport {
+                let config = OptConfig::new()
+                    .with_objective(objective)
+                    .without_time_limit()
+                    .with_node_limit(node_limit)
+                    .with_threads(1)
+                    .with_warm_basis(warm_basis);
+                let mut stats = SolverStats::new();
+                let started = Instant::now();
+                let result = Optimizer::new(&system)
+                    .config(config)
+                    .instrument(&mut stats)
+                    .run();
+                let wall_clock = started.elapsed();
+                assert!(result.is_ok(), "scenario must solve: {result:?}");
+                ModeReport::from_stats(&stats, wall_clock)
+            };
+            let warm = mode(true);
+            let cold = mode(false);
+            assert_eq!(
+                warm.nodes, cold.nodes,
+                "warm and cold trajectories must agree ({objective}, α={alpha_pct}%)"
+            );
+            scenarios.push(ScenarioReport {
+                name: format!("table1/alpha=0.{}/{objective}", alpha_pct / 10),
+                alpha_pct,
+                objective,
+                warm,
+                cold,
+            });
+        }
+    }
+    MilpBench {
+        node_limit,
+        scenarios,
+    }
+}
+
+/// Checks that a rendered benchmark value matches the
+/// [`SCHEMA`] layout; returns the first problem found.
+///
+/// This runs on every `repro bench-milp` invocation before the file is
+/// written (and in the CI smoke run), so a drifting emitter fails loudly
+/// instead of silently producing an unparseable baseline.
+///
+/// # Errors
+///
+/// A description of the first missing/ill-typed field.
+pub fn validate(value: &Json) -> Result<(), String> {
+    let need = |v: &Json, key: &str| -> Result<Json, String> {
+        v.get(key).cloned().ok_or(format!("missing key `{key}`"))
+    };
+    match need(value, "schema")? {
+        Json::Str(s) if s == SCHEMA => {}
+        other => return Err(format!("bad schema tag {other:?}")),
+    }
+    if !matches!(need(value, "node_limit")?, Json::Int(n) if n > 0) {
+        return Err("node_limit must be a positive integer".into());
+    }
+    let Json::Arr(scenarios) = need(value, "scenarios")? else {
+        return Err("scenarios must be an array".into());
+    };
+    if scenarios.is_empty() {
+        return Err("scenarios must be non-empty".into());
+    }
+    for s in &scenarios {
+        for key in ["name", "objective"] {
+            if !matches!(need(s, key)?, Json::Str(_)) {
+                return Err(format!("scenario `{key}` must be a string"));
+            }
+        }
+        if !matches!(need(s, "alpha_pct")?, Json::Int(_)) {
+            return Err("scenario alpha_pct must be an integer".into());
+        }
+        if !matches!(need(s, "iteration_reduction_pct")?, Json::Float(_)) {
+            return Err("scenario iteration_reduction_pct must be a number".into());
+        }
+        for mode in ["warm", "cold"] {
+            let m = need(s, mode)?;
+            for key in [
+                "nodes",
+                "primal_iterations",
+                "dual_iterations",
+                "total_iterations",
+                "warm_attempts",
+                "warm_fathoms",
+                "warm_infeasible",
+                "warm_fallbacks",
+                "warm_iterations_saved",
+            ] {
+                if !matches!(need(&m, key)?, Json::Int(_)) {
+                    return Err(format!("{mode}.{key} must be an integer"));
+                }
+            }
+            if !matches!(need(&m, "wall_clock_ms")?, Json::Float(_)) {
+                return Err(format!("{mode}.wall_clock_ms must be a number"));
+            }
+        }
+    }
+    let totals = need(value, "totals")?;
+    for key in ["warm_total_iterations", "cold_total_iterations"] {
+        if !matches!(need(&totals, key)?, Json::Int(_)) {
+            return Err(format!("totals.{key} must be an integer"));
+        }
+    }
+    if !matches!(need(&totals, "iteration_reduction_pct")?, Json::Float(_)) {
+        return Err("totals.iteration_reduction_pct must be a number".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MilpBench {
+        MilpBench {
+            node_limit: 10,
+            scenarios: vec![ScenarioReport {
+                name: "table1/alpha=0.2/NO-OBJ".into(),
+                alpha_pct: 20,
+                objective: Objective::None,
+                warm: ModeReport {
+                    nodes: 4,
+                    primal_iterations: 60,
+                    dual_iterations: 10,
+                    warm_attempts: 3,
+                    warm_fathoms: 2,
+                    warm_infeasible: 1,
+                    warm_fallbacks: 0,
+                    warm_iterations_saved: 30,
+                    wall_clock: Duration::from_millis(12),
+                },
+                cold: ModeReport {
+                    nodes: 4,
+                    primal_iterations: 100,
+                    wall_clock: Duration::from_millis(15),
+                    ..Default::default()
+                },
+            }],
+        }
+    }
+
+    #[test]
+    fn reduction_math() {
+        let b = sample();
+        assert_eq!(b.warm_total(), 70);
+        assert_eq!(b.cold_total(), 100);
+        assert!((b.iteration_reduction_pct() - 30.0).abs() < 1e-9);
+        assert_eq!(reduction_pct(5, 0), 0.0);
+    }
+
+    #[test]
+    fn sample_json_validates() {
+        let v = sample().to_json();
+        validate(&v).expect("sample must be schema-valid");
+    }
+
+    #[test]
+    fn validate_rejects_missing_fields() {
+        let mut v = sample().to_json();
+        if let Json::Obj(fields) = &mut v {
+            fields.retain(|(k, _)| k != "totals");
+        }
+        assert!(validate(&v).unwrap_err().contains("totals"));
+        assert!(validate(&Json::Null).is_err());
+    }
+}

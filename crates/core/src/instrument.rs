@@ -41,6 +41,21 @@ pub enum Counter {
     Nodes,
     /// Feasible incumbents accepted.
     Incumbents,
+    /// Node re-solves attempted on the parent's basis (dual simplex).
+    WarmAttempts,
+    /// Warm re-solves that fathomed the node by the dual objective bound.
+    WarmFathoms,
+    /// Warm re-solves that proved the node LP infeasible.
+    WarmInfeasible,
+    /// Warm re-solves that gave up and fell back to the cold primal path.
+    WarmFallbacks,
+    /// Dual-simplex iterations spent in warm re-solves.
+    DualIterations,
+    /// Estimated primal iterations avoided by successful warm re-solves
+    /// (the parent LP's iteration count minus the dual iterations spent —
+    /// a deterministic proxy; the exact reduction is measured by the
+    /// warm/cold bench split in `BENCH_milp.json`).
+    WarmIterationsSaved,
 }
 
 impl Counter {
@@ -56,6 +71,12 @@ impl Counter {
             Self::LpSolves => "LP solves",
             Self::Nodes => "B&B nodes",
             Self::Incumbents => "incumbents",
+            Self::WarmAttempts => "warm attempts",
+            Self::WarmFathoms => "warm fathoms",
+            Self::WarmInfeasible => "warm infeasible",
+            Self::WarmFallbacks => "warm fallbacks",
+            Self::DualIterations => "dual iterations",
+            Self::WarmIterationsSaved => "warm iterations saved",
         }
     }
 }

@@ -1,10 +1,8 @@
 //! # milp
 //!
 //! A self-contained mixed-integer linear programming (MILP) solver in safe
-//! Rust: a bounded-variable revised primal simplex (explicit dense basis
-//! inverse, artificial-variable phase 1, Dantzig pricing with Bland
-//! anti-cycling) underneath a best-first branch-and-bound with warm starts
-//! and a rounding heuristic.
+//! Rust: a bounded-variable revised simplex underneath a best-first
+//! branch-and-bound with warm starts and a rounding heuristic.
 //!
 //! The crate exists because this workspace reproduces a paper whose
 //! optimization problem was originally solved with IBM CPLEX; no external
@@ -12,6 +10,24 @@
 //! solver is *anytime*: give it a time limit and it returns the best feasible
 //! solution found so far together with the proven bound — exactly how the
 //! paper reports its `OBJ-DMAT` results after a CPLEX timeout.
+//!
+//! # The primal/dual split
+//!
+//! Two simplex loops share one computational form, one basis
+//! representation ([`Basis`]) and one refactorization cadence:
+//!
+//! * The **primal** simplex ([`simplex::SimplexSolver::solve`]) solves an
+//!   LP from scratch — artificial-variable phase 1, Dantzig pricing with
+//!   Bland anti-cycling, a Harris-style two-pass ratio test. It is the
+//!   *canonical* path: every value and objective the solver ever returns
+//!   comes out of a primal solve.
+//! * The **dual** simplex ([`simplex::SimplexSolver::warm_resolve`])
+//!   re-solves a branch-and-bound child from its parent's optimal basis
+//!   ([`WarmBasis`]) after the single bound change of branching. It only
+//!   certifies *value-free* outcomes — "cannot beat the incumbent" or
+//!   "infeasible" — and hands everything else back to the primal path, so
+//!   enabling or disabling it ([`SolveOptions::warm_basis`]) never changes
+//!   a solution bit, only how much work the solve costs.
 //!
 //! # Examples
 //!
@@ -53,6 +69,7 @@ mod solver;
 pub use basis::{Basis, DenseInverse};
 pub use expr::{LinExpr, Var};
 pub use model::{Comparison, Constraint, Model, ObjectiveSense, Sense, VarDef, VarType};
+pub use simplex::{WarmBasis, WarmOutcome};
 pub use solver::{
     MilpSolution, SolveError, SolveOptions, SolveStats, SolveStatus, Solver, WorkerLoad,
 };

@@ -35,6 +35,7 @@ use std::error::Error;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use letdma_core::instrument::{Counter, IncumbentRecord, Instrument, NodeEvent, NoopInstrument};
@@ -42,7 +43,7 @@ use letdma_core::parallel::resolve_threads;
 
 use crate::expr::Var;
 use crate::model::{Model, ObjectiveSense};
-use crate::simplex::{LpOutcome, SimplexSolver};
+use crate::simplex::{LpOutcome, SimplexSolver, WarmBasis, WarmOutcome};
 
 /// Options controlling a [`Model::solver`] session.
 ///
@@ -88,6 +89,17 @@ pub struct SolveOptions {
     /// [`threads`](Self::threads)). Part of the trajectory: two solves
     /// agree byte-for-byte only when their widths agree. Clamped to ≥ 1.
     pub speculation: usize,
+    /// Warm-start node re-solves from the parent's optimal basis (`true`,
+    /// default): each child node first attempts a dual-simplex re-solve
+    /// that can fathom the node against the incumbent or certify
+    /// infeasibility without a cold solve, falling back to the cold primal
+    /// path otherwise. By construction the search trajectory — solutions,
+    /// node counts, incumbent timeline — is identical either way (the warm
+    /// path only certifies outcomes the cold path is guaranteed to reach);
+    /// only the iteration/pivot work counters differ. Distinct from
+    /// [`warm_start`](Self::warm_start), which seeds an *incumbent
+    /// assignment*, not a basis.
+    pub warm_basis: bool,
 }
 
 impl Default for SolveOptions {
@@ -102,6 +114,7 @@ impl Default for SolveOptions {
             threads: None,
             deterministic: true,
             speculation: 8,
+            warm_basis: true,
         }
     }
 }
@@ -177,6 +190,14 @@ impl SolveOptions {
         self.speculation = width.max(1);
         self
     }
+
+    /// Enables or disables warm (dual-simplex) node re-solves from the
+    /// parent basis (see [`warm_basis`](Self::warm_basis)).
+    #[must_use]
+    pub fn with_warm_basis(mut self, warm_basis: bool) -> Self {
+        self.warm_basis = warm_basis;
+        self
+    }
 }
 
 /// How good the returned solution is.
@@ -208,6 +229,9 @@ pub struct WorkerLoad {
     pub skipped: u64,
     /// Simplex iterations executed by this worker.
     pub lp_iterations: u64,
+    /// Dual-simplex iterations executed by this worker during warm node
+    /// re-solves (disjoint from [`lp_iterations`](Self::lp_iterations)).
+    pub dual_iterations: u64,
     /// Simplex pivots executed by this worker.
     pub pivots: u64,
     /// Bound flips executed by this worker.
@@ -225,6 +249,7 @@ impl WorkerLoad {
         self.jobs += other.jobs;
         self.skipped += other.skipped;
         self.lp_iterations += other.lp_iterations;
+        self.dual_iterations += other.dual_iterations;
         self.pivots += other.pivots;
         self.bound_flips += other.bound_flips;
         self.refactorizations += other.refactorizations;
@@ -244,8 +269,11 @@ impl WorkerLoad {
 pub struct SolveStats {
     /// Branch-and-bound nodes processed.
     pub nodes: u64,
-    /// Total simplex iterations across all consumed LP solves.
+    /// Total primal simplex iterations across all consumed LP solves.
     pub lp_iterations: u64,
+    /// Total dual-simplex iterations across all consumed warm node
+    /// re-solves (zero when [`SolveOptions::warm_basis`] is off).
+    pub dual_iterations: u64,
     /// Simplex basis changes (pivots) across all consumed LP solves.
     pub pivots: u64,
     /// Nonbasic bound-to-bound flips across all consumed LP solves.
@@ -272,6 +300,7 @@ impl SolveStats {
     pub fn merge_concurrent(&mut self, other: &SolveStats) {
         self.nodes += other.nodes;
         self.lp_iterations += other.lp_iterations;
+        self.dual_iterations += other.dual_iterations;
         self.pivots += other.pivots;
         self.bound_flips += other.bound_flips;
         self.refactorizations += other.refactorizations;
@@ -283,6 +312,7 @@ impl SolveStats {
                     mine.jobs += load.jobs;
                     mine.skipped += load.skipped;
                     mine.lp_iterations += load.lp_iterations;
+                    mine.dual_iterations += load.dual_iterations;
                     mine.pivots += load.pivots;
                     mine.bound_flips += load.bound_flips;
                     mine.refactorizations += load.refactorizations;
@@ -385,6 +415,17 @@ struct Node {
     /// problems. The same id orders result merging (and hence incumbent
     /// tie-breaking) in deterministic mode.
     seq: u64,
+    /// Min-form fathom threshold as of node *creation* (`+∞` when no
+    /// incumbent existed yet). The warm re-solve fathoms against this
+    /// stamped value, never the live incumbent: creation happens at a
+    /// deterministic merge point and the incumbent only improves
+    /// afterwards, so a warm fathom here is always confirmed by the cold
+    /// path's merge-time test — at any thread count.
+    cutoff: f64,
+    /// The parent's optimal basis, shared by both children (absent at the
+    /// root, when the parent LP hit a limit, or when
+    /// [`SolveOptions::warm_basis`] is off).
+    warm: Option<Arc<WarmBasis>>,
 }
 
 impl PartialEq for Node {
@@ -523,6 +564,13 @@ impl<'m, 'i> Solver<'m, 'i> {
         self
     }
 
+    /// Enables or disables warm (dual-simplex) node re-solves from the
+    /// parent basis (see [`SolveOptions::warm_basis`]; default on).
+    pub fn warm_basis(mut self, warm_basis: bool) -> Self {
+        self.options.warm_basis = warm_basis;
+        self
+    }
+
     /// Enables stderr progress lines.
     pub fn log(mut self, log: bool) -> Self {
         self.options.log = log;
@@ -572,7 +620,16 @@ impl<'m, 'i> Solver<'m, 'i> {
 
 /// Outcome of one node LP.
 enum PureLp {
-    Solved { values: Vec<f64>, min_obj: f64 },
+    Solved {
+        values: Vec<f64>,
+        min_obj: f64,
+        /// Optimal basis of this node, inherited by its children (captured
+        /// only when warm re-solves are enabled).
+        warm: Option<WarmBasis>,
+    },
+    /// The warm re-solve certified that the node cannot beat the incumbent
+    /// that stamped its creation-time cutoff; no LP values exist.
+    Fathomed,
     Infeasible,
     Unbounded,
     TimedOut,
@@ -588,15 +645,32 @@ struct LpShard {
     pivots: u64,
     bound_flips: u64,
     refactorizations: u64,
+    warm_attempts: u64,
+    warm_fathoms: u64,
+    warm_infeasible: u64,
+    warm_fallbacks: u64,
+    dual_iterations: u64,
+    warm_iterations_saved: u64,
 }
 
 /// Solves the LP relaxation of one node. Free function (no `&self`) so
 /// worker threads can run it without borrowing the search driver.
+///
+/// With `warm` present, a dual-simplex re-solve from the parent basis runs
+/// first; it either settles the node without values
+/// ([`PureLp::Fathomed`]/[`PureLp::Infeasible`]) or gives up, in which case
+/// the cold primal path below runs exactly as it would have without the
+/// attempt — so the returned [`PureLp`] differs from a cold-only solve at
+/// most in *which* certificate settled a settled node, never in values,
+/// objective or search consequences. `capture` additionally snapshots the
+/// optimal basis of a cold solve for this node's children.
 fn solve_node_lp(
     model: &Model,
     overrides: &[(Var, f64, f64)],
     deadline: Option<Instant>,
     scale: f64,
+    capture: bool,
+    warm: Option<(&WarmBasis, f64)>,
 ) -> (PureLp, LpShard) {
     let mut shard = LpShard::default();
     // Apply overrides on a scratch copy of the model bounds.
@@ -610,23 +684,81 @@ fn solve_node_lp(
         }
         scratch.set_bounds(v, nl, nu);
     }
+    let mut warm_debug: Option<(Vec<f64>, Vec<usize>)> = None;
+    if let Some((basis, cutoff)) = warm {
+        shard.warm_attempts = 1;
+        let mut lp = SimplexSolver::from_model(&scratch);
+        lp.deadline = deadline;
+        let outcome = lp.warm_resolve(basis, cutoff);
+        shard.dual_iterations = lp.dual_iterations;
+        shard.pivots = lp.pivots();
+        shard.bound_flips = lp.bound_flips;
+        shard.refactorizations = lp.refactorizations();
+        match outcome {
+            WarmOutcome::Fathomed { .. } => {
+                shard.warm_fathoms = 1;
+                // The cold solve this certificate replaced would have cost
+                // roughly what the parent's did.
+                shard.warm_iterations_saved = basis.iterations().saturating_sub(lp.dual_iterations);
+                return (PureLp::Fathomed, shard);
+            }
+            WarmOutcome::Infeasible { .. } => {
+                shard.warm_infeasible = 1;
+                shard.warm_iterations_saved = basis.iterations().saturating_sub(lp.dual_iterations);
+                return (PureLp::Infeasible, shard);
+            }
+            WarmOutcome::GiveUp { .. } => {
+                shard.warm_fallbacks = 1;
+                if std::env::var_os("LETDMA_WARM_DEBUG").is_some() {
+                    warm_debug = Some(lp.debug_point());
+                }
+            }
+        }
+    }
     let mut lp = SimplexSolver::from_model(&scratch);
     lp.deadline = deadline;
     let outcome = lp.solve();
+    if let Some((wx, wbasis)) = &warm_debug {
+        if let LpOutcome::Optimal { values, .. } = &outcome {
+            let exact = values
+                .iter()
+                .zip(wx.iter())
+                .filter(|(a, b)| a.to_bits() == b.to_bits())
+                .count();
+            let maxdiff = values
+                .iter()
+                .zip(wx.iter())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            let (_, mut cb) = lp.debug_point();
+            cb.sort_unstable();
+            let mut wb = wbasis.clone();
+            wb.sort_unstable();
+            eprintln!(
+                "WARMDBG n={} exact_bits={} maxdiff={:.3e} basis_eq={}",
+                values.len(),
+                exact,
+                maxdiff,
+                cb == wb
+            );
+        }
+    }
     shard.lp_solves = 1;
     shard.iterations = lp.iterations;
     shard.phase1_iterations = lp.phase1_iterations;
-    shard.pivots = lp.pivots();
-    shard.bound_flips = lp.bound_flips;
-    shard.refactorizations = lp.refactorizations();
+    shard.pivots += lp.pivots();
+    shard.bound_flips += lp.bound_flips;
+    shard.refactorizations += lp.refactorizations();
     let lp = match outcome {
         LpOutcome::Optimal { values, objective } => PureLp::Solved {
             values,
             min_obj: scale * objective,
+            warm: capture.then(|| lp.snapshot()),
         },
         LpOutcome::Infeasible => PureLp::Infeasible,
         LpOutcome::Unbounded => PureLp::Unbounded,
         LpOutcome::IterationLimit => PureLp::Infeasible, // numerical brake: drop node
+        LpOutcome::Numerical => PureLp::Infeasible,      // same emergency brake
         LpOutcome::TimedOut => PureLp::TimedOut,
     };
     (lp, shard)
@@ -667,6 +799,7 @@ struct BranchAndBound<'a> {
     batch_width: usize,
     nodes: u64,
     lp_iterations: u64,
+    dual_iterations: u64,
     pivots: u64,
     bound_flips: u64,
     refactorizations: u64,
@@ -698,6 +831,7 @@ impl<'a> BranchAndBound<'a> {
             batch_width: options.speculation.max(1),
             nodes: 0,
             lp_iterations: 0,
+            dual_iterations: 0,
             pivots: 0,
             bound_flips: 0,
             refactorizations: 0,
@@ -830,10 +964,11 @@ impl<'a> BranchAndBound<'a> {
     /// aggregate statistics and the instrument.
     fn absorb_shard(&mut self, shard: &LpShard) {
         self.lp_iterations += shard.iterations;
+        self.dual_iterations += shard.dual_iterations;
         self.pivots += shard.pivots;
         self.bound_flips += shard.bound_flips;
         self.refactorizations += shard.refactorizations;
-        if shard.lp_solves > 0 {
+        if shard.lp_solves > 0 || shard.warm_attempts > 0 {
             self.instrument.count(Counter::LpSolves, shard.lp_solves);
             self.instrument
                 .count(Counter::SimplexIterations, shard.iterations);
@@ -845,18 +980,44 @@ impl<'a> BranchAndBound<'a> {
             self.instrument
                 .count(Counter::Refactorizations, shard.refactorizations);
         }
+        if shard.warm_attempts > 0 {
+            self.instrument
+                .count(Counter::WarmAttempts, shard.warm_attempts);
+            self.instrument
+                .count(Counter::WarmFathoms, shard.warm_fathoms);
+            self.instrument
+                .count(Counter::WarmInfeasible, shard.warm_infeasible);
+            self.instrument
+                .count(Counter::WarmFallbacks, shard.warm_fallbacks);
+            self.instrument
+                .count(Counter::DualIterations, shard.dual_iterations);
+            self.instrument
+                .count(Counter::WarmIterationsSaved, shard.warm_iterations_saved);
+        }
     }
 
     /// Solves one node LP inline on the coordinator, charging the work to
     /// worker 0 (the sequential path, the root node, and the defensive
     /// fallback for a worker skip that the monotonicity argument says
     /// cannot be consumed).
-    fn solve_inline(&mut self, overrides: &[(Var, f64, f64)]) -> (PureLp, LpShard) {
+    fn solve_inline(
+        &mut self,
+        overrides: &[(Var, f64, f64)],
+        warm: Option<(&WarmBasis, f64)>,
+    ) -> (PureLp, LpShard) {
         let t0 = Instant::now();
-        let (lp, shard) = solve_node_lp(self.model, overrides, self.deadline(), self.scale);
+        let (lp, shard) = solve_node_lp(
+            self.model,
+            overrides,
+            self.deadline(),
+            self.scale,
+            self.options.warm_basis,
+            warm,
+        );
         let load = self.worker_load_mut(0);
         load.jobs += 1;
         load.lp_iterations += shard.iterations;
+        load.dual_iterations += shard.dual_iterations;
         load.pivots += shard.pivots;
         load.bound_flips += shard.bound_flips;
         load.refactorizations += shard.refactorizations;
@@ -882,6 +1043,7 @@ impl<'a> BranchAndBound<'a> {
                         stats: SolveStats {
                             nodes: 0,
                             lp_iterations: 0,
+                            dual_iterations: 0,
                             pivots: 0,
                             bound_flips: 0,
                             refactorizations: 0,
@@ -904,7 +1066,7 @@ impl<'a> BranchAndBound<'a> {
         } else {
             self.nodes += 1;
             self.instrument.count(Counter::Nodes, 1);
-            let (lp, shard) = self.solve_inline(&[]);
+            let (lp, shard) = self.solve_inline(&[], None);
             self.absorb_shard(&shard);
             match lp {
                 PureLp::Infeasible => {
@@ -918,9 +1080,18 @@ impl<'a> BranchAndBound<'a> {
                     self.instrument.node_event(NodeEvent::Abandoned);
                     exhausted = false;
                 }
-                PureLp::Solved { values, min_obj } => {
+                // Unreachable at the root (no warm basis was passed), but
+                // harmless: a fathomed root leaves the tree empty.
+                PureLp::Fathomed => {
+                    self.instrument.node_event(NodeEvent::FathomedByBound);
+                }
+                PureLp::Solved {
+                    values,
+                    min_obj,
+                    warm,
+                } => {
                     self.root_bound = Some(min_obj);
-                    self.process_lp(values, min_obj, Vec::new(), 0);
+                    self.process_lp(values, min_obj, Vec::new(), 0, warm);
                 }
             }
         }
@@ -976,6 +1147,7 @@ impl<'a> BranchAndBound<'a> {
         let stats = SolveStats {
             nodes: self.nodes,
             lp_iterations: self.lp_iterations,
+            dual_iterations: self.dual_iterations,
             pivots: self.pivots,
             bound_flips: self.bound_flips,
             refactorizations: self.refactorizations,
@@ -1041,6 +1213,7 @@ impl<'a> BranchAndBound<'a> {
         let gap_abs = self.options.gap_abs;
         let deadline = self.deadline();
         let scale = self.scale;
+        let warm_basis = self.options.warm_basis;
         let deterministic = self.options.deterministic;
         let inc_bits = AtomicU64::new(self.incumbent_bits());
         let next_job = AtomicUsize::new(0);
@@ -1072,10 +1245,18 @@ impl<'a> BranchAndBound<'a> {
                             load.skipped += 1;
                             JobOutcome::Skipped
                         } else {
-                            let (lp, shard) =
-                                solve_node_lp(model, &node.overrides, deadline, scale);
+                            let warm = node.warm.as_deref().map(|basis| (basis, node.cutoff));
+                            let (lp, shard) = solve_node_lp(
+                                model,
+                                &node.overrides,
+                                deadline,
+                                scale,
+                                warm_basis,
+                                warm,
+                            );
                             load.jobs += 1;
                             load.lp_iterations += shard.iterations;
+                            load.dual_iterations += shard.dual_iterations;
                             load.pivots += shard.pivots;
                             load.bound_flips += shard.bound_flips;
                             load.refactorizations += shard.refactorizations;
@@ -1180,7 +1361,13 @@ impl<'a> BranchAndBound<'a> {
             // A worker skip can only be consumed if the incumbent that
             // justified it disappeared — impossible, since incumbents only
             // improve — but solving inline keeps even that path correct.
-            Some(JobOutcome::Skipped) | None => self.solve_inline(&node.overrides),
+            Some(JobOutcome::Skipped) | None => {
+                let warm = node.warm.clone();
+                self.solve_inline(
+                    &node.overrides,
+                    warm.as_deref().map(|basis| (basis, node.cutoff)),
+                )
+            }
         };
         self.nodes += 1;
         self.instrument.count(Counter::Nodes, 1);
@@ -1199,8 +1386,19 @@ impl<'a> BranchAndBound<'a> {
                 self.instrument.node_event(NodeEvent::Abandoned);
                 Ok(MergeControl::PushBackAndStop)
             }
-            PureLp::Solved { values, min_obj } => {
-                self.process_lp(values, min_obj, node.overrides.clone(), node.depth);
+            // The warm certificate replaces a cold solve the merge-time
+            // test above (or `process_lp`'s bound check) was guaranteed to
+            // discard anyway: same terminal node, no children either way.
+            PureLp::Fathomed => {
+                self.instrument.node_event(NodeEvent::FathomedByBound);
+                Ok(MergeControl::Continue)
+            }
+            PureLp::Solved {
+                values,
+                min_obj,
+                warm,
+            } => {
+                self.process_lp(values, min_obj, node.overrides.clone(), node.depth, warm);
                 Ok(MergeControl::Continue)
             }
         }
@@ -1214,6 +1412,7 @@ impl<'a> BranchAndBound<'a> {
         min_obj: f64,
         overrides: Vec<(Var, f64, f64)>,
         depth: u32,
+        warm: Option<WarmBasis>,
     ) {
         if self.fathomed(min_obj) {
             self.instrument.node_event(NodeEvent::FathomedByBound);
@@ -1239,6 +1438,23 @@ impl<'a> BranchAndBound<'a> {
             Some((var, value)) => {
                 self.instrument.node_event(NodeEvent::Branched);
                 self.try_rounding(&values);
+                // Stamp the children's warm-fathom cutoff *after* the
+                // rounding heuristic: any incumbent it produced is part of
+                // the deterministic merge-order state, and a tighter
+                // cutoff means more warm fathoms.
+                let cutoff = match &self.incumbent {
+                    Some((_, inc)) => *inc - self.options.gap_abs,
+                    None => f64::INFINITY,
+                };
+                // Without a finite cutoff the dual simplex could only
+                // certify infeasibility, typically re-solving feasible
+                // children to optimality first and then throwing that work
+                // away — not worth attempting.
+                let warm = if self.options.warm_basis && cutoff.is_finite() {
+                    warm.map(Arc::new)
+                } else {
+                    None
+                };
                 let floor = value.floor();
                 let mut down = overrides.clone();
                 down.push((var, f64::NEG_INFINITY, floor));
@@ -1255,6 +1471,8 @@ impl<'a> BranchAndBound<'a> {
                     bound: min_obj,
                     depth: depth + 1,
                     seq: self.node_seq,
+                    cutoff,
+                    warm: warm.clone(),
                 });
                 self.node_seq += 1;
                 self.open.push(Node {
@@ -1262,6 +1480,8 @@ impl<'a> BranchAndBound<'a> {
                     bound: min_obj,
                     depth: depth + 1,
                     seq: self.node_seq,
+                    cutoff,
+                    warm,
                 });
             }
         }
@@ -1492,6 +1712,64 @@ mod tests {
     }
 
     #[test]
+    fn warm_resolves_match_cold_bit_for_bit() {
+        // The warm dual-simplex path must not change a single bit of the
+        // search outcome: values, objective, node count and the incumbent
+        // timeline are all pinned against a warm-disabled run. Work
+        // counters (iterations, pivots) are *expected* to differ — that is
+        // the point of the warm path. A two-constraint knapsack with a
+        // seeded incumbent branches enough to exercise warm fathoming (the
+        // assignment polytope would be integral — no branching at all).
+        let mut m = Model::new();
+        let vals = [15.0, 10.0, 9.0, 5.0, 7.0, 12.0];
+        let w1 = [1.0, 5.0, 3.0, 4.0, 2.0, 6.0];
+        let w2 = [4.0, 2.0, 5.0, 1.0, 6.0, 3.0];
+        let x: Vec<_> = (0..6).map(|i| m.add_binary(format!("x{i}"))).collect();
+        m.add_constraint(
+            "c1",
+            LinExpr::weighted_sum(x.iter().copied().zip(w1)).le(10.0),
+        );
+        m.add_constraint(
+            "c2",
+            LinExpr::weighted_sum(x.iter().copied().zip(w2)).le(10.0),
+        );
+        m.set_objective(
+            ObjectiveSense::Maximize,
+            LinExpr::weighted_sum(x.iter().copied().zip(vals)),
+        );
+        let mut cold_stats = letdma_core::SolverStats::new();
+        let cold = m
+            .solver()
+            .warm_start(vec![0.0; 6])
+            .warm_basis(false)
+            .instrument(&mut cold_stats)
+            .run()
+            .unwrap();
+        let mut warm_stats = letdma_core::SolverStats::new();
+        let warm = m
+            .solver()
+            .warm_start(vec![0.0; 6])
+            .instrument(&mut warm_stats)
+            .run()
+            .unwrap();
+        assert_eq!(cold.values(), warm.values());
+        assert_eq!(cold.objective().to_bits(), warm.objective().to_bits());
+        assert_eq!(cold.stats().nodes, warm.stats().nodes);
+        assert_eq!(cold.status(), warm.status());
+        assert_eq!(cold_stats.counter(Counter::WarmAttempts), 0);
+        assert_eq!(cold.stats().dual_iterations, 0);
+        let timeline = |s: &letdma_core::SolverStats| -> Vec<(u64, u64)> {
+            s.incumbents()
+                .iter()
+                .map(|r| (r.nodes, r.objective.to_bits()))
+                .collect()
+        };
+        assert_eq!(timeline(&cold_stats), timeline(&warm_stats));
+        // The assignment model actually exercises the warm path.
+        assert!(warm_stats.counter(Counter::WarmAttempts) > 0);
+    }
+
+    #[test]
     fn opportunistic_mode_still_finds_the_optimum() {
         let (m, _) = assignment_model(4);
         let s = m.solver().threads(4).deterministic(false).run().unwrap();
@@ -1510,12 +1788,15 @@ mod tests {
             .with_log(false)
             .with_threads(0)
             .with_deterministic(false)
-            .with_speculation(0);
+            .with_speculation(0)
+            .with_warm_basis(false);
         assert_eq!(o.time_limit, Some(Duration::from_secs(7)));
         assert_eq!(o.node_limit, Some(9));
         assert_eq!(o.threads, Some(1), "threads clamp to ≥ 1");
         assert_eq!(o.speculation, 1, "speculation clamps to ≥ 1");
         assert!(!o.deterministic);
+        assert!(!o.warm_basis);
+        assert!(SolveOptions::new().warm_basis, "warm re-solves default on");
     }
 
     #[test]
@@ -1523,6 +1804,7 @@ mod tests {
         let mk = |nodes, pivots, ms, worker| SolveStats {
             nodes,
             lp_iterations: 10 * nodes,
+            dual_iterations: 3 * nodes,
             pivots,
             bound_flips: 1,
             refactorizations: 2,
@@ -1539,6 +1821,7 @@ mod tests {
         let b = mk(5, 11, 90, 1);
         a.merge_concurrent(&b);
         assert_eq!(a.nodes, 8);
+        assert_eq!(a.dual_iterations, 24);
         assert_eq!(a.pivots, 18);
         assert_eq!(a.bound_flips, 2);
         assert_eq!(a.refactorizations, 4);

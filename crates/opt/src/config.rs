@@ -77,6 +77,14 @@ pub struct OptConfig {
     /// in the parallel MILP search — see
     /// [`milp::SolveOptions::deterministic`].
     pub deterministic: bool,
+    /// Warm (dual-simplex) node re-solves from the parent basis in the
+    /// MILP search (default on) — see [`milp::SolveOptions::warm_basis`].
+    /// Never changes the solution, only the work spent finding it; this
+    /// knob exists for A/B measurements like `BENCH_milp.json`'s
+    /// warm/cold split. Distinct from
+    /// [`warm_start`](Self::warm_start), which seeds the search with the
+    /// *heuristic incumbent*.
+    pub warm_basis: bool,
 }
 
 impl Default for OptConfig {
@@ -91,6 +99,7 @@ impl Default for OptConfig {
             log: false,
             threads: None,
             deterministic: true,
+            warm_basis: true,
         }
     }
 }
@@ -175,6 +184,14 @@ impl OptConfig {
         self.deterministic = deterministic;
         self
     }
+
+    /// Enables or disables warm (dual-simplex) node re-solves in the MILP
+    /// search (see [`OptConfig::warm_basis`]; default on).
+    #[must_use]
+    pub fn with_warm_basis(mut self, warm_basis: bool) -> Self {
+        self.warm_basis = warm_basis;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -208,7 +225,10 @@ mod tests {
             .with_node_limit(50)
             .with_warm_start(false)
             .with_threads(0)
-            .with_deterministic(false);
+            .with_deterministic(false)
+            .with_warm_basis(false);
+        assert!(!c.warm_basis);
+        assert!(OptConfig::new().warm_basis, "warm re-solves default on");
         assert_eq!(c.objective, Objective::MinDelayRatio);
         assert_eq!(c.max_transfers, Some(7));
         assert!(c.include_private_labels);

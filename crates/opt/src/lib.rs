@@ -93,6 +93,7 @@ pub mod debug {
             LpOutcome::Unbounded => "unbounded".into(),
             LpOutcome::IterationLimit => "iteration-limit".into(),
             LpOutcome::TimedOut => format!("timed-out(infeas={:.6})", lp.infeasibility()),
+            LpOutcome::Numerical => "numerical".into(),
         };
         (lp.phase1_iterations, lp.iterations, tag)
     }

@@ -104,6 +104,7 @@ impl Error for OptError {
 /// let solution = Optimizer::new(&system)
 ///     .objective(Objective::MinTransfers)
 ///     .threads(2)
+///     .warm_basis(true) // dual-simplex node re-solves (the default)
 ///     .instrument(&mut stats)
 ///     .run()?;
 /// assert!(stats.phases().iter().any(|(name, _, _)| *name == "milp-search"));
@@ -183,6 +184,14 @@ impl<'s, 'i> Optimizer<'s, 'i> {
     /// parallel MILP search.
     pub fn deterministic(mut self, deterministic: bool) -> Self {
         self.config = self.config.with_deterministic(deterministic);
+        self
+    }
+
+    /// Enables or disables warm (dual-simplex) node re-solves in the MILP
+    /// search (default on; never changes the solution, only the work spent
+    /// finding it — see [`OptConfig::warm_basis`]).
+    pub fn warm_basis(mut self, warm_basis: bool) -> Self {
+        self.config = self.config.with_warm_basis(warm_basis);
         self
     }
 
@@ -321,7 +330,8 @@ fn run_pipeline(
         // threading them through the `with_*` chain.
         let mut solve_options = SolveOptions::new()
             .with_log(config.log)
-            .with_deterministic(config.deterministic);
+            .with_deterministic(config.deterministic)
+            .with_warm_basis(config.warm_basis);
         solve_options.time_limit = config.time_limit;
         solve_options.node_limit = config.node_limit;
         solve_options.warm_start = warm;

@@ -1,9 +1,11 @@
-/root/repo/target/debug/deps/letdma_bench-3e34ac4dc2d76867.d: crates/bench/src/lib.rs crates/bench/src/harness.rs Cargo.toml
+/root/repo/target/debug/deps/letdma_bench-3e34ac4dc2d76867.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/json.rs crates/bench/src/milp_bench.rs Cargo.toml
 
-/root/repo/target/debug/deps/libletdma_bench-3e34ac4dc2d76867.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs Cargo.toml
+/root/repo/target/debug/deps/libletdma_bench-3e34ac4dc2d76867.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/json.rs crates/bench/src/milp_bench.rs Cargo.toml
 
 crates/bench/src/lib.rs:
 crates/bench/src/harness.rs:
+crates/bench/src/json.rs:
+crates/bench/src/milp_bench.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__

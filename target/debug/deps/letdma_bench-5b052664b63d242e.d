@@ -1,6 +1,8 @@
-/root/repo/target/debug/deps/letdma_bench-5b052664b63d242e.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+/root/repo/target/debug/deps/letdma_bench-5b052664b63d242e.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/json.rs crates/bench/src/milp_bench.rs
 
-/root/repo/target/debug/deps/libletdma_bench-5b052664b63d242e.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+/root/repo/target/debug/deps/libletdma_bench-5b052664b63d242e.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/json.rs crates/bench/src/milp_bench.rs
 
 crates/bench/src/lib.rs:
 crates/bench/src/harness.rs:
+crates/bench/src/json.rs:
+crates/bench/src/milp_bench.rs:

@@ -1,8 +1,10 @@
-/root/repo/target/debug/deps/letdma_bench-6d2a404f151c772f.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+/root/repo/target/debug/deps/letdma_bench-6d2a404f151c772f.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/json.rs crates/bench/src/milp_bench.rs
 
-/root/repo/target/debug/deps/libletdma_bench-6d2a404f151c772f.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+/root/repo/target/debug/deps/libletdma_bench-6d2a404f151c772f.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/json.rs crates/bench/src/milp_bench.rs
 
-/root/repo/target/debug/deps/libletdma_bench-6d2a404f151c772f.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+/root/repo/target/debug/deps/libletdma_bench-6d2a404f151c772f.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/json.rs crates/bench/src/milp_bench.rs
 
 crates/bench/src/lib.rs:
 crates/bench/src/harness.rs:
+crates/bench/src/json.rs:
+crates/bench/src/milp_bench.rs:

@@ -1,8 +1,10 @@
-/root/repo/target/release/deps/letdma_bench-54962c0f2593d28c.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+/root/repo/target/release/deps/letdma_bench-54962c0f2593d28c.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/json.rs crates/bench/src/milp_bench.rs
 
-/root/repo/target/release/deps/libletdma_bench-54962c0f2593d28c.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+/root/repo/target/release/deps/libletdma_bench-54962c0f2593d28c.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/json.rs crates/bench/src/milp_bench.rs
 
-/root/repo/target/release/deps/libletdma_bench-54962c0f2593d28c.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+/root/repo/target/release/deps/libletdma_bench-54962c0f2593d28c.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/json.rs crates/bench/src/milp_bench.rs
 
 crates/bench/src/lib.rs:
 crates/bench/src/harness.rs:
+crates/bench/src/json.rs:
+crates/bench/src/milp_bench.rs:

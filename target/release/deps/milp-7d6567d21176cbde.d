@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/milp-7d6567d21176cbde.d: crates/milp/src/lib.rs crates/milp/src/basis.rs crates/milp/src/expr.rs crates/milp/src/lp_format.rs crates/milp/src/model.rs crates/milp/src/simplex.rs crates/milp/src/solver.rs
+
+/root/repo/target/release/deps/milp-7d6567d21176cbde: crates/milp/src/lib.rs crates/milp/src/basis.rs crates/milp/src/expr.rs crates/milp/src/lp_format.rs crates/milp/src/model.rs crates/milp/src/simplex.rs crates/milp/src/solver.rs
+
+crates/milp/src/lib.rs:
+crates/milp/src/basis.rs:
+crates/milp/src/expr.rs:
+crates/milp/src/lp_format.rs:
+crates/milp/src/model.rs:
+crates/milp/src/simplex.rs:
+crates/milp/src/solver.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel_determinism-924bc28c983793e4.d: crates/milp/tests/parallel_determinism.rs
+
+/root/repo/target/release/deps/parallel_determinism-924bc28c983793e4: crates/milp/tests/parallel_determinism.rs
+
+crates/milp/tests/parallel_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/probe-46253fa225327af3.d: crates/bench/src/bin/probe.rs
+
+/root/repo/target/release/deps/probe-46253fa225327af3: crates/bench/src/bin/probe.rs
+
+crates/bench/src/bin/probe.rs:

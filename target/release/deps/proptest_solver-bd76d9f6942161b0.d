@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_solver-bd76d9f6942161b0.d: crates/milp/tests/proptest_solver.rs
+
+/root/repo/target/release/deps/proptest_solver-bd76d9f6942161b0: crates/milp/tests/proptest_solver.rs
+
+crates/milp/tests/proptest_solver.rs:

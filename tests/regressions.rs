@@ -8,8 +8,8 @@
 
 use std::time::Duration;
 
-use letdma::core::{Counter, SolverStats};
-use letdma::model::{SystemBuilder, TimeNs};
+use letdma::core::{Cases, Counter, Rng, SolverStats};
+use letdma::model::{System, SystemBuilder, TimeNs};
 use letdma::opt::{heuristic_solution, Objective, OptConfig, Optimizer};
 use letdma::sim::{simulate, Approach, SimConfig};
 use letdma::waters::gen::{generate, GenConfig};
@@ -166,4 +166,96 @@ fn solver_trajectory_is_deterministic() {
         timeline(&stats_b),
         "incumbent timeline diverged between identical runs"
     );
+}
+
+/// Runs one node-limited solve with warm (dual-simplex) node re-solves on
+/// or off and returns everything the byte-identity claim covers: layout,
+/// schedule, exact objective bits, node count and the incumbent timeline.
+/// Deliberately *excluded*: iteration/LP-solve counters (warmth exists to
+/// change those) and node-event labels (a warm certificate may label an
+/// infeasible-and-fathomable node `fathomed-by-bound` where cold says
+/// `infeasible` — see DESIGN.md §"Warm-started node re-solves").
+fn warm_cold_fingerprint(
+    system: &System,
+    objective: Objective,
+    node_limit: u64,
+    warm_basis: bool,
+) -> (String, u64, Vec<(u64, u64)>) {
+    let mut stats = SolverStats::default();
+    let config = OptConfig::new()
+        .with_objective(objective)
+        .without_time_limit()
+        .with_node_limit(node_limit)
+        .with_warm_basis(warm_basis);
+    let solution = Optimizer::new(system)
+        .config(config)
+        .instrument(&mut stats)
+        .run()
+        .expect("feasible");
+    let fingerprint = format!(
+        "{:?}|{:?}|{:?}",
+        solution.layout,
+        solution.schedule,
+        solution.objective_value.map(f64::to_bits),
+    );
+    let timeline: Vec<(u64, u64)> = stats
+        .incumbents()
+        .iter()
+        .map(|r| (r.nodes, r.objective.to_bits()))
+        .collect();
+    let (warm_attempts, dual_iterations) = (
+        stats.counter(Counter::WarmAttempts),
+        stats.counter(Counter::DualIterations),
+    );
+    if warm_basis {
+        assert_eq!(
+            stats.counter(Counter::WarmFathoms)
+                + stats.counter(Counter::WarmInfeasible)
+                + stats.counter(Counter::WarmFallbacks),
+            warm_attempts,
+            "every warm attempt must end in exactly one outcome"
+        );
+    } else {
+        assert_eq!(warm_attempts, 0, "cold run must not attempt warm re-solves");
+        assert_eq!(
+            dual_iterations, 0,
+            "cold run must not spend dual iterations"
+        );
+    }
+    (fingerprint, stats.counter(Counter::Nodes), timeline)
+}
+
+/// Warm (dual-simplex) node re-solves are a pure work-saver: on the WATERS
+/// case study the warm and cold searches produce byte-identical layouts,
+/// schedules, objective bits, node counts and incumbent timelines.
+#[test]
+fn waters_warm_resolves_match_cold_bit_for_bit() {
+    let (system, _) = waters_system().expect("case study builds");
+    let warm = warm_cold_fingerprint(&system, Objective::MinTransfers, 8, true);
+    let cold = warm_cold_fingerprint(&system, Objective::MinTransfers, 8, false);
+    assert_eq!(warm, cold, "warm re-solves changed the WATERS trajectory");
+}
+
+/// The same byte-identity over a seeded corpus of generated workloads
+/// (replay a failure with `LETDMA_CASE_SEED`; scale up with
+/// `LETDMA_CASES`).
+#[test]
+fn generated_corpus_warm_resolves_match_cold_bit_for_bit() {
+    Cases::new("warm_cold_identity", 6).run(|rng| {
+        let cfg = GenConfig {
+            cores: 2,
+            tasks: 5 + (rng.next_u64() % 3) as usize,
+            labels: 3 + (rng.next_u64() % 4) as usize,
+            seed: rng.next_u64(),
+            ..GenConfig::default()
+        };
+        let system = generate(&cfg);
+        let warm = warm_cold_fingerprint(&system, Objective::MinTransfers, 60, true);
+        let cold = warm_cold_fingerprint(&system, Objective::MinTransfers, 60, false);
+        assert_eq!(
+            warm, cold,
+            "warm re-solves changed the trajectory for seed {:#x}",
+            cfg.seed
+        );
+    });
 }
