@@ -7,6 +7,7 @@
 //! cargo run --release -p letdma-bench --bin repro -- table1 --budget 120 --stats
 //! cargo run --release -p letdma-bench --bin repro -- alpha-sweep
 //! cargo run --release -p letdma-bench --bin repro -- bench-milp --nodes 12 --out BENCH_milp.json
+//! cargo run --release -p letdma-bench --bin repro -- fault-smoke --budget 5
 //! ```
 //!
 //! `--budget <seconds>` bounds each MILP solve (default 30 s; the paper
@@ -28,14 +29,29 @@
 //! same trajectory), prints the iteration split and writes the
 //! machine-readable report to `--out` (default `BENCH_milp.json`, schema
 //! in DESIGN.md §"Warm-started node re-solves").
+//!
+//! `fault-smoke` arms every deterministic fault site in turn against the
+//! WATERS case study and checks the resilience contract (valid solution
+//! or typed error; see DESIGN.md §"Failure model & degradation policy");
+//! a failing contract turns into a nonzero exit code. Arbitrary fault
+//! campaigns can also be armed for any command via the `LETDMA_FAULTS`
+//! environment variable (e.g.
+//! `LETDMA_FAULTS="worker-panic:p=0.01:seed=7" repro table1`).
 
 use std::process::ExitCode;
 use std::time::Duration;
 
+use letdma::core::fault;
 use letdma::core::Counter;
-use letdma_bench::{alpha_sweep, fig2, milp_bench, table1, Session};
+use letdma_bench::{alpha_sweep, fault_smoke, fig2, milp_bench, table1, Session};
 
 fn main() -> ExitCode {
+    // Arm the deterministic fault plane from `LETDMA_FAULTS` (if set) —
+    // off by default, so normal reproduction runs are untouched.
+    let armed = fault::arm_from_env();
+    if armed > 0 {
+        eprintln!("fault plane: {armed} site(s) armed via LETDMA_FAULTS");
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut budget = Duration::from_secs(30);
     let mut threads: Option<usize> = None;
@@ -125,6 +141,13 @@ fn main() -> ExitCode {
             }
             println!("wrote {out_path}");
         }
+        "fault-smoke" => {
+            let report = fault_smoke::run(budget);
+            print!("{}", report.render());
+            if !report.pass {
+                return ExitCode::FAILURE;
+            }
+        }
         "all" => {
             println!("== Fig. 1 =================================================");
             print!("{}", session.fig1());
@@ -137,7 +160,7 @@ fn main() -> ExitCode {
         }
         other => {
             eprintln!(
-                "unknown command `{other}` (use fig1|fig2|table1|alpha-sweep|bench-milp|all)"
+                "unknown command `{other}` (use fig1|fig2|table1|alpha-sweep|bench-milp|fault-smoke|all)"
             );
             return ExitCode::FAILURE;
         }

@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault_smoke;
 pub mod harness;
 pub mod json;
 pub mod milp_bench;

@@ -1,0 +1,20 @@
+//! The `repro fault-smoke` check, run in-process. Lives in its own test
+//! binary because arming the process-global fault plane would race any
+//! unit test solving MILPs in parallel.
+
+use std::time::Duration;
+
+use letdma::core::fault::FaultSite;
+use letdma_bench::fault_smoke;
+
+/// The smoke must pass against the in-tree solver — the same check
+/// `repro fault-smoke` runs in CI, at a small budget.
+#[test]
+fn smoke_passes_on_waters() {
+    let report = fault_smoke::run(Duration::from_secs(5));
+    assert!(report.pass, "\n{}", report.render());
+    assert_eq!(report.rows.len(), FaultSite::ALL.len());
+    let rendered = report.render();
+    assert!(rendered.contains("worker-panic"));
+    assert!(rendered.ends_with("fault smoke: PASS\n"));
+}

@@ -1,0 +1,448 @@
+//! Seeded, deterministic fault injection for resilience testing.
+//!
+//! The solver layers are expected to survive the failure modes a
+//! production deployment would see — numerical breakdown inside the
+//! simplex, a singular basis refactorization, a worker thread panicking
+//! mid-node, a budget expiring at the worst moment — and degrade to a
+//! typed error or the constructive-heuristic solution instead of aborting
+//! the process. Those paths are unreachable from well-conditioned test
+//! models, so this module provides a **fault plane**: named injection
+//! sites ([`FaultSite`]) that instrumented code polls through
+//! [`should_fire`], armed per-site with a seeded [`FaultSpec`].
+//!
+//! Design constraints, in priority order:
+//!
+//! * **Byte-identical transparency when disarmed.** Solver trajectories
+//!   are pinned bit-for-bit by the determinism regressions, so the
+//!   disarmed fast path must not perturb anything observable: it is a
+//!   single relaxed atomic load of a process-wide arming mask and no
+//!   branch taken. No fault state is consulted, no counters advance.
+//! * **Deterministic firing decisions.** Whether the *n*-th poll of a
+//!   site fires is a pure function of `(seed, site, n)` — a SplitMix64
+//!   mix of the three — so a fault campaign reproduces from its seed.
+//!   (Under multi-threaded solves the *assignment* of poll indices to
+//!   threads is timing-dependent; campaigns that need bit-stable
+//!   trajectories run single-threaded, which the fault-campaign tests
+//!   do.)
+//! * **Zero dependencies, safe Rust.** State is a fixed set of atomics;
+//!   arming is wait-free and requires no lock, allocation or `unsafe`.
+//!
+//! The plane is process-global because the injection sites sit in hot
+//! loops several crate layers below any handle that could carry
+//! per-solve state. Tests that arm it must serialize with each other
+//! (the fault-campaign suite runs its cases under one lock) and disarm
+//! on exit; `arm_from_env` lets binaries opt in via `LETDMA_FAULTS`
+//! without recompiling.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::rng::{Rng, SplitMix64};
+
+/// Named fault-injection sites recognized by the solver layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum FaultSite {
+    /// The primal simplex reports numerical breakdown
+    /// (`PivotResult::Numerical`) at the top of a pricing iteration.
+    SimplexNumerical,
+    /// A basis refactorization finds the basis singular and fails.
+    SingularRefactor,
+    /// A branch-and-bound worker panics while solving a node LP.
+    WorkerPanic,
+    /// A deadline check reports the budget exhausted early.
+    DeadlineExhausted,
+}
+
+impl FaultSite {
+    /// Every site, in arming-mask bit order.
+    pub const ALL: [FaultSite; 4] = [
+        FaultSite::SimplexNumerical,
+        FaultSite::SingularRefactor,
+        FaultSite::WorkerPanic,
+        FaultSite::DeadlineExhausted,
+    ];
+
+    /// Stable kebab-case name (used by `LETDMA_FAULTS` and the smoke
+    /// tables).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::SimplexNumerical => "simplex-numerical",
+            Self::SingularRefactor => "singular-refactor",
+            Self::WorkerPanic => "worker-panic",
+            Self::DeadlineExhausted => "deadline-exhausted",
+        }
+    }
+
+    /// Parses a kebab-case site name.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<FaultSite> {
+        Self::ALL.into_iter().find(|s| s.name() == name)
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Self::SimplexNumerical => 0,
+            Self::SingularRefactor => 1,
+            Self::WorkerPanic => 2,
+            Self::DeadlineExhausted => 3,
+        }
+    }
+
+    fn bit(self) -> u64 {
+        1 << self.index()
+    }
+}
+
+/// How an armed site decides whether a poll fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Seed of the per-poll firing decision (mixed with the site and the
+    /// poll index; the same seed reproduces the same firing pattern).
+    pub seed: u64,
+    /// Probability that any given poll fires, in `[0, 1]`.
+    pub probability: f64,
+    /// Stop firing after this many fires (`u64::MAX` = unlimited). Lets a
+    /// campaign inject a burst of faults and then watch the solver
+    /// recover and finish.
+    pub max_fires: u64,
+}
+
+impl FaultSpec {
+    /// Fire on every poll, forever.
+    #[must_use]
+    pub fn always() -> Self {
+        Self {
+            seed: 0,
+            probability: 1.0,
+            max_fires: u64::MAX,
+        }
+    }
+
+    /// Seeded per-poll probability, unlimited fires.
+    #[must_use]
+    pub fn with_probability(seed: u64, probability: f64) -> Self {
+        Self {
+            seed,
+            probability,
+            max_fires: u64::MAX,
+        }
+    }
+
+    /// Caps the number of fires (builder style).
+    #[must_use]
+    pub fn limit_fires(mut self, max_fires: u64) -> Self {
+        self.max_fires = max_fires;
+        self
+    }
+}
+
+/// One site's armed state. All-atomics so arming/polling never locks;
+/// `probability` is stored as its IEEE bit pattern.
+struct SiteState {
+    seed: AtomicU64,
+    probability_bits: AtomicU64,
+    max_fires: AtomicU64,
+    polls: AtomicU64,
+    fires: AtomicU64,
+}
+
+impl SiteState {
+    const fn new() -> Self {
+        Self {
+            seed: AtomicU64::new(0),
+            probability_bits: AtomicU64::new(0),
+            max_fires: AtomicU64::new(0),
+            polls: AtomicU64::new(0),
+            fires: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bit mask of armed sites. Zero (the default) is the disarmed fast
+/// path: `should_fire` loads this one value and returns.
+static ARMED: AtomicU64 = AtomicU64::new(0);
+
+static SITES: [SiteState; 4] = [
+    SiteState::new(),
+    SiteState::new(),
+    SiteState::new(),
+    SiteState::new(),
+];
+
+/// Polls a fault site. Instrumented code calls this at the moment the
+/// fault would occur and, when it returns `true`, simulates the failure.
+///
+/// Disarmed sites cost one relaxed atomic load. Armed sites assign the
+/// poll a sequential index and decide deterministically from
+/// `(seed, site, index)`.
+#[inline]
+#[must_use]
+pub fn should_fire(site: FaultSite) -> bool {
+    if ARMED.load(Ordering::Relaxed) & site.bit() == 0 {
+        return false;
+    }
+    should_fire_armed(site)
+}
+
+#[cold]
+fn should_fire_armed(site: FaultSite) -> bool {
+    let state = &SITES[site.index()];
+    let poll = state.polls.fetch_add(1, Ordering::Relaxed);
+    let probability = f64::from_bits(state.probability_bits.load(Ordering::Relaxed));
+    let seed = state.seed.load(Ordering::Relaxed);
+    if !decide(seed, site, poll, probability) {
+        return false;
+    }
+    // Claim one of the allowed fires; losers past the cap stay quiet.
+    let claimed = state.fires.fetch_add(1, Ordering::Relaxed);
+    if claimed >= state.max_fires.load(Ordering::Relaxed) {
+        state.fires.fetch_sub(1, Ordering::Relaxed);
+        return false;
+    }
+    true
+}
+
+/// The pure firing decision: a SplitMix64 mix of `(seed, site, poll)`
+/// compared against `probability`.
+fn decide(seed: u64, site: FaultSite, poll: u64, probability: f64) -> bool {
+    if probability >= 1.0 {
+        return true;
+    }
+    if probability <= 0.0 {
+        return false;
+    }
+    let mut mixer = SplitMix64::new(
+        seed ^ (site.bit().wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            ^ poll.wrapping_mul(0xD134_2543_DE82_EF95),
+    );
+    let unit = (mixer.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+    unit < probability
+}
+
+/// Arms one site. Resets its poll and fire counters so firing patterns
+/// restart from index zero.
+pub fn arm(site: FaultSite, spec: FaultSpec) {
+    let state = &SITES[site.index()];
+    state.seed.store(spec.seed, Ordering::Relaxed);
+    state
+        .probability_bits
+        .store(spec.probability.to_bits(), Ordering::Relaxed);
+    state.max_fires.store(spec.max_fires, Ordering::Relaxed);
+    state.polls.store(0, Ordering::Relaxed);
+    state.fires.store(0, Ordering::Relaxed);
+    ARMED.fetch_or(site.bit(), Ordering::Relaxed);
+}
+
+/// Disarms one site (its counters remain readable until re-armed).
+pub fn disarm(site: FaultSite) {
+    ARMED.fetch_and(!site.bit(), Ordering::Relaxed);
+}
+
+/// Disarms every site. The plane returns to the zero-cost fast path.
+pub fn disarm_all() {
+    ARMED.store(0, Ordering::Relaxed);
+}
+
+/// True if the site is currently armed.
+#[must_use]
+pub fn is_armed(site: FaultSite) -> bool {
+    ARMED.load(Ordering::Relaxed) & site.bit() != 0
+}
+
+/// Polls recorded for a site since it was last armed.
+#[must_use]
+pub fn polls(site: FaultSite) -> u64 {
+    SITES[site.index()].polls.load(Ordering::Relaxed)
+}
+
+/// Fires recorded for a site since it was last armed.
+#[must_use]
+pub fn fires(site: FaultSite) -> u64 {
+    SITES[site.index()].fires.load(Ordering::Relaxed)
+}
+
+/// Arms sites from the `LETDMA_FAULTS` environment variable, returning
+/// the number of sites armed.
+///
+/// Grammar: semicolon-separated site specs, each a kebab-case site name
+/// followed by optional colon-separated fields:
+///
+/// ```text
+/// LETDMA_FAULTS="worker-panic"                        # p=1, unlimited
+/// LETDMA_FAULTS="simplex-numerical:p=0.25:seed=7"
+/// LETDMA_FAULTS="singular-refactor:p=1:max=3;deadline-exhausted:p=0.01"
+/// ```
+///
+/// Unknown site names or malformed fields are reported on stderr and
+/// skipped — a typo must not silently disable a fault campaign *and*
+/// must not kill a production run.
+pub fn arm_from_env() -> usize {
+    match std::env::var("LETDMA_FAULTS") {
+        Ok(value) => arm_from_spec(&value),
+        Err(_) => 0,
+    }
+}
+
+/// Parses and arms an `LETDMA_FAULTS`-grammar string (see
+/// [`arm_from_env`]).
+pub fn arm_from_spec(value: &str) -> usize {
+    let mut armed = 0;
+    for entry in value.split(';').map(str::trim).filter(|e| !e.is_empty()) {
+        let mut fields = entry.split(':').map(str::trim);
+        let name = fields.next().unwrap_or("");
+        let Some(site) = FaultSite::parse(name) else {
+            eprintln!("LETDMA_FAULTS: unknown fault site `{name}` (ignored)");
+            continue;
+        };
+        let mut spec = FaultSpec::always();
+        let mut ok = true;
+        for field in fields {
+            let parsed = match field.split_once('=') {
+                Some(("p", v)) => v.parse::<f64>().map(|p| spec.probability = p).is_ok(),
+                Some(("seed", v)) => v.parse::<u64>().map(|s| spec.seed = s).is_ok(),
+                Some(("max", v)) => v.parse::<u64>().map(|m| spec.max_fires = m).is_ok(),
+                _ => false,
+            };
+            if !parsed {
+                eprintln!("LETDMA_FAULTS: bad field `{field}` in `{entry}` (entry ignored)");
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            arm(site, spec);
+            armed += 1;
+        }
+    }
+    armed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The global plane is shared by every test in this binary; serialize
+    /// the armed sections.
+    fn with_plane_lock<T>(f: impl FnOnce() -> T) -> T {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _guard = LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let result = f();
+        disarm_all();
+        result
+    }
+
+    #[test]
+    fn disarmed_site_never_fires_and_records_nothing() {
+        with_plane_lock(|| {
+            disarm_all();
+            arm(FaultSite::WorkerPanic, FaultSpec::always());
+            disarm(FaultSite::WorkerPanic);
+            let before = polls(FaultSite::WorkerPanic);
+            for _ in 0..100 {
+                assert!(!should_fire(FaultSite::WorkerPanic));
+            }
+            assert_eq!(
+                polls(FaultSite::WorkerPanic),
+                before,
+                "fast path must not count"
+            );
+        });
+    }
+
+    #[test]
+    fn always_spec_fires_on_every_poll() {
+        with_plane_lock(|| {
+            arm(FaultSite::SimplexNumerical, FaultSpec::always());
+            for _ in 0..10 {
+                assert!(should_fire(FaultSite::SimplexNumerical));
+            }
+            assert_eq!(fires(FaultSite::SimplexNumerical), 10);
+        });
+    }
+
+    #[test]
+    fn firing_pattern_is_a_pure_function_of_seed_and_poll_index() {
+        with_plane_lock(|| {
+            let record = |seed: u64| -> Vec<bool> {
+                arm(
+                    FaultSite::SingularRefactor,
+                    FaultSpec::with_probability(seed, 0.5),
+                );
+                (0..64)
+                    .map(|_| should_fire(FaultSite::SingularRefactor))
+                    .collect()
+            };
+            let a = record(42);
+            let b = record(42);
+            let c = record(43);
+            assert_eq!(a, b, "same seed, same pattern");
+            assert_ne!(a, c, "different seed, different pattern");
+            assert!(
+                a.iter().any(|&f| f) && a.iter().any(|&f| !f),
+                "p=0.5 mixes outcomes"
+            );
+        });
+    }
+
+    #[test]
+    fn sites_decide_independently_under_one_seed() {
+        with_plane_lock(|| {
+            let record = |site: FaultSite| -> Vec<bool> {
+                arm(site, FaultSpec::with_probability(7, 0.5));
+                (0..64).map(|_| should_fire(site)).collect()
+            };
+            assert_ne!(
+                record(FaultSite::SimplexNumerical),
+                record(FaultSite::DeadlineExhausted),
+                "the site participates in the mix"
+            );
+        });
+    }
+
+    #[test]
+    fn max_fires_caps_the_burst() {
+        with_plane_lock(|| {
+            arm(
+                FaultSite::DeadlineExhausted,
+                FaultSpec::always().limit_fires(3),
+            );
+            let fired = (0..10)
+                .filter(|_| should_fire(FaultSite::DeadlineExhausted))
+                .count();
+            assert_eq!(fired, 3);
+            assert_eq!(fires(FaultSite::DeadlineExhausted), 3);
+        });
+    }
+
+    #[test]
+    fn env_grammar_round_trips() {
+        with_plane_lock(|| {
+            let armed = arm_from_spec("worker-panic; simplex-numerical:p=0.25:seed=7:max=2");
+            assert_eq!(armed, 2);
+            assert!(is_armed(FaultSite::WorkerPanic));
+            assert!(is_armed(FaultSite::SimplexNumerical));
+            assert!(!is_armed(FaultSite::SingularRefactor));
+            assert!(should_fire(FaultSite::WorkerPanic), "bare name means p=1");
+        });
+    }
+
+    #[test]
+    fn env_grammar_rejects_garbage_without_arming() {
+        with_plane_lock(|| {
+            assert_eq!(arm_from_spec("no-such-site"), 0);
+            assert_eq!(arm_from_spec("worker-panic:p=banana"), 0);
+            assert!(!is_armed(FaultSite::WorkerPanic));
+        });
+    }
+
+    #[test]
+    fn site_names_round_trip() {
+        for site in FaultSite::ALL {
+            assert_eq!(FaultSite::parse(site.name()), Some(site));
+        }
+        assert_eq!(FaultSite::parse("bogus"), None);
+    }
+}

@@ -56,6 +56,20 @@ pub enum Counter {
     /// a deterministic proxy; the exact reduction is measured by the
     /// warm/cold bench split in `BENCH_milp.json`).
     WarmIterationsSaved,
+    /// Worker panics caught by the branch-and-bound panic isolation
+    /// (injected or real); each one was converted into a typed outcome
+    /// instead of a process abort.
+    PanicsCaught,
+    /// Node LPs that reported `Numerical` and were recovered by the
+    /// forced-refactorization retry with escalated tolerances.
+    NumericalRecoveries,
+    /// Escalated-tolerance retries attempted after a `Numerical` outcome
+    /// (each either becomes a recovery or leaves the node unresolved).
+    ToleranceEscalations,
+    /// Solves resolved by degrading to the conformance-verified
+    /// constructive heuristic after the MILP path failed or ran out of
+    /// budget.
+    HeuristicFallbacks,
 }
 
 impl Counter {
@@ -77,6 +91,10 @@ impl Counter {
             Self::WarmFallbacks => "warm fallbacks",
             Self::DualIterations => "dual iterations",
             Self::WarmIterationsSaved => "warm iterations saved",
+            Self::PanicsCaught => "panics caught",
+            Self::NumericalRecoveries => "numerical recoveries",
+            Self::ToleranceEscalations => "tolerance escalations",
+            Self::HeuristicFallbacks => "heuristic fallbacks",
         }
     }
 }
@@ -95,6 +113,10 @@ pub enum NodeEvent {
     Branched,
     /// The node was abandoned because a budget expired.
     Abandoned,
+    /// The node's LP failed numerically even after the escalated-tolerance
+    /// retry; the node was branched conservatively (never fathomed) so the
+    /// subtree stays explored.
+    Unresolved,
 }
 
 impl NodeEvent {
@@ -107,6 +129,7 @@ impl NodeEvent {
             Self::Integral => "integral",
             Self::Branched => "branched",
             Self::Abandoned => "abandoned",
+            Self::Unresolved => "unresolved",
         }
     }
 }

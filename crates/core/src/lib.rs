@@ -18,7 +18,11 @@
 //!   `proptest` suites: N deterministic cases per property, reproducible
 //!   from the failure message alone;
 //! * [`parallel`] — worker-pool sizing shared by every layer that fans
-//!   out over `std::thread` (`LETDMA_THREADS`, explicit overrides).
+//!   out over `std::thread` (`LETDMA_THREADS`, explicit overrides);
+//! * [`fault`] — the seeded, deterministic fault plane the resilience
+//!   tests arm to inject simplex breakdowns, singular refactorizations,
+//!   worker panics and deadline exhaustion (off by default; disarmed
+//!   cost is one relaxed atomic load).
 //!
 //! Everything here is plain safe `std` Rust. Keeping this crate
 //! dependency-free is a hard policy (see DESIGN.md §"Dependency policy");
@@ -30,11 +34,13 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cases;
+pub mod fault;
 pub mod instrument;
 pub mod parallel;
 pub mod rng;
 
 pub use cases::Cases;
+pub use fault::{FaultSite, FaultSpec};
 pub use instrument::{Counter, Instrument, NodeEvent, NoopInstrument, SolverStats};
 pub use parallel::resolve_threads;
 pub use rng::{Rng, SplitMix64, Xoshiro256};

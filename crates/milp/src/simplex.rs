@@ -48,6 +48,8 @@
 #![allow(clippy::needless_range_loop)]
 use std::time::Instant;
 
+use letdma_core::fault::{self, FaultSite};
+
 use crate::basis::{Basis, DenseInverse};
 use crate::model::{Model, ObjectiveSense, Sense};
 
@@ -135,6 +137,14 @@ pub struct SimplexSolver {
     /// Refactorize after this many product-form updates (numerical-drift
     /// control for long solves; `u64::MAX` disables).
     pub refactor_interval: u64,
+    /// Smallest pivot magnitude the ratio tests will accept (primal
+    /// leaving pivot and dual entering pivot). The default `1e-9` matches
+    /// the historical hard-coded threshold; the branch-and-bound numerical
+    /// recovery escalates it (together with a tighter
+    /// [`refactor_interval`](Self::refactor_interval)) when retrying a
+    /// node whose first solve broke down, trading a slightly weaker
+    /// ratio test for pivots that cannot blow up the maintained inverse.
+    pub min_pivot: f64,
     /// Dual-simplex iterations executed by [`warm_resolve`]
     /// (kept separate from the primal [`iterations`] counter).
     ///
@@ -275,6 +285,7 @@ impl SimplexSolver {
             phase1_iterations: 0,
             bound_flips: 0,
             refactor_interval: 512,
+            min_pivot: 1e-9,
             dual_iterations: 0,
             dual_iteration_limit: 500,
         }
@@ -469,7 +480,13 @@ impl SimplexSolver {
             if self.iterations >= self.iteration_limit {
                 return PivotResult::IterationLimit;
             }
+            if fault::should_fire(FaultSite::SimplexNumerical) {
+                return PivotResult::Numerical;
+            }
             if self.iterations % 128 == 0 {
+                if fault::should_fire(FaultSite::DeadlineExhausted) {
+                    return PivotResult::TimedOut;
+                }
                 if let Some(deadline) = self.deadline {
                     if Instant::now() >= deadline {
                         return PivotResult::TimedOut;
@@ -549,7 +566,7 @@ impl SimplexSolver {
             let mut t_limit = flip_range;
             for (i, &wi) in w.iter().enumerate() {
                 let delta = -dir * wi;
-                if delta.abs() <= 1e-9 {
+                if delta.abs() <= self.min_pivot {
                     continue;
                 }
                 let bj = self.basis[i];
@@ -575,7 +592,7 @@ impl SimplexSolver {
             let mut chosen: Option<(usize, bool, f64, f64)> = None; // (row, hits_upper, t, |pivot|)
             for (i, &wi) in w.iter().enumerate() {
                 let delta = -dir * wi;
-                if delta.abs() <= 1e-9 {
+                if delta.abs() <= self.min_pivot {
                     continue;
                 }
                 let bj = self.basis[i];
@@ -675,6 +692,9 @@ impl SimplexSolver {
     /// inverse.
     #[must_use]
     fn refactorize(&mut self) -> bool {
+        if fault::should_fire(FaultSite::SingularRefactor) {
+            return false;
+        }
         let cols: Vec<&crate::basis::SparseCol> =
             self.basis.iter().map(|&j| &self.cols[j]).collect();
         self.basis_inv.refactorize(&cols)
@@ -872,6 +892,9 @@ impl SimplexSolver {
                 return WarmOutcome::GiveUp { iterations };
             }
             if iterations % 64 == 0 {
+                if fault::should_fire(FaultSite::DeadlineExhausted) {
+                    return WarmOutcome::GiveUp { iterations };
+                }
                 if let Some(deadline) = self.deadline {
                     if Instant::now() >= deadline {
                         return WarmOutcome::GiveUp { iterations };
@@ -1063,7 +1086,7 @@ impl SimplexSolver {
             let mut w = vec![0.0; m];
             self.basis_inv.ftran(&self.cols[q], &mut w);
             let alpha = w[r];
-            if alpha.abs() <= 1e-9 {
+            if alpha.abs() <= self.min_pivot {
                 return WarmOutcome::GiveUp { iterations };
             }
             let leaving = self.basis[r];
@@ -1486,5 +1509,34 @@ mod tests {
             }
             other => panic!("expected optimal, got {other:?}"),
         }
+    }
+
+    /// An already-expired deadline stops the cold primal path before the
+    /// first pivot: the deadline poll runs at iteration 0, so the solver
+    /// never prices a column and reports `TimedOut` instead of burning
+    /// the node's budget.
+    #[test]
+    fn expired_deadline_times_out_cold_solve() {
+        let (m, _) = dual_test_lp();
+        let mut lp = SimplexSolver::from_model(&m);
+        lp.deadline = Some(Instant::now());
+        assert_eq!(lp.solve(), LpOutcome::TimedOut);
+        assert_eq!(lp.iterations, 0, "no pivots after the deadline");
+    }
+
+    /// The warm dual path honors the same deadline contract: an expired
+    /// deadline yields `GiveUp` at iteration 0, handing the node back to
+    /// the caller (which owns the retry/fallback policy) rather than
+    /// pivoting past its budget.
+    #[test]
+    fn expired_deadline_gives_up_warm_resolve() {
+        let (mut m, [x, ..], warm) = dual_test_parent();
+        m.set_bounds(x, 0.0, 2.0);
+        let mut child = SimplexSolver::from_model(&m);
+        child.deadline = Some(Instant::now());
+        assert_eq!(
+            child.warm_resolve(&warm, 5.0),
+            WarmOutcome::GiveUp { iterations: 0 }
+        );
     }
 }

@@ -38,6 +38,7 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use letdma_core::fault::{self, FaultSite};
 use letdma_core::instrument::{Counter, IncumbentRecord, Instrument, NodeEvent, NoopInstrument};
 use letdma_core::parallel::resolve_threads;
 
@@ -384,6 +385,14 @@ pub enum SolveError {
         /// Best bound in the model's objective sense, if any LP solved.
         best_bound: Option<f64>,
     },
+    /// A node evaluation panicked. The panic was caught — the process
+    /// stays alive and the search stopped cleanly — but no feasible
+    /// solution existed to return (a solve with an incumbent returns it
+    /// as [`SolveStatus::Feasible`] instead of this error).
+    WorkerPanic {
+        /// Panics caught before the search stopped.
+        caught: u64,
+    },
 }
 
 impl fmt::Display for SolveError {
@@ -395,6 +404,10 @@ impl fmt::Display for SolveError {
                 Some(b) => write!(f, "limit reached without a feasible solution (bound {b})"),
                 None => write!(f, "limit reached without a feasible solution"),
             },
+            Self::WorkerPanic { caught } => write!(
+                f,
+                "solver worker panicked ({caught} caught); no feasible solution to return"
+            ),
         }
     }
 }
@@ -428,9 +441,21 @@ struct Node {
     warm: Option<Arc<WarmBasis>>,
 }
 
+impl Node {
+    /// Heap key for the bound: `total_cmp` gives every float — including a
+    /// stray NaN from a numerically broken LP — a deterministic position
+    /// (NaN sorts above every real bound, i.e. lowest priority) instead of
+    /// the `partial_cmp(..).unwrap_or(Equal)` scramble. Adding `+0.0`
+    /// collapses `-0.0` onto `0.0` first, preserving the old ordering for
+    /// the signed-zero pair that `total_cmp` would otherwise split.
+    fn bound_key(&self) -> f64 {
+        self.bound + 0.0
+    }
+}
+
 impl PartialEq for Node {
     fn eq(&self, other: &Self) -> bool {
-        self.bound == other.bound && self.seq == other.seq
+        self.cmp(other) == Ordering::Equal
     }
 }
 impl Eq for Node {}
@@ -444,9 +469,8 @@ impl Ord for Node {
         // BinaryHeap is a max-heap: smaller bound = higher priority, then
         // most recently created first (LIFO dive).
         other
-            .bound
-            .partial_cmp(&self.bound)
-            .unwrap_or(Ordering::Equal)
+            .bound_key()
+            .total_cmp(&self.bound_key())
             .then(self.seq.cmp(&other.seq))
     }
 }
@@ -633,6 +657,14 @@ enum PureLp {
     Infeasible,
     Unbounded,
     TimedOut,
+    /// The node LP broke down numerically (or hit the iteration brake)
+    /// even after the escalated-tolerance retry. **Not** an infeasibility
+    /// certificate: the node must never be fathomed — the coordinator
+    /// branches it conservatively so the subtree stays explored.
+    Unresolved,
+    /// The node evaluation panicked; the panic was caught by the
+    /// worker-isolation guard. No LP information exists.
+    Panicked,
 }
 
 /// Deterministic counters of one node LP, recorded worker-side and
@@ -651,6 +683,8 @@ struct LpShard {
     warm_fallbacks: u64,
     dual_iterations: u64,
     warm_iterations_saved: u64,
+    tolerance_escalations: u64,
+    numerical_recoveries: u64,
 }
 
 /// Solves the LP relaxation of one node. Free function (no `&self`) so
@@ -664,6 +698,26 @@ struct LpShard {
 /// most in *which* certificate settled a settled node, never in values,
 /// objective or search consequences. `capture` additionally snapshots the
 /// optimal basis of a cold solve for this node's children.
+/// Panic-isolating wrapper around [`solve_node_lp`]: a panic anywhere in
+/// the node evaluation (injected by the fault plane or a genuine bug)
+/// becomes [`PureLp::Panicked`] instead of unwinding across the worker
+/// pool and aborting the process. `AssertUnwindSafe` is justified because
+/// the closure owns its scratch state: the model is only read, and the
+/// shard of a panicked node is discarded wholesale.
+fn solve_node_lp_guarded(
+    model: &Model,
+    overrides: &[(Var, f64, f64)],
+    deadline: Option<Instant>,
+    scale: f64,
+    capture: bool,
+    warm: Option<(&WarmBasis, f64)>,
+) -> (PureLp, LpShard) {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        solve_node_lp(model, overrides, deadline, scale, capture, warm)
+    }))
+    .unwrap_or_else(|_| (PureLp::Panicked, LpShard::default()))
+}
+
 fn solve_node_lp(
     model: &Model,
     overrides: &[(Var, f64, f64)],
@@ -672,6 +726,9 @@ fn solve_node_lp(
     capture: bool,
     warm: Option<(&WarmBasis, f64)>,
 ) -> (PureLp, LpShard) {
+    if fault::should_fire(FaultSite::WorkerPanic) {
+        panic!("fault injection: worker panic while solving a node LP");
+    }
     let mut shard = LpShard::default();
     // Apply overrides on a scratch copy of the model bounds.
     let mut scratch = model.clone();
@@ -717,7 +774,7 @@ fn solve_node_lp(
     }
     let mut lp = SimplexSolver::from_model(&scratch);
     lp.deadline = deadline;
-    let outcome = lp.solve();
+    let mut outcome = lp.solve();
     if let Some((wx, wbasis)) = &warm_debug {
         if let LpOutcome::Optimal { values, .. } = &outcome {
             let exact = values
@@ -749,6 +806,31 @@ fn solve_node_lp(
     shard.pivots += lp.pivots();
     shard.bound_flips += lp.bound_flips;
     shard.refactorizations += lp.refactorizations();
+    if matches!(outcome, LpOutcome::Numerical) {
+        // Numerical recovery: rebuild the solver from scratch (which *is*
+        // the forced refactorization — a fresh exact basis, no drifted
+        // inverse), escalate the minimum-pivot threshold and tighten the
+        // refactorization cadence, then retry once. Escalating the pivot
+        // tolerance is sound because it only *restricts* which pivots the
+        // ratio tests accept; loosening the optimality tolerance instead
+        // could overstate the node bound and wrongly fathom.
+        shard.tolerance_escalations = 1;
+        let mut retry = SimplexSolver::from_model(&scratch);
+        retry.deadline = deadline;
+        retry.min_pivot = 1e-7;
+        retry.refactor_interval = 64;
+        outcome = retry.solve();
+        shard.lp_solves += 1;
+        shard.iterations += retry.iterations;
+        shard.phase1_iterations += retry.phase1_iterations;
+        shard.pivots += retry.pivots();
+        shard.bound_flips += retry.bound_flips;
+        shard.refactorizations += retry.refactorizations();
+        if !matches!(outcome, LpOutcome::Numerical) {
+            shard.numerical_recoveries = 1;
+        }
+        lp = retry;
+    }
     let lp = match outcome {
         LpOutcome::Optimal { values, objective } => PureLp::Solved {
             values,
@@ -757,8 +839,10 @@ fn solve_node_lp(
         },
         LpOutcome::Infeasible => PureLp::Infeasible,
         LpOutcome::Unbounded => PureLp::Unbounded,
-        LpOutcome::IterationLimit => PureLp::Infeasible, // numerical brake: drop node
-        LpOutcome::Numerical => PureLp::Infeasible,      // same emergency brake
+        // Neither brake is an infeasibility certificate: fathoming here
+        // would silently drop a subtree that may hold the optimum (the
+        // pre-resilience code conflated both with `Infeasible`).
+        LpOutcome::IterationLimit | LpOutcome::Numerical => PureLp::Unresolved,
         LpOutcome::TimedOut => PureLp::TimedOut,
     };
     (lp, shard)
@@ -770,7 +854,10 @@ enum JobOutcome {
     /// Sound: the incumbent only improves, so the merge-time fathoming
     /// test is guaranteed to discard the node anyway.
     Skipped,
-    Finished(PureLp, LpShard),
+    /// The shard is boxed to keep the enum small on the channel (the
+    /// skip variant is payload-free and outnumbers finishes under a hot
+    /// incumbent).
+    Finished(PureLp, Box<LpShard>),
 }
 
 /// What the coordinator decided while merging one job.
@@ -809,6 +896,8 @@ struct BranchAndBound<'a> {
     root_bound: Option<f64>,
     node_seq: u64,
     worker_loads: Vec<WorkerLoad>,
+    /// Panics caught by the worker-isolation guards during this solve.
+    panics: u64,
 }
 
 impl<'a> BranchAndBound<'a> {
@@ -840,6 +929,7 @@ impl<'a> BranchAndBound<'a> {
             root_bound: None,
             node_seq: 0,
             worker_loads: Vec::new(),
+            panics: 0,
         }
     }
 
@@ -858,6 +948,9 @@ impl<'a> BranchAndBound<'a> {
     }
 
     fn out_of_budget(&self) -> bool {
+        if fault::should_fire(FaultSite::DeadlineExhausted) {
+            return true;
+        }
         if let Some(limit) = self.options.time_limit {
             if self.start.elapsed() >= limit {
                 return true;
@@ -980,6 +1073,12 @@ impl<'a> BranchAndBound<'a> {
             self.instrument
                 .count(Counter::Refactorizations, shard.refactorizations);
         }
+        if shard.tolerance_escalations > 0 {
+            self.instrument
+                .count(Counter::ToleranceEscalations, shard.tolerance_escalations);
+            self.instrument
+                .count(Counter::NumericalRecoveries, shard.numerical_recoveries);
+        }
         if shard.warm_attempts > 0 {
             self.instrument
                 .count(Counter::WarmAttempts, shard.warm_attempts);
@@ -1006,7 +1105,7 @@ impl<'a> BranchAndBound<'a> {
         warm: Option<(&WarmBasis, f64)>,
     ) -> (PureLp, LpShard) {
         let t0 = Instant::now();
-        let (lp, shard) = solve_node_lp(
+        let (lp, shard) = solve_node_lp_guarded(
             self.model,
             overrides,
             self.deadline(),
@@ -1078,6 +1177,22 @@ impl<'a> BranchAndBound<'a> {
                 }
                 PureLp::TimedOut => {
                     self.instrument.node_event(NodeEvent::Abandoned);
+                    exhausted = false;
+                }
+                PureLp::Unresolved => {
+                    // The root LP failed numerically even after the retry:
+                    // no bound exists, but the tree must still be explored.
+                    // Branch conservatively from the root domain; if
+                    // nothing is splittable the solve degrades to the
+                    // warm-start incumbent or a typed limit error.
+                    self.instrument.node_event(NodeEvent::Unresolved);
+                    if !self.branch_conservatively(&[], f64::NEG_INFINITY, 0) {
+                        exhausted = false;
+                    }
+                }
+                PureLp::Panicked => {
+                    self.panics += 1;
+                    self.instrument.count(Counter::PanicsCaught, 1);
                     exhausted = false;
                 }
                 // Unreachable at the root (no warm basis was passed), but
@@ -1168,10 +1283,79 @@ impl<'a> BranchAndBound<'a> {
                 stats,
             }),
             None if proven_optimal => Err(SolveError::Infeasible),
+            None if self.panics > 0 => Err(SolveError::WorkerPanic {
+                caught: self.panics,
+            }),
             None => Err(SolveError::LimitReached {
                 best_bound: stats.best_bound,
             }),
         }
+    }
+
+    /// Branches an *unresolved* node — its LP failed numerically even
+    /// after the escalated retry, so there are no LP values to pick a
+    /// fractional variable from — by splitting the domain of the first
+    /// integral variable that still holds at least two integer points.
+    /// Both children inherit `bound` unchanged (a failed LP proves
+    /// nothing, so the node must never be fathomed) and carry no warm
+    /// basis. Returns `false` when nothing is splittable, in which case
+    /// the caller must stop instead of re-queueing the same node forever.
+    ///
+    /// Termination: every split strictly shrinks one finite integer
+    /// domain, so even a fault that breaks *every* LP only drives the
+    /// search through the finite enumeration of integer boxes (budget
+    /// checks still apply on top).
+    fn branch_conservatively(
+        &mut self,
+        overrides: &[(Var, f64, f64)],
+        bound: f64,
+        depth: u32,
+    ) -> bool {
+        for (j, def) in self.model.vars.iter().enumerate() {
+            if !def.is_integral() {
+                continue;
+            }
+            let var = Var(j as u32);
+            let mut lo = def.lower;
+            let mut hi = def.upper;
+            for &(v, l, u) in overrides {
+                if v == var {
+                    lo = lo.max(l);
+                    hi = hi.min(u);
+                }
+            }
+            let lo_int = lo.ceil();
+            let hi_int = hi.floor();
+            if !lo_int.is_finite() || lo_int >= hi_int {
+                continue; // empty, single-point, or half-open downwards
+            }
+            let split = if hi_int.is_finite() {
+                (lo_int + (hi_int - lo_int) / 2.0).floor()
+            } else {
+                lo_int // value split: [lo, lo] vs [lo+1, ∞)
+            };
+            let cutoff = match &self.incumbent {
+                Some((_, inc)) => *inc - self.options.gap_abs,
+                None => f64::INFINITY,
+            };
+            let mut down = overrides.to_vec();
+            down.push((var, f64::NEG_INFINITY, split));
+            let mut up = overrides.to_vec();
+            up.push((var, split + 1.0, f64::INFINITY));
+            for child in [down, up] {
+                self.node_seq += 1;
+                self.open.push(Node {
+                    overrides: child,
+                    bound,
+                    depth: depth + 1,
+                    seq: self.node_seq,
+                    cutoff,
+                    warm: None,
+                });
+            }
+            return true;
+        }
+        false
     }
 
     /// Runs one round over `batch`, sequentially or on the worker pool.
@@ -1223,6 +1407,7 @@ impl<'a> BranchAndBound<'a> {
         let mut control = RoundControl::Continue;
         let mut error: Option<SolveError> = None;
         let mut loads: Vec<WorkerLoad> = Vec::with_capacity(threads);
+        let mut thread_panics = 0u64;
 
         std::thread::scope(|s| {
             let (tx, rx) = mpsc::channel::<(usize, JobOutcome)>();
@@ -1233,51 +1418,57 @@ impl<'a> BranchAndBound<'a> {
                 let next_job = &next_job;
                 handles.push(s.spawn(move || {
                     let mut load = WorkerLoad::default();
-                    loop {
-                        let i = next_job.fetch_add(1, AtomicOrdering::Relaxed);
-                        if i >= jobs.len() {
-                            break;
-                        }
-                        let t0 = Instant::now();
-                        let node = &jobs[i];
-                        let threshold = f64::from_bits(inc_bits.load(AtomicOrdering::Relaxed));
-                        let outcome = if node.bound >= threshold - gap_abs {
-                            load.skipped += 1;
-                            JobOutcome::Skipped
-                        } else {
-                            let warm = node.warm.as_deref().map(|basis| (basis, node.cutoff));
-                            let (lp, shard) = solve_node_lp(
-                                model,
-                                &node.overrides,
-                                deadline,
-                                scale,
-                                warm_basis,
-                                warm,
-                            );
-                            load.jobs += 1;
-                            load.lp_iterations += shard.iterations;
-                            load.dual_iterations += shard.dual_iterations;
-                            load.pivots += shard.pivots;
-                            load.bound_flips += shard.bound_flips;
-                            load.refactorizations += shard.refactorizations;
-                            JobOutcome::Finished(lp, shard)
-                        };
-                        load.busy += t0.elapsed();
-                        if tx.send((i, outcome)).is_err() {
-                            break;
-                        }
-                    }
-                    load
+                    // Second line of defense behind the per-node guard in
+                    // `solve_node_lp_guarded`: a panic anywhere else in the
+                    // worker loop must not unwind into the thread scope
+                    // (which would abort the whole process at join time).
+                    let survived =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| loop {
+                            let i = next_job.fetch_add(1, AtomicOrdering::Relaxed);
+                            if i >= jobs.len() {
+                                break;
+                            }
+                            let t0 = Instant::now();
+                            let node = &jobs[i];
+                            let threshold = f64::from_bits(inc_bits.load(AtomicOrdering::Relaxed));
+                            let outcome = if node.bound >= threshold - gap_abs {
+                                load.skipped += 1;
+                                JobOutcome::Skipped
+                            } else {
+                                let warm = node.warm.as_deref().map(|basis| (basis, node.cutoff));
+                                let (lp, shard) = solve_node_lp_guarded(
+                                    model,
+                                    &node.overrides,
+                                    deadline,
+                                    scale,
+                                    warm_basis,
+                                    warm,
+                                );
+                                load.jobs += 1;
+                                load.lp_iterations += shard.iterations;
+                                load.dual_iterations += shard.dual_iterations;
+                                load.pivots += shard.pivots;
+                                load.bound_flips += shard.bound_flips;
+                                load.refactorizations += shard.refactorizations;
+                                JobOutcome::Finished(lp, Box::new(shard))
+                            };
+                            load.busy += t0.elapsed();
+                            if tx.send((i, outcome)).is_err() {
+                                break;
+                            }
+                        }))
+                        .is_ok();
+                    (load, survived)
                 }));
             }
             drop(tx);
 
             let mut stopped = false;
-            let mut merge_one = |this: &mut Self, i: usize, outcome: JobOutcome| {
+            let mut merge_one = |this: &mut Self, i: usize, outcome: Option<JobOutcome>| {
                 if stopped {
                     return;
                 }
-                match this.merge_job(&jobs[i], Some(outcome)) {
+                match this.merge_job(&jobs[i], outcome) {
                     Ok(MergeControl::Continue) => {
                         merged[i] = true;
                         // Publish the (possibly improved) incumbent so
@@ -1306,23 +1497,54 @@ impl<'a> BranchAndBound<'a> {
                 for (i, outcome) in rx {
                     pending.insert(i, outcome);
                     while let Some(outcome) = pending.remove(&next_merge) {
-                        merge_one(self, next_merge, outcome);
+                        merge_one(self, next_merge, Some(outcome));
                         next_merge += 1;
                     }
                 }
+                // The channel is closed, so every worker has exited its
+                // loop. A gap in the merge order is a job some worker
+                // claimed but never delivered (its thread died mid-node);
+                // completing the remainder inline — in node-id order —
+                // keeps the trajectory identical to the no-failure run.
+                while next_merge < jobs.len() {
+                    let outcome = pending.remove(&next_merge);
+                    merge_one(self, next_merge, outcome);
+                    next_merge += 1;
+                }
             } else {
+                let mut delivered = vec![false; jobs.len()];
                 for (i, outcome) in rx {
-                    merge_one(self, i, outcome);
+                    delivered[i] = true;
+                    merge_one(self, i, Some(outcome));
+                }
+                for (i, done) in delivered.iter().enumerate() {
+                    if !done {
+                        merge_one(self, i, None);
+                    }
                 }
             }
 
             for handle in handles {
-                loads.push(handle.join().expect("solver worker panicked"));
+                // `join` only errs if the panic escaped both catch_unwind
+                // guards (impossible today, but never worth an abort).
+                match handle.join() {
+                    Ok((load, survived)) => {
+                        loads.push(load);
+                        if !survived {
+                            thread_panics += 1;
+                        }
+                    }
+                    Err(_) => thread_panics += 1,
+                }
             }
         });
 
         for (worker, load) in loads.iter().enumerate() {
             self.worker_load_mut(worker).accumulate(load);
+        }
+        if thread_panics > 0 {
+            self.panics += thread_panics;
+            self.instrument.count(Counter::PanicsCaught, thread_panics);
         }
 
         if let Some(e) = error {
@@ -1357,7 +1579,7 @@ impl<'a> BranchAndBound<'a> {
             return Ok(MergeControl::PushBackAndStop);
         }
         let (lp, shard) = match outcome {
-            Some(JobOutcome::Finished(lp, shard)) => (lp, shard),
+            Some(JobOutcome::Finished(lp, shard)) => (lp, *shard),
             // A worker skip can only be consumed if the incumbent that
             // justified it disappeared — impossible, since incumbents only
             // improve — but solving inline keeps even that path correct.
@@ -1384,6 +1606,27 @@ impl<'a> BranchAndBound<'a> {
             }
             PureLp::TimedOut => {
                 self.instrument.node_event(NodeEvent::Abandoned);
+                Ok(MergeControl::PushBackAndStop)
+            }
+            PureLp::Unresolved => {
+                self.instrument.node_event(NodeEvent::Unresolved);
+                if self.branch_conservatively(&node.overrides, node.bound, node.depth) {
+                    Ok(MergeControl::Continue)
+                } else {
+                    // Every integral variable is fixed and the LP still
+                    // won't solve: leave the node open and stop — anytime
+                    // semantics return the incumbent (or a typed error),
+                    // never a wrong fathom, never a spin.
+                    Ok(MergeControl::PushBackAndStop)
+                }
+            }
+            PureLp::Panicked => {
+                self.panics += 1;
+                self.instrument.count(Counter::PanicsCaught, 1);
+                // A deterministic panic would recur on re-solve; stop the
+                // search cleanly. `run` returns the incumbent when one
+                // exists, `SolveError::WorkerPanic` otherwise, and the
+                // optimizer's degradation ladder takes it from there.
                 Ok(MergeControl::PushBackAndStop)
             }
             // The warm certificate replaces a cold solve the merge-time
@@ -1842,5 +2085,63 @@ mod tests {
         assert!(SolveError::LimitReached { best_bound: None }
             .to_string()
             .contains("limit reached"));
+        assert!(SolveError::WorkerPanic { caught: 2 }
+            .to_string()
+            .contains("2 caught"));
+    }
+
+    #[test]
+    fn node_ordering_survives_nan_bounds() {
+        // A NaN bound (the residue of a numerically broken LP) must take a
+        // deterministic place in the queue — after every real bound — not
+        // scramble the heap like `partial_cmp(..).unwrap_or(Equal)` did.
+        let mk = |bound: f64, seq: u64| Node {
+            overrides: Vec::new(),
+            bound,
+            depth: 0,
+            seq,
+            cutoff: f64::INFINITY,
+            warm: None,
+        };
+        let mut heap = BinaryHeap::new();
+        heap.push(mk(f64::NAN, 0));
+        heap.push(mk(1.0, 1));
+        heap.push(mk(-1.0, 2));
+        heap.push(mk(f64::NAN, 3));
+        let order: Vec<u64> = std::iter::from_fn(|| heap.pop()).map(|n| n.seq).collect();
+        assert_eq!(
+            order,
+            vec![2, 1, 3, 0],
+            "best bound first, NaN last, NaN ties broken LIFO"
+        );
+        // The signed-zero pair stays equal under the normalized key, so
+        // the total_cmp switch cannot reorder pre-existing trajectories.
+        assert_eq!(mk(0.0, 7).cmp(&mk(-0.0, 7)), Ordering::Equal);
+    }
+
+    #[test]
+    fn time_limit_returns_incumbent_not_error() {
+        // Seeded case for SolveOptions::time_limit: with an expired
+        // deadline the solver must return the warm-start incumbent as
+        // Feasible — on both the cold-primal and warm-dual configurations
+        // — and only without any incumbent degrade to a typed limit error.
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.add_constraint("cap", (x + y).le(1.0));
+        m.set_objective(ObjectiveSense::Maximize, 2.0 * x + y);
+        for warm_basis in [false, true] {
+            let s = m
+                .solver()
+                .warm_start(vec![0.0, 1.0]) // feasible, objective 1
+                .time_limit(Duration::ZERO)
+                .warm_basis(warm_basis)
+                .run()
+                .unwrap();
+            assert_eq!(s.status(), SolveStatus::Feasible, "warm_basis={warm_basis}");
+            assert!((s.objective() - 1.0).abs() < 1e-9);
+        }
+        let err = m.solver().time_limit(Duration::ZERO).run().unwrap_err();
+        assert!(matches!(err, SolveError::LimitReached { .. }), "{err}");
     }
 }

@@ -63,7 +63,7 @@ pub use batch::{optimize_batch, Batch, BatchOutcome};
 pub use config::{Objective, OptConfig};
 pub use improve::{ImproveGoal, Reorder};
 pub use optimizer::{formulation_lp, heuristic_solution, OptError, Optimizer};
-pub use solution::{LetDmaSolution, Provenance};
+pub use solution::{LetDmaSolution, Provenance, Resolution};
 
 #[allow(deprecated)]
 pub use improve::{improve_transfer_order, improve_transfer_order_with};

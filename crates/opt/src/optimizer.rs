@@ -5,7 +5,7 @@ use std::error::Error;
 use std::fmt;
 use std::time::Duration;
 
-use letdma_core::instrument::{timed_phase, Instrument, NoopInstrument};
+use letdma_core::instrument::{timed_phase, Counter, Instrument, NoopInstrument};
 use letdma_model::conformance::{verify, VerifyOptions, Violation};
 use letdma_model::System;
 use milp::{SolveError, SolveOptions};
@@ -13,7 +13,7 @@ use milp::{SolveError, SolveOptions};
 use crate::config::{Objective, OptConfig};
 use crate::formulation;
 use crate::heuristic;
-use crate::solution::{extract, from_heuristic, warm_start_assignment, LetDmaSolution};
+use crate::solution::{extract, from_heuristic, warm_start_assignment, LetDmaSolution, Resolution};
 
 /// Errors of an [`Optimizer`] run.
 #[derive(Debug, Clone, PartialEq)]
@@ -225,10 +225,22 @@ impl<'s, 'i> Optimizer<'s, 'i> {
     ///
     /// # Errors
     ///
-    /// See [`OptError`]. With [`OptConfig::warm_start`] enabled (the
-    /// default) a time-limited run degrades gracefully: if the MILP search
-    /// cannot improve on the constructive heuristic within the budget, the
-    /// (valid) heuristic solution is returned instead of an error.
+    /// See [`OptError`]. Failures degrade along a fixed ladder (DESIGN.md
+    /// §"Failure model & degradation policy"), and the rung that produced
+    /// the returned solution is recorded in
+    /// [`LetDmaSolution::resolution`]:
+    ///
+    /// 1. a worker panic in the MILP search triggers **one** retry from
+    ///    scratch at half the time/node budget with warm dual re-solves
+    ///    disabled ([`Resolution::MilpRetry`]);
+    /// 2. if the search (or its retry) ends with no incumbent — budget
+    ///    exhausted or panics persisting — the conformance-verified
+    ///    constructive heuristic is returned when it exists
+    ///    ([`Resolution::HeuristicFallback`], counted under
+    ///    [`Counter::HeuristicFallbacks`]);
+    /// 3. only when that fallback is unavailable does the typed error
+    ///    ([`OptError::BudgetExhausted`] or [`OptError::Solver`]) reach
+    ///    the caller.
     pub fn run(self) -> Result<LetDmaSolution, OptError> {
         match self.instrument {
             Some(instrument) => run_pipeline(self.system, &self.config, instrument),
@@ -339,16 +351,35 @@ fn run_pipeline(
         (f, solve_options)
     });
 
-    let solve_result = timed_phase(instrument, "milp-search", |ins| {
+    let mut resolution = Resolution::Milp;
+    let mut solve_result = timed_phase(instrument, "milp-search", |ins| {
         f.model
             .solver()
             .options(solve_options.clone())
             .instrument(ins)
             .run()
     });
+    if matches!(solve_result, Err(SolveError::WorkerPanic { .. })) {
+        // Degradation rung 1: a worker panic poisoned the first search, so
+        // retry once from scratch at half the budget with warm (dual)
+        // re-solves disabled — the cheapest configuration change that
+        // removes a whole code path from the panic surface while still
+        // giving the MILP a real chance before the heuristic fallback.
+        let mut retry_options = solve_options.clone().with_warm_basis(false);
+        retry_options.time_limit = solve_options.time_limit.map(|t| t / 2);
+        retry_options.node_limit = solve_options.node_limit.map(|n| (n / 2).max(1));
+        resolution = Resolution::MilpRetry;
+        solve_result = timed_phase(instrument, "milp-retry", |ins| {
+            f.model
+                .solver()
+                .options(retry_options)
+                .instrument(ins)
+                .run()
+        });
+    }
     match solve_result {
         Ok(milp_solution) => timed_phase(instrument, "validate", |_| {
-            let mut solution = extract(system, &f, &milp_solution, config.objective);
+            let mut solution = extract(system, &f, &milp_solution, config.objective, resolution);
             // Post-pass (delay objective only): the MILP fixes the grouping
             // but its order may still admit improvement within the budget's
             // gap; relocation moves are free wins.
@@ -372,12 +403,24 @@ fn run_pipeline(
             }
         }),
         Err(SolveError::Infeasible) => Err(OptError::Infeasible),
-        Err(SolveError::LimitReached { .. }) => {
-            // No incumbent found by the search: fall back to the heuristic
-            // when it is valid.
+        Err(err @ (SolveError::LimitReached { .. } | SolveError::WorkerPanic { .. })) => {
+            // Degradation rung 2: the search (including any retry) produced
+            // no incumbent — fall back to the conformance-verified
+            // heuristic when one exists, else surface the typed error.
             match (heuristic, heuristic_valid) {
-                (Some(h), true) => Ok(from_heuristic(system, h, config.objective)),
-                _ => Err(OptError::BudgetExhausted),
+                (Some(h), true) => {
+                    instrument.count(Counter::HeuristicFallbacks, 1);
+                    Ok(from_heuristic(
+                        system,
+                        h,
+                        config.objective,
+                        Resolution::HeuristicFallback,
+                    ))
+                }
+                _ => match err {
+                    SolveError::LimitReached { .. } => Err(OptError::BudgetExhausted),
+                    other => Err(OptError::Solver(other)),
+                },
             }
         }
         Err(other) => Err(OptError::Solver(other)),
@@ -410,7 +453,12 @@ pub fn heuristic_solution(
         },
     );
     if violations.is_empty() {
-        Ok(from_heuristic(system, h, Objective::None))
+        Ok(from_heuristic(
+            system,
+            h,
+            Objective::None,
+            Resolution::Heuristic,
+        ))
     } else {
         Err(OptError::InvalidSolution(violations))
     }

@@ -27,6 +27,31 @@ pub enum Provenance {
     },
 }
 
+/// Which rung of the degradation ladder produced a [`LetDmaSolution`]
+/// (see DESIGN.md §"Failure model & degradation policy").
+///
+/// [`Provenance`] records *what computed* the layout and schedule
+/// (heuristic construction vs. MILP search, with the proof status);
+/// `Resolution` records *how the run got there* — whether the first MILP
+/// attempt succeeded, a reduced-budget retry was needed after a worker
+/// panic, or the pipeline fell back to the conformance-verified
+/// heuristic after the search failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Resolution {
+    /// The first MILP attempt returned the solution.
+    Milp,
+    /// The first MILP attempt died on a worker panic; the reduced-budget
+    /// retry (warm dual re-solves disabled) returned the solution.
+    MilpRetry,
+    /// The MILP search (including any retry) produced no incumbent; the
+    /// conformance-verified constructive heuristic was returned instead.
+    HeuristicFallback,
+    /// Heuristic-only mode ([`crate::heuristic_solution`]): no MILP
+    /// search was attempted at all.
+    Heuristic,
+}
+
 /// A complete solution of the allocation-and-scheduling problem: the memory
 /// layout, the ordered DMA transfers at `s_0`, and the induced per-task
 /// worst-case data-acquisition latencies.
@@ -45,6 +70,8 @@ pub struct LetDmaSolution {
     pub objective_value: Option<f64>,
     /// Heuristic or MILP provenance.
     pub provenance: Provenance,
+    /// Which rung of the degradation ladder produced this solution.
+    pub resolution: Resolution,
 }
 
 impl LetDmaSolution {
@@ -89,6 +116,7 @@ pub(crate) fn from_heuristic(
     system: &System,
     heuristic: HeuristicSolution,
     objective: Objective,
+    resolution: Resolution,
 ) -> LetDmaSolution {
     let latencies = heuristic.schedule.worst_case_latencies(system);
     LetDmaSolution {
@@ -98,6 +126,7 @@ pub(crate) fn from_heuristic(
         objective,
         objective_value: None,
         provenance: Provenance::Heuristic,
+        resolution,
     }
 }
 
@@ -107,6 +136,7 @@ pub(crate) fn extract(
     formulation: &Formulation,
     solution: &MilpSolution,
     objective: Objective,
+    resolution: Resolution,
 ) -> LetDmaSolution {
     // Layout: sort each memory's slots by their PL value.
     let mut layout = MemoryLayout::new();
@@ -150,6 +180,7 @@ pub(crate) fn extract(
             status: solution.status(),
             stats: solution.stats().clone(),
         },
+        resolution,
     }
 }
 
@@ -337,11 +368,12 @@ mod tests {
     fn heuristic_solution_latencies_populated() {
         let sys = small_system();
         let h = construct(&sys, false).unwrap();
-        let sol = from_heuristic(&sys, h, Objective::None);
+        let sol = from_heuristic(&sys, h, Objective::None, Resolution::Heuristic);
         assert!(sol.num_transfers() >= 2);
         let c1 = sys.task_by_name("c1").unwrap().id();
         assert!(sol.latency(c1) > TimeNs::ZERO);
         assert!(sol.max_delay_ratio(&sys) > 0.0);
         assert_eq!(sol.provenance, Provenance::Heuristic);
+        assert_eq!(sol.resolution, Resolution::Heuristic);
     }
 }

@@ -40,6 +40,14 @@ test -s "$smoke_out" || { echo "bench-milp produced no BENCH_milp.json"; exit 1;
 grep -q '"schema": "letdma-bench-milp/1"' "$smoke_out" || {
   echo "bench-milp output lacks the schema tag"; exit 1; }
 
+echo "== fault-injection smoke (LETDMA_THREADS=1 and 4) =="
+# Arms every deterministic fault site in turn against the WATERS case and
+# asserts the resilience contract — a conformance-valid solution or a typed
+# error, never a panic or a hang (DESIGN.md §"Failure model & degradation
+# policy"). The check self-verifies; a nonzero exit is the failure signal.
+LETDMA_THREADS=1 cargo run --release -p letdma-bench --bin repro --offline -- fault-smoke --budget 5
+LETDMA_THREADS=4 cargo run --release -p letdma-bench --bin repro --offline -- fault-smoke --budget 5
+
 echo "== deprecated-shim usage pinned =="
 # The #[deprecated] compatibility shims (optimize/optimize_with and the
 # free-function bench entry points) may keep their existing allow sites but
