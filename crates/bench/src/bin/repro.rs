@@ -17,9 +17,12 @@
 //! parallelism for `fig1`; results are bit-identical at any thread count.
 //! `--stats` appends the solver statistics accumulated across every solve
 //! of the command: the deterministic aggregate (per-phase wall clock,
-//! simplex/branch-and-bound counters including the warm-re-solve split,
-//! node outcome breakdown, incumbent timeline), the per-scenario shards
-//! and the timing-dependent per-worker loads.
+//! simplex/branch-and-bound counters including the warm-re-solve split
+//! and the presolve reductions, node outcome breakdown, incumbent
+//! timeline), the per-scenario shards and the timing-dependent per-worker
+//! loads. It also switches on the presolve root-gap measurement, so each
+//! shard line reports how much the presolved root LP tightened
+//! (`RootGapBps`; one extra root LP per solve).
 //!
 //! `bench-milp` solves the six Table I scenarios twice — warm
 //! (dual-simplex node re-solves, the default) and cold — under a node
@@ -28,7 +31,11 @@
 //! deterministic, so both runs visit the
 //! same trajectory), prints the iteration split and writes the
 //! machine-readable report to `--out` (default `BENCH_milp.json`, schema
-//! in DESIGN.md §"Warm-started node re-solves").
+//! in DESIGN.md §"Warm-started node re-solves"). When `--baseline <path>`
+//! (default `BENCH_milp.json`) names a readable previous report, each
+//! scenario records its warm-fathom delta against it — the re-measurement
+//! of the PR 3 "certificates essentially never fire" observation on the
+//! presolve-tightened relaxation.
 //!
 //! `fault-smoke` arms every deterministic fault site in turn against the
 //! WATERS case study and checks the resilience contract (valid solution
@@ -43,6 +50,7 @@ use std::time::Duration;
 
 use letdma::core::fault;
 use letdma::core::Counter;
+use letdma_bench::json::Json;
 use letdma_bench::{alpha_sweep, fault_smoke, fig2, milp_bench, table1, Session};
 
 fn main() -> ExitCode {
@@ -58,6 +66,7 @@ fn main() -> ExitCode {
     let mut stats = false;
     let mut nodes: u64 = 12;
     let mut out_path = String::from("BENCH_milp.json");
+    let mut baseline_path = String::from("BENCH_milp.json");
     let mut command: Option<String> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -109,6 +118,13 @@ fn main() -> ExitCode {
                 };
                 out_path = value.clone();
             }
+            "--baseline" => {
+                let Some(value) = iter.next() else {
+                    eprintln!("--baseline needs a file path");
+                    return ExitCode::FAILURE;
+                };
+                baseline_path = value.clone();
+            }
             other if command.is_none() => command = Some(other.to_owned()),
             other => {
                 eprintln!("unexpected argument `{other}`");
@@ -118,7 +134,7 @@ fn main() -> ExitCode {
     }
     let command = command.unwrap_or_else(|| "all".to_owned());
 
-    let mut session = Session::new().budget(budget);
+    let mut session = Session::new().budget(budget).measure_root_gap(stats);
     if let Some(n) = threads {
         session = session.threads(n);
     }
@@ -128,7 +144,19 @@ fn main() -> ExitCode {
         "table1" => print!("{}", table1::render(&session.table1())),
         "alpha-sweep" => print!("{}", alpha_sweep::render(&session.alpha_sweep())),
         "bench-milp" => {
-            let bench = milp_bench::run(nodes);
+            // A previous report (typically the committed baseline) gives
+            // the warm-fathom deltas; its absence is fine — first runs and
+            // fresh checkouts just record null deltas.
+            let baseline = std::fs::read_to_string(&baseline_path)
+                .ok()
+                .and_then(|text| match Json::parse(&text) {
+                    Ok(v) => Some(v),
+                    Err(e) => {
+                        eprintln!("ignoring unparseable baseline `{baseline_path}`: {e}");
+                        None
+                    }
+                });
+            let bench = milp_bench::run(nodes, baseline.as_ref());
             print!("{}", bench.render());
             let value = bench.to_json();
             if let Err(problem) = milp_bench::validate(&value) {
@@ -181,12 +209,16 @@ fn main() -> ExitCode {
                         .map_or(0, |(_, v)| *v)
                 };
                 println!(
-                    "{name:<28} {:>8} nodes  {:>10} simplex iterations  {:>8} dual iterations  {:>4} warm fathoms  {:>4} incumbents",
+                    "{name:<28} {:>8} nodes  {:>10} simplex iterations  {:>8} dual iterations  {:>4} warm fathoms  {:>4} incumbents  {:>6} root-gap bps ({} rows dropped, {} cols fixed, {} coeffs tightened)",
                     count(Counter::Nodes),
                     count(Counter::SimplexIterations),
                     count(Counter::DualIterations),
                     count(Counter::WarmFathoms),
                     count(Counter::Incumbents),
+                    count(Counter::RootGapBps),
+                    count(Counter::PresolveRowsDropped),
+                    count(Counter::PresolveColsFixed),
+                    count(Counter::CoeffsTightened),
                 );
             }
         }

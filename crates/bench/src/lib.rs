@@ -162,6 +162,7 @@ pub struct FourWay {
 pub struct Session {
     budget: Duration,
     threads: Option<usize>,
+    measure_root_gap: bool,
     shards: Vec<(String, SolverStats)>,
     workers: Vec<WorkerLoad>,
 }
@@ -171,6 +172,7 @@ impl Default for Session {
         Self {
             budget: Duration::from_secs(30),
             threads: None,
+            measure_root_gap: false,
             shards: Vec::new(),
             workers: Vec::new(),
         }
@@ -195,6 +197,15 @@ impl Session {
     /// multi-scenario experiments, MILP node-level parallelism for Fig. 1.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Also measure the presolve root-LP gap of every solve
+    /// ([`letdma::core::Counter::RootGapBps`]); `repro --stats` turns this
+    /// on so the per-scenario shard report shows the tightening. Costs one
+    /// extra root LP per solve, outside the instrumented search counters.
+    pub fn measure_root_gap(mut self, measure: bool) -> Self {
+        self.measure_root_gap = measure;
         self
     }
 
@@ -242,7 +253,8 @@ impl Session {
         let system = fig1::example_system();
         let mut config = OptConfig::new()
             .with_objective(Objective::MinDelayRatio)
-            .with_time_limit(self.budget);
+            .with_time_limit(self.budget)
+            .with_measure_root_gap(self.measure_root_gap);
         if let Some(n) = self.threads {
             config = config.with_threads(n);
         }
@@ -417,6 +429,7 @@ impl Session {
             .with_objective(objective)
             .with_time_limit(self.budget)
             .with_threads(1)
+            .with_measure_root_gap(self.measure_root_gap)
     }
 
     fn run_scenarios(&mut self, scenarios: Vec<(String, System, OptConfig)>) -> Vec<BatchOutcome> {

@@ -13,11 +13,17 @@
 //! *primal* and *dual* simplex iterations separately, and the headline
 //! `iteration_reduction_pct` compares cold primal iterations against the
 //! warm primal + dual total, so the dual pivots the warm path spends are
-//! counted against it. On the WATERS big-M relaxation the value-free
-//! certificates essentially never fire (every child bound starts far
-//! below the cutoff), so expect the committed baseline to show a small
-//! bounded overhead, not a saving — DESIGN.md §"Warm-started node
-//! re-solves" documents the measurement and the trade.
+//! counted against it. The PR 3 baseline (schema `/1`, global big-M
+//! relaxation, no presolve) showed the value-free certificates essentially
+//! never firing — every child bound started far below the cutoff. With
+//! the per-constraint big-M constants and the presolve layer the
+//! relaxation is tighter at every node, so the `/2` schema additionally
+//! records each scenario's presolve reductions and root-gap tightening
+//! ([`Counter::RootGapBps`]) plus the *warm-fathom delta* against a prior
+//! baseline file (the committed PR 3 numbers), making the re-measurement
+//! a first-class part of the report — DESIGN.md §"Warm-started node
+//! re-solves" and §"Presolve & relaxation tightening" document the
+//! measurement and the trade.
 
 use std::time::{Duration, Instant};
 
@@ -101,6 +107,42 @@ impl ModeReport {
     }
 }
 
+/// What presolve did to one scenario's model, read off the warm run's
+/// counters (presolve is deterministic, so warm and cold see the same
+/// reductions — recording one copy keeps the file honest about that).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PresolveReport {
+    /// Rows eliminated as redundant ([`Counter::PresolveRowsDropped`]).
+    pub rows_dropped: u64,
+    /// Variables fixed and substituted out ([`Counter::PresolveColsFixed`]).
+    pub cols_fixed: u64,
+    /// Big-M coefficients strengthened ([`Counter::CoeffsTightened`]).
+    pub coeffs_tightened: u64,
+    /// Root-LP tightening in basis points ([`Counter::RootGapBps`]; 0 when
+    /// presolve leaves the root bound unchanged).
+    pub root_gap_bps: u64,
+}
+
+impl PresolveReport {
+    fn from_stats(stats: &SolverStats) -> Self {
+        Self {
+            rows_dropped: stats.counter(Counter::PresolveRowsDropped),
+            cols_fixed: stats.counter(Counter::PresolveColsFixed),
+            coeffs_tightened: stats.counter(Counter::CoeffsTightened),
+            root_gap_bps: stats.counter(Counter::RootGapBps),
+        }
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("rows_dropped", Json::Int(self.rows_dropped as i64)),
+            ("cols_fixed", Json::Int(self.cols_fixed as i64)),
+            ("coeffs_tightened", Json::Int(self.coeffs_tightened as i64)),
+            ("root_gap_bps", Json::Int(self.root_gap_bps as i64)),
+        ])
+    }
+}
+
 /// One Table I scenario solved warm and cold.
 #[derive(Debug, Clone)]
 pub struct ScenarioReport {
@@ -114,6 +156,12 @@ pub struct ScenarioReport {
     pub warm: ModeReport,
     /// Counters with warm re-solves disabled.
     pub cold: ModeReport,
+    /// Presolve reductions and root-gap tightening for this scenario.
+    pub presolve: PresolveReport,
+    /// `warm.warm_fathoms` minus the same scenario's value in the baseline
+    /// file this run was compared against; `None` when no baseline was
+    /// available (first run, or the scenario is new).
+    pub warm_fathoms_delta: Option<i64>,
 }
 
 impl ScenarioReport {
@@ -131,6 +179,11 @@ impl ScenarioReport {
             ("objective", Json::str(self.objective.to_string())),
             ("warm", self.warm.to_json()),
             ("cold", self.cold.to_json()),
+            ("presolve", self.presolve.to_json()),
+            (
+                "warm_fathoms_delta",
+                self.warm_fathoms_delta.map_or(Json::Null, Json::Int),
+            ),
             (
                 "iteration_reduction_pct",
                 Json::Float(self.iteration_reduction_pct()),
@@ -174,6 +227,22 @@ impl MilpBench {
         reduction_pct(self.warm_total(), self.cold_total())
     }
 
+    /// Summed warm-certificate fathoms across scenarios.
+    #[must_use]
+    pub fn warm_fathoms_total(&self) -> u64 {
+        self.scenarios.iter().map(|s| s.warm.warm_fathoms).sum()
+    }
+
+    /// Summed warm-fathom delta against the baseline; `None` when no
+    /// scenario had a baseline counterpart.
+    #[must_use]
+    pub fn warm_fathoms_delta_total(&self) -> Option<i64> {
+        self.scenarios
+            .iter()
+            .filter_map(|s| s.warm_fathoms_delta)
+            .fold(None, |acc, d| Some(acc.unwrap_or(0) + d))
+    }
+
     /// The `BENCH_milp.json` value (schema documented in DESIGN.md
     /// §"Warm-started node re-solves").
     #[must_use]
@@ -195,6 +264,15 @@ impl MilpBench {
                         "iteration_reduction_pct",
                         Json::Float(self.iteration_reduction_pct()),
                     ),
+                    (
+                        "warm_fathoms_total",
+                        Json::Int(self.warm_fathoms_total() as i64),
+                    ),
+                    (
+                        "warm_fathoms_delta_total",
+                        self.warm_fathoms_delta_total()
+                            .map_or(Json::Null, Json::Int),
+                    ),
                 ]),
             ),
         ])
@@ -209,11 +287,14 @@ impl MilpBench {
             self.node_limit
         ));
         out.push_str(
-            "scenario                        nodes   cold iters   warm iters (primal+dual)   saved\n",
+            "scenario                        nodes   cold iters   warm iters (primal+dual)   saved   root-gap  fathoms(Δ)\n",
         );
         for s in &self.scenarios {
+            let delta = s
+                .warm_fathoms_delta
+                .map_or_else(|| "—".into(), |d| format!("{d:+}"));
             out.push_str(&format!(
-                "{:<30} {:>6} {:>12} {:>12} ({:>8}+{:<7}) {:>6.1}%\n",
+                "{:<30} {:>6} {:>12} {:>12} ({:>8}+{:<7}) {:>6.1}% {:>6}bps {:>5} ({delta})\n",
                 s.name,
                 s.warm.nodes,
                 s.cold.total_iterations(),
@@ -221,20 +302,28 @@ impl MilpBench {
                 s.warm.primal_iterations,
                 s.warm.dual_iterations,
                 s.iteration_reduction_pct(),
+                s.presolve.root_gap_bps,
+                s.warm.warm_fathoms,
             ));
         }
+        let delta_total = self
+            .warm_fathoms_delta_total()
+            .map_or_else(|| "no baseline".into(), |d| format!("{d:+} vs baseline"));
         out.push_str(&format!(
-            "total: cold {} vs warm {} simplex iterations — {:.1}% saved\n",
+            "total: cold {} vs warm {} simplex iterations — {:.1}% saved; {} warm fathoms ({delta_total})\n",
             self.cold_total(),
             self.warm_total(),
             self.iteration_reduction_pct(),
+            self.warm_fathoms_total(),
         ));
         out
     }
 }
 
 /// Schema identifier of `BENCH_milp.json`; bump on breaking layout change.
-pub const SCHEMA: &str = "letdma-bench-milp/1";
+/// `/2` added per-scenario `presolve` counters and the `warm_fathoms_delta`
+/// comparison against a prior baseline file.
+pub const SCHEMA: &str = "letdma-bench-milp/2";
 
 fn reduction_pct(warm: u64, cold: u64) -> f64 {
     if cold == 0 {
@@ -244,9 +333,31 @@ fn reduction_pct(warm: u64, cold: u64) -> f64 {
     }
 }
 
+/// Looks up `scenarios[name].warm.warm_fathoms` in a prior baseline file
+/// (any schema version that had the field, i.e. `/1` and up).
+fn baseline_warm_fathoms(baseline: &Json, name: &str) -> Option<i64> {
+    let Json::Arr(scenarios) = baseline.get("scenarios")? else {
+        return None;
+    };
+    let scenario = scenarios
+        .iter()
+        .find(|s| matches!(s.get("name"), Some(Json::Str(n)) if n == name))?;
+    match scenario.get("warm")?.get("warm_fathoms")? {
+        Json::Int(n) => Some(*n),
+        _ => None,
+    }
+}
+
 /// Runs the benchmark: six Table I scenarios × {warm, cold}, each under
 /// `node_limit` nodes with no wall-clock limit (so warm and cold visit the
-/// same deterministic trajectory and their node counts agree).
+/// same deterministic trajectory and their node counts agree). The warm
+/// run additionally measures the presolve root gap (one extra LP, outside
+/// the instrumented iteration counters, so the A/B stays like-for-like).
+///
+/// `baseline` is a previously written `BENCH_milp.json` value (the
+/// committed PR 3 numbers, typically); when given, each scenario's
+/// `warm_fathoms_delta` records how many more warm-certificate fathoms the
+/// tightened relaxation produced than that baseline did.
 ///
 /// # Panics
 ///
@@ -256,7 +367,7 @@ fn reduction_pct(warm: u64, cold: u64) -> f64 {
 /// run's trajectory diverges from its cold twin (would indicate a
 /// determinism bug in the warm re-solve path).
 #[must_use]
-pub fn run(node_limit: u64) -> MilpBench {
+pub fn run(node_limit: u64, baseline: Option<&Json>) -> MilpBench {
     let mut scenarios = Vec::new();
     for objective in [
         Objective::None,
@@ -265,13 +376,14 @@ pub fn run(node_limit: u64) -> MilpBench {
     ] {
         for alpha_pct in [20u32, 40] {
             let (system, _) = waters_with_alpha(alpha_pct);
-            let mode = |warm_basis: bool| -> ModeReport {
+            let mode = |warm_basis: bool| -> (ModeReport, SolverStats) {
                 let config = OptConfig::new()
                     .with_objective(objective)
                     .without_time_limit()
                     .with_node_limit(node_limit)
                     .with_threads(1)
-                    .with_warm_basis(warm_basis);
+                    .with_warm_basis(warm_basis)
+                    .with_measure_root_gap(warm_basis);
                 let mut stats = SolverStats::new();
                 let started = Instant::now();
                 let result = Optimizer::new(&system)
@@ -280,20 +392,26 @@ pub fn run(node_limit: u64) -> MilpBench {
                     .run();
                 let wall_clock = started.elapsed();
                 assert!(result.is_ok(), "scenario must solve: {result:?}");
-                ModeReport::from_stats(&stats, wall_clock)
+                (ModeReport::from_stats(&stats, wall_clock), stats)
             };
-            let warm = mode(true);
-            let cold = mode(false);
+            let (warm, warm_stats) = mode(true);
+            let (cold, _) = mode(false);
             assert_eq!(
                 warm.nodes, cold.nodes,
                 "warm and cold trajectories must agree ({objective}, α={alpha_pct}%)"
             );
+            let name = format!("table1/alpha=0.{}/{objective}", alpha_pct / 10);
+            let warm_fathoms_delta = baseline
+                .and_then(|b| baseline_warm_fathoms(b, &name))
+                .map(|old| warm.warm_fathoms as i64 - old);
             scenarios.push(ScenarioReport {
-                name: format!("table1/alpha=0.{}/{objective}", alpha_pct / 10),
+                name,
                 alpha_pct,
                 objective,
                 warm,
                 cold,
+                presolve: PresolveReport::from_stats(&warm_stats),
+                warm_fathoms_delta,
             });
         }
     }
@@ -342,6 +460,20 @@ pub fn validate(value: &Json) -> Result<(), String> {
         if !matches!(need(s, "iteration_reduction_pct")?, Json::Float(_)) {
             return Err("scenario iteration_reduction_pct must be a number".into());
         }
+        let p = need(s, "presolve")?;
+        for key in [
+            "rows_dropped",
+            "cols_fixed",
+            "coeffs_tightened",
+            "root_gap_bps",
+        ] {
+            if !matches!(need(&p, key)?, Json::Int(_)) {
+                return Err(format!("presolve.{key} must be an integer"));
+            }
+        }
+        if !matches!(need(s, "warm_fathoms_delta")?, Json::Int(_) | Json::Null) {
+            return Err("scenario warm_fathoms_delta must be an integer or null".into());
+        }
         for mode in ["warm", "cold"] {
             let m = need(s, mode)?;
             for key in [
@@ -365,13 +497,23 @@ pub fn validate(value: &Json) -> Result<(), String> {
         }
     }
     let totals = need(value, "totals")?;
-    for key in ["warm_total_iterations", "cold_total_iterations"] {
+    for key in [
+        "warm_total_iterations",
+        "cold_total_iterations",
+        "warm_fathoms_total",
+    ] {
         if !matches!(need(&totals, key)?, Json::Int(_)) {
             return Err(format!("totals.{key} must be an integer"));
         }
     }
     if !matches!(need(&totals, "iteration_reduction_pct")?, Json::Float(_)) {
         return Err("totals.iteration_reduction_pct must be a number".into());
+    }
+    if !matches!(
+        need(&totals, "warm_fathoms_delta_total")?,
+        Json::Int(_) | Json::Null
+    ) {
+        return Err("totals.warm_fathoms_delta_total must be an integer or null".into());
     }
     Ok(())
 }
@@ -404,6 +546,13 @@ mod tests {
                     wall_clock: Duration::from_millis(15),
                     ..Default::default()
                 },
+                presolve: PresolveReport {
+                    rows_dropped: 7,
+                    cols_fixed: 3,
+                    coeffs_tightened: 12,
+                    root_gap_bps: 42,
+                },
+                warm_fathoms_delta: Some(2),
             }],
         }
     }
@@ -415,6 +564,28 @@ mod tests {
         assert_eq!(b.cold_total(), 100);
         assert!((b.iteration_reduction_pct() - 30.0).abs() < 1e-9);
         assert_eq!(reduction_pct(5, 0), 0.0);
+        assert_eq!(b.warm_fathoms_total(), 2);
+        assert_eq!(b.warm_fathoms_delta_total(), Some(2));
+    }
+
+    #[test]
+    fn baseline_lookup_matches_by_name() {
+        let rendered = sample().to_json();
+        assert_eq!(
+            baseline_warm_fathoms(&rendered, "table1/alpha=0.2/NO-OBJ"),
+            Some(2)
+        );
+        assert_eq!(baseline_warm_fathoms(&rendered, "no/such/scenario"), None);
+        assert_eq!(baseline_warm_fathoms(&Json::Null, "x"), None);
+    }
+
+    #[test]
+    fn delta_total_is_none_without_any_baseline_match() {
+        let mut b = sample();
+        b.scenarios[0].warm_fathoms_delta = None;
+        assert_eq!(b.warm_fathoms_delta_total(), None);
+        let v = b.to_json();
+        validate(&v).expect("null deltas must stay schema-valid");
     }
 
     #[test]

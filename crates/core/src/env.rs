@@ -1,0 +1,57 @@
+//! Boolean feature-flag resolution shared by the solver layers.
+//!
+//! Mirrors [`crate::parallel::resolve_threads`]: an explicit request
+//! (config field, builder call, CLI flag) always wins, otherwise a named
+//! environment variable is consulted, otherwise a compiled-in default
+//! applies. One variable then governs a feature across every entry point
+//! (library, tests, `repro`), which is how `scripts/ci.sh` runs the whole
+//! suite under `LETDMA_PRESOLVE=0` and `=1` without plumbing a flag into
+//! each harness.
+
+/// Name of the environment variable governing MILP presolve
+/// (see `milp::SolveOptions::with_presolve`).
+pub const PRESOLVE_ENV: &str = "LETDMA_PRESOLVE";
+
+/// Resolves a boolean feature flag: `requested` if given, else the
+/// environment variable `name`, else `default`.
+///
+/// Accepted environment spellings (case-insensitive, trimmed): `1`, `true`,
+/// `on`, `yes` enable; `0`, `false`, `off`, `no` disable. Anything else is
+/// ignored (the default applies) rather than being an error: a
+/// reproduction run must never abort because of a stray variable.
+#[must_use]
+pub fn resolve_flag(name: &str, requested: Option<bool>, default: bool) -> bool {
+    if let Some(v) = requested {
+        return v;
+    }
+    match std::env::var(name) {
+        Ok(raw) => match raw.trim().to_ascii_lowercase().as_str() {
+            "1" | "true" | "on" | "yes" => true,
+            "0" | "false" | "off" | "no" => false,
+            _ => default,
+        },
+        Err(_) => default,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_request_wins() {
+        // The variable is deliberately unset in the test environment for
+        // these names; explicit requests short-circuit before the lookup.
+        assert!(resolve_flag("LETDMA_TEST_FLAG_UNSET", Some(true), false));
+        assert!(!resolve_flag("LETDMA_TEST_FLAG_UNSET", Some(false), true));
+    }
+
+    // The environment-variable path is covered by `scripts/ci.sh`, which
+    // runs the whole suite under LETDMA_PRESOLVE=0 and =1; mutating the
+    // process environment from a multi-threaded test harness would race.
+    #[test]
+    fn unset_variable_falls_back_to_default() {
+        assert!(resolve_flag("LETDMA_TEST_FLAG_SURELY_UNSET", None, true));
+        assert!(!resolve_flag("LETDMA_TEST_FLAG_SURELY_UNSET", None, false));
+    }
+}

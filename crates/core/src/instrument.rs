@@ -70,6 +70,22 @@ pub enum Counter {
     /// constructive heuristic after the MILP path failed or ran out of
     /// budget.
     HeuristicFallbacks,
+    /// Constraint rows removed by presolve (proved redundant against the
+    /// variable bounds, or emptied by fixed-variable substitution).
+    PresolveRowsDropped,
+    /// Variables fixed by presolve bound propagation and substituted out
+    /// of the model handed to branch and bound.
+    PresolveColsFixed,
+    /// Constraint coefficients tightened by presolve big-M strengthening
+    /// (each one strictly shrinks the LP relaxation without cutting any
+    /// integer point).
+    CoeffsTightened,
+    /// Root-LP improvement from presolve, in basis points of the larger
+    /// root objective magnitude: `round(1e4·(z_presolved − z_original) /
+    /// max(|z|))` in minimization form, clamped at zero. Only reported
+    /// when root-gap measurement is enabled
+    /// (`milp::SolveOptions::with_measure_root_gap`).
+    RootGapBps,
 }
 
 impl Counter {
@@ -95,6 +111,10 @@ impl Counter {
             Self::NumericalRecoveries => "numerical recoveries",
             Self::ToleranceEscalations => "tolerance escalations",
             Self::HeuristicFallbacks => "heuristic fallbacks",
+            Self::PresolveRowsDropped => "presolve rows dropped",
+            Self::PresolveColsFixed => "presolve cols fixed",
+            Self::CoeffsTightened => "coeffs tightened",
+            Self::RootGapBps => "root gap (bps)",
         }
     }
 }

@@ -19,6 +19,8 @@
 //!   from the failure message alone;
 //! * [`parallel`] — worker-pool sizing shared by every layer that fans
 //!   out over `std::thread` (`LETDMA_THREADS`, explicit overrides);
+//! * [`mod@env`] — boolean feature-flag resolution with the same
+//!   explicit-over-environment-over-default policy (`LETDMA_PRESOLVE`);
 //! * [`fault`] — the seeded, deterministic fault plane the resilience
 //!   tests arm to inject simplex breakdowns, singular refactorizations,
 //!   worker panics and deadline exhaustion (off by default; disarmed
@@ -34,12 +36,14 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cases;
+pub mod env;
 pub mod fault;
 pub mod instrument;
 pub mod parallel;
 pub mod rng;
 
 pub use cases::Cases;
+pub use env::resolve_flag;
 pub use fault::{FaultSite, FaultSpec};
 pub use instrument::{Counter, Instrument, NodeEvent, NoopInstrument, SolverStats};
 pub use parallel::resolve_threads;

@@ -63,12 +63,14 @@ pub mod basis;
 mod expr;
 mod lp_format;
 mod model;
+pub mod presolve;
 pub mod simplex;
 mod solver;
 
 pub use basis::{Basis, DenseInverse};
 pub use expr::{LinExpr, Var};
 pub use model::{Comparison, Constraint, Model, ObjectiveSense, Sense, VarDef, VarType};
+pub use presolve::{Lift, LiftEntry, PresolveInfeasible, PresolveStats, Presolved};
 pub use simplex::{WarmBasis, WarmOutcome};
 pub use solver::{
     MilpSolution, SolveError, SolveOptions, SolveStats, SolveStatus, Solver, WorkerLoad,

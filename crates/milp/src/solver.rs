@@ -38,12 +38,16 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use letdma_core::env::{resolve_flag, PRESOLVE_ENV};
 use letdma_core::fault::{self, FaultSite};
-use letdma_core::instrument::{Counter, IncumbentRecord, Instrument, NodeEvent, NoopInstrument};
+use letdma_core::instrument::{
+    timed_phase, Counter, IncumbentRecord, Instrument, NodeEvent, NoopInstrument,
+};
 use letdma_core::parallel::resolve_threads;
 
 use crate::expr::Var;
 use crate::model::{Model, ObjectiveSense};
+use crate::presolve;
 use crate::simplex::{LpOutcome, SimplexSolver, WarmBasis, WarmOutcome};
 
 /// Options controlling a [`Model::solver`] session.
@@ -101,6 +105,17 @@ pub struct SolveOptions {
     /// [`warm_start`](Self::warm_start), which seeds an *incumbent
     /// assignment*, not a basis.
     pub warm_basis: bool,
+    /// Run the presolve/tightening pass ([`crate::presolve`]) ahead of
+    /// branch and bound. `None` (default) defers to the `LETDMA_PRESOLVE`
+    /// environment variable, else on. Presolve runs on the coordinator
+    /// before any worker is spawned, so the reduced-model trajectory stays
+    /// byte-identical at any thread count; turning it off reproduces the
+    /// unreduced trajectory.
+    pub presolve: Option<bool>,
+    /// Also solve the *original* model's root LP and report the presolve
+    /// improvement as `Counter::RootGapBps` (off by default: it costs one
+    /// extra LP per solve and is a measurement, not part of the search).
+    pub measure_root_gap: bool,
 }
 
 impl Default for SolveOptions {
@@ -116,6 +131,8 @@ impl Default for SolveOptions {
             deterministic: true,
             speculation: 8,
             warm_basis: true,
+            presolve: None,
+            measure_root_gap: false,
         }
     }
 }
@@ -197,6 +214,23 @@ impl SolveOptions {
     #[must_use]
     pub fn with_warm_basis(mut self, warm_basis: bool) -> Self {
         self.warm_basis = warm_basis;
+        self
+    }
+
+    /// Explicitly enables or disables the presolve pass (overriding the
+    /// `LETDMA_PRESOLVE` environment variable; see
+    /// [`presolve`](Self::presolve)).
+    #[must_use]
+    pub fn with_presolve(mut self, presolve: bool) -> Self {
+        self.presolve = Some(presolve);
+        self
+    }
+
+    /// Enables root-gap measurement (see
+    /// [`measure_root_gap`](Self::measure_root_gap)).
+    #[must_use]
+    pub fn with_measure_root_gap(mut self, measure: bool) -> Self {
+        self.measure_root_gap = measure;
         self
     }
 }
@@ -527,7 +561,7 @@ impl Model {
     #[deprecated(note = "use `model.solver().options(options).run()` instead")]
     pub fn solve(&self, options: &SolveOptions) -> Result<MilpSolution, SolveError> {
         let mut noop = NoopInstrument;
-        BranchAndBound::new(self, options, &mut noop).run()
+        solve_entry(self, options, &mut noop)
     }
 
     /// Solves the model, reporting progress through `instrument`.
@@ -539,8 +573,109 @@ impl Model {
         options: &SolveOptions,
         instrument: &mut dyn Instrument,
     ) -> Result<MilpSolution, SolveError> {
-        BranchAndBound::new(self, options, instrument).run()
+        solve_entry(self, options, instrument)
     }
+}
+
+/// Shared entry point of every solve path (the session [`Solver::run`] and
+/// the deprecated shims): resolves the presolve flag, reduces the model,
+/// runs branch and bound on the reduction, and lifts the solution back to
+/// the caller's variable space.
+///
+/// Presolve runs on the coordinator before any worker thread exists, so
+/// the deterministic-trajectory guarantee is untouched: with presolve on,
+/// every thread count walks the *reduced* model's trajectory; with it off,
+/// the original's.
+fn solve_entry(
+    model: &Model,
+    options: &SolveOptions,
+    instrument: &mut dyn Instrument,
+) -> Result<MilpSolution, SolveError> {
+    if !resolve_flag(PRESOLVE_ENV, options.presolve, true) {
+        return BranchAndBound::new(model, options, instrument).run();
+    }
+    let red = match timed_phase(instrument, "presolve", |_| {
+        presolve::presolve(model, options.integrality_tol)
+    }) {
+        Ok(red) => red,
+        Err(_proof) => return Err(SolveError::Infeasible),
+    };
+    instrument.count(Counter::PresolveRowsDropped, red.stats.rows_dropped);
+    instrument.count(Counter::PresolveColsFixed, red.stats.cols_fixed);
+    instrument.count(Counter::CoeffsTightened, red.stats.coeffs_tightened);
+    if options.measure_root_gap && !red.is_noop() && !model.objective().is_empty() {
+        if let Some(bps) = root_gap_bps(model, &red.model, options) {
+            instrument.count(Counter::RootGapBps, bps);
+        }
+    }
+
+    // Everything fixed (or an originally empty model): no search needed.
+    if red.model.num_vars() == 0 {
+        let values = red.lift.lift_values(&[]);
+        if !model.is_feasible(&values, options.integrality_tol.max(1e-9)) {
+            return Err(SolveError::Infeasible);
+        }
+        let objective = model.objective().evaluate(&values);
+        return Ok(MilpSolution {
+            status: SolveStatus::Optimal,
+            values,
+            objective,
+            stats: SolveStats {
+                nodes: 0,
+                lp_iterations: 0,
+                dual_iterations: 0,
+                pivots: 0,
+                bound_flips: 0,
+                refactorizations: 0,
+                elapsed: Duration::ZERO,
+                best_bound: Some(objective),
+                workers: Vec::new(),
+            },
+        });
+    }
+
+    let mut reduced_options = options.clone();
+    reduced_options.warm_start = options
+        .warm_start
+        .as_ref()
+        .and_then(|w| red.lift.project_values(w, options.integrality_tol));
+    let sol = BranchAndBound::new(&red.model, &reduced_options, instrument).run()?;
+    let values = red.lift.lift_values(&sol.values);
+    // Re-evaluate on the original objective: bit-equal to the reduced
+    // objective up to the substituted constant, and exact in the caller's
+    // terms.
+    let objective = model.objective().evaluate(&values);
+    Ok(MilpSolution {
+        status: sol.status,
+        values,
+        objective,
+        stats: sol.stats,
+    })
+}
+
+/// Solves the root LPs of the original and reduced models and returns the
+/// presolve improvement in basis points of the larger root magnitude
+/// (minimization form, clamped at zero). `None` when either root LP fails
+/// to reach optimality within the solve's own deadline.
+fn root_gap_bps(original: &Model, reduced: &Model, options: &SolveOptions) -> Option<u64> {
+    let scale = match original.objective_sense() {
+        ObjectiveSense::Minimize => 1.0,
+        ObjectiveSense::Maximize => -1.0,
+    };
+    let deadline = options.time_limit.map(|t| Instant::now() + t);
+    let root = |m: &Model| -> Option<f64> {
+        let mut lp = SimplexSolver::from_model(m);
+        lp.deadline = deadline;
+        match lp.solve() {
+            LpOutcome::Optimal { objective, .. } => Some(scale * objective),
+            _ => None,
+        }
+    };
+    let z_orig = root(original)?;
+    let z_red = root(reduced)?;
+    let denom = z_orig.abs().max(z_red.abs()).max(1e-9);
+    let bps = (1e4 * (z_red - z_orig) / denom).round();
+    Some(if bps > 0.0 { bps as u64 } else { 0 })
 }
 
 /// A configured solve session, created by [`Model::solver`].
@@ -613,6 +748,21 @@ impl<'m, 'i> Solver<'m, 'i> {
         self
     }
 
+    /// Forces presolve on or off, overriding the `LETDMA_PRESOLVE`
+    /// environment variable (see [`SolveOptions::presolve`]; unset
+    /// defaults to on).
+    pub fn presolve(mut self, presolve: bool) -> Self {
+        self.options.presolve = Some(presolve);
+        self
+    }
+
+    /// Enables or disables the presolve root-gap measurement (see
+    /// [`SolveOptions::measure_root_gap`]; default off).
+    pub fn measure_root_gap(mut self, measure: bool) -> Self {
+        self.options.measure_root_gap = measure;
+        self
+    }
+
     /// Attaches a progress observer (counters, node events, the incumbent
     /// timeline).
     pub fn instrument<'j>(self, instrument: &'j mut dyn Instrument) -> Solver<'m, 'j> {
@@ -638,7 +788,7 @@ impl<'m, 'i> Solver<'m, 'i> {
             Some(i) => i,
             None => &mut noop,
         };
-        BranchAndBound::new(self.model, &self.options, instrument).run()
+        solve_entry(self.model, &self.options, instrument)
     }
 }
 
@@ -1861,10 +2011,14 @@ mod tests {
 
     #[test]
     fn stats_populated() {
+        // Two vars keep the row alive through presolve (its max activity
+        // exceeds the rhs), so the solve is guaranteed to reach the
+        // simplex.
         let mut m = Model::new();
         let x = m.add_integer("x", 0.0, 10.0);
-        m.add_constraint("c", (2.0 * x).le(5.0));
-        m.set_objective(ObjectiveSense::Maximize, LinExpr::from(x));
+        let y = m.add_integer("y", 0.0, 10.0);
+        m.add_constraint("c", (2.0 * x + 3.0 * y).le(11.0));
+        m.set_objective(ObjectiveSense::Maximize, x + y);
         let s = solve(&m).unwrap();
         assert!(s.stats().nodes >= 1);
         assert!(s.stats().lp_iterations >= 1);

@@ -202,6 +202,65 @@ fn time_limited_solve_is_anytime() {
     assert!(m.is_feasible(s.values(), 1e-6));
 }
 
+/// Degenerate instances must come back as typed outcomes — never a panic
+/// or an endless loop — through the *full* solver path (presolve included
+/// and excluded), not just the simplex.
+#[test]
+fn degenerate_empty_and_all_fixed_models() {
+    for presolve in [false, true] {
+        // Entirely empty model: no variables, no rows, no objective.
+        let empty = Model::new();
+        let s = empty.solver().presolve(presolve).run().unwrap();
+        assert_eq!(s.values().len(), 0);
+        assert_eq!(s.objective(), 0.0);
+
+        // Every variable pinned by its bounds; rows all redundant.
+        let mut m = Model::new();
+        let x = m.add_integer("x", 3.0, 3.0);
+        let y = m.add_continuous("y", -1.5, -1.5);
+        m.add_constraint("r", (1.0 * x + 2.0 * y).le(10.0));
+        m.set_objective(ObjectiveSense::Minimize, 1.0 * x + 1.0 * y);
+        let s = m.solver().presolve(presolve).run().unwrap();
+        assert_eq!(s.values(), &[3.0, -1.5]);
+        assert!((s.objective() - 1.5).abs() < 1e-9);
+        assert!(m.is_feasible(s.values(), 1e-9));
+    }
+}
+
+/// A row whose minimum activity already exceeds the right-hand side is
+/// infeasible before any simplex runs; both paths must say so.
+#[test]
+fn degenerate_row_infeasible_by_bounds_alone() {
+    for presolve in [false, true] {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_continuous("y", 0.0, 1.0);
+        m.add_constraint("impossible", (2.0 * x + 1.0 * y).ge(5.0));
+        m.set_objective(ObjectiveSense::Maximize, 1.0 * x);
+        assert!(matches!(
+            m.solver().presolve(presolve).run(),
+            Err(SolveError::Infeasible)
+        ));
+    }
+}
+
+/// Propagation squeezing an integer variable onto a non-integral point
+/// (here `2y = 5` with `y` integer) must yield a typed infeasibility, not
+/// a rounded "solution".
+#[test]
+fn degenerate_integer_fixed_to_fractional_value() {
+    for presolve in [false, true] {
+        let mut m = Model::new();
+        let y = m.add_integer("y", 0.0, 10.0);
+        m.add_constraint("pin", (2.0 * y).eq(5.0));
+        m.set_objective(ObjectiveSense::Minimize, 1.0 * y);
+        assert!(matches!(
+            m.solver().presolve(presolve).run(),
+            Err(SolveError::Infeasible)
+        ));
+    }
+}
+
 #[test]
 fn node_limit_respected() {
     let mut m = Model::new();

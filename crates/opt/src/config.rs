@@ -85,6 +85,19 @@ pub struct OptConfig {
     /// [`warm_start`](Self::warm_start), which seeds the search with the
     /// *heuristic incumbent*.
     pub warm_basis: bool,
+    /// MILP presolve (bound propagation, fixing, big-M tightening) ahead
+    /// of branch-and-bound — see [`milp::SolveOptions::presolve`]. `None`
+    /// (the default) defers to the `LETDMA_PRESOLVE` environment variable
+    /// and falls back to *on*; `Some(_)` overrides both. Presolve runs on
+    /// the coordinator before any worker spawns, so the search trajectory
+    /// stays byte-identical at any thread count either way.
+    pub presolve: Option<bool>,
+    /// Solve the root LP of both the original and the presolved model and
+    /// report the relative tightening under
+    /// [`Counter::RootGapBps`](letdma_core::Counter::RootGapBps) (default
+    /// off — it costs one extra root LP solve). Used by `repro --stats`
+    /// and the MILP benchmark.
+    pub measure_root_gap: bool,
 }
 
 impl Default for OptConfig {
@@ -100,6 +113,8 @@ impl Default for OptConfig {
             threads: None,
             deterministic: true,
             warm_basis: true,
+            presolve: None,
+            measure_root_gap: false,
         }
     }
 }
@@ -192,6 +207,23 @@ impl OptConfig {
         self.warm_basis = warm_basis;
         self
     }
+
+    /// Forces MILP presolve on or off, overriding the `LETDMA_PRESOLVE`
+    /// environment variable (see [`OptConfig::presolve`]; unset defaults
+    /// to on).
+    #[must_use]
+    pub fn with_presolve(mut self, presolve: bool) -> Self {
+        self.presolve = Some(presolve);
+        self
+    }
+
+    /// Enables or disables the root-gap measurement (see
+    /// [`OptConfig::measure_root_gap`]; default off).
+    #[must_use]
+    pub fn with_measure_root_gap(mut self, measure: bool) -> Self {
+        self.measure_root_gap = measure;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -226,9 +258,19 @@ mod tests {
             .with_warm_start(false)
             .with_threads(0)
             .with_deterministic(false)
-            .with_warm_basis(false);
+            .with_warm_basis(false)
+            .with_presolve(false)
+            .with_measure_root_gap(true);
         assert!(!c.warm_basis);
         assert!(OptConfig::new().warm_basis, "warm re-solves default on");
+        assert_eq!(c.presolve, Some(false));
+        assert!(c.measure_root_gap);
+        assert_eq!(
+            OptConfig::new().presolve,
+            None,
+            "presolve defers to LETDMA_PRESOLVE by default"
+        );
+        assert!(!OptConfig::new().measure_root_gap);
         assert_eq!(c.objective, Objective::MinDelayRatio);
         assert_eq!(c.max_transfers, Some(7));
         assert!(c.include_private_labels);

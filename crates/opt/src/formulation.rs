@@ -530,20 +530,28 @@ pub(crate) fn build(system: &System, config: &OptConfig) -> Formulation {
                     LinExpr::from(rgi_v).ge(LinExpr::from(cgi[z])),
                 );
             }
-            // λ variable, bounded by the acquisition deadline when set.
+            // λ variable, bounded by the acquisition deadline when set;
+            // otherwise by the implied cap G·λO + Σσω (the largest value
+            // any Constraint-9 row can force).
+            let lambda_cap_us = lambda_o_us * g_max as f64 + total_copy;
             let gamma_us = system
                 .task(task)
                 .acquisition_deadline()
-                .map_or(big_m_us, us);
+                .map_or(lambda_cap_us, us);
             let l = model.add_continuous(format!("LAM_{}", task.index()), 0.0, gamma_us);
-            // Constraint 9 rows, one per candidate last group ḡ:
-            // λ ≥ (RGI+1)·λO + PS_ḡ − (1−RG_ḡ)·M.
+            // Constraint 9 rows, one per candidate last group ḡ. RG_ḡ = 1
+            // forces RGI = ḡ (Constraint 2 + the RGI definition), so the
+            // variable RGI term is replaced by the constant ḡ and the
+            // big-M shrinks from the single global bound to the per-row
+            // tightest valid constant M_ḡ = (ḡ+1)·λO + Σσω:
+            //   λ ≥ (ḡ+1)·λO + PS_ḡ − (1−RG_ḡ)·M_ḡ.
+            // With RG_ḡ = 0 the right side is ≤ PS_ḡ − Σσω ≤ 0, so the
+            // row is inactive exactly as with the global M, but the LP
+            // relaxation is strictly tighter for fractional RG.
             for gbar in 0..g_max {
-                let rhs = LinExpr::from(rgi_v) * lambda_o_us
-                    + lambda_o_us
-                    + LinExpr::from(prefix[gbar])
-                    + LinExpr::from(rg_row[gbar]) * big_m_us
-                    - big_m_us;
+                let m_row = lambda_o_us * (gbar + 1) as f64 + total_copy;
+                let rhs =
+                    LinExpr::from(prefix[gbar]) + LinExpr::from(rg_row[gbar]) * m_row - total_copy;
                 model.add_constraint(
                     format!("c9_{}_{gbar}", task.index()),
                     LinExpr::from(l).ge(rhs),

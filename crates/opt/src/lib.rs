@@ -62,7 +62,7 @@ mod solution;
 pub use batch::{optimize_batch, Batch, BatchOutcome};
 pub use config::{Objective, OptConfig};
 pub use improve::{ImproveGoal, Reorder};
-pub use optimizer::{formulation_lp, heuristic_solution, OptError, Optimizer};
+pub use optimizer::{formulation_lp, formulation_model, heuristic_solution, OptError, Optimizer};
 pub use solution::{LetDmaSolution, Provenance, Resolution};
 
 #[allow(deprecated)]

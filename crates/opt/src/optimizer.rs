@@ -195,6 +195,20 @@ impl<'s, 'i> Optimizer<'s, 'i> {
         self
     }
 
+    /// Forces MILP presolve on or off, overriding the `LETDMA_PRESOLVE`
+    /// environment variable (see [`OptConfig::presolve`]).
+    pub fn presolve(mut self, presolve: bool) -> Self {
+        self.config = self.config.with_presolve(presolve);
+        self
+    }
+
+    /// Enables or disables the presolve root-gap measurement (see
+    /// [`OptConfig::measure_root_gap`]; default off).
+    pub fn measure_root_gap(mut self, measure: bool) -> Self {
+        self.config = self.config.with_measure_root_gap(measure);
+        self
+    }
+
     /// Streams phase timings, solver counters and incumbent records into
     /// `instrument` during the run.
     pub fn instrument<'j>(self, instrument: &'j mut dyn Instrument) -> Optimizer<'s, 'j> {
@@ -348,6 +362,8 @@ fn run_pipeline(
         solve_options.node_limit = config.node_limit;
         solve_options.warm_start = warm;
         solve_options.threads = config.threads;
+        solve_options.presolve = config.presolve;
+        solve_options.measure_root_gap = config.measure_root_gap;
         (f, solve_options)
     });
 
@@ -469,6 +485,14 @@ pub fn heuristic_solution(
 #[must_use]
 pub fn formulation_lp(system: &System, config: &OptConfig) -> String {
     formulation::build(system, config).model.to_lp_format()
+}
+
+/// Builds the §VI MILP for `system` and returns the bare [`milp::Model`]
+/// (for presolve inspection, differential testing and LP export of the
+/// *reduced* model — [`formulation_lp`] exports the unreduced one).
+#[must_use]
+pub fn formulation_model(system: &System, config: &OptConfig) -> milp::Model {
+    formulation::build(system, config).model
 }
 
 #[cfg(test)]

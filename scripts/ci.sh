@@ -10,14 +10,22 @@ cd "$(dirname "$0")/.."
 echo "== cargo build --release =="
 cargo build --workspace --release --offline
 
-echo "== cargo test (LETDMA_THREADS=1) =="
-LETDMA_THREADS=1 cargo test --workspace --quiet --offline
+echo "== cargo test (LETDMA_THREADS=1, presolve on) =="
+LETDMA_PRESOLVE=1 LETDMA_THREADS=1 cargo test --workspace --quiet --offline
 
-echo "== cargo test (LETDMA_THREADS=4) =="
+echo "== cargo test (LETDMA_THREADS=4, presolve on) =="
 # Same suite on a multi-threaded solver pool: deterministic mode must make
 # every assertion thread-count-invariant (DESIGN.md §"Concurrency
 # architecture").
-LETDMA_THREADS=4 cargo test --workspace --quiet --offline
+LETDMA_PRESOLVE=1 LETDMA_THREADS=4 cargo test --workspace --quiet --offline
+
+echo "== milp + opt suites with presolve off (LETDMA_THREADS=1 and 4) =="
+# The presolve layer is on by default; the differential corpus and the
+# solver suites must also hold on the unreduced path, at both thread
+# counts (DESIGN.md §"Presolve & relaxation tightening"). Scoped to the
+# milp and opt crates — the other crates never touch presolve.
+LETDMA_PRESOLVE=0 LETDMA_THREADS=1 cargo test -p milp -p letdma-opt --quiet --offline
+LETDMA_PRESOLVE=0 LETDMA_THREADS=4 cargo test -p milp -p letdma-opt --quiet --offline
 
 echo "== cargo test --doc =="
 # The worked examples on the session builders (Model::solver(),
@@ -30,15 +38,19 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
 
 echo "== bench-milp smoke (BENCH_milp.json) =="
 # A tiny node budget keeps this fast; the run itself validates the JSON
-# against the letdma-bench-milp/1 schema before writing (milp_bench::validate)
+# against the letdma-bench-milp/2 schema before writing (milp_bench::validate)
 # and asserts warm/cold trajectory agreement, so a nonzero exit or a missing
-# file is the failure signal.
+# file is the failure signal. The committed BENCH_milp.json serves as the
+# warm-fathom baseline, exercising the Json::parse + delta path.
 smoke_out="$(mktemp -t bench_milp_smoke.XXXXXX.json)"
 trap 'rm -f "$smoke_out"' EXIT
-cargo run --release -p letdma-bench --bin repro --offline -- bench-milp --nodes 2 --out "$smoke_out"
+cargo run --release -p letdma-bench --bin repro --offline -- \
+  bench-milp --nodes 2 --baseline BENCH_milp.json --out "$smoke_out"
 test -s "$smoke_out" || { echo "bench-milp produced no BENCH_milp.json"; exit 1; }
-grep -q '"schema": "letdma-bench-milp/1"' "$smoke_out" || {
+grep -q '"schema": "letdma-bench-milp/2"' "$smoke_out" || {
   echo "bench-milp output lacks the schema tag"; exit 1; }
+grep -q '"root_gap_bps"' "$smoke_out" || {
+  echo "bench-milp output lacks the presolve root-gap field"; exit 1; }
 
 echo "== fault-injection smoke (LETDMA_THREADS=1 and 4) =="
 # Arms every deterministic fault site in turn against the WATERS case and
