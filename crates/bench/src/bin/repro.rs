@@ -27,15 +27,17 @@
 //! `bench-milp` solves the six Table I scenarios twice — warm
 //! (dual-simplex node re-solves, the default) and cold — under a node
 //! budget (`--nodes`, default 12 — each WATERS node LP costs thousands of
-//! simplex iterations, so modest budgets already take minutes;
-//! deterministic, so both runs visit the
+//! simplex iterations; deterministic, so both runs visit the
 //! same trajectory), prints the iteration split and writes the
 //! machine-readable report to `--out` (default `BENCH_milp.json`, schema
-//! in DESIGN.md §"Warm-started node re-solves"). When `--baseline <path>`
-//! (default `BENCH_milp.json`) names a readable previous report, each
-//! scenario records its warm-fathom delta against it — the re-measurement
-//! of the PR 3 "certificates essentially never fire" observation on the
-//! presolve-tightened relaxation.
+//! `letdma-bench-milp/3`; DESIGN.md §"Warm-started node re-solves" and
+//! §"Sparse LU basis & pricing"). Each mode carries a `time_breakdown`
+//! block (factorize / solve / pricing wall clock). When
+//! `--baseline <path>` (default `BENCH_milp.json`) names a readable
+//! previous report, each scenario records its warm-fathom delta and
+//! wall-clock speedup against it — the re-measurement of the PR 3
+//! "certificates essentially never fire" observation, and the basis
+//! swap's wall-clock claim, respectively.
 //!
 //! `fault-smoke` arms every deterministic fault site in turn against the
 //! WATERS case study and checks the resilience contract (valid solution
@@ -219,6 +221,16 @@ fn main() -> ExitCode {
                     count(Counter::PresolveRowsDropped),
                     count(Counter::PresolveColsFixed),
                     count(Counter::CoeffsTightened),
+                );
+                println!(
+                    "{:<28} {:>8} ftran  {:>10} btran  {:>8} eta nnz  {:>10} pricing candidates  fill {}‰  refactor cadence {}",
+                    "",
+                    count(Counter::FtranCalls),
+                    count(Counter::BtranCalls),
+                    count(Counter::EtaNonzeros),
+                    count(Counter::PricingCandidates),
+                    count(Counter::FillInRatio),
+                    count(Counter::RefactorCadence),
                 );
             }
         }

@@ -33,7 +33,7 @@ pub mod milp_bench;
 
 use std::time::Duration;
 
-use letdma::core::instrument::{Instrument, NoopInstrument};
+use letdma::core::instrument::Instrument;
 use letdma::core::SolverStats;
 
 use letdma::analysis::{apply_gammas, derive_gammas, let_task_segments};
@@ -64,47 +64,6 @@ pub fn waters_with_alpha(alpha_pct: u32) -> (System, WatersTasks) {
     );
     apply_gammas(&mut system, &sens);
     (system, tasks)
-}
-
-fn optimize_waters_impl(
-    system: &System,
-    objective: Objective,
-    budget: Duration,
-    instrument: &mut dyn Instrument,
-) -> LetDmaSolution {
-    Optimizer::new(system)
-        .objective(objective)
-        .time_limit(budget)
-        .instrument(instrument)
-        .run()
-        .expect("feasible within budget")
-}
-
-/// Optimizes the WATERS system under one objective with the given budget.
-///
-/// # Panics
-///
-/// Panics when no feasible solution exists within the budget.
-#[deprecated(note = "use `letdma::opt::Optimizer` directly or run through a `Session`")]
-#[must_use]
-pub fn optimize_waters(system: &System, objective: Objective, budget: Duration) -> LetDmaSolution {
-    optimize_waters_impl(system, objective, budget, &mut NoopInstrument)
-}
-
-/// Like [`optimize_waters`], reporting solver progress through `instrument`.
-///
-/// # Panics
-///
-/// Same as [`optimize_waters`].
-#[deprecated(note = "use `letdma::opt::Optimizer` directly or run through a `Session`")]
-#[must_use]
-pub fn optimize_waters_with(
-    system: &System,
-    objective: Objective,
-    budget: Duration,
-    instrument: &mut dyn Instrument,
-) -> LetDmaSolution {
-    optimize_waters_impl(system, objective, budget, instrument)
 }
 
 /// Simulates all four §VII approaches; returns reports keyed like Fig. 2.
@@ -476,7 +435,7 @@ impl Session {
 
 /// Fig. 1 regeneration.
 pub mod fig1 {
-    use super::{simulate, Approach, Duration, Instrument, LetDmaSolution, SimConfig, System};
+    use super::{simulate, Approach, LetDmaSolution, SimConfig, System};
     use letdma::model::SystemBuilder;
 
     /// The fixed two-core example of Fig. 1.
@@ -532,36 +491,11 @@ pub mod fig1 {
         }
         out
     }
-
-    /// Runs the Fig. 1 example; returns the rendered report.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the fixed example unexpectedly fails to solve.
-    #[deprecated(note = "use `Session::new().budget(b).fig1()` instead")]
-    #[must_use]
-    pub fn run(budget: Duration) -> String {
-        crate::Session::new().budget(budget).fig1()
-    }
-
-    /// [`run`], reporting solver progress through `instrument`.
-    ///
-    /// # Panics
-    ///
-    /// Same as [`run`].
-    #[deprecated(note = "use `Session::new().budget(b).fig1()` and `Session::replay_into` instead")]
-    #[must_use]
-    pub fn run_with(budget: Duration, instrument: &mut dyn Instrument) -> String {
-        let mut session = crate::Session::new().budget(budget);
-        let out = session.fig1();
-        session.replay_into(instrument);
-        out
-    }
 }
 
 /// Fig. 2 regeneration.
 pub mod fig2 {
-    use super::{Duration, Instrument, Objective};
+    use super::Objective;
 
     /// One panel of Fig. 2: per-task ratios against the three baselines.
     #[derive(Debug, Clone)]
@@ -574,31 +508,6 @@ pub mod fig2 {
         pub rows: Vec<(String, f64, f64, f64)>,
         /// Number of DMA transfers of the optimized solution.
         pub transfers: usize,
-    }
-
-    /// Produces the six panels (α ∈ {20, 40} × three objectives).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the case study cannot be optimized within the budget.
-    #[deprecated(note = "use `Session::new().budget(b).fig2()` instead")]
-    #[must_use]
-    pub fn run(budget: Duration) -> Vec<Panel> {
-        crate::Session::new().budget(budget).fig2()
-    }
-
-    /// [`run`], reporting solver progress through `instrument`.
-    ///
-    /// # Panics
-    ///
-    /// Same as [`run`].
-    #[deprecated(note = "use `Session::new().budget(b).fig2()` and `Session::replay_into` instead")]
-    #[must_use]
-    pub fn run_with(budget: Duration, instrument: &mut dyn Instrument) -> Vec<Panel> {
-        let mut session = crate::Session::new().budget(budget);
-        let panels = session.fig2();
-        session.replay_into(instrument);
-        panels
     }
 
     /// Renders panels as text tables.
@@ -623,7 +532,7 @@ pub mod fig2 {
 
 /// Table I regeneration.
 pub mod table1 {
-    use super::{Duration, Instrument, Objective};
+    use super::{Duration, Objective};
 
     /// One cell of Table I.
     #[derive(Debug, Clone)]
@@ -639,35 +548,6 @@ pub mod table1 {
         /// Whether the budget expired (the paper's OBJ-DMAT row also
         /// reports the timeout value).
         pub timed_out: bool,
-    }
-
-    /// Runs the six cells of Table I. `budget` plays the role of the
-    /// paper's 1 h CPLEX timeout.
-    ///
-    /// # Panics
-    ///
-    /// Panics when a cell is infeasible (the paper's α values are feasible).
-    #[deprecated(note = "use `Session::new().budget(b).table1()` instead")]
-    #[must_use]
-    pub fn run(budget: Duration) -> Vec<Cell> {
-        crate::Session::new().budget(budget).table1()
-    }
-
-    /// [`run`], reporting solver progress through `instrument` — this is
-    /// what `repro -- table1 --stats` collects and renders.
-    ///
-    /// # Panics
-    ///
-    /// Same as [`run`].
-    #[deprecated(
-        note = "use `Session::new().budget(b).table1()` and `Session::replay_into` instead"
-    )]
-    #[must_use]
-    pub fn run_with(budget: Duration, instrument: &mut dyn Instrument) -> Vec<Cell> {
-        let mut session = crate::Session::new().budget(budget);
-        let cells = session.table1();
-        session.replay_into(instrument);
-        cells
     }
 
     /// Renders the cells in the layout of Table I.
@@ -713,7 +593,6 @@ pub mod table1 {
 
 /// The α feasibility sweep described in §VII's text.
 pub mod alpha_sweep {
-    use super::{Duration, Instrument};
 
     /// Outcome per α (percent).
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -724,33 +603,6 @@ pub mod alpha_sweep {
         pub schedulable: bool,
         /// The MILP (or heuristic fallback) found a feasible mapping.
         pub solvable: bool,
-    }
-
-    /// Sweeps α ∈ {10, 20, 30, 40, 50} as in the paper.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the base case study is unschedulable (never happens).
-    #[deprecated(note = "use `Session::new().budget(b).alpha_sweep()` instead")]
-    #[must_use]
-    pub fn run(budget: Duration) -> Vec<Point> {
-        crate::Session::new().budget(budget).alpha_sweep()
-    }
-
-    /// [`run`], reporting solver progress through `instrument`.
-    ///
-    /// # Panics
-    ///
-    /// Same as [`run`].
-    #[deprecated(
-        note = "use `Session::new().budget(b).alpha_sweep()` and `Session::replay_into` instead"
-    )]
-    #[must_use]
-    pub fn run_with(budget: Duration, instrument: &mut dyn Instrument) -> Vec<Point> {
-        let mut session = crate::Session::new().budget(budget);
-        let points = session.alpha_sweep();
-        session.replay_into(instrument);
-        points
     }
 
     /// Renders the sweep.

@@ -24,6 +24,13 @@
 //! a first-class part of the report — DESIGN.md §"Warm-started node
 //! re-solves" and §"Presolve & relaxation tightening" document the
 //! measurement and the trade.
+//!
+//! The `/3` schema adds the sparse-LU-era timing view: each mode carries a
+//! `time_breakdown` block splitting the simplex wall clock into factorize
+//! / solve / pricing (the solver's `simplex-*` phase durations), and each
+//! scenario records `wall_clock_speedup` against the `--baseline` file —
+//! the dense-inverse PR 5 numbers, which is how the basis swap's
+//! wall-clock claim in EXPERIMENTS.md is measured.
 
 use std::time::{Duration, Instant};
 
@@ -32,6 +39,46 @@ use letdma::opt::{Objective, OptConfig, Optimizer};
 
 use crate::json::Json;
 use crate::waters_with_alpha;
+
+/// Where the simplex wall clock of one run went, accumulated over every
+/// node LP (the `simplex-factorize` / `simplex-solve` / `simplex-pricing`
+/// phase durations the solver reports). Timing-dependent, like
+/// `wall_clock`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TimeBreakdown {
+    /// Basis refactorizations (LU rebuilds / Gauss-Jordan inversions).
+    pub factorize: Duration,
+    /// FTRAN/BTRAN solves and pivot updates.
+    pub solve: Duration,
+    /// Reduced-cost pricing scans.
+    pub pricing: Duration,
+}
+
+impl TimeBreakdown {
+    fn from_stats(stats: &SolverStats) -> Self {
+        let phase = |name: &str| {
+            stats
+                .phases()
+                .iter()
+                .find(|(p, ..)| *p == name)
+                .map_or(Duration::ZERO, |&(_, d, _)| d)
+        };
+        Self {
+            factorize: phase("simplex-factorize"),
+            solve: phase("simplex-solve"),
+            pricing: phase("simplex-pricing"),
+        }
+    }
+
+    fn to_json(self) -> Json {
+        let ms = |d: Duration| Json::Float(d.as_secs_f64() * 1e3);
+        Json::obj(vec![
+            ("factorize_ms", ms(self.factorize)),
+            ("solve_ms", ms(self.solve)),
+            ("pricing_ms", ms(self.pricing)),
+        ])
+    }
+}
 
 /// Solver counters of one (scenario, mode) run.
 #[derive(Debug, Clone, Copy, Default)]
@@ -56,6 +103,8 @@ pub struct ModeReport {
     /// validation). Timing-dependent; everything else here is
     /// deterministic.
     pub wall_clock: Duration,
+    /// Simplex wall-clock split (factorize / solve / pricing).
+    pub time_breakdown: TimeBreakdown,
 }
 
 impl ModeReport {
@@ -70,6 +119,7 @@ impl ModeReport {
             warm_fallbacks: stats.counter(Counter::WarmFallbacks),
             warm_iterations_saved: stats.counter(Counter::WarmIterationsSaved),
             wall_clock,
+            time_breakdown: TimeBreakdown::from_stats(stats),
         }
     }
 
@@ -103,6 +153,7 @@ impl ModeReport {
                 "wall_clock_ms",
                 Json::Float(self.wall_clock.as_secs_f64() * 1e3),
             ),
+            ("time_breakdown", self.time_breakdown.to_json()),
         ])
     }
 }
@@ -162,6 +213,10 @@ pub struct ScenarioReport {
     /// file this run was compared against; `None` when no baseline was
     /// available (first run, or the scenario is new).
     pub warm_fathoms_delta: Option<i64>,
+    /// Baseline warm wall clock divided by this run's warm wall clock
+    /// (> 1 means this run was faster); `None` without a baseline.
+    /// Timing-dependent, like the wall clocks it is derived from.
+    pub wall_clock_speedup: Option<f64>,
 }
 
 impl ScenarioReport {
@@ -183,6 +238,10 @@ impl ScenarioReport {
             (
                 "warm_fathoms_delta",
                 self.warm_fathoms_delta.map_or(Json::Null, Json::Int),
+            ),
+            (
+                "wall_clock_speedup",
+                self.wall_clock_speedup.map_or(Json::Null, Json::Float),
             ),
             (
                 "iteration_reduction_pct",
@@ -287,14 +346,17 @@ impl MilpBench {
             self.node_limit
         ));
         out.push_str(
-            "scenario                        nodes   cold iters   warm iters (primal+dual)   saved   root-gap  fathoms(Δ)\n",
+            "scenario                        nodes   cold iters   warm iters (primal+dual)   saved   root-gap  fathoms(Δ)  wall clock (speedup)\n",
         );
         for s in &self.scenarios {
             let delta = s
                 .warm_fathoms_delta
                 .map_or_else(|| "—".into(), |d| format!("{d:+}"));
+            let speedup = s
+                .wall_clock_speedup
+                .map_or_else(|| "no baseline".into(), |x| format!("{x:.2}x"));
             out.push_str(&format!(
-                "{:<30} {:>6} {:>12} {:>12} ({:>8}+{:<7}) {:>6.1}% {:>6}bps {:>5} ({delta})\n",
+                "{:<30} {:>6} {:>12} {:>12} ({:>8}+{:<7}) {:>6.1}% {:>6}bps {:>5} ({delta})  {:>9.2?} ({speedup})\n",
                 s.name,
                 s.warm.nodes,
                 s.cold.total_iterations(),
@@ -304,6 +366,7 @@ impl MilpBench {
                 s.iteration_reduction_pct(),
                 s.presolve.root_gap_bps,
                 s.warm.warm_fathoms,
+                s.warm.wall_clock,
             ));
         }
         let delta_total = self
@@ -322,8 +385,10 @@ impl MilpBench {
 
 /// Schema identifier of `BENCH_milp.json`; bump on breaking layout change.
 /// `/2` added per-scenario `presolve` counters and the `warm_fathoms_delta`
-/// comparison against a prior baseline file.
-pub const SCHEMA: &str = "letdma-bench-milp/2";
+/// comparison against a prior baseline file. `/3` added the per-mode
+/// `time_breakdown` block (factorize / solve / pricing wall clock) and the
+/// per-scenario `wall_clock_speedup` against the baseline file.
+pub const SCHEMA: &str = "letdma-bench-milp/3";
 
 fn reduction_pct(warm: u64, cold: u64) -> f64 {
     if cold == 0 {
@@ -333,17 +398,36 @@ fn reduction_pct(warm: u64, cold: u64) -> f64 {
     }
 }
 
-/// Looks up `scenarios[name].warm.warm_fathoms` in a prior baseline file
-/// (any schema version that had the field, i.e. `/1` and up).
-fn baseline_warm_fathoms(baseline: &Json, name: &str) -> Option<i64> {
+/// Finds `scenarios[name]` in a prior baseline file.
+fn baseline_scenario<'a>(baseline: &'a Json, name: &str) -> Option<&'a Json> {
     let Json::Arr(scenarios) = baseline.get("scenarios")? else {
         return None;
     };
-    let scenario = scenarios
+    scenarios
         .iter()
-        .find(|s| matches!(s.get("name"), Some(Json::Str(n)) if n == name))?;
-    match scenario.get("warm")?.get("warm_fathoms")? {
+        .find(|s| matches!(s.get("name"), Some(Json::Str(n)) if n == name))
+}
+
+/// Looks up `scenarios[name].warm.warm_fathoms` in a prior baseline file
+/// (any schema version that had the field, i.e. `/1` and up).
+fn baseline_warm_fathoms(baseline: &Json, name: &str) -> Option<i64> {
+    match baseline_scenario(baseline, name)?
+        .get("warm")?
+        .get("warm_fathoms")?
+    {
         Json::Int(n) => Some(*n),
+        _ => None,
+    }
+}
+
+/// Looks up `scenarios[name].warm.wall_clock_ms` in a prior baseline file.
+fn baseline_warm_wall_clock_ms(baseline: &Json, name: &str) -> Option<f64> {
+    match baseline_scenario(baseline, name)?
+        .get("warm")?
+        .get("wall_clock_ms")?
+    {
+        Json::Float(ms) => Some(*ms),
+        Json::Int(ms) => Some(*ms as f64),
         _ => None,
     }
 }
@@ -404,6 +488,9 @@ pub fn run(node_limit: u64, baseline: Option<&Json>) -> MilpBench {
             let warm_fathoms_delta = baseline
                 .and_then(|b| baseline_warm_fathoms(b, &name))
                 .map(|old| warm.warm_fathoms as i64 - old);
+            let wall_clock_speedup = baseline
+                .and_then(|b| baseline_warm_wall_clock_ms(b, &name))
+                .map(|old_ms| old_ms / (warm.wall_clock.as_secs_f64() * 1e3).max(1e-6));
             scenarios.push(ScenarioReport {
                 name,
                 alpha_pct,
@@ -412,6 +499,7 @@ pub fn run(node_limit: u64, baseline: Option<&Json>) -> MilpBench {
                 cold,
                 presolve: PresolveReport::from_stats(&warm_stats),
                 warm_fathoms_delta,
+                wall_clock_speedup,
             });
         }
     }
@@ -474,6 +562,9 @@ pub fn validate(value: &Json) -> Result<(), String> {
         if !matches!(need(s, "warm_fathoms_delta")?, Json::Int(_) | Json::Null) {
             return Err("scenario warm_fathoms_delta must be an integer or null".into());
         }
+        if !matches!(need(s, "wall_clock_speedup")?, Json::Float(_) | Json::Null) {
+            return Err("scenario wall_clock_speedup must be a number or null".into());
+        }
         for mode in ["warm", "cold"] {
             let m = need(s, mode)?;
             for key in [
@@ -493,6 +584,12 @@ pub fn validate(value: &Json) -> Result<(), String> {
             }
             if !matches!(need(&m, "wall_clock_ms")?, Json::Float(_)) {
                 return Err(format!("{mode}.wall_clock_ms must be a number"));
+            }
+            let tb = need(&m, "time_breakdown")?;
+            for key in ["factorize_ms", "solve_ms", "pricing_ms"] {
+                if !matches!(need(&tb, key)?, Json::Float(_)) {
+                    return Err(format!("{mode}.time_breakdown.{key} must be a number"));
+                }
             }
         }
     }
@@ -539,6 +636,11 @@ mod tests {
                     warm_fallbacks: 0,
                     warm_iterations_saved: 30,
                     wall_clock: Duration::from_millis(12),
+                    time_breakdown: TimeBreakdown {
+                        factorize: Duration::from_millis(3),
+                        solve: Duration::from_millis(5),
+                        pricing: Duration::from_millis(2),
+                    },
                 },
                 cold: ModeReport {
                     nodes: 4,
@@ -553,6 +655,7 @@ mod tests {
                     root_gap_bps: 42,
                 },
                 warm_fathoms_delta: Some(2),
+                wall_clock_speedup: Some(4.0),
             }],
         }
     }
@@ -577,6 +680,25 @@ mod tests {
         );
         assert_eq!(baseline_warm_fathoms(&rendered, "no/such/scenario"), None);
         assert_eq!(baseline_warm_fathoms(&Json::Null, "x"), None);
+        let ms = baseline_warm_wall_clock_ms(&rendered, "table1/alpha=0.2/NO-OBJ");
+        assert!((ms.unwrap() - 12.0).abs() < 1e-9);
+        assert_eq!(baseline_warm_wall_clock_ms(&rendered, "nope"), None);
+    }
+
+    #[test]
+    fn time_breakdown_round_trips_through_json() {
+        let v = sample().to_json();
+        let Json::Arr(scenarios) = v.get("scenarios").unwrap() else {
+            panic!("scenarios must be an array");
+        };
+        let tb = scenarios[0]
+            .get("warm")
+            .unwrap()
+            .get("time_breakdown")
+            .unwrap();
+        assert!(matches!(tb.get("factorize_ms"), Some(Json::Float(x)) if (*x - 3.0).abs() < 1e-9));
+        assert!(matches!(tb.get("solve_ms"), Some(Json::Float(x)) if (*x - 5.0).abs() < 1e-9));
+        assert!(matches!(tb.get("pricing_ms"), Some(Json::Float(x)) if (*x - 2.0).abs() < 1e-9));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Boolean feature-flag resolution shared by the solver layers.
+//! Feature-flag and knob resolution shared by the solver layers.
 //!
 //! Mirrors [`crate::parallel::resolve_threads`]: an explicit request
 //! (config field, builder call, CLI flag) always wins, otherwise a named
@@ -11,6 +11,21 @@
 /// Name of the environment variable governing MILP presolve
 /// (see `milp::SolveOptions::with_presolve`).
 pub const PRESOLVE_ENV: &str = "LETDMA_PRESOLVE";
+
+/// Name of the environment variable selecting the simplex basis
+/// representation (see `milp::SolveOptions::with_basis`): `sparse` (the
+/// default factorized LU) or `dense` (the explicit-inverse oracle).
+pub const BASIS_ENV: &str = "LETDMA_BASIS";
+
+/// Name of the environment variable overriding the basis refactorization
+/// cadence in pivots (see `milp::SolveOptions::with_refactor_interval`).
+/// Unset defers to the per-basis default.
+pub const REFACTOR_ENV: &str = "LETDMA_REFACTOR";
+
+/// Name of the environment variable selecting the simplex
+/// entering-variable pricing rule (`dantzig`, `partial`, `devex`); unset
+/// defaults to partial pricing.
+pub const PRICING_ENV: &str = "LETDMA_PRICING";
 
 /// Resolves a boolean feature flag: `requested` if given, else the
 /// environment variable `name`, else `default`.
@@ -34,6 +49,42 @@ pub fn resolve_flag(name: &str, requested: Option<bool>, default: bool) -> bool 
     }
 }
 
+/// Resolves a typed choice the same way [`resolve_flag`] resolves a
+/// boolean: `requested` if given, else `parse` applied to the (trimmed)
+/// environment variable `name`, else `default`. An unparseable value is
+/// ignored rather than being an error, for the same reason as in
+/// [`resolve_flag`].
+#[must_use]
+pub fn resolve_choice<T>(
+    name: &str,
+    requested: Option<T>,
+    default: T,
+    parse: impl Fn(&str) -> Option<T>,
+) -> T {
+    if let Some(v) = requested {
+        return v;
+    }
+    std::env::var(name)
+        .ok()
+        .and_then(|raw| parse(raw.trim()))
+        .unwrap_or(default)
+}
+
+/// Resolves an optional positive-integer override: `requested` if given,
+/// else the environment variable `name` parsed as a `u64 ≥ 1`, else
+/// `None` (meaning "use the compiled-in / per-component default").
+/// Zero and junk are ignored like unparseable values in [`resolve_flag`].
+#[must_use]
+pub fn resolve_override(name: &str, requested: Option<u64>) -> Option<u64> {
+    if requested.is_some() {
+        return requested;
+    }
+    std::env::var(name)
+        .ok()
+        .and_then(|raw| raw.trim().parse::<u64>().ok())
+        .filter(|&v| v >= 1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -53,5 +104,36 @@ mod tests {
     fn unset_variable_falls_back_to_default() {
         assert!(resolve_flag("LETDMA_TEST_FLAG_SURELY_UNSET", None, true));
         assert!(!resolve_flag("LETDMA_TEST_FLAG_SURELY_UNSET", None, false));
+    }
+
+    #[test]
+    fn choice_explicit_request_wins_and_unset_defaults() {
+        #[derive(Debug, PartialEq, Clone, Copy)]
+        enum Kind {
+            A,
+            B,
+        }
+        let parse = |s: &str| match s {
+            "a" => Some(Kind::A),
+            "b" => Some(Kind::B),
+            _ => None,
+        };
+        assert_eq!(
+            resolve_choice("LETDMA_TEST_CHOICE_UNSET", Some(Kind::A), Kind::B, parse),
+            Kind::A
+        );
+        assert_eq!(
+            resolve_choice("LETDMA_TEST_CHOICE_UNSET", None, Kind::B, parse),
+            Kind::B
+        );
+    }
+
+    #[test]
+    fn override_explicit_request_wins_and_unset_is_none() {
+        assert_eq!(
+            resolve_override("LETDMA_TEST_OVERRIDE_UNSET", Some(64)),
+            Some(64)
+        );
+        assert_eq!(resolve_override("LETDMA_TEST_OVERRIDE_UNSET", None), None);
     }
 }

@@ -86,6 +86,27 @@ pub enum Counter {
     /// when root-gap measurement is enabled
     /// (`milp::SolveOptions::with_measure_root_gap`).
     RootGapBps,
+    /// Factorized forward solves (`Basis::ftran`) performed by the simplex
+    /// — entering columns, warm-basis right-hand sides, flip repairs.
+    FtranCalls,
+    /// Factorized transpose solves (`Basis::btran`) performed by the
+    /// simplex — pricing duals and dual-simplex pivot rows.
+    BtranCalls,
+    /// Nonzeros appended to the basis update (eta) files by pivots;
+    /// bounded per solve by the refactorization cadence.
+    EtaNonzeros,
+    /// Fill-in ratio of the sparse LU refactorizations in permille:
+    /// `round(1000 · Σ nnz(L+U) / Σ nnz(B))` over a solve's
+    /// refactorizations (1000 = no fill; reported once per solve like
+    /// [`RootGapBps`](Self::RootGapBps), zero for the dense oracle).
+    FillInRatio,
+    /// Columns examined by entering-variable pricing across all simplex
+    /// iterations (partial pricing examines a block, not all of `n`).
+    PricingCandidates,
+    /// The refactorization cadence (pivots between basis rebuilds) the
+    /// solve actually ran with, reported once per solve so the bench can
+    /// record what ran (`milp::SolveOptions::with_refactor_interval`).
+    RefactorCadence,
 }
 
 impl Counter {
@@ -115,6 +136,12 @@ impl Counter {
             Self::PresolveColsFixed => "presolve cols fixed",
             Self::CoeffsTightened => "coeffs tightened",
             Self::RootGapBps => "root gap (bps)",
+            Self::FtranCalls => "ftran calls",
+            Self::BtranCalls => "btran calls",
+            Self::EtaNonzeros => "eta nonzeros",
+            Self::FillInRatio => "fill-in ratio (permille)",
+            Self::PricingCandidates => "pricing candidates",
+            Self::RefactorCadence => "refactor cadence",
         }
     }
 }

@@ -17,8 +17,9 @@
 //! representation ([`Basis`]) and one refactorization cadence:
 //!
 //! * The **primal** simplex ([`simplex::SimplexSolver::solve`]) solves an
-//!   LP from scratch — artificial-variable phase 1, Dantzig pricing with
-//!   Bland anti-cycling, a Harris-style two-pass ratio test. It is the
+//!   LP from scratch — artificial-variable phase 1, pluggable pricing
+//!   ([`PricingRule`]; partial pricing by default) with Bland
+//!   anti-cycling, a Harris-style two-pass ratio test. It is the
 //!   *canonical* path: every value and objective the solver ever returns
 //!   comes out of a primal solve.
 //! * The **dual** simplex ([`simplex::SimplexSolver::warm_resolve`])
@@ -64,13 +65,15 @@ mod expr;
 mod lp_format;
 mod model;
 pub mod presolve;
+pub mod pricing;
 pub mod simplex;
 mod solver;
 
-pub use basis::{Basis, DenseInverse};
+pub use basis::{Basis, BasisKind, DenseInverse, SparseLu};
 pub use expr::{LinExpr, Var};
 pub use model::{Comparison, Constraint, Model, ObjectiveSense, Sense, VarDef, VarType};
 pub use presolve::{Lift, LiftEntry, PresolveInfeasible, PresolveStats, Presolved};
+pub use pricing::{Pricing, PricingRule};
 pub use simplex::{WarmBasis, WarmOutcome};
 pub use solver::{
     MilpSolution, SolveError, SolveOptions, SolveStats, SolveStatus, Solver, WorkerLoad,

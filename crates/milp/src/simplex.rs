@@ -1,5 +1,5 @@
-//! Bounded-variable revised simplex — primal and dual — with an explicit
-//! dense basis inverse.
+//! Bounded-variable revised simplex — primal and dual — on a factorized
+//! basis representation.
 //!
 //! The LP is brought into the computational form
 //!
@@ -16,15 +16,19 @@
 //! artificials are fixed to zero and the loop continues with the real
 //! objective from the current basis.
 //!
-//! Pricing uses Dantzig's rule with an automatic switch to Bland's rule when
-//! the objective stalls (anti-cycling). The basis inverse is maintained
-//! behind the [`Basis`] trait; the default
-//! representation is the dense product-form inverse of
-//! [`DenseInverse`] with periodic Gauss-Jordan
-//! refactorization, which is simple, predictable and fast enough for the
-//! problem sizes of this workspace (hundreds to a few thousand rows).
-//! Alternative representations (factorized LU/eta files) plug in via
-//! [`SimplexSolver::from_model_with_basis`].
+//! Pricing is pluggable behind the [`Pricing`]
+//! seam (partial pricing by default, Dantzig and Devex selectable; see
+//! [`crate::pricing`]) with an automatic switch to Bland's rule when the
+//! objective stalls (anti-cycling). The basis factorization is maintained
+//! behind the [`Basis`] trait as sparse `ftran`/`btran` solves; the
+//! default representation is the sparse LU of
+//! [`SparseLu`](crate::basis::SparseLu) (Markowitz pivot selection,
+//! product-form eta updates), with the dense explicit inverse of
+//! [`crate::basis::DenseInverse`] retained as the differential oracle.
+//! Selection: [`SimplexSolver::from_model_configured`] >
+//! `LETDMA_BASIS`/`LETDMA_PRICING`/`LETDMA_REFACTOR` environment
+//! variables > sparse/partial/per-basis-default. Custom representations
+//! plug in via [`SimplexSolver::from_model_with_basis`].
 //!
 //! # Warm re-solves (dual simplex)
 //!
@@ -46,12 +50,14 @@
 // Index-based loops mirror the mathematical notation (rows i, columns j,
 // groups g); iterator rewrites would obscure the correspondence.
 #![allow(clippy::needless_range_loop)]
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use letdma_core::env;
 use letdma_core::fault::{self, FaultSite};
 
-use crate::basis::{Basis, DenseInverse};
+use crate::basis::{Basis, BasisKind};
 use crate::model::{Model, ObjectiveSense, Sense};
+use crate::pricing::{DantzigPricing, Pricing, PricingRule};
 
 /// Feasibility/optimality tolerance used throughout the solver.
 pub const EPS: f64 = 1e-7;
@@ -116,8 +122,10 @@ pub struct SimplexSolver {
     status: Vec<ColStatus>,
     /// Basis: column index per row.
     basis: Vec<usize>,
-    /// Pluggable basis-inverse representation.
+    /// Pluggable basis-factorization representation.
     basis_inv: Box<dyn Basis>,
+    /// Pluggable entering-variable pricing strategy.
+    pricing: Box<dyn Pricing>,
     /// Current values of all columns.
     x: Vec<f64>,
     /// Multiplier for converting the model objective to minimization.
@@ -159,6 +167,20 @@ pub struct SimplexSolver {
     /// (see `dual_optimize`), since only an infeasibility certificate —
     /// found quickly or not at all — could still settle the node.
     pub dual_iteration_limit: u64,
+    /// FTRAN solves performed (primal ratio-test columns, warm-start
+    /// residuals, dual flip repairs and entering columns).
+    pub ftran_calls: u64,
+    /// BTRAN solves performed (pricing duals, dual pivot rows).
+    pub btran_calls: u64,
+    /// Columns priced by the pricing strategy (one per `eval` call — the
+    /// work partial pricing saves shows up here).
+    pub pricing_candidates: u64,
+    /// Wall-clock spent refactorizing the basis from scratch.
+    pub time_factorize: Duration,
+    /// Wall-clock spent in `ftran`/`btran` solves and pivot updates.
+    pub time_solve: Duration,
+    /// Wall-clock spent choosing entering variables (reduced-cost scans).
+    pub time_pricing: Duration,
 }
 
 impl std::fmt::Debug for SimplexSolver {
@@ -176,14 +198,45 @@ impl std::fmt::Debug for SimplexSolver {
 impl SimplexSolver {
     /// Builds the computational form from a model, using the model's
     /// *current* variable bounds (so branch-and-bound nodes can tighten
-    /// bounds and rebuild).
+    /// bounds and rebuild). Basis representation, pricing rule and
+    /// refactorization cadence resolve from the environment
+    /// (`LETDMA_BASIS` / `LETDMA_PRICING` / `LETDMA_REFACTOR`), defaulting
+    /// to sparse LU, partial pricing and the per-basis cadence.
     #[must_use]
     pub fn from_model(model: &Model) -> Self {
-        Self::from_model_with_basis(model, Box::new(DenseInverse::new()))
+        Self::from_model_configured(
+            model,
+            BasisKind::resolve(None),
+            PricingRule::resolve(None),
+            env::resolve_override(env::REFACTOR_ENV, None),
+        )
     }
 
-    /// Like [`from_model`](Self::from_model) with an explicit basis-inverse
-    /// representation (see [`crate::basis`]).
+    /// Like [`from_model`](Self::from_model) with every knob pinned by the
+    /// caller (branch-and-bound resolves the environment once and passes
+    /// the result here, so every node LP of a solve runs identically).
+    /// A `None` `refactor_interval` defers to the basis representation's
+    /// [`default_refactor_interval`](Basis::default_refactor_interval).
+    #[must_use]
+    pub fn from_model_configured(
+        model: &Model,
+        basis: BasisKind,
+        pricing: PricingRule,
+        refactor_interval: Option<u64>,
+    ) -> Self {
+        let mut solver = Self::from_model_with_basis(model, basis.instantiate());
+        solver.pricing = pricing.instantiate();
+        solver.pricing.reset(solver.n);
+        if let Some(interval) = refactor_interval {
+            solver.refactor_interval = interval;
+        }
+        solver
+    }
+
+    /// Like [`from_model`](Self::from_model) with an explicit basis
+    /// representation (see [`crate::basis`]); the refactorization cadence
+    /// starts at the representation's own default and the pricing rule
+    /// resolves from the environment.
     #[must_use]
     pub fn from_model_with_basis(model: &Model, basis_inv: Box<dyn Basis>) -> Self {
         let m = model.num_constraints();
@@ -264,6 +317,9 @@ impl SimplexSolver {
         }
         let obj_offset = model.objective.constant();
 
+        let refactor_interval = basis_inv.default_refactor_interval();
+        let mut pricing = PricingRule::resolve(None).instantiate();
+        pricing.reset(n);
         Self {
             m,
             n,
@@ -276,6 +332,7 @@ impl SimplexSolver {
             status: vec![ColStatus::AtLower; n],
             basis: Vec::new(),
             basis_inv,
+            pricing,
             x: vec![0.0; n],
             obj_scale,
             obj_offset,
@@ -284,10 +341,16 @@ impl SimplexSolver {
             deadline: None,
             phase1_iterations: 0,
             bound_flips: 0,
-            refactor_interval: 512,
+            refactor_interval,
             min_pivot: 1e-9,
             dual_iterations: 0,
             dual_iteration_limit: 500,
+            ftran_calls: 0,
+            btran_calls: 0,
+            pricing_candidates: 0,
+            time_factorize: Duration::ZERO,
+            time_solve: Duration::ZERO,
+            time_pricing: Duration::ZERO,
         }
     }
 
@@ -301,6 +364,20 @@ impl SimplexSolver {
     #[must_use]
     pub fn refactorizations(&self) -> u64 {
         self.basis_inv.refactorizations()
+    }
+
+    /// Total eta-file nonzeros appended by pivot updates (zero for the
+    /// dense inverse; see [`Basis::eta_nonzeros`]).
+    #[must_use]
+    pub fn eta_nonzeros(&self) -> u64 {
+        self.basis_inv.eta_nonzeros()
+    }
+
+    /// `(Σ nnz(L+U), Σ nnz(B))` over this solver's refactorizations — the
+    /// fill-in ratio numerator/denominator (see [`Basis::fill_nonzeros`]).
+    #[must_use]
+    pub fn fill_nonzeros(&self) -> (u64, u64) {
+        self.basis_inv.fill_nonzeros()
     }
 
     /// Solves the LP relaxation from scratch (phase 1 then phase 2).
@@ -476,6 +553,9 @@ impl SimplexSolver {
     /// Runs primal pivoting until optimal/unbounded for the given cost.
     fn optimize(&mut self, cost: &[f64]) -> PivotResult {
         let mut stall = 0u32;
+        // Each phase starts a fresh pricing pass (partial-pricing cursor,
+        // Devex reference weights).
+        self.pricing.reset(self.n);
         loop {
             if self.iterations >= self.iteration_limit {
                 return PivotResult::IterationLimit;
@@ -495,65 +575,94 @@ impl SimplexSolver {
             }
             self.iterations += 1;
 
-            // y = c_B' B⁻¹ (BTRAN).
+            // y = c_B' B⁻¹ (BTRAN of the basic costs, sparse by basis
+            // position in ascending order).
             let m = self.m;
+            let cb: Vec<(usize, f64)> = self
+                .basis
+                .iter()
+                .enumerate()
+                .filter(|&(_, &bj)| cost[bj] != 0.0)
+                .map(|(i, &bj)| (i, cost[bj]))
+                .collect();
             let mut y = vec![0.0; m];
-            for (i, &bj) in self.basis.iter().enumerate() {
-                let cb = cost[bj];
-                if cb != 0.0 {
-                    self.basis_inv.accumulate_row(i, cb, &mut y);
-                }
-            }
+            let t0 = Instant::now();
+            self.basis_inv.btran(&cb, &mut y);
+            self.time_solve += t0.elapsed();
+            self.btran_calls += 1;
 
-            // Pricing.
+            // Pricing: `eval` owns eligibility and the reduced cost of one
+            // column; the strategy owns which columns to examine. Bland's
+            // rule (first improving column) bypasses the strategy — the
+            // anti-cycling guarantee needs the index order.
+            let t_pricing = Instant::now();
             let use_bland = stall > 64;
-            let mut entering: Option<(usize, f64, f64)> = None; // (col, reduced cost, direction)
-            for j in 0..self.n {
-                let (dir_needed, eligible) = match self.status[j] {
-                    ColStatus::Basic(_) => continue,
-                    ColStatus::AtLower => (1.0, true),
-                    ColStatus::AtUpper => (-1.0, true),
-                    ColStatus::FreeZero => (0.0, true),
+            let mut examined = 0u64;
+            let entering = {
+                let status = &self.status;
+                let lower = &self.lower;
+                let upper = &self.upper;
+                let cols = &self.cols;
+                let mut eval = |j: usize| -> Option<(f64, f64)> {
+                    let dir_needed = match status[j] {
+                        ColStatus::Basic(_) => return None,
+                        ColStatus::AtLower => 1.0,
+                        ColStatus::AtUpper => -1.0,
+                        ColStatus::FreeZero => 0.0,
+                    };
+                    // Fixed columns (lower == upper) can never move:
+                    // skipping them is essential — otherwise they enter
+                    // with zero-length bound flips and the iteration spins.
+                    if upper[j] - lower[j] <= 0.0 {
+                        return None;
+                    }
+                    let mut d = cost[j];
+                    for &(i, a) in &cols[j] {
+                        d -= y[i] * a;
+                    }
+                    let (improves, dir) = if dir_needed == 0.0 {
+                        // Free variable moves against the sign of d.
+                        (d.abs() > EPS, if d > 0.0 { -1.0 } else { 1.0 })
+                    } else if dir_needed > 0.0 {
+                        (d < -EPS, 1.0)
+                    } else {
+                        (d > EPS, -1.0)
+                    };
+                    improves.then_some((d, dir))
                 };
-                if !eligible {
-                    continue;
-                }
-                // Fixed columns (lower == upper) can never move: skipping
-                // them is essential — otherwise they enter with zero-length
-                // bound flips and the iteration spins.
-                if self.upper[j] - self.lower[j] <= 0.0 {
-                    continue;
-                }
-                let mut d = cost[j];
-                for &(i, a) in &self.cols[j] {
-                    d -= y[i] * a;
-                }
-                let (improves, dir) = if dir_needed == 0.0 {
-                    // Free variable moves against the sign of d.
-                    (d.abs() > EPS, if d > 0.0 { -1.0 } else { 1.0 })
-                } else if dir_needed > 0.0 {
-                    (d < -EPS, 1.0)
+                if use_bland {
+                    let mut first = None;
+                    for j in 0..self.n {
+                        examined += 1;
+                        if let Some((d, dir)) = eval(j) {
+                            first = Some((j, d, dir));
+                            break;
+                        }
+                    }
+                    first
                 } else {
-                    (d > EPS, -1.0)
-                };
-                if improves {
-                    if use_bland {
-                        entering = Some((j, d, dir));
-                        break;
-                    }
-                    match entering {
-                        Some((_, best, _)) if d.abs() <= best.abs() => {}
-                        _ => entering = Some((j, d, dir)),
-                    }
+                    // The strategy is swapped out for the duration of the
+                    // call so `eval` can borrow the solver's columns; the
+                    // placeholder is a zero-sized box (no allocation).
+                    let mut pricing =
+                        std::mem::replace(&mut self.pricing, Box::new(DantzigPricing));
+                    let pick = pricing.select(self.n, &mut examined, &mut eval);
+                    self.pricing = pricing;
+                    pick
                 }
-            }
+            };
+            self.pricing_candidates += examined;
+            self.time_pricing += t_pricing.elapsed();
             let Some((q, _dq, dir)) = entering else {
                 return PivotResult::Optimal;
             };
 
             // FTRAN: w = B⁻¹ A_q.
             let mut w = vec![0.0; m];
+            let t0 = Instant::now();
             self.basis_inv.ftran(&self.cols[q], &mut w);
+            self.time_solve += t0.elapsed();
+            self.ftran_calls += 1;
 
             // Two-pass (Harris-style) ratio test. Entering moves by t ≥ 0
             // in direction `dir`; basic i changes by −dir·t·w_i. Pass 1
@@ -663,9 +772,36 @@ impl SimplexSolver {
                     };
                     self.status[q] = ColStatus::Basic(r);
                     self.basis[r] = q;
+                    // Devex needs the *pre-pivot* row e_r' B⁻¹ to update
+                    // its reference weights, so price it before the basis
+                    // representation absorbs the pivot.
+                    if self.pricing.wants_pivot_row() {
+                        let mut rho = vec![0.0; m];
+                        let t0 = Instant::now();
+                        self.basis_inv.btran(&[(r, 1.0)], &mut rho);
+                        self.time_solve += t0.elapsed();
+                        self.btran_calls += 1;
+                        let status = &self.status;
+                        let cols = &self.cols;
+                        let mut alpha = |j: usize| -> Option<f64> {
+                            if matches!(status[j], ColStatus::Basic(_)) {
+                                return None;
+                            }
+                            let mut a = 0.0;
+                            for &(i, c) in &cols[j] {
+                                a += rho[i] * c;
+                            }
+                            Some(a)
+                        };
+                        let mut pricing =
+                            std::mem::replace(&mut self.pricing, Box::new(DantzigPricing));
+                        pricing.update(q, leaving_col, w[r], &mut alpha);
+                        self.pricing = pricing;
+                    }
+                    let t0 = Instant::now();
                     self.basis_inv.pivot(r, &w);
-                    if self.basis_inv.updates_since_refactor() >= self.refactor_interval
-                        && !self.refactorize()
+                    self.time_solve += t0.elapsed();
+                    if self.basis_inv.wants_refactor(self.refactor_interval) && !self.refactorize()
                     {
                         return PivotResult::Numerical;
                     }
@@ -695,9 +831,12 @@ impl SimplexSolver {
         if fault::should_fire(FaultSite::SingularRefactor) {
             return false;
         }
+        let t0 = Instant::now();
         let cols: Vec<&crate::basis::SparseCol> =
             self.basis.iter().map(|&j| &self.cols[j]).collect();
-        self.basis_inv.refactorize(&cols)
+        let ok = self.basis_inv.refactorize(&cols);
+        self.time_factorize += t0.elapsed();
+        ok
     }
 
     /// Captures the current basis partition for warm-starting a child
@@ -784,7 +923,10 @@ impl SimplexSolver {
             .map(|(i, &v)| (i, v))
             .collect();
         let mut xb = vec![0.0; m];
+        let t0 = Instant::now();
         self.basis_inv.ftran(&resid, &mut xb);
+        self.time_solve += t0.elapsed();
+        self.ftran_calls += 1;
         for (i, &bj) in self.basis.iter().enumerate() {
             if !xb[i].is_finite() {
                 return WarmOutcome::GiveUp { iterations: 0 };
@@ -828,15 +970,21 @@ impl SimplexSolver {
         (self.x[..self.n_struct].to_vec(), self.basis.clone())
     }
 
-    /// `y = c_B' B⁻¹` (BTRAN accumulation over basic columns).
-    fn btran_costs(&self, cost: &[f64]) -> Vec<f64> {
+    /// `y = c_B' B⁻¹` (BTRAN of the basic costs, sparse by basis position
+    /// in ascending order).
+    fn btran_costs(&mut self, cost: &[f64]) -> Vec<f64> {
+        let cb: Vec<(usize, f64)> = self
+            .basis
+            .iter()
+            .enumerate()
+            .filter(|&(_, &bj)| cost[bj] != 0.0)
+            .map(|(i, &bj)| (i, cost[bj]))
+            .collect();
         let mut y = vec![0.0; self.m];
-        for (i, &bj) in self.basis.iter().enumerate() {
-            let cb = cost[bj];
-            if cb != 0.0 {
-                self.basis_inv.accumulate_row(i, cb, &mut y);
-            }
-        }
+        let t0 = Instant::now();
+        self.basis_inv.btran(&cb, &mut y);
+        self.time_solve += t0.elapsed();
+        self.btran_calls += 1;
         y
     }
 
@@ -943,9 +1091,12 @@ impl SimplexSolver {
             self.dual_iterations += 1;
             let sigma = if viol > 0.0 { 1.0 } else { -1.0 };
 
-            // ρ = row r of B⁻¹; the Farkas certificate scale.
+            // ρ = row r of B⁻¹ (BTRAN of e_r); the Farkas certificate scale.
             let mut rho = vec![0.0; m];
-            self.basis_inv.accumulate_row(r, 1.0, &mut rho);
+            let t0 = Instant::now();
+            self.basis_inv.btran(&[(r, 1.0)], &mut rho);
+            self.time_solve += t0.elapsed();
+            self.btran_calls += 1;
             let rho_inf = rho.iter().fold(0.0f64, |a, &v| a.max(v.abs()));
             let y = self.btran_costs(cost);
 
@@ -953,6 +1104,7 @@ impl SimplexSolver {
             // exactly when moving it within its bounds reduces the
             // violation (equivalently, when the dual step drives its
             // reduced cost towards zero).
+            let t_pricing = Instant::now();
             let mut blockers: Vec<Blocker> = Vec::new();
             for j in 0..self.n {
                 if matches!(self.status[j], ColStatus::Basic(_)) {
@@ -987,6 +1139,8 @@ impl SimplexSolver {
                     range,
                 });
             }
+            self.pricing_candidates += self.n as u64;
+            self.time_pricing += t_pricing.elapsed();
             if blockers.is_empty() {
                 // Dual unbounded: no nonbasic movement can repair the row,
                 // so every point of the box violates it by |viol| — the
@@ -1074,7 +1228,10 @@ impl SimplexSolver {
                     .map(|(i, &v)| (i, v))
                     .collect();
                 let mut w = vec![0.0; m];
+                let t0 = Instant::now();
                 self.basis_inv.ftran(&db, &mut w);
+                self.time_solve += t0.elapsed();
+                self.ftran_calls += 1;
                 for (i, &bj) in self.basis.iter().enumerate() {
                     self.x[bj] -= w[i];
                 }
@@ -1084,7 +1241,10 @@ impl SimplexSolver {
             // violated bound.
             let q = blockers[enter_k].j;
             let mut w = vec![0.0; m];
+            let t0 = Instant::now();
             self.basis_inv.ftran(&self.cols[q], &mut w);
+            self.time_solve += t0.elapsed();
+            self.ftran_calls += 1;
             let alpha = w[r];
             if alpha.abs() <= self.min_pivot {
                 return WarmOutcome::GiveUp { iterations };
@@ -1108,10 +1268,10 @@ impl SimplexSolver {
             self.x[q] += dxq;
             self.status[q] = ColStatus::Basic(r);
             self.basis[r] = q;
+            let t0 = Instant::now();
             self.basis_inv.pivot(r, &w);
-            if self.basis_inv.updates_since_refactor() >= self.refactor_interval
-                && !self.refactorize()
-            {
+            self.time_solve += t0.elapsed();
+            if self.basis_inv.wants_refactor(self.refactor_interval) && !self.refactorize() {
                 return WarmOutcome::GiveUp { iterations };
             }
         }

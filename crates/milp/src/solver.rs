@@ -38,16 +38,18 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use letdma_core::env::{resolve_flag, PRESOLVE_ENV};
+use letdma_core::env::{resolve_flag, resolve_override, PRESOLVE_ENV, REFACTOR_ENV};
 use letdma_core::fault::{self, FaultSite};
 use letdma_core::instrument::{
     timed_phase, Counter, IncumbentRecord, Instrument, NodeEvent, NoopInstrument,
 };
 use letdma_core::parallel::resolve_threads;
 
+use crate::basis::BasisKind;
 use crate::expr::Var;
 use crate::model::{Model, ObjectiveSense};
 use crate::presolve;
+use crate::pricing::PricingRule;
 use crate::simplex::{LpOutcome, SimplexSolver, WarmBasis, WarmOutcome};
 
 /// Options controlling a [`Model::solver`] session.
@@ -116,6 +118,18 @@ pub struct SolveOptions {
     /// improvement as `Counter::RootGapBps` (off by default: it costs one
     /// extra LP per solve and is a measurement, not part of the search).
     pub measure_root_gap: bool,
+    /// Simplex basis representation for every node LP. `None` (default)
+    /// defers to the `LETDMA_BASIS` environment variable, else sparse LU
+    /// ([`BasisKind::Sparse`]); [`BasisKind::Dense`] selects the explicit
+    /// inverse retained as the differential oracle. The choice is resolved
+    /// once per solve, so every node runs on the same representation.
+    pub basis: Option<BasisKind>,
+    /// Basis refactorization cadence in pivot updates. `None` (default)
+    /// defers to the `LETDMA_REFACTOR` environment variable, else to the
+    /// per-basis default (sparse LU rebuilds every 128 updates plus a
+    /// fill-in-growth trigger; the dense inverse every 512). The resolved
+    /// value is reported as `Counter::RefactorCadence`.
+    pub refactor_interval: Option<u64>,
 }
 
 impl Default for SolveOptions {
@@ -133,6 +147,8 @@ impl Default for SolveOptions {
             warm_basis: true,
             presolve: None,
             measure_root_gap: false,
+            basis: None,
+            refactor_interval: None,
         }
     }
 }
@@ -232,6 +248,57 @@ impl SolveOptions {
     pub fn with_measure_root_gap(mut self, measure: bool) -> Self {
         self.measure_root_gap = measure;
         self
+    }
+
+    /// Pins the simplex basis representation (overriding the
+    /// `LETDMA_BASIS` environment variable; see [`basis`](Self::basis)).
+    #[must_use]
+    pub fn with_basis(mut self, basis: BasisKind) -> Self {
+        self.basis = Some(basis);
+        self
+    }
+
+    /// Pins the basis refactorization cadence in pivot updates, clamped to
+    /// ≥ 1 (overriding the `LETDMA_REFACTOR` environment variable; see
+    /// [`refactor_interval`](Self::refactor_interval)).
+    #[must_use]
+    pub fn with_refactor_interval(mut self, interval: u64) -> Self {
+        self.refactor_interval = Some(interval.max(1));
+        self
+    }
+}
+
+/// The per-node LP knobs of one solve, resolved once by the coordinator
+/// (explicit option > environment variable > default) so every node —
+/// inline, worker-pool or retry — runs the same configuration.
+#[derive(Debug, Clone, Copy)]
+struct LpConfig {
+    basis: BasisKind,
+    pricing: PricingRule,
+    refactor_interval: u64,
+}
+
+impl LpConfig {
+    fn resolve(options: &SolveOptions) -> Self {
+        let basis = BasisKind::resolve(options.basis);
+        let pricing = PricingRule::resolve(None);
+        let refactor_interval = resolve_override(REFACTOR_ENV, options.refactor_interval)
+            .unwrap_or_else(|| basis.instantiate().default_refactor_interval());
+        Self {
+            basis,
+            pricing,
+            refactor_interval,
+        }
+    }
+
+    /// Builds a node LP solver on this configuration.
+    fn solver(&self, model: &Model) -> SimplexSolver {
+        SimplexSolver::from_model_configured(
+            model,
+            self.basis,
+            self.pricing,
+            Some(self.refactor_interval),
+        )
     }
 }
 
@@ -556,31 +623,12 @@ impl Model {
             instrument: None,
         }
     }
-
-    /// Solves the model with default reporting.
-    #[deprecated(note = "use `model.solver().options(options).run()` instead")]
-    pub fn solve(&self, options: &SolveOptions) -> Result<MilpSolution, SolveError> {
-        let mut noop = NoopInstrument;
-        solve_entry(self, options, &mut noop)
-    }
-
-    /// Solves the model, reporting progress through `instrument`.
-    #[deprecated(
-        note = "use `model.solver().options(options).instrument(instrument).run()` instead"
-    )]
-    pub fn solve_with(
-        &self,
-        options: &SolveOptions,
-        instrument: &mut dyn Instrument,
-    ) -> Result<MilpSolution, SolveError> {
-        solve_entry(self, options, instrument)
-    }
 }
 
-/// Shared entry point of every solve path (the session [`Solver::run`] and
-/// the deprecated shims): resolves the presolve flag, reduces the model,
-/// runs branch and bound on the reduction, and lifts the solution back to
-/// the caller's variable space.
+/// Shared entry point of every solve path (the session [`Solver::run`]):
+/// resolves the presolve flag, reduces the model, runs branch and bound on
+/// the reduction, and lifts the solution back to the caller's variable
+/// space.
 ///
 /// Presolve runs on the coordinator before any worker thread exists, so
 /// the deterministic-trajectory guarantee is untouched: with presolve on,
@@ -663,8 +711,9 @@ fn root_gap_bps(original: &Model, reduced: &Model, options: &SolveOptions) -> Op
         ObjectiveSense::Maximize => -1.0,
     };
     let deadline = options.time_limit.map(|t| Instant::now() + t);
+    let config = LpConfig::resolve(options);
     let root = |m: &Model| -> Option<f64> {
-        let mut lp = SimplexSolver::from_model(m);
+        let mut lp = config.solver(m);
         lp.deadline = deadline;
         match lp.solve() {
             LpOutcome::Optimal { objective, .. } => Some(scale * objective),
@@ -835,6 +884,38 @@ struct LpShard {
     warm_iterations_saved: u64,
     tolerance_escalations: u64,
     numerical_recoveries: u64,
+    ftran_calls: u64,
+    btran_calls: u64,
+    pricing_candidates: u64,
+    eta_nonzeros: u64,
+    /// Fill-in ratio numerator/denominator (`Σ nnz(L+U)` / `Σ nnz(B)`
+    /// over this node's refactorizations; zero for the dense inverse).
+    lu_nonzeros: u64,
+    basis_nonzeros: u64,
+    /// Wall-clock breakdown of this node's simplex work (refactorization /
+    /// `ftran`·`btran`·pivot solves / entering-variable pricing). Not part
+    /// of the deterministic trajectory — reported as instrument phases,
+    /// never compared across runs.
+    time_factorize: Duration,
+    time_solve: Duration,
+    time_pricing: Duration,
+}
+
+impl LpShard {
+    /// Accumulates one finished `SimplexSolver`'s basis/pricing work
+    /// (shared by the warm, cold and retry paths of a node evaluation).
+    fn absorb_lp(&mut self, lp: &SimplexSolver) {
+        self.ftran_calls += lp.ftran_calls;
+        self.btran_calls += lp.btran_calls;
+        self.pricing_candidates += lp.pricing_candidates;
+        self.eta_nonzeros += lp.eta_nonzeros();
+        let (lu, basis) = lp.fill_nonzeros();
+        self.lu_nonzeros += lu;
+        self.basis_nonzeros += basis;
+        self.time_factorize += lp.time_factorize;
+        self.time_solve += lp.time_solve;
+        self.time_pricing += lp.time_pricing;
+    }
 }
 
 /// Solves the LP relaxation of one node. Free function (no `&self`) so
@@ -856,6 +937,7 @@ struct LpShard {
 /// shard of a panicked node is discarded wholesale.
 fn solve_node_lp_guarded(
     model: &Model,
+    config: LpConfig,
     overrides: &[(Var, f64, f64)],
     deadline: Option<Instant>,
     scale: f64,
@@ -863,13 +945,14 @@ fn solve_node_lp_guarded(
     warm: Option<(&WarmBasis, f64)>,
 ) -> (PureLp, LpShard) {
     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        solve_node_lp(model, overrides, deadline, scale, capture, warm)
+        solve_node_lp(model, config, overrides, deadline, scale, capture, warm)
     }))
     .unwrap_or_else(|_| (PureLp::Panicked, LpShard::default()))
 }
 
 fn solve_node_lp(
     model: &Model,
+    config: LpConfig,
     overrides: &[(Var, f64, f64)],
     deadline: Option<Instant>,
     scale: f64,
@@ -894,13 +977,14 @@ fn solve_node_lp(
     let mut warm_debug: Option<(Vec<f64>, Vec<usize>)> = None;
     if let Some((basis, cutoff)) = warm {
         shard.warm_attempts = 1;
-        let mut lp = SimplexSolver::from_model(&scratch);
+        let mut lp = config.solver(&scratch);
         lp.deadline = deadline;
         let outcome = lp.warm_resolve(basis, cutoff);
         shard.dual_iterations = lp.dual_iterations;
         shard.pivots = lp.pivots();
         shard.bound_flips = lp.bound_flips;
         shard.refactorizations = lp.refactorizations();
+        shard.absorb_lp(&lp);
         match outcome {
             WarmOutcome::Fathomed { .. } => {
                 shard.warm_fathoms = 1;
@@ -922,7 +1006,7 @@ fn solve_node_lp(
             }
         }
     }
-    let mut lp = SimplexSolver::from_model(&scratch);
+    let mut lp = config.solver(&scratch);
     lp.deadline = deadline;
     let mut outcome = lp.solve();
     if let Some((wx, wbasis)) = &warm_debug {
@@ -956,6 +1040,7 @@ fn solve_node_lp(
     shard.pivots += lp.pivots();
     shard.bound_flips += lp.bound_flips;
     shard.refactorizations += lp.refactorizations();
+    shard.absorb_lp(&lp);
     if matches!(outcome, LpOutcome::Numerical) {
         // Numerical recovery: rebuild the solver from scratch (which *is*
         // the forced refactorization — a fresh exact basis, no drifted
@@ -965,8 +1050,11 @@ fn solve_node_lp(
         // ratio tests accept; loosening the optimality tolerance instead
         // could overstate the node bound and wrongly fathom.
         shard.tolerance_escalations = 1;
-        let mut retry = SimplexSolver::from_model(&scratch);
+        let mut retry = config.solver(&scratch);
         retry.deadline = deadline;
+        // The escalated settings override the configured cadence: a node
+        // that already broke down numerically needs the tight rebuild
+        // schedule regardless of what the solve asked for.
         retry.min_pivot = 1e-7;
         retry.refactor_interval = 64;
         outcome = retry.solve();
@@ -976,6 +1064,7 @@ fn solve_node_lp(
         shard.pivots += retry.pivots();
         shard.bound_flips += retry.bound_flips;
         shard.refactorizations += retry.refactorizations();
+        shard.absorb_lp(&retry);
         if !matches!(outcome, LpOutcome::Numerical) {
             shard.numerical_recoveries = 1;
         }
@@ -1029,6 +1118,8 @@ struct BranchAndBound<'a> {
     model: &'a Model,
     options: &'a SolveOptions,
     instrument: &'a mut dyn Instrument,
+    /// Per-node LP configuration, resolved once for the whole solve.
+    lp_config: LpConfig,
     /// ±1 factor converting the model objective into minimization form.
     scale: f64,
     start: Instant,
@@ -1040,6 +1131,15 @@ struct BranchAndBound<'a> {
     pivots: u64,
     bound_flips: u64,
     refactorizations: u64,
+    /// Fill-in ratio numerator/denominator summed over consumed shards
+    /// (reported once per solve as `Counter::FillInRatio`).
+    lu_nonzeros: u64,
+    basis_nonzeros: u64,
+    /// Simplex wall-clock breakdown summed over consumed shards (reported
+    /// once per solve as the `simplex-*` instrument phases).
+    time_factorize: Duration,
+    time_solve: Duration,
+    time_pricing: Duration,
     incumbent: Option<(Vec<f64>, f64)>, // (values, min-form objective)
     /// Best (lowest) LP bound among open nodes, min-form.
     open: BinaryHeap<Node>,
@@ -1060,10 +1160,15 @@ impl<'a> BranchAndBound<'a> {
             ObjectiveSense::Minimize => 1.0,
             ObjectiveSense::Maximize => -1.0,
         };
+        let lp_config = LpConfig::resolve(options);
+        // Record what cadence actually ran, so the bench artifact carries
+        // the knob next to the work counters it explains.
+        instrument.count(Counter::RefactorCadence, lp_config.refactor_interval);
         Self {
             model,
             options,
             instrument,
+            lp_config,
             scale,
             start: Instant::now(),
             threads: resolve_threads(options.threads),
@@ -1074,6 +1179,11 @@ impl<'a> BranchAndBound<'a> {
             pivots: 0,
             bound_flips: 0,
             refactorizations: 0,
+            lu_nonzeros: 0,
+            basis_nonzeros: 0,
+            time_factorize: Duration::ZERO,
+            time_solve: Duration::ZERO,
+            time_pricing: Duration::ZERO,
             incumbent: None,
             open: BinaryHeap::new(),
             root_bound: None,
@@ -1222,7 +1332,20 @@ impl<'a> BranchAndBound<'a> {
                 .count(Counter::BoundFlips, shard.bound_flips);
             self.instrument
                 .count(Counter::Refactorizations, shard.refactorizations);
+            self.instrument
+                .count(Counter::FtranCalls, shard.ftran_calls);
+            self.instrument
+                .count(Counter::BtranCalls, shard.btran_calls);
+            self.instrument
+                .count(Counter::PricingCandidates, shard.pricing_candidates);
+            self.instrument
+                .count(Counter::EtaNonzeros, shard.eta_nonzeros);
         }
+        self.lu_nonzeros += shard.lu_nonzeros;
+        self.basis_nonzeros += shard.basis_nonzeros;
+        self.time_factorize += shard.time_factorize;
+        self.time_solve += shard.time_solve;
+        self.time_pricing += shard.time_pricing;
         if shard.tolerance_escalations > 0 {
             self.instrument
                 .count(Counter::ToleranceEscalations, shard.tolerance_escalations);
@@ -1257,6 +1380,7 @@ impl<'a> BranchAndBound<'a> {
         let t0 = Instant::now();
         let (lp, shard) = solve_node_lp_guarded(
             self.model,
+            self.lp_config,
             overrides,
             self.deadline(),
             self.scale,
@@ -1396,6 +1520,20 @@ impl<'a> BranchAndBound<'a> {
                 }
             }
         }
+
+        // Once-per-solve basis summary: the realized fill-in ratio and the
+        // simplex wall-clock breakdown (mirrors the once-per-solve
+        // RootGapBps pattern — a summed ratio would be meaningless).
+        if self.basis_nonzeros > 0 {
+            let permille = (1000.0 * self.lu_nonzeros as f64 / self.basis_nonzeros as f64).round();
+            self.instrument.count(Counter::FillInRatio, permille as u64);
+        }
+        self.instrument
+            .phase_finished("simplex-factorize", self.time_factorize);
+        self.instrument
+            .phase_finished("simplex-solve", self.time_solve);
+        self.instrument
+            .phase_finished("simplex-pricing", self.time_pricing);
 
         let proven_optimal = exhausted && self.open.is_empty();
         let best_bound_min = if proven_optimal {
@@ -1544,6 +1682,7 @@ impl<'a> BranchAndBound<'a> {
         // Shared refs copied out of `self` so worker closures borrow
         // nothing of the coordinator's mutable state.
         let model = self.model;
+        let lp_config = self.lp_config;
         let gap_abs = self.options.gap_abs;
         let deadline = self.deadline();
         let scale = self.scale;
@@ -1588,6 +1727,7 @@ impl<'a> BranchAndBound<'a> {
                                 let warm = node.warm.as_deref().map(|basis| (basis, node.cutoff));
                                 let (lp, shard) = solve_node_lp_guarded(
                                     model,
+                                    lp_config,
                                     &node.overrides,
                                     deadline,
                                     scale,

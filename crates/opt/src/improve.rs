@@ -210,24 +210,6 @@ impl<'s> Reorder<'s> {
     }
 }
 
-/// Improves the order of `schedule`'s transfers with the default goal.
-#[deprecated(note = "use `Reorder::new(&system, &schedule).run()` instead")]
-#[must_use]
-pub fn improve_transfer_order(system: &System, schedule: &TransferSchedule) -> TransferSchedule {
-    reorder_impl(system, schedule, ImproveGoal::MinDelayRatio)
-}
-
-/// Improves the order of `schedule`'s transfers with an explicit goal.
-#[deprecated(note = "use `Reorder::new(&system, &schedule).goal(goal).run()` instead")]
-#[must_use]
-pub fn improve_transfer_order_with(
-    system: &System,
-    schedule: &TransferSchedule,
-    goal: ImproveGoal,
-) -> TransferSchedule {
-    reorder_impl(system, schedule, goal)
-}
-
 fn reorder_impl(
     system: &System,
     schedule: &TransferSchedule,

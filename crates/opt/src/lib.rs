@@ -65,11 +65,6 @@ pub use improve::{ImproveGoal, Reorder};
 pub use optimizer::{formulation_lp, formulation_model, heuristic_solution, OptError, Optimizer};
 pub use solution::{LetDmaSolution, Provenance, Resolution};
 
-#[allow(deprecated)]
-pub use improve::{improve_transfer_order, improve_transfer_order_with};
-#[allow(deprecated)]
-pub use optimizer::{optimize, optimize_with};
-
 /// Diagnostics used by development probes; not part of the public API.
 #[doc(hidden)]
 pub mod debug {

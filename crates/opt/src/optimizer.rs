@@ -263,34 +263,6 @@ impl<'s, 'i> Optimizer<'s, 'i> {
     }
 }
 
-/// Solves with the default pipeline; superseded by the [`Optimizer`]
-/// session API.
-///
-/// # Errors
-///
-/// See [`OptError`].
-#[deprecated(note = "use `Optimizer::new(&system).config(config).run()` instead")]
-pub fn optimize(system: &System, config: &OptConfig) -> Result<LetDmaSolution, OptError> {
-    run_pipeline(system, config, &mut NoopInstrument)
-}
-
-/// Solves with an instrument attached; superseded by the [`Optimizer`]
-/// session API.
-///
-/// # Errors
-///
-/// See [`OptError`].
-#[deprecated(
-    note = "use `Optimizer::new(&system).config(config).instrument(&mut i).run()` instead"
-)]
-pub fn optimize_with(
-    system: &System,
-    config: &OptConfig,
-    instrument: &mut dyn Instrument,
-) -> Result<LetDmaSolution, OptError> {
-    run_pipeline(system, config, instrument)
-}
-
 fn run_pipeline(
     system: &System,
     config: &OptConfig,
@@ -535,19 +507,6 @@ mod tests {
         assert_eq!(
             Optimizer::new(&sys).warm_start(false).run().unwrap_err(),
             OptError::Infeasible
-        );
-    }
-
-    #[test]
-    fn deprecated_shims_agree_with_the_session() {
-        let sys = pair_system();
-        #[allow(deprecated)]
-        let via_shim = optimize(&sys, &OptConfig::default()).unwrap();
-        let via_session = Optimizer::new(&sys).run().unwrap();
-        // Wall-clock fields are the only legitimate difference.
-        assert_eq!(
-            crate::solution::scrub_timing(via_shim),
-            crate::solution::scrub_timing(via_session)
         );
     }
 

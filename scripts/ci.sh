@@ -27,6 +27,16 @@ echo "== milp + opt suites with presolve off (LETDMA_THREADS=1 and 4) =="
 LETDMA_PRESOLVE=0 LETDMA_THREADS=1 cargo test -p milp -p letdma-opt --quiet --offline
 LETDMA_PRESOLVE=0 LETDMA_THREADS=4 cargo test -p milp -p letdma-opt --quiet --offline
 
+echo "== milp + opt suites across the basis matrix (dense/sparse x threads 1/4) =="
+# The sparse LU basis is the default; the dense explicit inverse stays
+# alive as the differential oracle, and every solver assertion must hold
+# on both representations at both thread counts (DESIGN.md §"Sparse LU
+# basis & pricing"). Scoped like the presolve matrix above.
+LETDMA_BASIS=dense  LETDMA_THREADS=1 cargo test -p milp -p letdma-opt --quiet --offline
+LETDMA_BASIS=dense  LETDMA_THREADS=4 cargo test -p milp -p letdma-opt --quiet --offline
+LETDMA_BASIS=sparse LETDMA_THREADS=1 cargo test -p milp -p letdma-opt --quiet --offline
+LETDMA_BASIS=sparse LETDMA_THREADS=4 cargo test -p milp -p letdma-opt --quiet --offline
+
 echo "== cargo test --doc =="
 # The worked examples on the session builders (Model::solver(),
 # Optimizer::new()) and the crate-level docs are doc-tests; keep them
@@ -38,19 +48,24 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
 
 echo "== bench-milp smoke (BENCH_milp.json) =="
 # A tiny node budget keeps this fast; the run itself validates the JSON
-# against the letdma-bench-milp/2 schema before writing (milp_bench::validate)
+# against the letdma-bench-milp/3 schema before writing (milp_bench::validate)
 # and asserts warm/cold trajectory agreement, so a nonzero exit or a missing
 # file is the failure signal. The committed BENCH_milp.json serves as the
-# warm-fathom baseline, exercising the Json::parse + delta path.
+# warm-fathom and wall-clock baseline, exercising the Json::parse + delta
+# path.
 smoke_out="$(mktemp -t bench_milp_smoke.XXXXXX.json)"
 trap 'rm -f "$smoke_out"' EXIT
 cargo run --release -p letdma-bench --bin repro --offline -- \
   bench-milp --nodes 2 --baseline BENCH_milp.json --out "$smoke_out"
 test -s "$smoke_out" || { echo "bench-milp produced no BENCH_milp.json"; exit 1; }
-grep -q '"schema": "letdma-bench-milp/2"' "$smoke_out" || {
+grep -q '"schema": "letdma-bench-milp/3"' "$smoke_out" || {
   echo "bench-milp output lacks the schema tag"; exit 1; }
 grep -q '"root_gap_bps"' "$smoke_out" || {
   echo "bench-milp output lacks the presolve root-gap field"; exit 1; }
+grep -q '"time_breakdown"' "$smoke_out" || {
+  echo "bench-milp output lacks the time_breakdown block"; exit 1; }
+grep -q '"factorize_ms"' "$smoke_out" || {
+  echo "bench-milp time_breakdown lacks the factorize split"; exit 1; }
 
 echo "== fault-injection smoke (LETDMA_THREADS=1 and 4) =="
 # Arms every deterministic fault site in turn against the WATERS case and
@@ -60,14 +75,12 @@ echo "== fault-injection smoke (LETDMA_THREADS=1 and 4) =="
 LETDMA_THREADS=1 cargo run --release -p letdma-bench --bin repro --offline -- fault-smoke --budget 5
 LETDMA_THREADS=4 cargo run --release -p letdma-bench --bin repro --offline -- fault-smoke --budget 5
 
-echo "== deprecated-shim usage pinned =="
-# The #[deprecated] compatibility shims (optimize/optimize_with and the
-# free-function bench entry points) may keep their existing allow sites but
-# must not grow new ones; new code uses the session APIs.
-allow_count="$(grep -rn 'allow(deprecated)' crates/*/src --include='*.rs' | wc -l)"
-if [ "$allow_count" -gt 3 ]; then
-  grep -rn 'allow(deprecated)' crates/*/src --include='*.rs'
-  echo "new #[deprecated] shim usage introduced ($allow_count sites > 3 pinned)"
+echo "== deprecated shims are gone =="
+# The PR 2 #[deprecated] compatibility shims (optimize/optimize_with and
+# the free-function bench entry points) were removed two PRs after their
+# deprecation; neither the attribute nor an allow site may reappear.
+if grep -rn 'deprecated' crates/*/src crates/*/tests tests --include='*.rs'; then
+  echo "deprecated shims (or allow sites) reintroduced; use the session APIs"
   exit 1
 fi
 
