@@ -8,6 +8,8 @@
 //! cargo run --release -p letdma-bench --bin repro -- alpha-sweep
 //! cargo run --release -p letdma-bench --bin repro -- bench-milp --nodes 12 --out BENCH_milp.json
 //! cargo run --release -p letdma-bench --bin repro -- fault-smoke --budget 5
+//! cargo run --release -p letdma-bench --bin repro -- serve
+//! cargo run --release -p letdma-bench --bin repro -- serve-bench --workers 1,4,16 --out BENCH_serve.json
 //! ```
 //!
 //! `--budget <seconds>` bounds each MILP solve (default 30 s; the paper
@@ -39,6 +41,15 @@
 //! "certificates essentially never fire" observation, and the basis
 //! swap's wall-clock claim, respectively.
 //!
+//! `serve-bench` pushes the six Table I scenarios through the in-process
+//! solve service (wire codec, admission queue, worker shards, shared
+//! formulation/presolve cache) once per `--workers` entry (comma list,
+//! default `1,4,16`), prints scenarios/sec per round and writes the report
+//! to `--out` (default `BENCH_serve.json`, schema `letdma-bench-serve/1`;
+//! DESIGN.md §"Service architecture"). `serve` is the CI smoke: the same
+//! batch at workers 1 and 4, asserting every response is a full MILP
+//! solve and the warm round hits the cache, without writing a file.
+//!
 //! `fault-smoke` arms every deterministic fault site in turn against the
 //! WATERS case study and checks the resilience contract (valid solution
 //! or typed error; see DESIGN.md §"Failure model & degradation policy");
@@ -53,7 +64,7 @@ use std::time::Duration;
 use letdma::core::fault;
 use letdma::core::Counter;
 use letdma_bench::json::Json;
-use letdma_bench::{alpha_sweep, fault_smoke, fig2, milp_bench, table1, Session};
+use letdma_bench::{alpha_sweep, fault_smoke, fig2, milp_bench, serve_bench, table1, Session};
 
 fn main() -> ExitCode {
     // Arm the deterministic fault plane from `LETDMA_FAULTS` (if set) —
@@ -67,8 +78,9 @@ fn main() -> ExitCode {
     let mut threads: Option<usize> = None;
     let mut stats = false;
     let mut nodes: u64 = 12;
-    let mut out_path = String::from("BENCH_milp.json");
+    let mut out_path: Option<String> = None;
     let mut baseline_path = String::from("BENCH_milp.json");
+    let mut workers: Vec<usize> = vec![1, 4, 16];
     let mut command: Option<String> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -118,7 +130,26 @@ fn main() -> ExitCode {
                     eprintln!("--out needs a file path");
                     return ExitCode::FAILURE;
                 };
-                out_path = value.clone();
+                out_path = Some(value.clone());
+            }
+            "--workers" => {
+                let Some(value) = iter.next() else {
+                    eprintln!("--workers needs a comma-separated list, e.g. 1,4,16");
+                    return ExitCode::FAILURE;
+                };
+                match value
+                    .split(',')
+                    .map(|w| w.trim().parse::<usize>())
+                    .collect::<Result<Vec<_>, _>>()
+                {
+                    Ok(list) if !list.is_empty() && list.iter().all(|&w| w >= 1) => {
+                        workers = list;
+                    }
+                    _ => {
+                        eprintln!("invalid worker list `{value}`");
+                        return ExitCode::FAILURE;
+                    }
+                }
             }
             "--baseline" => {
                 let Some(value) = iter.next() else {
@@ -165,6 +196,41 @@ fn main() -> ExitCode {
                 eprintln!("internal error: benchmark report fails its own schema: {problem}");
                 return ExitCode::FAILURE;
             }
+            let out_path = out_path.unwrap_or_else(|| "BENCH_milp.json".to_owned());
+            if let Err(e) = std::fs::write(&out_path, value.render()) {
+                eprintln!("cannot write `{out_path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {out_path}");
+        }
+        "serve" => {
+            // CI smoke: the six-scenario WATERS batch through the
+            // in-process service at 1 worker (cold cache) and 4 workers
+            // (warm). `serve_bench::run` panics on any broken service
+            // invariant; the explicit checks below keep the failure a
+            // clean nonzero exit with a message.
+            let bench = serve_bench::run(nodes, &[1, 4]);
+            print!("{}", bench.render());
+            if let Err(problem) = serve_bench::validate(&bench.to_json()) {
+                eprintln!("serve smoke: report fails its own schema: {problem}");
+                return ExitCode::FAILURE;
+            }
+            let warm_hits = bench.rounds.last().map_or(0, |r| r.cache_hits);
+            if warm_hits == 0 {
+                eprintln!("serve smoke: warm round produced no cache hits");
+                return ExitCode::FAILURE;
+            }
+            println!("serve smoke OK ({warm_hits} cache hits on the warm round)");
+        }
+        "serve-bench" => {
+            let bench = serve_bench::run(nodes, &workers);
+            print!("{}", bench.render());
+            let value = bench.to_json();
+            if let Err(problem) = serve_bench::validate(&value) {
+                eprintln!("internal error: benchmark report fails its own schema: {problem}");
+                return ExitCode::FAILURE;
+            }
+            let out_path = out_path.unwrap_or_else(|| "BENCH_serve.json".to_owned());
             if let Err(e) = std::fs::write(&out_path, value.render()) {
                 eprintln!("cannot write `{out_path}`: {e}");
                 return ExitCode::FAILURE;
@@ -190,7 +256,7 @@ fn main() -> ExitCode {
         }
         other => {
             eprintln!(
-                "unknown command `{other}` (use fig1|fig2|table1|alpha-sweep|bench-milp|fault-smoke|all)"
+                "unknown command `{other}` (use fig1|fig2|table1|alpha-sweep|bench-milp|serve|serve-bench|fault-smoke|all)"
             );
             return ExitCode::FAILURE;
         }

@@ -1,394 +1,6 @@
-//! Minimal hand-rolled JSON emitter and reader (no serde — see DESIGN.md
-//! §"Dependency policy").
-//!
-//! The workspace builds with the crates-io registry unreachable, so the
-//! machine-readable benchmark output (`BENCH_milp.json`) is produced by
-//! this ~100-line tree-of-values writer instead of a serialization
-//! framework. It emits pretty-printed, deterministic output: object keys
-//! appear in insertion order and floats are formatted with a fixed number
-//! of decimals, so two runs with identical counters produce byte-identical
-//! files. The matching [`Json::parse`] reads such files back (used to diff
-//! a fresh benchmark run against the committed baseline); it is a strict
-//! subset parser for our own output, not a general validator.
+//! Re-export shim: the hand-rolled JSON tree moved into `letdma-core`
+//! (`letdma_core::json`) so the serve wire codec can use it without
+//! depending on the bench crate. Bench code and the `repro` binary keep
+//! importing `crate::json::Json` / `letdma_bench::json::Json` unchanged.
 
-use std::fmt::Write as _;
-
-/// A JSON value tree.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// An integer (kept exact — solver counters are `u64`).
-    Int(i64),
-    /// A float, emitted with three decimals (milliseconds, percentages).
-    Float(f64),
-    /// A string (escaped on render).
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object; keys render in insertion order.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Convenience constructor for an object.
-    #[must_use]
-    pub fn obj(fields: Vec<(&str, Json)>) -> Self {
-        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
-    }
-
-    /// Convenience constructor for a string value.
-    #[must_use]
-    pub fn str(s: impl Into<String>) -> Self {
-        Json::Str(s.into())
-    }
-
-    /// Looks up a key of an object; `None` for non-objects/missing keys.
-    #[must_use]
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// Parses a JSON document (as produced by [`Json::render`]).
-    ///
-    /// Numbers without `.`/`e` that fit an `i64` become [`Json::Int`];
-    /// everything else numeric becomes [`Json::Float`]. Duplicate object
-    /// keys keep their first occurrence.
-    ///
-    /// # Errors
-    ///
-    /// A byte offset plus a short description of the first syntax error.
-    pub fn parse(input: &str) -> Result<Json, String> {
-        let bytes = input.as_bytes();
-        let mut pos = 0usize;
-        let value = parse_value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(format!("trailing garbage at byte {pos}"));
-        }
-        Ok(value)
-    }
-
-    /// Pretty-prints with two-space indentation and a trailing newline.
-    #[must_use]
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, 0);
-        out.push('\n');
-        out
-    }
-
-    fn write(&self, out: &mut String, indent: usize) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Int(i) => {
-                let _ = write!(out, "{i}");
-            }
-            Json::Float(f) => {
-                // JSON has no NaN/Inf; clamp to null like `JSON.stringify`.
-                if f.is_finite() {
-                    let _ = write!(out, "{f:.3}");
-                } else {
-                    out.push_str("null");
-                }
-            }
-            Json::Str(s) => write_escaped(out, s),
-            Json::Arr(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                    push_indent(out, indent + 1);
-                    item.write(out, indent + 1);
-                }
-                out.push('\n');
-                push_indent(out, indent);
-                out.push(']');
-            }
-            Json::Obj(fields) => {
-                if fields.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push('{');
-                for (i, (key, value)) in fields.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                    push_indent(out, indent + 1);
-                    write_escaped(out, key);
-                    out.push_str(": ");
-                    value.write(out, indent + 1);
-                }
-                out.push('\n');
-                push_indent(out, indent);
-                out.push('}');
-            }
-        }
-    }
-}
-
-fn skip_ws(bytes: &[u8], pos: &mut usize) {
-    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-        *pos += 1;
-    }
-}
-
-fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), String> {
-    if bytes.get(*pos) == Some(&byte) {
-        *pos += 1;
-        Ok(())
-    } else {
-        Err(format!("expected `{}` at byte {pos}", byte as char))
-    }
-}
-
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
-    skip_ws(bytes, pos);
-    match bytes.get(*pos) {
-        None => Err("unexpected end of input".into()),
-        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
-        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
-        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
-        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
-        Some(b'[') => {
-            *pos += 1;
-            let mut items = Vec::new();
-            skip_ws(bytes, pos);
-            if bytes.get(*pos) == Some(&b']') {
-                *pos += 1;
-                return Ok(Json::Arr(items));
-            }
-            loop {
-                items.push(parse_value(bytes, pos)?);
-                skip_ws(bytes, pos);
-                match bytes.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b']') => {
-                        *pos += 1;
-                        return Ok(Json::Arr(items));
-                    }
-                    _ => return Err(format!("expected `,` or `]` at byte {pos}")),
-                }
-            }
-        }
-        Some(b'{') => {
-            *pos += 1;
-            let mut fields: Vec<(String, Json)> = Vec::new();
-            skip_ws(bytes, pos);
-            if bytes.get(*pos) == Some(&b'}') {
-                *pos += 1;
-                return Ok(Json::Obj(fields));
-            }
-            loop {
-                skip_ws(bytes, pos);
-                let key = parse_string(bytes, pos)?;
-                skip_ws(bytes, pos);
-                expect(bytes, pos, b':')?;
-                let value = parse_value(bytes, pos)?;
-                if !fields.iter().any(|(k, _)| *k == key) {
-                    fields.push((key, value));
-                }
-                skip_ws(bytes, pos);
-                match bytes.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b'}') => {
-                        *pos += 1;
-                        return Ok(Json::Obj(fields));
-                    }
-                    _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
-                }
-            }
-        }
-        Some(c) if c.is_ascii_digit() || *c == b'-' => {
-            let start = *pos;
-            *pos += 1;
-            while *pos < bytes.len()
-                && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
-            {
-                *pos += 1;
-            }
-            let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii digits");
-            if !text.contains(['.', 'e', 'E']) {
-                if let Ok(i) = text.parse::<i64>() {
-                    return Ok(Json::Int(i));
-                }
-            }
-            text.parse::<f64>()
-                .map(Json::Float)
-                .map_err(|_| format!("bad number `{text}` at byte {start}"))
-        }
-        Some(c) => Err(format!("unexpected byte `{}` at {pos}", *c as char)),
-    }
-}
-
-fn parse_literal(bytes: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
-    if bytes[*pos..].starts_with(word.as_bytes()) {
-        *pos += word.len();
-        Ok(value)
-    } else {
-        Err(format!("bad literal at byte {pos}"))
-    }
-}
-
-fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
-    expect(bytes, pos, b'"')?;
-    let mut out = String::new();
-    loop {
-        match bytes.get(*pos) {
-            None => return Err("unterminated string".into()),
-            Some(b'"') => {
-                *pos += 1;
-                return Ok(out);
-            }
-            Some(b'\\') => {
-                *pos += 1;
-                match bytes.get(*pos) {
-                    Some(b'"') => out.push('"'),
-                    Some(b'\\') => out.push('\\'),
-                    Some(b'/') => out.push('/'),
-                    Some(b'n') => out.push('\n'),
-                    Some(b'r') => out.push('\r'),
-                    Some(b't') => out.push('\t'),
-                    Some(b'u') => {
-                        let hex = bytes
-                            .get(*pos + 1..*pos + 5)
-                            .and_then(|h| std::str::from_utf8(h).ok())
-                            .ok_or_else(|| format!("bad \\u escape at byte {pos}"))?;
-                        let code = u32::from_str_radix(hex, 16)
-                            .map_err(|_| format!("bad \\u escape at byte {pos}"))?;
-                        out.push(
-                            char::from_u32(code)
-                                .ok_or_else(|| format!("bad \\u escape at byte {pos}"))?,
-                        );
-                        *pos += 4;
-                    }
-                    _ => return Err(format!("bad escape at byte {pos}")),
-                }
-                *pos += 1;
-            }
-            Some(_) => {
-                // Multi-byte UTF-8 sequences pass through unchanged.
-                let s = &input_str(bytes)[*pos..];
-                let c = s.chars().next().expect("in-bounds");
-                out.push(c);
-                *pos += c.len_utf8();
-            }
-        }
-    }
-}
-
-fn input_str(bytes: &[u8]) -> &str {
-    std::str::from_utf8(bytes).expect("parse input is a &str")
-}
-
-fn push_indent(out: &mut String, indent: usize) {
-    for _ in 0..indent {
-        out.push_str("  ");
-    }
-}
-
-fn write_escaped(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn scalars_render() {
-        assert_eq!(Json::Null.render(), "null\n");
-        assert_eq!(Json::Bool(true).render(), "true\n");
-        assert_eq!(Json::Int(-7).render(), "-7\n");
-        assert_eq!(Json::Float(1.5).render(), "1.500\n");
-        assert_eq!(Json::Float(f64::NAN).render(), "null\n");
-    }
-
-    #[test]
-    fn strings_escape_controls_and_quotes() {
-        assert_eq!(
-            Json::str("a\"b\\c\nd\u{1}").render(),
-            "\"a\\\"b\\\\c\\nd\\u0001\"\n"
-        );
-    }
-
-    #[test]
-    fn objects_keep_insertion_order_and_indent() {
-        let v = Json::obj(vec![
-            ("b", Json::Int(1)),
-            ("a", Json::Arr(vec![Json::Int(2), Json::Int(3)])),
-            ("empty", Json::Arr(Vec::new())),
-        ]);
-        let expected = "{\n  \"b\": 1,\n  \"a\": [\n    2,\n    3\n  ],\n  \"empty\": []\n}\n";
-        assert_eq!(v.render(), expected);
-    }
-
-    #[test]
-    fn parse_round_trips_rendered_output() {
-        let v = Json::obj(vec![
-            ("schema", Json::str("letdma-bench-milp/2")),
-            ("n", Json::Int(-42)),
-            ("f", Json::Float(1.5)),
-            ("none", Json::Null),
-            ("ok", Json::Bool(true)),
-            (
-                "arr",
-                Json::Arr(vec![Json::Int(1), Json::str("a\"b\\c\nd")]),
-            ),
-            ("empty_obj", Json::obj(vec![])),
-            ("empty_arr", Json::Arr(vec![])),
-        ]);
-        assert_eq!(Json::parse(&v.render()).unwrap(), v);
-    }
-
-    #[test]
-    fn parse_rejects_malformed_input() {
-        for bad in ["", "{", "[1,", "{\"a\" 1}", "tru", "1 2", "\"unterminated"] {
-            assert!(Json::parse(bad).is_err(), "`{bad}` should fail");
-        }
-    }
-
-    #[test]
-    fn parse_number_forms() {
-        assert_eq!(Json::parse("7").unwrap(), Json::Int(7));
-        assert_eq!(Json::parse("-7").unwrap(), Json::Int(-7));
-        assert_eq!(Json::parse("7.5").unwrap(), Json::Float(7.5));
-        assert_eq!(Json::parse("1e3").unwrap(), Json::Float(1000.0));
-    }
-
-    #[test]
-    fn get_finds_object_keys() {
-        let v = Json::obj(vec![("x", Json::Int(4))]);
-        assert_eq!(v.get("x"), Some(&Json::Int(4)));
-        assert_eq!(v.get("y"), None);
-        assert_eq!(Json::Int(4).get("x"), None);
-    }
-}
+pub use letdma::core::json::Json;

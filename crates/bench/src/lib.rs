@@ -30,6 +30,7 @@ pub mod fault_smoke;
 pub mod harness;
 pub mod json;
 pub mod milp_bench;
+pub mod serve_bench;
 
 use std::time::Duration;
 

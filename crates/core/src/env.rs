@@ -1,16 +1,23 @@
 //! Feature-flag and knob resolution shared by the solver layers.
 //!
-//! Mirrors [`crate::parallel::resolve_threads`]: an explicit request
+//! Every tunable in the workspace resolves through one of the helpers
+//! below, all implementing the same precedence: an explicit request
 //! (config field, builder call, CLI flag) always wins, otherwise a named
 //! environment variable is consulted, otherwise a compiled-in default
 //! applies. One variable then governs a feature across every entry point
-//! (library, tests, `repro`), which is how `scripts/ci.sh` runs the whole
-//! suite under `LETDMA_PRESOLVE=0` and `=1` without plumbing a flag into
-//! each harness.
+//! (library, tests, `repro`, the serve server), which is how
+//! `scripts/ci.sh` runs the whole suite under `LETDMA_PRESOLVE=0` and `=1`
+//! without plumbing a flag into each harness. The full knob/variable table
+//! lives in DESIGN.md §"Configuration precedence".
 
 /// Name of the environment variable governing MILP presolve
 /// (see `milp::SolveOptions::with_presolve`).
 pub const PRESOLVE_ENV: &str = "LETDMA_PRESOLVE";
+
+/// Name of the environment variable sizing the worker pools (see
+/// [`crate::parallel::resolve_threads`], which resolves through
+/// [`resolve_size`] with a sequential default of 1).
+pub const THREADS_ENV: &str = "LETDMA_THREADS";
 
 /// Name of the environment variable selecting the simplex basis
 /// representation (see `milp::SolveOptions::with_basis`): `sparse` (the
@@ -70,6 +77,22 @@ pub fn resolve_choice<T>(
         .unwrap_or(default)
 }
 
+/// Resolves a positive size (worker counts, queue capacities): `requested`
+/// (clamped to ≥ 1) if given, else the environment variable `name` parsed
+/// as a `usize ≥ 1`, else `default`. Unparsable or zero environment values
+/// are ignored, for the same reason as in [`resolve_flag`].
+#[must_use]
+pub fn resolve_size(name: &str, requested: Option<usize>, default: usize) -> usize {
+    if let Some(n) = requested {
+        return n.max(1);
+    }
+    std::env::var(name)
+        .ok()
+        .and_then(|raw| raw.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(default)
+}
+
 /// Resolves an optional positive-integer override: `requested` if given,
 /// else the environment variable `name` parsed as a `u64 ≥ 1`, else
 /// `None` (meaning "use the compiled-in / per-component default").
@@ -126,6 +149,17 @@ mod tests {
             resolve_choice("LETDMA_TEST_CHOICE_UNSET", None, Kind::B, parse),
             Kind::B
         );
+    }
+
+    #[test]
+    fn size_explicit_request_wins_and_clamps() {
+        assert_eq!(resolve_size("LETDMA_TEST_SIZE_UNSET", Some(4), 1), 4);
+        assert_eq!(
+            resolve_size("LETDMA_TEST_SIZE_UNSET", Some(0), 1),
+            1,
+            "zero clamps to one"
+        );
+        assert_eq!(resolve_size("LETDMA_TEST_SIZE_UNSET", None, 3), 3);
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! A tiny, stable, dependency-free content hash (FNV-1a, 64-bit).
+//!
+//! The serve layer keys its formulation/presolve cache by a structural
+//! fingerprint of a system model plus the solve configuration. The standard
+//! library's `DefaultHasher` is explicitly unstable across releases and
+//! processes, and the hermetic workspace pulls in no hashing crate, so the
+//! fingerprint uses FNV-1a instead: a fixed published algorithm whose
+//! output for a given byte stream never changes. Collisions are tolerable —
+//! the cache consumer re-validates structure before reusing an entry — but
+//! the hash must be *stable* so cache keys mean the same thing in every
+//! process and every release.
+
+/// The FNV-1a 64-bit offset basis.
+const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// The FNV-1a 64-bit prime.
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hashes one byte slice with FNV-1a (64-bit).
+#[must_use]
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// An incremental FNV-1a (64-bit) hasher.
+///
+/// Implements [`std::fmt::Write`], so a `Debug`/`Display` rendering can be
+/// hashed without materializing the string:
+///
+/// ```
+/// use letdma_core::hash::Fnv64;
+/// use std::fmt::Write as _;
+///
+/// let mut h = Fnv64::new();
+/// write!(h, "{:?}", (1, "abc")).unwrap();
+/// assert_eq!(h.finish(), {
+///     let mut direct = Fnv64::new();
+///     direct.write(format!("{:?}", (1, "abc")).as_bytes());
+///     direct.finish()
+/// });
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Fnv64 {
+    /// A hasher at the offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { state: OFFSET }
+    }
+
+    /// Absorbs a byte slice.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(PRIME);
+        }
+    }
+
+    /// Absorbs a `u64` in little-endian byte order (length prefixes,
+    /// counts, already-computed sub-hashes).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The current hash value.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Write for Fnv64 {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        self.write(s.as_bytes());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fmt::Write as _;
+
+    #[test]
+    fn known_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let mut h = Fnv64::new();
+        h.write(b"foo");
+        h.write(b"bar");
+        assert_eq!(h.finish(), fnv1a_64(b"foobar"));
+    }
+
+    #[test]
+    fn fmt_write_hashes_formatted_text() {
+        let mut h = Fnv64::new();
+        write!(h, "x={}", 42).unwrap();
+        assert_eq!(h.finish(), fnv1a_64(b"x=42"));
+    }
+
+    #[test]
+    fn write_u64_is_order_sensitive() {
+        let mut a = Fnv64::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = Fnv64::new();
+        b.write_u64(2);
+        b.write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

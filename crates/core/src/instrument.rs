@@ -22,6 +22,7 @@ use std::time::Duration;
 
 /// Monotonic counters reported by the solver layers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[non_exhaustive]
 pub enum Counter {
     /// Simplex iterations (pricing loops entered), both phases.
@@ -107,6 +108,19 @@ pub enum Counter {
     /// solve actually ran with, reported once per solve so the bench can
     /// record what ran (`milp::SolveOptions::with_refactor_interval`).
     RefactorCadence,
+    /// Solve jobs accepted by the serve admission controller (each entered
+    /// the queue and was eventually dispatched to a worker).
+    JobsAdmitted,
+    /// Solve jobs refused at admission (queue at capacity); the submitter
+    /// received a typed rejection instead of unbounded queueing.
+    JobsRejected,
+    /// Solve jobs that reused a cached formulation + presolve reduction
+    /// keyed by the model-structure hash, skipping both phases entirely.
+    CacheHits,
+    /// High-watermark depth of the serve admission queue over the server's
+    /// lifetime (reported once at shutdown, like
+    /// [`RootGapBps`](Self::RootGapBps) is reported once per solve).
+    QueueDepth,
 }
 
 impl Counter {
@@ -142,12 +156,58 @@ impl Counter {
             Self::FillInRatio => "fill-in ratio (permille)",
             Self::PricingCandidates => "pricing candidates",
             Self::RefactorCadence => "refactor cadence",
+            Self::JobsAdmitted => "jobs admitted",
+            Self::JobsRejected => "jobs rejected",
+            Self::CacheHits => "cache hits",
+            Self::QueueDepth => "queue depth (max)",
         }
     }
+
+    /// Every counter, in the enum's declaration (and `Ord`) order.
+    ///
+    /// The serve wire codec decodes counters by matching their stable
+    /// [`name`](Self::name) against this list; a counter added without
+    /// extending `ALL` would silently fail to round-trip, which the
+    /// exhaustiveness test below pins.
+    pub const ALL: &'static [Counter] = &[
+        Self::SimplexIterations,
+        Self::Phase1Iterations,
+        Self::Pivots,
+        Self::BoundFlips,
+        Self::Refactorizations,
+        Self::LpSolves,
+        Self::Nodes,
+        Self::Incumbents,
+        Self::WarmAttempts,
+        Self::WarmFathoms,
+        Self::WarmInfeasible,
+        Self::WarmFallbacks,
+        Self::DualIterations,
+        Self::WarmIterationsSaved,
+        Self::PanicsCaught,
+        Self::NumericalRecoveries,
+        Self::ToleranceEscalations,
+        Self::HeuristicFallbacks,
+        Self::PresolveRowsDropped,
+        Self::PresolveColsFixed,
+        Self::CoeffsTightened,
+        Self::RootGapBps,
+        Self::FtranCalls,
+        Self::BtranCalls,
+        Self::EtaNonzeros,
+        Self::FillInRatio,
+        Self::PricingCandidates,
+        Self::RefactorCadence,
+        Self::JobsAdmitted,
+        Self::JobsRejected,
+        Self::CacheHits,
+        Self::QueueDepth,
+    ];
 }
 
 /// Branch-and-bound node outcomes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[non_exhaustive]
 pub enum NodeEvent {
     /// The node's LP bound could not beat the incumbent.
@@ -179,10 +239,22 @@ impl NodeEvent {
             Self::Unresolved => "unresolved",
         }
     }
+
+    /// Every node event, in declaration (and `Ord`) order; see
+    /// [`Counter::ALL`] for why the list exists.
+    pub const ALL: &'static [NodeEvent] = &[
+        Self::FathomedByBound,
+        Self::Infeasible,
+        Self::Integral,
+        Self::Branched,
+        Self::Abandoned,
+        Self::Unresolved,
+    ];
 }
 
 /// One accepted incumbent, in discovery order.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct IncumbentRecord {
     /// Objective value in the model's own sense.
     pub objective: f64,
@@ -225,7 +297,14 @@ impl Instrument for NoopInstrument {}
 /// Phases with the same name accumulate (a phase entered once per
 /// branch-and-bound node sums across nodes). Iteration order of the
 /// reports is deterministic (`BTreeMap`, discovery-ordered lists).
+///
+/// Only `Serialize` is derived behind the `serde` feature: phase names are
+/// `&'static str`, which cannot be deserialized into. A receiver rebuilds
+/// a collector by replaying decoded events through the [`Instrument`]
+/// impl, mapping phase names against a known-phase table — that is what
+/// the serve wire codec does.
 #[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct SolverStats {
     counters: BTreeMap<Counter, u64>,
     node_events: BTreeMap<NodeEvent, u64>,
@@ -597,6 +676,27 @@ mod tests {
         assert_eq!(s.phases().len(), 1);
         assert_eq!(s.phases()[0].0, "work");
         assert_eq!(s.phases()[0].2, 1);
+    }
+
+    #[test]
+    fn all_lists_are_exhaustive_and_ordered() {
+        // `ALL` must enumerate every variant exactly once, in `Ord` order,
+        // with pairwise-distinct stable names — the serve wire codec keys
+        // on both properties. A newly added variant that misses the list
+        // trips the windows check (the list would skip over it in `Ord`
+        // space is not detectable directly, but duplicate/unsorted entries
+        // are, and the name-uniqueness scan catches collisions).
+        assert!(Counter::ALL.windows(2).all(|w| w[0] < w[1]));
+        assert!(NodeEvent::ALL.windows(2).all(|w| w[0] < w[1]));
+        for (i, a) in Counter::ALL.iter().enumerate() {
+            for b in &Counter::ALL[i + 1..] {
+                assert_ne!(a.name(), b.name());
+            }
+        }
+        // Spot-pin the endpoints so an accidental truncation is loud.
+        assert_eq!(Counter::ALL.first(), Some(&Counter::SimplexIterations));
+        assert_eq!(Counter::ALL.last(), Some(&Counter::QueueDepth));
+        assert_eq!(NodeEvent::ALL.last(), Some(&NodeEvent::Unresolved));
     }
 
     #[test]

@@ -19,12 +19,17 @@
 //!   from the failure message alone;
 //! * [`parallel`] — worker-pool sizing shared by every layer that fans
 //!   out over `std::thread` (`LETDMA_THREADS`, explicit overrides);
-//! * [`mod@env`] — boolean feature-flag resolution with the same
-//!   explicit-over-environment-over-default policy (`LETDMA_PRESOLVE`);
+//! * [`mod@env`] — feature-flag and knob resolution with the same
+//!   explicit-over-environment-over-default policy for every `LETDMA_*`
+//!   variable (see DESIGN.md §"Configuration precedence");
 //! * [`fault`] — the seeded, deterministic fault plane the resilience
 //!   tests arm to inject simplex breakdowns, singular refactorizations,
 //!   worker panics and deadline exhaustion (off by default; disarmed
-//!   cost is one relaxed atomic load).
+//!   cost is one relaxed atomic load);
+//! * [`json`] — the hand-rolled deterministic JSON tree used by the bench
+//!   report files and the serve wire format;
+//! * [`hash`] — a stable FNV-1a content hash for cache keys that must
+//!   mean the same thing across processes and releases.
 //!
 //! Everything here is plain safe `std` Rust. Keeping this crate
 //! dependency-free is a hard policy (see DESIGN.md §"Dependency policy");
@@ -38,13 +43,17 @@
 pub mod cases;
 pub mod env;
 pub mod fault;
+pub mod hash;
 pub mod instrument;
+pub mod json;
 pub mod parallel;
 pub mod rng;
 
 pub use cases::Cases;
 pub use env::resolve_flag;
 pub use fault::{FaultSite, FaultSpec};
+pub use hash::{fnv1a_64, Fnv64};
 pub use instrument::{Counter, Instrument, NodeEvent, NoopInstrument, SolverStats};
+pub use json::Json;
 pub use parallel::resolve_threads;
 pub use rng::{Rng, SplitMix64, Xoshiro256};

@@ -2,8 +2,10 @@
 //!
 //! Every layer that can fan work out over `std::thread` (the MILP
 //! branch-and-bound worker pool, the scenario-level `optimize_batch`
-//! driver, the bench panels) resolves its worker count through
-//! [`resolve_threads`] so one environment variable governs them all:
+//! driver, the bench panels, the serve worker fleet) resolves its worker
+//! count through [`resolve_threads`], which routes through the shared
+//! [`crate::env::resolve_size`] precedence helper so one environment
+//! variable governs them all:
 //!
 //! 1. an explicit request (config field, builder call, CLI flag) wins;
 //! 2. otherwise the `LETDMA_THREADS` environment variable is consulted;
@@ -15,8 +17,9 @@
 //! depend on it, and a reproduction harness should opt *into*
 //! parallelism, not discover it.
 
-/// Name of the environment variable consulted by [`resolve_threads`].
-pub const THREADS_ENV: &str = "LETDMA_THREADS";
+/// Name of the environment variable consulted by [`resolve_threads`]
+/// (re-exported from [`crate::env`], where all knob names live).
+pub use crate::env::THREADS_ENV;
 
 /// Resolves a worker-pool size: `requested` (clamped to ≥ 1) if given,
 /// else the `LETDMA_THREADS` environment variable, else `1`.
@@ -26,14 +29,7 @@ pub const THREADS_ENV: &str = "LETDMA_THREADS";
 /// abort because of a stray variable.
 #[must_use]
 pub fn resolve_threads(requested: Option<usize>) -> usize {
-    if let Some(n) = requested {
-        return n.max(1);
-    }
-    std::env::var(THREADS_ENV)
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or(1)
+    crate::env::resolve_size(THREADS_ENV, requested, 1)
 }
 
 #[cfg(test)]

@@ -19,6 +19,7 @@
 //! | [`model`] | Platform/task/label model, LET semantics (skip rules, Algorithm 1), transfers, layouts, conformance checking |
 //! | [`milp`] | A self-contained MILP solver (simplex + branch and bound) replacing the paper's CPLEX |
 //! | [`opt`] | The §VI formulation (Constraints 1–10, three objectives), a constructive heuristic and solution validation |
+//! | [`serve`] | Solve-as-a-service: sharded batch server, formulation cache, transport-agnostic typed protocol |
 //! | [`sim`] | Discrete-event simulation of the proposed protocol and the three Giotto baselines |
 //! | [`analysis`] | Response-time analysis with jitter and the §VII sensitivity procedure |
 //! | [`waters`] | The WATERS 2019 case study (synthetic reconstruction) and a random workload generator |
@@ -74,9 +75,61 @@ pub mod opt {
     pub use letdma_opt::*;
 }
 
+/// Solve-as-a-service batch server and typed client (re-export of
+/// [`letdma_serve`]).
+pub mod serve {
+    pub use letdma_serve::*;
+}
+
 /// Discrete-event protocol simulation (re-export of [`letdma_sim`]).
 pub mod sim {
     pub use letdma_sim::*;
+}
+
+/// The curated entry points, importable in one line.
+///
+/// Everything a typical consumer touches — building a system, running the
+/// optimizer (directly, batched, or as a service) and simulating the
+/// result — without the long tail of internal types the sub-crates also
+/// export.
+///
+/// ```
+/// use letdma::prelude::*;
+///
+/// let mut b = SystemBuilder::new(2);
+/// let cam = b.task("camera").period_ms(33).core_index(0).add()?;
+/// let fuse = b.task("fusion").period_ms(66).core_index(1).add()?;
+/// b.label("frame").size(4096).writer(cam).reader(fuse).add()?;
+/// let system = b.build()?;
+///
+/// // Direct solve …
+/// let solution = Optimizer::new(&system)
+///     .config(OptConfig::new().with_objective(Objective::MinTransfers))
+///     .run()?;
+/// assert_eq!(solution.resolution, Resolution::Milp);
+///
+/// // … or the same scenario through the solve service.
+/// let mut client = Client::new(LoopbackTransport::new(ServeConfig::new()));
+/// let responses = client.solve_batch(&[SolveRequest::new(
+///     system,
+///     OptConfig::new().with_objective(Objective::MinTransfers),
+/// )])?;
+/// let report = responses[0].outcome.as_ref().expect("solved");
+/// assert_eq!(report.num_transfers, solution.num_transfers());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub mod prelude {
+    pub use letdma_core::{Counter, Instrument, SolverStats};
+    pub use letdma_model::{CoreId, LabelId, ModelError, System, SystemBuilder, TaskId, TimeNs};
+    pub use letdma_opt::{
+        optimize_batch, Batch, BatchOutcome, LetDmaSolution, Objective, OptConfig, OptError,
+        Optimizer, Resolution,
+    };
+    pub use letdma_serve::{
+        Client, LoopbackTransport, ServeConfig, ServeError, Server, SolveRequest, SolveResponse,
+        Transport,
+    };
+    pub use letdma_sim::{simulate, Approach, SimConfig, SimReport};
 }
 
 /// Schedulability analysis (re-export of [`letdma_analysis`]).

@@ -104,6 +104,7 @@ pub trait Basis: fmt::Debug {
 
 /// Which [`Basis`] implementation a solve runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum BasisKind {
     /// [`DenseInverse`]: the explicit `m × m` inverse (the differential
     /// oracle; `O(m²)` per operation).

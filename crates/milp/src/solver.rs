@@ -68,6 +68,7 @@ use crate::simplex::{LpOutcome, SimplexSolver, WarmBasis, WarmOutcome};
 /// assert_eq!(opts.threads, Some(4));
 /// ```
 #[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[non_exhaustive]
 pub struct SolveOptions {
     /// Wall-clock budget; `None` means unlimited.
@@ -130,6 +131,24 @@ pub struct SolveOptions {
     /// fill-in-growth trigger; the dense inverse every 512). The resolved
     /// value is reported as `Counter::RefactorCadence`.
     pub refactor_interval: Option<u64>,
+    /// Simplex entering-variable pricing rule. `None` (default) defers to
+    /// the `LETDMA_PRICING` environment variable, else partial pricing
+    /// ([`PricingRule::Partial`]). Resolved once per solve; the rule never
+    /// changes *which* optimum is found, only the pivot path to it.
+    pub pricing: Option<PricingRule>,
+    /// Absolute wall-clock deadline for the whole solve. Checked before
+    /// any presolve or simplex work: an already-expired deadline returns
+    /// [`SolveError::DeadlineExpired`] without touching the model.
+    /// Otherwise the remaining time tightens
+    /// [`time_limit`](Self::time_limit) (the smaller of the two wins), so
+    /// an in-flight expiry degrades to the anytime behavior: the best
+    /// incumbent is returned. Set by the serve admission layer, which
+    /// stamps each request's deadline at admission.
+    ///
+    /// Not serialized: an `Instant` is process-local. A wire layer ships
+    /// the *remaining* duration and re-stamps on receipt.
+    #[cfg_attr(feature = "serde", serde(skip))]
+    pub deadline: Option<Instant>,
 }
 
 impl Default for SolveOptions {
@@ -149,6 +168,8 @@ impl Default for SolveOptions {
             measure_root_gap: false,
             basis: None,
             refactor_interval: None,
+            pricing: None,
+            deadline: None,
         }
     }
 }
@@ -266,6 +287,22 @@ impl SolveOptions {
         self.refactor_interval = Some(interval.max(1));
         self
     }
+
+    /// Pins the simplex pricing rule (overriding the `LETDMA_PRICING`
+    /// environment variable; see [`pricing`](Self::pricing)).
+    #[must_use]
+    pub fn with_pricing(mut self, pricing: PricingRule) -> Self {
+        self.pricing = Some(pricing);
+        self
+    }
+
+    /// Sets an absolute wall-clock deadline (see
+    /// [`deadline`](Self::deadline)).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
 }
 
 /// The per-node LP knobs of one solve, resolved once by the coordinator
@@ -281,7 +318,7 @@ struct LpConfig {
 impl LpConfig {
     fn resolve(options: &SolveOptions) -> Self {
         let basis = BasisKind::resolve(options.basis);
-        let pricing = PricingRule::resolve(None);
+        let pricing = PricingRule::resolve(options.pricing);
         let refactor_interval = resolve_override(REFACTOR_ENV, options.refactor_interval)
             .unwrap_or_else(|| basis.instantiate().default_refactor_interval());
         Self {
@@ -494,6 +531,12 @@ pub enum SolveError {
         /// Panics caught before the search stopped.
         caught: u64,
     },
+    /// The solve's absolute [`SolveOptions::deadline`] had already passed
+    /// when the solve started: rejected before any presolve or simplex
+    /// work. A deadline that expires *mid-solve* never produces this error
+    /// — the anytime behavior returns the best incumbent (or
+    /// [`LimitReached`](Self::LimitReached) when none exists).
+    DeadlineExpired,
 }
 
 impl fmt::Display for SolveError {
@@ -509,6 +552,9 @@ impl fmt::Display for SolveError {
                 f,
                 "solver worker panicked ({caught} caught); no feasible solution to return"
             ),
+            Self::DeadlineExpired => {
+                write!(f, "deadline expired before the solve started")
+            }
         }
     }
 }
@@ -621,32 +667,84 @@ impl Model {
             model: self,
             options: SolveOptions::default(),
             instrument: None,
+            reduction: None,
         }
     }
 }
 
+/// Folds an absolute deadline into the wall-clock budget: `Err` when it
+/// has already passed (checked before any presolve or simplex work),
+/// otherwise a copy of the options whose `time_limit` is the smaller of
+/// the explicit budget and the time remaining, or `None` when no deadline
+/// is set (the common path clones nothing).
+fn deadline_adjusted(options: &SolveOptions) -> Result<Option<SolveOptions>, SolveError> {
+    let Some(deadline) = options.deadline else {
+        return Ok(None);
+    };
+    let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+        return Err(SolveError::DeadlineExpired);
+    };
+    if remaining.is_zero() {
+        return Err(SolveError::DeadlineExpired);
+    }
+    let mut adjusted = options.clone();
+    adjusted.time_limit = Some(match options.time_limit {
+        Some(budget) => budget.min(remaining),
+        None => remaining,
+    });
+    Ok(Some(adjusted))
+}
+
 /// Shared entry point of every solve path (the session [`Solver::run`]):
-/// resolves the presolve flag, reduces the model, runs branch and bound on
-/// the reduction, and lifts the solution back to the caller's variable
-/// space.
+/// enforces the admission deadline, resolves the presolve flag, reduces
+/// the model (or reuses a cached [`presolve::Presolved`] reduction), runs
+/// branch and bound on the reduction, and lifts the solution back to the
+/// caller's variable space.
 ///
 /// Presolve runs on the coordinator before any worker thread exists, so
 /// the deterministic-trajectory guarantee is untouched: with presolve on,
 /// every thread count walks the *reduced* model's trajectory; with it off,
-/// the original's.
+/// the original's. A cached reduction replays the recorded presolve
+/// tallies through the same counters and the same phase entry, so the
+/// observable trajectory of a cache hit is byte-identical to a live
+/// presolve of the same model (only the phase's wall-clock shrinks).
 fn solve_entry(
     model: &Model,
     options: &SolveOptions,
+    reduction: Option<&presolve::Presolved>,
     instrument: &mut dyn Instrument,
 ) -> Result<MilpSolution, SolveError> {
-    if !resolve_flag(PRESOLVE_ENV, options.presolve, true) {
-        return BranchAndBound::new(model, options, instrument).run();
-    }
-    let red = match timed_phase(instrument, "presolve", |_| {
-        presolve::presolve(model, options.integrality_tol)
-    }) {
-        Ok(red) => red,
-        Err(_proof) => return Err(SolveError::Infeasible),
+    let adjusted;
+    let options = match deadline_adjusted(options)? {
+        Some(o) => {
+            adjusted = o;
+            &adjusted
+        }
+        None => options,
+    };
+    let live;
+    let red: &presolve::Presolved = match reduction {
+        Some(red) => {
+            assert_eq!(
+                red.lift.original_vars(),
+                model.num_vars(),
+                "cached reduction does not match the model being solved"
+            );
+            timed_phase(instrument, "presolve", |_| ());
+            red
+        }
+        None => {
+            if !resolve_flag(PRESOLVE_ENV, options.presolve, true) {
+                return BranchAndBound::new(model, options, instrument).run();
+            }
+            live = match timed_phase(instrument, "presolve", |_| {
+                presolve::presolve(model, options.integrality_tol)
+            }) {
+                Ok(red) => red,
+                Err(_proof) => return Err(SolveError::Infeasible),
+            };
+            &live
+        }
     };
     instrument.count(Counter::PresolveRowsDropped, red.stats.rows_dropped);
     instrument.count(Counter::PresolveColsFixed, red.stats.cols_fixed);
@@ -736,6 +834,7 @@ pub struct Solver<'m, 'i> {
     model: &'m Model,
     options: SolveOptions,
     instrument: Option<&'i mut dyn Instrument>,
+    reduction: Option<Arc<presolve::Presolved>>,
 }
 
 impl fmt::Debug for Solver<'_, '_> {
@@ -743,6 +842,7 @@ impl fmt::Debug for Solver<'_, '_> {
         f.debug_struct("Solver")
             .field("options", &self.options)
             .field("instrumented", &self.instrument.is_some())
+            .field("cached_reduction", &self.reduction.is_some())
             .finish_non_exhaustive()
     }
 }
@@ -812,6 +912,29 @@ impl<'m, 'i> Solver<'m, 'i> {
         self
     }
 
+    /// Sets an absolute wall-clock deadline (see
+    /// [`SolveOptions::deadline`]): an already-expired deadline fails with
+    /// [`SolveError::DeadlineExpired`] before any solver work; otherwise
+    /// the remaining time caps the wall-clock budget.
+    pub fn deadline(mut self, deadline: Instant) -> Self {
+        self.options.deadline = Some(deadline);
+        self
+    }
+
+    /// Reuses a cached presolve reduction of **this same model** instead
+    /// of running the presolve pass (the serve layer's formulation cache
+    /// keys reductions by a structural hash of the model). The recorded
+    /// presolve tallies are replayed through the instrument, so a cache
+    /// hit's observable trajectory is byte-identical to a live presolve.
+    ///
+    /// The solve panics if the reduction's variable space does not match
+    /// the model — a reduction is only valid for the model it was computed
+    /// from.
+    pub fn reduction(mut self, reduction: Arc<presolve::Presolved>) -> Self {
+        self.reduction = Some(reduction);
+        self
+    }
+
     /// Attaches a progress observer (counters, node events, the incumbent
     /// timeline).
     pub fn instrument<'j>(self, instrument: &'j mut dyn Instrument) -> Solver<'m, 'j> {
@@ -819,6 +942,7 @@ impl<'m, 'i> Solver<'m, 'i> {
             model: self.model,
             options: self.options,
             instrument: Some(instrument),
+            reduction: self.reduction,
         }
     }
 
@@ -830,14 +954,21 @@ impl<'m, 'i> Solver<'m, 'i> {
     ///   constraints;
     /// * [`SolveError::Unbounded`] — the LP relaxation is unbounded;
     /// * [`SolveError::LimitReached`] — a limit was hit before any feasible
-    ///   solution was found.
+    ///   solution was found;
+    /// * [`SolveError::DeadlineExpired`] — the admission deadline had
+    ///   already passed when the solve started.
     pub fn run(self) -> Result<MilpSolution, SolveError> {
         let mut noop = NoopInstrument;
         let instrument: &mut dyn Instrument = match self.instrument {
             Some(i) => i,
             None => &mut noop,
         };
-        solve_entry(self.model, &self.options, instrument)
+        solve_entry(
+            self.model,
+            &self.options,
+            self.reduction.as_deref(),
+            instrument,
+        )
     }
 }
 

@@ -1,9 +1,10 @@
 //! Configuration of the optimization problem (§VI).
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// The objective function variants evaluated in §VII of the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Objective {
     /// `NO-OBJ`: pure feasibility — stop at the first solution satisfying
     /// Constraints 1–10.
@@ -44,6 +45,7 @@ impl std::fmt::Display for Objective {
 /// assert_eq!(config.objective, Objective::MinTransfers);
 /// ```
 #[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[non_exhaustive]
 pub struct OptConfig {
     /// Which objective to optimize.
@@ -98,6 +100,18 @@ pub struct OptConfig {
     /// off — it costs one extra root LP solve). Used by `repro --stats`
     /// and the MILP benchmark.
     pub measure_root_gap: bool,
+    /// Absolute wall-clock deadline for the whole pipeline. Checked before
+    /// the heuristic runs — an already-expired deadline fails with
+    /// [`OptError::DeadlineExpired`](crate::OptError::DeadlineExpired)
+    /// without doing any work — and passed to the MILP search, where the
+    /// remaining time tightens [`time_limit`](Self::time_limit) (see
+    /// [`milp::SolveOptions::deadline`]). Stamped per request by the serve
+    /// admission layer.
+    ///
+    /// Not serialized: an `Instant` is process-local. A wire layer ships
+    /// the *remaining* duration and re-stamps on receipt.
+    #[cfg_attr(feature = "serde", serde(skip))]
+    pub deadline: Option<Instant>,
 }
 
 impl Default for OptConfig {
@@ -115,6 +129,7 @@ impl Default for OptConfig {
             warm_basis: true,
             presolve: None,
             measure_root_gap: false,
+            deadline: None,
         }
     }
 }
@@ -222,6 +237,14 @@ impl OptConfig {
     #[must_use]
     pub fn with_measure_root_gap(mut self, measure: bool) -> Self {
         self.measure_root_gap = measure;
+        self
+    }
+
+    /// Sets an absolute wall-clock deadline for the whole pipeline (see
+    /// [`OptConfig::deadline`]).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
         self
     }
 }

@@ -57,12 +57,14 @@ mod formulation;
 pub mod heuristic;
 mod improve;
 mod optimizer;
+mod prepare;
 mod solution;
 
 pub use batch::{optimize_batch, Batch, BatchOutcome};
 pub use config::{Objective, OptConfig};
 pub use improve::{ImproveGoal, Reorder};
 pub use optimizer::{formulation_lp, formulation_model, heuristic_solution, OptError, Optimizer};
+pub use prepare::{prepare, structure_key, Prepared};
 pub use solution::{LetDmaSolution, Provenance, Resolution};
 
 /// Diagnostics used by development probes; not part of the public API.

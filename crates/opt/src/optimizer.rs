@@ -3,7 +3,7 @@
 
 use std::error::Error;
 use std::fmt;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use letdma_core::instrument::{timed_phase, Counter, Instrument, NoopInstrument};
 use letdma_model::conformance::{verify, VerifyOptions, Violation};
@@ -13,6 +13,7 @@ use milp::{SolveError, SolveOptions};
 use crate::config::{Objective, OptConfig};
 use crate::formulation;
 use crate::heuristic;
+use crate::prepare::{structure_key, Prepared};
 use crate::solution::{extract, from_heuristic, warm_start_assignment, LetDmaSolution, Resolution};
 
 /// Errors of an [`Optimizer`] run.
@@ -31,6 +32,18 @@ pub enum OptError {
     /// Unexpected solver failure; the underlying [`SolveError`] is carried
     /// as the [`Error::source`].
     Solver(SolveError),
+    /// The request's absolute deadline ([`OptConfig::deadline`]) had
+    /// already passed when the pipeline started: rejected before the
+    /// heuristic, the formulation or any simplex work. A deadline that
+    /// expires *mid-solve* never produces this error — the anytime search
+    /// returns its best incumbent instead.
+    DeadlineExpired,
+    /// [`Optimizer::run_prepared`] was handed a [`Prepared`] whose
+    /// [`structure key`](crate::prepare::structure_key) does not match
+    /// this session's system and configuration — a stale or mis-keyed
+    /// cache entry. The caller should fall back to a cold
+    /// [`run`](Optimizer::run) (and fix its cache).
+    PreparedMismatch,
 }
 
 impl fmt::Display for OptError {
@@ -52,6 +65,15 @@ impl fmt::Display for OptError {
                 )
             }
             Self::Solver(e) => write!(f, "solver failure: {e}"),
+            Self::DeadlineExpired => {
+                write!(f, "deadline expired before the optimization started")
+            }
+            Self::PreparedMismatch => {
+                write!(
+                    f,
+                    "prepared formulation does not match this system/configuration"
+                )
+            }
         }
     }
 }
@@ -209,6 +231,15 @@ impl<'s, 'i> Optimizer<'s, 'i> {
         self
     }
 
+    /// Sets an absolute wall-clock deadline for the whole pipeline (see
+    /// [`OptConfig::deadline`]): already expired fails with
+    /// [`OptError::DeadlineExpired`] before any work; otherwise the
+    /// remaining time caps the MILP budget.
+    pub fn deadline(mut self, deadline: Instant) -> Self {
+        self.config = self.config.with_deadline(deadline);
+        self
+    }
+
     /// Streams phase timings, solver counters and incumbent records into
     /// `instrument` during the run.
     pub fn instrument<'j>(self, instrument: &'j mut dyn Instrument) -> Optimizer<'s, 'j> {
@@ -257,8 +288,40 @@ impl<'s, 'i> Optimizer<'s, 'i> {
     ///    the caller.
     pub fn run(self) -> Result<LetDmaSolution, OptError> {
         match self.instrument {
-            Some(instrument) => run_pipeline(self.system, &self.config, instrument),
-            None => run_pipeline(self.system, &self.config, &mut NoopInstrument),
+            Some(instrument) => run_pipeline(self.system, &self.config, None, instrument),
+            None => run_pipeline(self.system, &self.config, None, &mut NoopInstrument),
+        }
+    }
+
+    /// Like [`run`](Optimizer::run), but reuses a cached
+    /// [`Prepared`] — the built formulation and its presolve reduction —
+    /// instead of recomputing them (the serve layer's formulation cache).
+    ///
+    /// Everything request-specific still runs per call: the constructive
+    /// heuristic, the warm-start translation, the search itself and the
+    /// conformance validation. The reuse is observably identical to a cold
+    /// [`run`](Optimizer::run) — same solution, same counters, same phase
+    /// entries — because the cached reduction replays its recorded
+    /// presolve tallies through the instrument (pinned by the serve
+    /// determinism regression). Only the wall clock shrinks.
+    ///
+    /// # Errors
+    ///
+    /// [`OptError::PreparedMismatch`] when `prepared` was computed for a
+    /// different system or configuration (checked via
+    /// [`structure_key`]); otherwise as [`run`](Optimizer::run).
+    pub fn run_prepared(self, prepared: &Prepared) -> Result<LetDmaSolution, OptError> {
+        if prepared.key() != structure_key(self.system, &self.config) {
+            return Err(OptError::PreparedMismatch);
+        }
+        match self.instrument {
+            Some(instrument) => run_pipeline(self.system, &self.config, Some(prepared), instrument),
+            None => run_pipeline(
+                self.system,
+                &self.config,
+                Some(prepared),
+                &mut NoopInstrument,
+            ),
         }
     }
 }
@@ -266,8 +329,16 @@ impl<'s, 'i> Optimizer<'s, 'i> {
 fn run_pipeline(
     system: &System,
     config: &OptConfig,
+    prepared: Option<&Prepared>,
     instrument: &mut dyn Instrument,
 ) -> Result<LetDmaSolution, OptError> {
+    // An already-expired deadline fails before any work — the serve layer
+    // relies on this to reject queue-expired jobs without simplex effort.
+    if let Some(deadline) = config.deadline {
+        if deadline <= Instant::now() {
+            return Err(OptError::DeadlineExpired);
+        }
+    }
     if letdma_model::let_semantics::comms_at_start(system).is_empty() {
         return Err(OptError::NoCommunications);
     }
@@ -313,13 +384,23 @@ fn run_pipeline(
         (heuristic, heuristic_valid)
     });
 
-    // Formulation + solve.
-    let (f, solve_options) = timed_phase(instrument, "formulation", |_| {
-        let f = formulation::build(system, config);
+    // Formulation + solve. On a prepared (cache-hit) run the build is
+    // skipped and the cached formulation reused; the phase still opens so
+    // the trace shape matches a cold solve.
+    let (built, solve_options) = timed_phase(instrument, "formulation", |_| {
+        let built = match prepared {
+            Some(_) => None,
+            None => Some(formulation::build(system, config)),
+        };
+        let f = match (built.as_ref(), prepared) {
+            (Some(f), _) => f,
+            (_, Some(p)) => &p.formulation,
+            _ => unreachable!("either built live or taken from `prepared`"),
+        };
         let warm = if config.warm_start && heuristic_valid {
             heuristic
                 .as_ref()
-                .and_then(|h| warm_start_assignment(system, &f, h))
+                .and_then(|h| warm_start_assignment(system, f, h))
         } else {
             None
         };
@@ -334,18 +415,31 @@ fn run_pipeline(
         solve_options.node_limit = config.node_limit;
         solve_options.warm_start = warm;
         solve_options.threads = config.threads;
-        solve_options.presolve = config.presolve;
+        // A preparation pins the presolve flag it resolved, so a later
+        // environment change cannot make the solve disagree with the
+        // cached reduction.
+        solve_options.presolve = match prepared {
+            Some(p) => Some(p.presolve),
+            None => config.presolve,
+        };
         solve_options.measure_root_gap = config.measure_root_gap;
-        (f, solve_options)
+        solve_options.deadline = config.deadline;
+        (built, solve_options)
     });
+    let f = match (built.as_ref(), prepared) {
+        (Some(f), _) => f,
+        (_, Some(p)) => &p.formulation,
+        _ => unreachable!("either built live or taken from `prepared`"),
+    };
+    let reduction = prepared.and_then(|p| p.reduction.clone());
 
     let mut resolution = Resolution::Milp;
     let mut solve_result = timed_phase(instrument, "milp-search", |ins| {
-        f.model
-            .solver()
-            .options(solve_options.clone())
-            .instrument(ins)
-            .run()
+        let mut solver = f.model.solver().options(solve_options.clone());
+        if let Some(red) = reduction.clone() {
+            solver = solver.reduction(red);
+        }
+        solver.instrument(ins).run()
     });
     if matches!(solve_result, Err(SolveError::WorkerPanic { .. })) {
         // Degradation rung 1: a worker panic poisoned the first search, so
@@ -358,16 +452,16 @@ fn run_pipeline(
         retry_options.node_limit = solve_options.node_limit.map(|n| (n / 2).max(1));
         resolution = Resolution::MilpRetry;
         solve_result = timed_phase(instrument, "milp-retry", |ins| {
-            f.model
-                .solver()
-                .options(retry_options)
-                .instrument(ins)
-                .run()
+            let mut solver = f.model.solver().options(retry_options);
+            if let Some(red) = reduction.clone() {
+                solver = solver.reduction(red);
+            }
+            solver.instrument(ins).run()
         });
     }
     match solve_result {
         Ok(milp_solution) => timed_phase(instrument, "validate", |_| {
-            let mut solution = extract(system, &f, &milp_solution, config.objective, resolution);
+            let mut solution = extract(system, f, &milp_solution, config.objective, resolution);
             // Post-pass (delay objective only): the MILP fixes the grouping
             // but its order may still admit improvement within the budget's
             // gap; relocation moves are free wins.
@@ -391,6 +485,11 @@ fn run_pipeline(
             }
         }),
         Err(SolveError::Infeasible) => Err(OptError::Infeasible),
+        // A deadline that expires mid-solve degrades to anytime behavior
+        // inside the search (best incumbent ⇒ `Ok` above, or the
+        // `LimitReached` fallback below); this arm fires only when the
+        // deadline was already spent when the MILP session started.
+        Err(SolveError::DeadlineExpired) => Err(OptError::DeadlineExpired),
         Err(err @ (SolveError::LimitReached { .. } | SolveError::WorkerPanic { .. })) => {
             // Degradation rung 2: the search (including any retry) produced
             // no incumbent — fall back to the conformance-verified

@@ -37,6 +37,7 @@ pub enum Provenance {
 /// panic, or the pipeline fell back to the conformance-verified
 /// heuristic after the search failed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[non_exhaustive]
 pub enum Resolution {
     /// The first MILP attempt returned the solution.
@@ -50,6 +51,17 @@ pub enum Resolution {
     /// Heuristic-only mode ([`crate::heuristic_solution`]): no MILP
     /// search was attempted at all.
     Heuristic,
+}
+
+impl std::fmt::Display for Resolution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::Milp => "milp",
+            Self::MilpRetry => "milp-retry",
+            Self::HeuristicFallback => "heuristic-fallback",
+            Self::Heuristic => "heuristic",
+        })
+    }
 }
 
 /// A complete solution of the allocation-and-scheduling problem: the memory

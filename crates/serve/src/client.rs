@@ -1,0 +1,143 @@
+//! Transport abstraction and the loopback client.
+//!
+//! The session API is transport-agnostic: a [`Transport`] moves one
+//! request document to a server and brings one response document back,
+//! and everything else — encoding, decoding, ordering — lives in
+//! [`Client`]. The bundled [`LoopbackTransport`] runs the server
+//! in-process (the benchmark and CI smoke path); a network transport
+//! would implement the same one-method trait over a socket.
+
+use letdma_core::SolverStats;
+
+use crate::api::{ServeError, SolveRequest, SolveResponse};
+use crate::server::{ServeConfig, Server, SolveCache};
+use crate::wire;
+
+/// One request/response exchange at the document (text) level.
+///
+/// Implementations ship the rendered wire document somewhere a server can
+/// see it and return the server's rendered response document. They do not
+/// interpret the payload.
+pub trait Transport {
+    /// Ships `request` and returns the matching response document.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Transport`] when the document cannot be delivered or
+    /// the reply cannot be produced.
+    fn round_trip(&mut self, request: &str) -> Result<String, ServeError>;
+}
+
+/// An in-process transport: each [`round_trip`](Transport::round_trip)
+/// starts a [`Server`], submits the decoded batch, collects every
+/// response and shuts the server down — while the [`SolveCache`] and the
+/// aggregate server statistics persist across calls, so a re-submitted
+/// model structure hits the cache on the next exchange.
+#[derive(Debug)]
+pub struct LoopbackTransport {
+    config: ServeConfig,
+    cache: SolveCache,
+    stats: SolverStats,
+}
+
+impl LoopbackTransport {
+    /// A loopback transport with a private cache.
+    #[must_use]
+    pub fn new(config: ServeConfig) -> Self {
+        Self::with_cache(config, SolveCache::new())
+    }
+
+    /// A loopback transport sharing `cache` with other transports or
+    /// servers (the serve benchmark shares one cache across its
+    /// worker-count rounds).
+    #[must_use]
+    pub fn with_cache(config: ServeConfig, cache: SolveCache) -> Self {
+        Self {
+            config,
+            cache,
+            stats: SolverStats::new(),
+        }
+    }
+
+    /// Aggregate statistics of every server generation this transport has
+    /// run: admission counters, cache hits, queue depth and the absorbed
+    /// per-job solver counters.
+    #[must_use]
+    pub fn stats(&self) -> &SolverStats {
+        &self.stats
+    }
+
+    /// The shared formulation + presolve cache.
+    #[must_use]
+    pub fn cache(&self) -> &SolveCache {
+        &self.cache
+    }
+}
+
+impl Transport for LoopbackTransport {
+    fn round_trip(&mut self, request: &str) -> Result<String, ServeError> {
+        let requests = wire::decode_requests(request).map_err(ServeError::Transport)?;
+        let mut server = Server::start_with_cache(self.config.clone(), self.cache.clone());
+        let attempts = requests.len();
+        for request in requests {
+            // Rejections are streamed as responses too, so the submit
+            // error carries no extra information here.
+            let _ = server.submit(request);
+        }
+        let mut responses: Vec<SolveResponse> = (0..attempts).map(|_| server.recv()).collect();
+        // Completion order → submission order (ids are sequential over
+        // all submission attempts).
+        responses.sort_by_key(|r| r.job);
+        self.stats.absorb(&server.shutdown());
+        Ok(wire::encode_responses(&responses))
+    }
+}
+
+/// A typed client over any [`Transport`].
+#[derive(Debug)]
+pub struct Client<T> {
+    transport: T,
+}
+
+impl<T: Transport> Client<T> {
+    /// Wraps a transport.
+    #[must_use]
+    pub fn new(transport: T) -> Self {
+        Self { transport }
+    }
+
+    /// The underlying transport (e.g. to read a loopback's statistics).
+    #[must_use]
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    /// Solves a batch of scenarios through the service and returns one
+    /// response per request, **in request order** (responses stream back
+    /// in completion order and are re-sorted by job id here).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Transport`] when the exchange or the codec fails or
+    /// the server answers the wrong number of responses. Per-job failures
+    /// (queue-full, deadline, solve errors) are *not* errors of this
+    /// method — they arrive typed inside the matching
+    /// [`SolveResponse::outcome`].
+    pub fn solve_batch(
+        &mut self,
+        requests: &[SolveRequest],
+    ) -> Result<Vec<SolveResponse>, ServeError> {
+        let reply = self
+            .transport
+            .round_trip(&wire::encode_requests(requests))?;
+        let responses = wire::decode_responses(&reply).map_err(ServeError::Transport)?;
+        if responses.len() != requests.len() {
+            return Err(ServeError::Transport(format!(
+                "{} requests but {} responses",
+                requests.len(),
+                responses.len()
+            )));
+        }
+        Ok(responses)
+    }
+}

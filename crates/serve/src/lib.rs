@@ -1,0 +1,58 @@
+//! # letdma-serve
+//!
+//! Solve-as-a-service: a sharded batch solve server over the
+//! [`letdma_opt`] session API, with a transport-agnostic typed protocol.
+//!
+//! The crate has three layers (DESIGN.md §"Service architecture"):
+//!
+//! * [`api`] — the protocol types: [`SolveRequest`] / [`SolveResponse`] /
+//!   [`SolveReport`], typed failures ([`ServeError`]), job lifecycle
+//!   ([`JobId`], [`JobStatus`]), versioned by [`PROTOCOL`];
+//! * [`Server`] — admission control over a bounded FIFO queue, a worker
+//!   pool sharding jobs across the panic-isolated optimizer pipeline,
+//!   per-request deadlines stamped at admission, and a shared
+//!   [`SolveCache`] keyed by [`letdma_opt::structure_key`] so
+//!   re-submissions of a known model structure skip formulation and
+//!   presolve (with byte-identical solver trajectories — the cached
+//!   reduction replays its recorded tallies);
+//! * [`Client`] over a [`Transport`] — the wire codec ([`wire`], JSON
+//!   with bit-exact floats) plus ordering guarantees; the bundled
+//!   [`LoopbackTransport`] runs the server in-process.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::time::Duration;
+//! use letdma_model::SystemBuilder;
+//! use letdma_opt::{OptConfig, Resolution};
+//! use letdma_serve::{Client, LoopbackTransport, ServeConfig, SolveRequest};
+//!
+//! let mut b = SystemBuilder::new(2);
+//! let p = b.task("producer").period_ms(5).core_index(0).add()?;
+//! let c = b.task("consumer").period_ms(10).core_index(1).add()?;
+//! b.label("frame").size(256).writer(p).reader(c).add()?;
+//! let system = b.build()?;
+//!
+//! let mut client = Client::new(LoopbackTransport::new(
+//!     ServeConfig::new().with_workers(2),
+//! ));
+//! let request = SolveRequest::new(system, OptConfig::new())
+//!     .with_deadline(Duration::from_secs(30));
+//! let responses = client.solve_batch(&[request])?;
+//! let report = responses[0].outcome.as_ref().expect("feasible scenario");
+//! assert_eq!(report.resolution, Resolution::Milp);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod api;
+mod client;
+mod server;
+pub mod wire;
+
+pub use api::{JobId, JobStatus, ServeError, SolveReport, SolveRequest, SolveResponse, PROTOCOL};
+pub use client::{Client, LoopbackTransport, Transport};
+pub use server::{ServeConfig, Server, SolveCache};

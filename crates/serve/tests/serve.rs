@@ -1,0 +1,351 @@
+//! Integration tests for the solve service: typed admission/deadline
+//! semantics, the wire codec round-trip, cache-hit behavior, and the
+//! determinism regression against direct `optimize_batch`.
+
+use std::time::Duration;
+
+use letdma_core::{Counter, NodeEvent, SolverStats};
+use letdma_model::{System, SystemBuilder};
+use letdma_opt::{optimize_batch, Objective, OptConfig, Resolution};
+use letdma_serve::{
+    wire, Client, JobStatus, LoopbackTransport, ServeConfig, ServeError, Server, SolveCache,
+    SolveRequest,
+};
+
+/// A small system with real cross-core communication so the MILP pipeline
+/// (heuristic, formulation, presolve, search, validation) all do work.
+fn comm_system(period_ms: u64) -> System {
+    let mut b = SystemBuilder::new(2);
+    let p = b
+        .task("producer")
+        .period_ms(period_ms)
+        .core_index(0)
+        .add()
+        .unwrap();
+    let q = b
+        .task("relay")
+        .period_ms(period_ms * 2)
+        .core_index(0)
+        .add()
+        .unwrap();
+    let c = b
+        .task("consumer")
+        .period_ms(period_ms * 2)
+        .core_index(1)
+        .add()
+        .unwrap();
+    b.label("frame")
+        .size(256)
+        .writer(p)
+        .reader(c)
+        .add()
+        .unwrap();
+    b.label("state").size(64).writer(q).reader(c).add().unwrap();
+    b.label("ack").size(32).writer(c).reader(p).add().unwrap();
+    b.build().unwrap()
+}
+
+fn base_config() -> OptConfig {
+    OptConfig::new()
+        .with_objective(Objective::MinTransfers)
+        .with_threads(1)
+        .with_deterministic(true)
+}
+
+/// Counters, node events, phase `(name, count)`s and incumbent
+/// `(objective bits, nodes)`s of one solve.
+type Trajectory<'a> = (
+    Vec<(Counter, u64)>,
+    Vec<u64>,
+    Vec<(&'a str, u64)>,
+    Vec<(u64, u64)>,
+);
+
+/// The trajectory fields that must be reproducible run-to-run: everything
+/// except wall-clock durations.
+fn trajectory(stats: &SolverStats) -> Trajectory<'_> {
+    (
+        stats.counters(),
+        NodeEvent::ALL
+            .iter()
+            .map(|&e| stats.node_events(e))
+            .collect(),
+        stats
+            .phases()
+            .iter()
+            .map(|&(name, _, count)| (name, count))
+            .collect(),
+        stats
+            .incumbents()
+            .iter()
+            .map(|r| (r.objective.to_bits(), r.nodes))
+            .collect(),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Wire codec (satellite: serialization pin)
+// ---------------------------------------------------------------------------
+
+/// Requests survive the codec: system structure, config knobs and the
+/// admission-relative deadline all round-trip, and the re-solved system
+/// hashes to the same structure key as the original.
+#[test]
+fn wire_requests_round_trip() {
+    let system = comm_system(5);
+    let config = base_config().with_node_limit(1234);
+    let request =
+        SolveRequest::new(system.clone(), config.clone()).with_deadline(Duration::from_millis(750));
+
+    let text = wire::encode_requests(&[request]);
+    let decoded = wire::decode_requests(&text).expect("decode");
+    assert_eq!(decoded.len(), 1);
+    assert_eq!(decoded[0].deadline, Some(Duration::from_millis(750)));
+    assert_eq!(decoded[0].config.node_limit, Some(1234));
+    assert_eq!(
+        letdma_opt::structure_key(&decoded[0].system, &decoded[0].config),
+        letdma_opt::structure_key(&system, &config),
+        "decoded system/config must hash to the original structure key"
+    );
+}
+
+/// Responses survive the codec bit-exactly: the objective value's f64
+/// bits, every counter, phase counts and the incumbent timeline, plus
+/// typed errors.
+#[test]
+fn wire_responses_round_trip() {
+    let system = comm_system(5);
+    let mut client = Client::new(LoopbackTransport::new(ServeConfig::new().with_workers(1)));
+    let responses = client
+        .solve_batch(&[SolveRequest::new(system, base_config())])
+        .expect("loopback batch");
+    assert_eq!(responses.len(), 1);
+
+    // The loopback already pushed these through the codec once; a second
+    // explicit round trip must be a fixed point.
+    let text = wire::encode_responses(&responses);
+    let again = wire::decode_responses(&text).expect("decode responses");
+    assert_eq!(again, responses, "codec must be a fixed point on responses");
+
+    let report = responses[0].outcome.as_ref().expect("solved");
+    assert_eq!(report.resolution, Resolution::Milp);
+    assert!(report.objective_value.is_some());
+    assert!(!report.stats.phases().is_empty());
+}
+
+/// Typed errors survive the codec.
+#[test]
+fn wire_errors_round_trip() {
+    use letdma_serve::{JobId, SolveResponse};
+    let responses = vec![
+        SolveResponse::new(JobId(3), Err(ServeError::QueueFull { capacity: 7 })),
+        SolveResponse::new(JobId(4), Err(ServeError::DeadlineExpired)),
+        SolveResponse::new(JobId(5), Err(ServeError::Solve("no incumbent".into()))),
+    ];
+    let again = wire::decode_responses(&wire::encode_responses(&responses)).expect("decode");
+    assert_eq!(again, responses);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control and deadlines (satellite: interplay tests)
+// ---------------------------------------------------------------------------
+
+/// A full queue rejects at admission with a typed error — and the
+/// rejection is *also* streamed as a response, so batch accounting stays
+/// one-response-per-submission.
+#[test]
+fn queue_full_rejects_typed() {
+    let mut server = Server::start(ServeConfig::new().with_workers(1).with_queue_capacity(0));
+    let request = SolveRequest::new(comm_system(5), base_config());
+    let id = match server.submit(request) {
+        Err(ServeError::QueueFull { capacity }) => {
+            assert_eq!(capacity, 0);
+            // The id of the rejected attempt is observable via status.
+            letdma_serve::JobId(0)
+        }
+        other => panic!("expected QueueFull, got {other:?}"),
+    };
+    assert_eq!(server.status(id), Some(JobStatus::Rejected));
+
+    let response = server.recv();
+    assert_eq!(response.job, id);
+    assert_eq!(response.outcome, Err(ServeError::QueueFull { capacity: 0 }));
+
+    let stats = server.shutdown();
+    assert_eq!(stats.counter(Counter::JobsRejected), 1);
+    assert_eq!(stats.counter(Counter::JobsAdmitted), 0);
+}
+
+/// A job whose deadline has already passed when a worker picks it up is
+/// rejected with the typed deadline error before any solver work: its
+/// response carries no solve report at all.
+#[test]
+fn queued_expiry_rejected_before_any_work() {
+    let mut server = Server::start(ServeConfig::new().with_workers(1));
+    let request = SolveRequest::new(comm_system(5), base_config()).with_deadline(Duration::ZERO);
+    let id = server.submit(request).expect("admitted");
+    let response = server.recv();
+    assert_eq!(response.job, id);
+    assert_eq!(response.outcome, Err(ServeError::DeadlineExpired));
+    assert_eq!(server.status(id), Some(JobStatus::Done));
+
+    let stats = server.shutdown();
+    assert_eq!(stats.counter(Counter::JobsAdmitted), 1);
+    assert_eq!(
+        stats.counter(Counter::SimplexIterations),
+        0,
+        "an expired job must not reach the simplex"
+    );
+}
+
+/// A deadline that is still live when the solve starts never produces the
+/// typed deadline error: if it expires mid-solve the anytime search hands
+/// back its best incumbent (or the pipeline degrades), but the outcome
+/// stays `Ok`.
+#[test]
+fn in_flight_deadline_returns_best_incumbent() {
+    let mut server = Server::start(ServeConfig::new().with_workers(1));
+    let request =
+        SolveRequest::new(comm_system(5), base_config()).with_deadline(Duration::from_secs(300));
+    let id = server.submit(request).expect("admitted");
+    let response = server.recv();
+    assert_eq!(response.job, id);
+    let report = response.outcome.expect("live deadline must not reject");
+    assert_eq!(report.resolution, Resolution::Milp);
+    drop(server);
+}
+
+// ---------------------------------------------------------------------------
+// Cache behavior
+// ---------------------------------------------------------------------------
+
+/// Re-submitting the same model structure hits the formulation/presolve
+/// cache: the second job is flagged, the server counts the hit, and the
+/// solve result is identical to the cold one.
+#[test]
+fn cache_hit_on_resubmission() {
+    let mut server = Server::start(ServeConfig::new().with_workers(1));
+    let system = comm_system(5);
+    let a = server
+        .submit(SolveRequest::new(system.clone(), base_config()))
+        .expect("admitted");
+    let b = server
+        .submit(SolveRequest::new(system, base_config()))
+        .expect("admitted");
+    let mut responses = [server.recv(), server.recv()];
+    responses.sort_by_key(|r| r.job);
+    assert_eq!(responses[0].job, a);
+    assert_eq!(responses[1].job, b);
+
+    let cold = responses[0].outcome.as_ref().expect("cold solve");
+    let warm = responses[1].outcome.as_ref().expect("warm solve");
+    assert!(
+        !cold.cache_hit,
+        "first submission must build the cache entry"
+    );
+    assert!(warm.cache_hit, "second submission must reuse it");
+    assert_eq!(warm.resolution, cold.resolution);
+    assert_eq!(warm.num_transfers, cold.num_transfers);
+    assert_eq!(
+        warm.objective_value.map(f64::to_bits),
+        cold.objective_value.map(f64::to_bits)
+    );
+    assert_eq!(trajectory(&warm.stats), trajectory(&cold.stats));
+
+    let stats = server.shutdown();
+    assert_eq!(stats.counter(Counter::CacheHits), 1);
+}
+
+/// Different model structures do not collide in the cache.
+#[test]
+fn distinct_structures_do_not_collide() {
+    let cache = SolveCache::new();
+    let mut transport =
+        LoopbackTransport::with_cache(ServeConfig::new().with_workers(1), cache.clone());
+    let requests = vec![
+        SolveRequest::new(comm_system(5), base_config()),
+        SolveRequest::new(comm_system(10), base_config()),
+    ];
+    let text = wire::encode_requests(&requests);
+    use letdma_serve::Transport;
+    let reply = transport.round_trip(&text).expect("round trip");
+    let responses = wire::decode_responses(&reply).expect("decode");
+    assert_eq!(responses.len(), 2);
+    assert!(responses.iter().all(|r| r.outcome.is_ok()));
+    assert_eq!(cache.len(), 2, "each structure gets its own entry");
+    assert_eq!(transport.stats().counter(Counter::CacheHits), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism regression (acceptance criterion)
+// ---------------------------------------------------------------------------
+
+/// The service is a transparent wrapper: per-scenario solver trajectories
+/// coming back from the server — including cache-hit re-solves — are
+/// identical to a direct `optimize_batch` of the same scenarios, modulo
+/// wall-clock durations.
+#[test]
+fn serve_matches_direct_optimize_batch() {
+    let scenarios: Vec<(System, OptConfig)> = vec![
+        (comm_system(5), base_config()),
+        (
+            comm_system(10),
+            base_config().with_objective(Objective::MinDelayRatio),
+        ),
+        // Same structure as the first scenario: exercises the cached
+        // formulation + presolve path against a cold direct solve.
+        (comm_system(5), base_config()),
+    ];
+
+    let direct = optimize_batch(scenarios.clone());
+
+    let mut client = Client::new(LoopbackTransport::new(ServeConfig::new().with_workers(1)));
+    let requests: Vec<SolveRequest> = scenarios
+        .into_iter()
+        .map(|(system, config)| SolveRequest::new(system, config))
+        .collect();
+    let responses = client.solve_batch(&requests).expect("loopback batch");
+    assert_eq!(responses.len(), direct.len());
+    assert_eq!(
+        client.transport().stats().counter(Counter::CacheHits),
+        1,
+        "the repeated structure must hit the cache"
+    );
+
+    for (response, outcome) in responses.iter().zip(&direct) {
+        let report = response.outcome.as_ref().expect("served solve");
+        let solution = outcome.result.as_ref().expect("direct solve");
+        assert_eq!(report.resolution, solution.resolution);
+        assert_eq!(report.num_transfers, solution.num_transfers());
+        assert_eq!(
+            report.objective_value.map(f64::to_bits),
+            solution.objective_value.map(f64::to_bits),
+            "objective must match bit-for-bit"
+        );
+        assert_eq!(
+            trajectory(&report.stats),
+            trajectory(&outcome.stats),
+            "served trajectory must be identical to the direct solve"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ordering and lifecycle
+// ---------------------------------------------------------------------------
+
+/// With several workers, responses may complete out of order, but the
+/// client re-establishes submission order; every job reaches `Done`.
+#[test]
+fn sharded_batch_returns_in_submission_order() {
+    let mut client = Client::new(LoopbackTransport::new(ServeConfig::new().with_workers(4)));
+    let requests: Vec<SolveRequest> = (0..8)
+        .map(|i| SolveRequest::new(comm_system(5 + i % 3), base_config()))
+        .collect();
+    let responses = client.solve_batch(&requests).expect("loopback batch");
+    assert_eq!(responses.len(), 8);
+    for (i, response) in responses.iter().enumerate() {
+        assert_eq!(response.job, letdma_serve::JobId(i as u64));
+        assert!(response.outcome.is_ok());
+    }
+}

@@ -67,6 +67,16 @@ grep -q '"time_breakdown"' "$smoke_out" || {
 grep -q '"factorize_ms"' "$smoke_out" || {
   echo "bench-milp time_breakdown lacks the factorize split"; exit 1; }
 
+echo "== serve smoke (workers 1 and 4, BENCH_serve schema) =="
+# The WATERS batch through the in-process solve service at 1 worker (cold
+# cache) and 4 workers (warm). `repro serve` asserts every response is a
+# full MILP solve and that the warm round hits the formulation/presolve
+# cache (CacheHits > 0), and validates the report against the
+# letdma-bench-serve/1 schema (serve_bench::validate) — a nonzero exit is
+# the failure signal (DESIGN.md §"Service architecture"). A tiny node
+# budget keeps this fast.
+cargo run --release -p letdma-bench --bin repro --offline -- serve --nodes 2
+
 echo "== fault-injection smoke (LETDMA_THREADS=1 and 4) =="
 # Arms every deterministic fault site in turn against the WATERS case and
 # asserts the resilience contract — a conformance-valid solution or a typed
