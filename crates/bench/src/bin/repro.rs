@@ -32,9 +32,11 @@
 //! simplex iterations; deterministic, so both runs visit the
 //! same trajectory), prints the iteration split and writes the
 //! machine-readable report to `--out` (default `BENCH_milp.json`, schema
-//! `letdma-bench-milp/3`; DESIGN.md §"Warm-started node re-solves" and
+//! `letdma-bench-milp/4`; DESIGN.md §"Warm-started node re-solves" and
 //! §"Sparse LU basis & pricing"). Each mode carries a `time_breakdown`
-//! block (factorize / solve / pricing wall clock). When
+//! block (factorize / solve / pricing wall clock) and a `phase1_iterations`
+//! split, and each scenario carries `crash` / `reuse` blocks measuring the
+//! two phase-1 killers (crash bases, cross-scenario root reuse). When
 //! `--baseline <path>` (default `BENCH_milp.json`) names a readable
 //! previous report, each scenario records its warm-fathom delta and
 //! wall-clock speedup against it — the re-measurement of the PR 3

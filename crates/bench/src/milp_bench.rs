@@ -31,11 +31,22 @@
 //! scenario records `wall_clock_speedup` against the `--baseline` file —
 //! the dense-inverse PR 5 numbers, which is how the basis swap's
 //! wall-clock claim in EXPERIMENTS.md is measured.
+//!
+//! The `/4` schema turns on the phase-1 accounting: each mode records
+//! `phase1_iterations` (the share of its primal iterations spent driving
+//! artificials out — the ≈99% pathology EXPERIMENTS.md documents), and
+//! each scenario gains two phase-1-killer blocks. `crash` re-runs the warm
+//! configuration with the crash-basis constructor enabled
+//! ([`OptConfig::with_crash`]) and records the bases used plus the phase-1
+//! delta against the plain warm run; `reuse` solves the scenario twice
+//! through one [`prepare`]d entry and records what the second (importing)
+//! run skipped — `phase1_iterations_saved` is the cross-scenario
+//! warm-start payoff ([`Counter::Phase1IterationsSaved`]).
 
 use std::time::{Duration, Instant};
 
 use letdma::core::{Counter, SolverStats};
-use letdma::opt::{Objective, OptConfig, Optimizer};
+use letdma::opt::{prepare, Objective, OptConfig, Optimizer};
 
 use crate::json::Json;
 use crate::waters_with_alpha;
@@ -87,6 +98,9 @@ pub struct ModeReport {
     pub nodes: u64,
     /// Primal simplex iterations (phase 1 + phase 2, all node LPs).
     pub primal_iterations: u64,
+    /// The phase-1 share of `primal_iterations`: pivots spent driving
+    /// artificial variables out of the basis before any optimization.
+    pub phase1_iterations: u64,
     /// Dual simplex iterations spent on warm re-solve attempts.
     pub dual_iterations: u64,
     /// Warm re-solves attempted.
@@ -112,6 +126,7 @@ impl ModeReport {
         Self {
             nodes: stats.counter(Counter::Nodes),
             primal_iterations: stats.counter(Counter::SimplexIterations),
+            phase1_iterations: stats.counter(Counter::Phase1Iterations),
             dual_iterations: stats.counter(Counter::DualIterations),
             warm_attempts: stats.counter(Counter::WarmAttempts),
             warm_fathoms: stats.counter(Counter::WarmFathoms),
@@ -135,6 +150,10 @@ impl ModeReport {
             (
                 "primal_iterations",
                 Json::Int(self.primal_iterations as i64),
+            ),
+            (
+                "phase1_iterations",
+                Json::Int(self.phase1_iterations as i64),
             ),
             ("dual_iterations", Json::Int(self.dual_iterations as i64)),
             (
@@ -194,6 +213,75 @@ impl PresolveReport {
     }
 }
 
+/// The crash-basis A/B of one scenario: the warm configuration re-run with
+/// [`OptConfig::with_crash`] enabled. Crash bases change pivot paths, not
+/// objective values, but under a node budget a different path may stop at
+/// a different incumbent — so this is a separate run, recorded next to the
+/// warm/cold pair rather than asserted against it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CrashReport {
+    /// LP solves that installed at least one crash column
+    /// ([`Counter::CrashBasisUsed`]).
+    pub bases_used: u64,
+    /// Phase-1 iterations of the crash-enabled run.
+    pub phase1_iterations: u64,
+    /// `warm.phase1_iterations` minus this run's; positive when the crash
+    /// basis shortened phase 1.
+    pub phase1_delta: i64,
+    /// Total (primal + dual) iterations of the crash-enabled run.
+    pub total_iterations: u64,
+}
+
+impl CrashReport {
+    fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("bases_used", Json::Int(self.bases_used as i64)),
+            (
+                "phase1_iterations",
+                Json::Int(self.phase1_iterations as i64),
+            ),
+            ("phase1_delta", Json::Int(self.phase1_delta)),
+            ("total_iterations", Json::Int(self.total_iterations as i64)),
+        ])
+    }
+}
+
+/// The cross-scenario root-reuse measurement of one scenario: the warm
+/// configuration solved twice through one [`prepare`]d cache entry. The
+/// first run donates its optimal root basis; the second imports it and
+/// skips phase 1 at the root ([`Counter::CrossScenarioWarmStarts`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReuseReport {
+    /// Root imports that landed in the second run (1 when the donor basis
+    /// transferred, 0 when it fell back cold).
+    pub cross_warm_starts: u64,
+    /// The donor phase-1 bill the import skipped
+    /// ([`Counter::Phase1IterationsSaved`]).
+    pub phase1_iterations_saved: u64,
+    /// Phase-1 iterations the importing run still paid (child LPs; 0 at
+    /// the root when the import landed).
+    pub import_phase1_iterations: u64,
+}
+
+impl ReuseReport {
+    fn to_json(self) -> Json {
+        Json::obj(vec![
+            (
+                "cross_warm_starts",
+                Json::Int(self.cross_warm_starts as i64),
+            ),
+            (
+                "phase1_iterations_saved",
+                Json::Int(self.phase1_iterations_saved as i64),
+            ),
+            (
+                "import_phase1_iterations",
+                Json::Int(self.import_phase1_iterations as i64),
+            ),
+        ])
+    }
+}
+
 /// One Table I scenario solved warm and cold.
 #[derive(Debug, Clone)]
 pub struct ScenarioReport {
@@ -209,6 +297,10 @@ pub struct ScenarioReport {
     pub cold: ModeReport,
     /// Presolve reductions and root-gap tightening for this scenario.
     pub presolve: PresolveReport,
+    /// The crash-basis A/B re-run of the warm configuration.
+    pub crash: CrashReport,
+    /// The donate-then-import root-reuse measurement.
+    pub reuse: ReuseReport,
     /// `warm.warm_fathoms` minus the same scenario's value in the baseline
     /// file this run was compared against; `None` when no baseline was
     /// available (first run, or the scenario is new).
@@ -235,6 +327,8 @@ impl ScenarioReport {
             ("warm", self.warm.to_json()),
             ("cold", self.cold.to_json()),
             ("presolve", self.presolve.to_json()),
+            ("crash", self.crash.to_json()),
+            ("reuse", self.reuse.to_json()),
             (
                 "warm_fathoms_delta",
                 self.warm_fathoms_delta.map_or(Json::Null, Json::Int),
@@ -302,6 +396,16 @@ impl MilpBench {
             .fold(None, |acc, d| Some(acc.unwrap_or(0) + d))
     }
 
+    /// Summed phase-1 iterations skipped by the root-reuse imports across
+    /// scenarios — the cross-scenario warm-start payoff.
+    #[must_use]
+    pub fn phase1_iterations_saved_total(&self) -> u64 {
+        self.scenarios
+            .iter()
+            .map(|s| s.reuse.phase1_iterations_saved)
+            .sum()
+    }
+
     /// The `BENCH_milp.json` value (schema documented in DESIGN.md
     /// §"Warm-started node re-solves").
     #[must_use]
@@ -332,6 +436,10 @@ impl MilpBench {
                         self.warm_fathoms_delta_total()
                             .map_or(Json::Null, Json::Int),
                     ),
+                    (
+                        "phase1_iterations_saved_total",
+                        Json::Int(self.phase1_iterations_saved_total() as i64),
+                    ),
                 ]),
             ),
         ])
@@ -346,7 +454,7 @@ impl MilpBench {
             self.node_limit
         ));
         out.push_str(
-            "scenario                        nodes   cold iters   warm iters (primal+dual)   saved   root-gap  fathoms(Δ)  wall clock (speedup)\n",
+            "scenario                        nodes   cold iters   warm iters (primal+dual)   saved   root-gap  fathoms(Δ)  wall clock (speedup)  phase1 (crashΔ / reuse-saved)\n",
         );
         for s in &self.scenarios {
             let delta = s
@@ -356,7 +464,7 @@ impl MilpBench {
                 .wall_clock_speedup
                 .map_or_else(|| "no baseline".into(), |x| format!("{x:.2}x"));
             out.push_str(&format!(
-                "{:<30} {:>6} {:>12} {:>12} ({:>8}+{:<7}) {:>6.1}% {:>6}bps {:>5} ({delta})  {:>9.2?} ({speedup})\n",
+                "{:<30} {:>6} {:>12} {:>12} ({:>8}+{:<7}) {:>6.1}% {:>6}bps {:>5} ({delta})  {:>9.2?} ({speedup})  {:>8} ({:+} / {})\n",
                 s.name,
                 s.warm.nodes,
                 s.cold.total_iterations(),
@@ -367,17 +475,21 @@ impl MilpBench {
                 s.presolve.root_gap_bps,
                 s.warm.warm_fathoms,
                 s.warm.wall_clock,
+                s.warm.phase1_iterations,
+                s.crash.phase1_delta,
+                s.reuse.phase1_iterations_saved,
             ));
         }
         let delta_total = self
             .warm_fathoms_delta_total()
             .map_or_else(|| "no baseline".into(), |d| format!("{d:+} vs baseline"));
         out.push_str(&format!(
-            "total: cold {} vs warm {} simplex iterations — {:.1}% saved; {} warm fathoms ({delta_total})\n",
+            "total: cold {} vs warm {} simplex iterations — {:.1}% saved; {} warm fathoms ({delta_total}); {} phase-1 iterations skipped by root reuse\n",
             self.cold_total(),
             self.warm_total(),
             self.iteration_reduction_pct(),
             self.warm_fathoms_total(),
+            self.phase1_iterations_saved_total(),
         ));
         out
     }
@@ -387,8 +499,10 @@ impl MilpBench {
 /// `/2` added per-scenario `presolve` counters and the `warm_fathoms_delta`
 /// comparison against a prior baseline file. `/3` added the per-mode
 /// `time_breakdown` block (factorize / solve / pricing wall clock) and the
-/// per-scenario `wall_clock_speedup` against the baseline file.
-pub const SCHEMA: &str = "letdma-bench-milp/3";
+/// per-scenario `wall_clock_speedup` against the baseline file. `/4` added
+/// the per-mode `phase1_iterations` split and the per-scenario `crash` and
+/// `reuse` blocks (plus `phase1_iterations_saved_total` in `totals`).
+pub const SCHEMA: &str = "letdma-bench-milp/4";
 
 fn reduction_pct(warm: u64, cold: u64) -> f64 {
     if cold == 0 {
@@ -437,6 +551,10 @@ fn baseline_warm_wall_clock_ms(baseline: &Json, name: &str) -> Option<f64> {
 /// same deterministic trajectory and their node counts agree). The warm
 /// run additionally measures the presolve root gap (one extra LP, outside
 /// the instrumented iteration counters, so the A/B stays like-for-like).
+/// Each scenario then runs three more solves for the `/4` phase-1 blocks:
+/// the warm configuration with crash bases enabled, and a donate-then-
+/// import pair through one prepared cache entry (cross-scenario root
+/// reuse).
 ///
 /// `baseline` is a previously written `BENCH_milp.json` value (the
 /// committed PR 3 numbers, typically); when given, each scenario's
@@ -460,14 +578,16 @@ pub fn run(node_limit: u64, baseline: Option<&Json>) -> MilpBench {
     ] {
         for alpha_pct in [20u32, 40] {
             let (system, _) = waters_with_alpha(alpha_pct);
-            let mode = |warm_basis: bool| -> (ModeReport, SolverStats) {
-                let config = OptConfig::new()
+            let base_config = |warm_basis: bool| {
+                OptConfig::new()
                     .with_objective(objective)
                     .without_time_limit()
                     .with_node_limit(node_limit)
                     .with_threads(1)
                     .with_warm_basis(warm_basis)
-                    .with_measure_root_gap(warm_basis);
+                    .with_measure_root_gap(warm_basis)
+            };
+            let mode = |config: OptConfig| -> (ModeReport, SolverStats) {
                 let mut stats = SolverStats::new();
                 let started = Instant::now();
                 let result = Optimizer::new(&system)
@@ -478,12 +598,47 @@ pub fn run(node_limit: u64, baseline: Option<&Json>) -> MilpBench {
                 assert!(result.is_ok(), "scenario must solve: {result:?}");
                 (ModeReport::from_stats(&stats, wall_clock), stats)
             };
-            let (warm, warm_stats) = mode(true);
-            let (cold, _) = mode(false);
+            let (warm, warm_stats) = mode(base_config(true));
+            let (cold, _) = mode(base_config(false));
             assert_eq!(
                 warm.nodes, cold.nodes,
                 "warm and cold trajectories must agree ({objective}, α={alpha_pct}%)"
             );
+
+            // Phase-1 killer #1: the same warm configuration with the
+            // crash-basis constructor enabled (a separate run — crash
+            // changes pivot paths, and under a node budget a different
+            // path may stop at a different incumbent).
+            let (crash_mode, crash_stats) = mode(base_config(true).with_crash(true));
+            let crash = CrashReport {
+                bases_used: crash_stats.counter(Counter::CrashBasisUsed),
+                phase1_iterations: crash_mode.phase1_iterations,
+                phase1_delta: warm.phase1_iterations as i64 - crash_mode.phase1_iterations as i64,
+                total_iterations: crash_mode.total_iterations(),
+            };
+
+            // Phase-1 killer #2: solve the scenario twice through one
+            // prepared cache entry — the first run donates its optimal
+            // root basis, the second imports it and skips the root's
+            // phase 1 entirely.
+            let reuse_config = base_config(true);
+            let prepared = prepare(&system, &reuse_config);
+            let donate = Optimizer::new(&system)
+                .config(reuse_config.clone())
+                .run_prepared(&prepared);
+            assert!(donate.is_ok(), "reuse donor must solve: {donate:?}");
+            let mut import_stats = SolverStats::new();
+            let import = Optimizer::new(&system)
+                .config(reuse_config)
+                .instrument(&mut import_stats)
+                .run_prepared(&prepared);
+            assert!(import.is_ok(), "reuse import must solve: {import:?}");
+            let reuse = ReuseReport {
+                cross_warm_starts: import_stats.counter(Counter::CrossScenarioWarmStarts),
+                phase1_iterations_saved: import_stats.counter(Counter::Phase1IterationsSaved),
+                import_phase1_iterations: import_stats.counter(Counter::Phase1Iterations),
+            };
+
             let name = format!("table1/alpha=0.{}/{objective}", alpha_pct / 10);
             let warm_fathoms_delta = baseline
                 .and_then(|b| baseline_warm_fathoms(b, &name))
@@ -498,6 +653,8 @@ pub fn run(node_limit: u64, baseline: Option<&Json>) -> MilpBench {
                 warm,
                 cold,
                 presolve: PresolveReport::from_stats(&warm_stats),
+                crash,
+                reuse,
                 warm_fathoms_delta,
                 wall_clock_speedup,
             });
@@ -559,6 +716,27 @@ pub fn validate(value: &Json) -> Result<(), String> {
                 return Err(format!("presolve.{key} must be an integer"));
             }
         }
+        let c = need(s, "crash")?;
+        for key in [
+            "bases_used",
+            "phase1_iterations",
+            "phase1_delta",
+            "total_iterations",
+        ] {
+            if !matches!(need(&c, key)?, Json::Int(_)) {
+                return Err(format!("crash.{key} must be an integer"));
+            }
+        }
+        let r = need(s, "reuse")?;
+        for key in [
+            "cross_warm_starts",
+            "phase1_iterations_saved",
+            "import_phase1_iterations",
+        ] {
+            if !matches!(need(&r, key)?, Json::Int(_)) {
+                return Err(format!("reuse.{key} must be an integer"));
+            }
+        }
         if !matches!(need(s, "warm_fathoms_delta")?, Json::Int(_) | Json::Null) {
             return Err("scenario warm_fathoms_delta must be an integer or null".into());
         }
@@ -570,6 +748,7 @@ pub fn validate(value: &Json) -> Result<(), String> {
             for key in [
                 "nodes",
                 "primal_iterations",
+                "phase1_iterations",
                 "dual_iterations",
                 "total_iterations",
                 "warm_attempts",
@@ -598,6 +777,7 @@ pub fn validate(value: &Json) -> Result<(), String> {
         "warm_total_iterations",
         "cold_total_iterations",
         "warm_fathoms_total",
+        "phase1_iterations_saved_total",
     ] {
         if !matches!(need(&totals, key)?, Json::Int(_)) {
             return Err(format!("totals.{key} must be an integer"));
@@ -629,6 +809,7 @@ mod tests {
                 warm: ModeReport {
                     nodes: 4,
                     primal_iterations: 60,
+                    phase1_iterations: 45,
                     dual_iterations: 10,
                     warm_attempts: 3,
                     warm_fathoms: 2,
@@ -653,6 +834,17 @@ mod tests {
                     cols_fixed: 3,
                     coeffs_tightened: 12,
                     root_gap_bps: 42,
+                },
+                crash: CrashReport {
+                    bases_used: 1,
+                    phase1_iterations: 20,
+                    phase1_delta: 25,
+                    total_iterations: 50,
+                },
+                reuse: ReuseReport {
+                    cross_warm_starts: 1,
+                    phase1_iterations_saved: 45,
+                    import_phase1_iterations: 0,
                 },
                 warm_fathoms_delta: Some(2),
                 wall_clock_speedup: Some(4.0),
@@ -699,6 +891,32 @@ mod tests {
         assert!(matches!(tb.get("factorize_ms"), Some(Json::Float(x)) if (*x - 3.0).abs() < 1e-9));
         assert!(matches!(tb.get("solve_ms"), Some(Json::Float(x)) if (*x - 5.0).abs() < 1e-9));
         assert!(matches!(tb.get("pricing_ms"), Some(Json::Float(x)) if (*x - 2.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn phase1_blocks_round_trip_through_json() {
+        let b = sample();
+        assert_eq!(b.phase1_iterations_saved_total(), 45);
+        let v = b.to_json();
+        let Json::Arr(scenarios) = v.get("scenarios").unwrap() else {
+            panic!("scenarios must be an array");
+        };
+        let warm = scenarios[0].get("warm").unwrap();
+        assert!(matches!(warm.get("phase1_iterations"), Some(Json::Int(45))));
+        let crash = scenarios[0].get("crash").unwrap();
+        assert!(matches!(crash.get("bases_used"), Some(Json::Int(1))));
+        assert!(matches!(crash.get("phase1_delta"), Some(Json::Int(25))));
+        let reuse = scenarios[0].get("reuse").unwrap();
+        assert!(matches!(reuse.get("cross_warm_starts"), Some(Json::Int(1))));
+        assert!(matches!(
+            reuse.get("phase1_iterations_saved"),
+            Some(Json::Int(45))
+        ));
+        let totals = v.get("totals").unwrap();
+        assert!(matches!(
+            totals.get("phase1_iterations_saved_total"),
+            Some(Json::Int(45))
+        ));
     }
 
     #[test]

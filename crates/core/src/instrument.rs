@@ -121,6 +121,20 @@ pub enum Counter {
     /// lifetime (reported once at shutdown, like
     /// [`RootGapBps`](Self::RootGapBps) is reported once per solve).
     QueueDepth,
+    /// Node LPs whose starting basis was built by the crash constructor
+    /// (at least one singleton structural column replaced an artificial;
+    /// see `milp::SolveOptions::with_crash`).
+    CrashBasisUsed,
+    /// Root LPs warm-started from a sibling scenario's exported root basis
+    /// (the cross-scenario reuse ladder rung; see `letdma-opt`'s
+    /// `OptConfig::with_reuse_basis`).
+    CrossScenarioWarmStarts,
+    /// Phase-1 iterations avoided by successful cross-scenario root warm
+    /// starts: the donor root LP's phase-1 count, charged once per
+    /// successful import (a deterministic proxy, like
+    /// [`WarmIterationsSaved`](Self::WarmIterationsSaved); the exact
+    /// reduction is measured by the `reuse` block in `BENCH_milp.json`).
+    Phase1IterationsSaved,
 }
 
 impl Counter {
@@ -160,6 +174,9 @@ impl Counter {
             Self::JobsRejected => "jobs rejected",
             Self::CacheHits => "cache hits",
             Self::QueueDepth => "queue depth (max)",
+            Self::CrashBasisUsed => "crash bases used",
+            Self::CrossScenarioWarmStarts => "cross-scenario warm starts",
+            Self::Phase1IterationsSaved => "phase-1 iterations saved",
         }
     }
 
@@ -202,6 +219,9 @@ impl Counter {
         Self::JobsRejected,
         Self::CacheHits,
         Self::QueueDepth,
+        Self::CrashBasisUsed,
+        Self::CrossScenarioWarmStarts,
+        Self::Phase1IterationsSaved,
     ];
 }
 
@@ -695,7 +715,7 @@ mod tests {
         }
         // Spot-pin the endpoints so an accidental truncation is loud.
         assert_eq!(Counter::ALL.first(), Some(&Counter::SimplexIterations));
-        assert_eq!(Counter::ALL.last(), Some(&Counter::QueueDepth));
+        assert_eq!(Counter::ALL.last(), Some(&Counter::Phase1IterationsSaved));
         assert_eq!(NodeEvent::ALL.last(), Some(&NodeEvent::Unresolved));
     }
 

@@ -50,6 +50,49 @@
 //! assert!(report.is_clean());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! # Warm-started batches
+//!
+//! Parameter studies solve many variants of one topology — same model
+//! *shape*, different coefficients. A [`Batch`](opt::Batch) detects that
+//! and reuses the first sibling's optimal root basis for the rest,
+//! skipping simplex phase 1 (DESIGN.md §"Warm-start architecture"):
+//! same optima, deterministic at any worker count, and
+//! [`OptConfig::with_reuse_basis(false)`](opt::OptConfig::with_reuse_basis)
+//! restores the byte-identical cold trajectory.
+//!
+//! ```
+//! use letdma::core::Counter;
+//! use letdma::prelude::*;
+//!
+//! // Three same-shape scenarios: one topology, seed-varied label sizes.
+//! let scenario = |frame: u64, state: u64| -> Result<System, ModelError> {
+//!     let mut b = SystemBuilder::new(2);
+//!     let p = b.task("p").period_ms(5).core_index(0).add()?;
+//!     let q = b.task("q").period_ms(10).core_index(0).add()?;
+//!     let c = b.task("c").period_ms(10).core_index(1).add()?;
+//!     b.label("frame").size(frame).writer(p).reader(c).add()?;
+//!     b.label("state").size(state).writer(q).reader(c).add()?;
+//!     b.label("ack").size(32).writer(c).reader(p).add()?;
+//!     b.build()
+//! };
+//!
+//! let config = OptConfig::new().with_objective(Objective::MinTransfers);
+//! let outcomes = Batch::new()
+//!     .scenario(scenario(256, 64)?, config.clone())
+//!     .scenario(scenario(512, 128)?, config.clone())
+//!     .scenario(scenario(384, 96)?, config)
+//!     .run();
+//!
+//! // The first scenario donated its optimal root basis; its siblings
+//! // imported it instead of re-deriving feasibility from scratch.
+//! let imports: u64 = outcomes
+//!     .iter()
+//!     .map(|o| o.stats.counter(Counter::CrossScenarioWarmStarts))
+//!     .sum();
+//! assert!(imports >= 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,0 +1,88 @@
+//! Crash-basis construction: singleton-column candidates for phase 1.
+//!
+//! The cold simplex start is slack-preferring already (see
+//! `SimplexSolver::initialize_artificial_basis`): a row whose slack can
+//! absorb the starting residual begins feasible and contributes nothing to
+//! phase 1. The rows that *do* feed phase 1 are the ones whose slack is
+//! boxed the wrong way — typically `≥`/`=` rows with a positive residual.
+//! The crash constructor tries to settle those rows too, with **singleton
+//! structural columns**: a column whose only nonzero sits in the defective
+//! row can be made basic without disturbing any other row, the basis matrix
+//! stays (non-unit) diagonal, and the row starts feasible if the implied
+//! value fits the column's own bounds. Selection is deterministic — larger
+//! pivot magnitude first (numerical stability), then the smaller column
+//! index — so a crashed solve is exactly reproducible.
+//!
+//! The crash is **off by default** (`LETDMA_CRASH`, see
+//! [`SolveOptions::with_crash`](crate::SolveOptions::with_crash)): it
+//! changes pivot paths and possibly which optimal vertex is reached, never
+//! objective values, and the byte-identical trajectory regressions pin the
+//! default path. The crash-on/off differential tests pin the value
+//! invariance.
+
+use crate::simplex::Column;
+
+/// For each row, the singleton structural columns that could serve as its
+/// crash basis entry, as `(column, coefficient)` pairs sorted by
+/// decreasing pivot magnitude (ties broken by the smaller column index).
+/// Columns whose coefficient magnitude is at or below `min_pivot` are
+/// excluded — a near-singular diagonal would poison every `ftran`.
+///
+/// The bounds test (does the implied value fit the column's bounds?)
+/// happens at install time in the simplex, which knows the row residuals;
+/// this scan is a pure function of the matrix.
+pub(crate) fn singleton_candidates(
+    cols: &[Column],
+    n_struct: usize,
+    m: usize,
+    min_pivot: f64,
+) -> Vec<Vec<(usize, f64)>> {
+    let mut by_row: Vec<Vec<(usize, f64)>> = vec![Vec::new(); m];
+    for (j, col) in cols.iter().enumerate().take(n_struct) {
+        if let [(i, a)] = col.as_slice() {
+            if a.abs() > min_pivot {
+                by_row[*i].push((j, *a));
+            }
+        }
+    }
+    for candidates in &mut by_row {
+        candidates.sort_by(|&(j1, a1), &(j2, a2)| {
+            a2.abs()
+                .partial_cmp(&a1.abs())
+                .expect("pivot magnitudes are finite")
+                .then(j1.cmp(&j2))
+        });
+    }
+    by_row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_finds_singletons_and_orders_them() {
+        // 2 rows, 4 structural columns: j0 singleton in row 0 (a=2), j1
+        // singleton in row 0 (a=-5), j2 spans both rows, j3 singleton in
+        // row 1 but below the pivot floor.
+        let cols: Vec<Column> = vec![
+            vec![(0, 2.0)],
+            vec![(0, -5.0)],
+            vec![(0, 1.0), (1, 1.0)],
+            vec![(1, 1e-12)],
+        ];
+        let by_row = singleton_candidates(&cols, 4, 2, 1e-9);
+        assert_eq!(by_row[0], vec![(1, -5.0), (0, 2.0)], "magnitude order");
+        assert!(by_row[1].is_empty(), "sub-pivot singleton excluded");
+    }
+
+    #[test]
+    fn scan_ignores_non_structural_columns() {
+        // Only the first `n_struct` columns are candidates: slack and
+        // artificial columns are singletons by construction and must not
+        // be reported.
+        let cols: Vec<Column> = vec![vec![(0, 3.0)], vec![(0, 1.0)]];
+        let by_row = singleton_candidates(&cols, 1, 1, 1e-9);
+        assert_eq!(by_row[0], vec![(0, 3.0)]);
+    }
+}

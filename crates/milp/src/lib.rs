@@ -57,10 +57,11 @@
 //! external solvers — see [`Model::to_lp_format`].
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod basis;
+pub mod crash;
 mod expr;
 mod lp_format;
 mod model;
@@ -76,7 +77,8 @@ pub use presolve::{Lift, LiftEntry, PresolveInfeasible, PresolveStats, Presolved
 pub use pricing::{Pricing, PricingRule};
 pub use simplex::{WarmBasis, WarmOutcome};
 pub use solver::{
-    MilpSolution, SolveError, SolveOptions, SolveStats, SolveStatus, Solver, WorkerLoad,
+    MilpSolution, RootBasisSlot, SolveError, SolveOptions, SolveStats, SolveStatus, Solver,
+    WorkerLoad,
 };
 
 #[cfg(test)]

@@ -99,7 +99,7 @@ enum ColStatus {
 }
 
 /// Sparse column: (row, coefficient) pairs.
-type Column = Vec<(usize, f64)>;
+pub(crate) type Column = Vec<(usize, f64)>;
 
 /// The computational-form LP plus simplex state.
 pub struct SimplexSolver {
@@ -181,6 +181,17 @@ pub struct SimplexSolver {
     pub time_solve: Duration,
     /// Wall-clock spent choosing entering variables (reduced-cost scans).
     pub time_pricing: Duration,
+    /// Runs the crash-basis constructor before phase 1 (see
+    /// [`crate::crash`]): rows whose slack cannot absorb the starting
+    /// residual try a singleton structural column before falling back to an
+    /// artificial. Off by default — the crash changes pivot paths (never
+    /// values), and the byte-identical trajectory regressions pin the
+    /// default path.
+    pub crash: bool,
+    /// Structural columns the crash constructor placed into the starting
+    /// basis of the most recent [`solve`](Self::solve) (zero when the
+    /// crash is off or no row qualified).
+    pub crash_columns: u64,
 }
 
 impl std::fmt::Debug for SimplexSolver {
@@ -351,6 +362,8 @@ impl SimplexSolver {
             time_factorize: Duration::ZERO,
             time_solve: Duration::ZERO,
             time_pricing: Duration::ZERO,
+            crash: false,
+            crash_columns: 0,
         }
     }
 
@@ -386,7 +399,17 @@ impl SimplexSolver {
         if self.m == 0 {
             return self.solve_unconstrained();
         }
-        self.initialize_artificial_basis();
+        if !self.initialize_artificial_basis() {
+            // The crash diagonal failed to refactorize (a true diagonal
+            // never does; reachable through fault injection): rebuild the
+            // plain slack/artificial basis and run without the crash.
+            let crash = std::mem::replace(&mut self.crash, false);
+            let ok = self.initialize_artificial_basis();
+            self.crash = crash;
+            if !ok {
+                return LpOutcome::Numerical;
+            }
+        }
 
         // Phase 1: minimize the sum of artificials.
         let mut phase1_cost = vec![0.0; self.n];
@@ -480,8 +503,17 @@ impl SimplexSolver {
     }
 
     /// Puts every non-artificial column at its bound nearest zero, then
-    /// builds the all-artificial starting basis (identity, so `B⁻¹ = I`).
-    fn initialize_artificial_basis(&mut self) {
+    /// builds the starting basis: per row, the slack when it can absorb
+    /// the residual (slack-preferring — most rows of a typical model start
+    /// feasible this way), else — with [`crash`](Self::crash) on — a
+    /// singleton structural column whose implied value fits its bounds
+    /// (see [`crate::crash`]), else one sign-matched artificial.
+    ///
+    /// Returns `false` only when a crash basis failed to refactorize (the
+    /// caller rebuilds without the crash); the crash-free basis is a ±1
+    /// diagonal and always succeeds.
+    #[must_use]
+    fn initialize_artificial_basis(&mut self) -> bool {
         let m = self.m;
         for j in 0..self.n_struct + m {
             let (l, u) = (self.lower[j], self.upper[j]);
@@ -516,6 +548,12 @@ impl SimplexSolver {
                 }
             }
         }
+        let crash_candidates = if self.crash {
+            crate::crash::singleton_candidates(&self.cols, self.n_struct, m, self.min_pivot)
+        } else {
+            Vec::new()
+        };
+        self.crash_columns = 0;
         self.basis = Vec::with_capacity(m);
         let mut signs = vec![0.0; m];
         for i in 0..m {
@@ -535,19 +573,47 @@ impl SimplexSolver {
                 self.x[s] = defect;
                 self.basis.push(s);
                 signs[i] = 1.0;
-            } else {
-                // Keep the slack parked; an artificial absorbs the rest.
-                let rest = residual[i];
-                let (chosen, binv_sign) = if rest >= 0.0 { (p, 1.0) } else { (q, -1.0) };
-                self.status[chosen] = ColStatus::Basic(i);
-                self.x[chosen] = rest.abs();
-                self.basis.push(chosen);
-                // Column of q is −e_i, so B⁻¹ row is −e_i when q is basic.
-                signs[i] = binv_sign;
+                continue;
             }
+            // Crash: a singleton structural column absorbs the residual
+            // when its implied value fits inside its own bounds — the row
+            // then starts feasible instead of feeding phase 1.
+            let crash_col = crash_candidates
+                .get(i)
+                .into_iter()
+                .flatten()
+                .find_map(|&(j, a)| {
+                    let v = residual[i] / a + self.x[j];
+                    (v.is_finite() && v >= self.lower[j] && v <= self.upper[j]).then_some((j, v))
+                });
+            if let Some((j, v)) = crash_col {
+                self.status[j] = ColStatus::Basic(i);
+                self.x[j] = v;
+                self.basis.push(j);
+                // The diagonal entry is a_ij ≠ ±1: the basis is rebuilt by
+                // a full refactorization below instead of the ±1 reset.
+                self.crash_columns += 1;
+                continue;
+            }
+            // Keep the slack parked; an artificial absorbs the rest.
+            let rest = residual[i];
+            let (chosen, binv_sign) = if rest >= 0.0 { (p, 1.0) } else { (q, -1.0) };
+            self.status[chosen] = ColStatus::Basic(i);
+            self.x[chosen] = rest.abs();
+            self.basis.push(chosen);
+            // Column of q is −e_i, so B⁻¹ row is −e_i when q is basic.
+            signs[i] = binv_sign;
         }
-        self.basis_inv.reset(&signs);
+        if self.crash_columns > 0 {
+            self.basis_inv.reset(&vec![1.0; m]);
+            if !self.refactorize() {
+                return false;
+            }
+        } else {
+            self.basis_inv.reset(&signs);
+        }
         self.iterations = 0;
+        true
     }
 
     /// Runs primal pivoting until optimal/unbounded for the given cost.
@@ -850,6 +916,7 @@ impl SimplexSolver {
             status: self.status.clone(),
             n_struct: self.n_struct,
             iterations: self.iterations,
+            phase1_iterations: self.phase1_iterations,
         }
     }
 
@@ -960,6 +1027,123 @@ impl SimplexSolver {
             }
         }
         self.dual_optimize(&cost, cutoff)
+    }
+
+    /// Attempts a **primal** warm start from another scenario's root-basis
+    /// snapshot, skipping phase 1 entirely: the donor basis is installed,
+    /// the basic values are recomputed against *this* model's data, and —
+    /// if they land inside their bounds — phase 2 runs directly from that
+    /// point. `None` means the basis could not be installed feasibly
+    /// (shape mismatch, singular refactorization, or primal infeasibility
+    /// on this model's data) and the caller must solve cold; the attempt
+    /// leaves no observable state beyond the work counters, so the cold
+    /// fallback is exactly a from-scratch [`solve`](Self::solve).
+    ///
+    /// This is the cross-scenario rung of the warm ladder (see DESIGN.md
+    /// §"Warm-start architecture"): where [`warm_resolve`]
+    /// (dual, value-free) serves branch-and-bound children under a known
+    /// cutoff, `solve_from_basis` serves *sibling scenarios* at the root,
+    /// where no cutoff exists and full primal values are required. On a
+    /// resubmission of the same structure the donor's optimal basis is
+    /// primal feasible by construction and phase 2 terminates in a
+    /// handful of iterations; on an α-sibling (same shape, scaled data)
+    /// the install is opportunistic.
+    ///
+    /// [`warm_resolve`]: Self::warm_resolve
+    pub fn solve_from_basis(&mut self, warm: &WarmBasis) -> Option<LpOutcome> {
+        let m = self.m;
+        if m == 0
+            || warm.basis.len() != m
+            || warm.status.len() != self.n
+            || warm.n_struct != self.n_struct
+        {
+            return None;
+        }
+        // Close the artificials exactly like the cold path does after
+        // phase 1: the donor basis never contains an open artificial.
+        for j in self.artificial_columns().collect::<Vec<_>>() {
+            self.upper[j] = 0.0;
+        }
+        self.basis.clone_from(&warm.basis);
+        self.status.clone_from(&warm.status);
+        for (i, &bj) in self.basis.iter().enumerate() {
+            if self.status[bj] != ColStatus::Basic(i) {
+                return None;
+            }
+        }
+        // Nonbasic columns rest on *this* model's bounds.
+        for j in 0..self.n {
+            self.x[j] = match self.status[j] {
+                ColStatus::Basic(_) => continue,
+                ColStatus::AtLower => self.lower[j],
+                ColStatus::AtUpper => self.upper[j],
+                ColStatus::FreeZero => 0.0,
+            };
+            if !self.x[j].is_finite() {
+                return None;
+            }
+        }
+        // Rebuild B⁻¹ from scratch for the imported basis.
+        self.basis_inv.reset(&vec![1.0; m]);
+        if !self.refactorize() {
+            return None;
+        }
+        // x_B = B⁻¹ (b − N x_N).
+        let mut resid = self.b.clone();
+        for j in 0..self.n {
+            if matches!(self.status[j], ColStatus::Basic(_)) {
+                continue;
+            }
+            let v = self.x[j];
+            if v != 0.0 {
+                for &(i, a) in &self.cols[j] {
+                    resid[i] -= a * v;
+                }
+            }
+        }
+        let resid: Vec<(usize, f64)> = resid
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| v != 0.0)
+            .map(|(i, &v)| (i, v))
+            .collect();
+        let mut xb = vec![0.0; m];
+        let t0 = Instant::now();
+        self.basis_inv.ftran(&resid, &mut xb);
+        self.time_solve += t0.elapsed();
+        self.ftran_calls += 1;
+        for (i, &bj) in self.basis.iter().enumerate() {
+            if !xb[i].is_finite() {
+                return None;
+            }
+            self.x[bj] = xb[i];
+        }
+        // Primal feasibility of the imported basis on this model's data.
+        // EPS-scale violations are tolerated: the primal ratio test clamps
+        // negative ratios to zero, so a basic value resting a hair outside
+        // its bound is repaired by a degenerate pivot, exactly as after a
+        // cold phase 1.
+        for &bj in &self.basis {
+            let v = self.x[bj];
+            let tol = EPS * (1.0 + v.abs());
+            if v < self.lower[bj] - tol || v > self.upper[bj] + tol {
+                return None;
+            }
+        }
+        // Phase 2 straight away: phase 1 was never entered.
+        self.iterations = 0;
+        self.phase1_iterations = 0;
+        let cost = self.cost.clone();
+        Some(match self.optimize(&cost) {
+            PivotResult::Optimal => LpOutcome::Optimal {
+                values: self.x[..self.n_struct].to_vec(),
+                objective: self.current_objective(),
+            },
+            PivotResult::Unbounded => LpOutcome::Unbounded,
+            PivotResult::IterationLimit => LpOutcome::IterationLimit,
+            PivotResult::TimedOut => LpOutcome::TimedOut,
+            PivotResult::Numerical => LpOutcome::Numerical,
+        })
     }
 
     /// Structural values and basis columns of the current point (debug
@@ -1303,6 +1487,7 @@ pub struct WarmBasis {
     status: Vec<ColStatus>,
     n_struct: usize,
     iterations: u64,
+    phase1_iterations: u64,
 }
 
 impl WarmBasis {
@@ -1312,6 +1497,15 @@ impl WarmBasis {
     #[must_use]
     pub fn iterations(&self) -> u64 {
         self.iterations
+    }
+
+    /// Phase-1 iterations the snapshotted solve spent — the deterministic
+    /// proxy for what a successful cross-scenario root import of this
+    /// basis saves (the import skips phase 1 entirely; see
+    /// [`SimplexSolver::solve_from_basis`]).
+    #[must_use]
+    pub fn phase1_iterations(&self) -> u64 {
+        self.phase1_iterations
     }
 }
 

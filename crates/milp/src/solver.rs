@@ -38,7 +38,7 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use letdma_core::env::{resolve_flag, resolve_override, PRESOLVE_ENV, REFACTOR_ENV};
+use letdma_core::env::{resolve_flag, resolve_override, CRASH_ENV, PRESOLVE_ENV, REFACTOR_ENV};
 use letdma_core::fault::{self, FaultSite};
 use letdma_core::instrument::{
     timed_phase, Counter, IncumbentRecord, Instrument, NodeEvent, NoopInstrument,
@@ -136,6 +136,15 @@ pub struct SolveOptions {
     /// ([`PricingRule::Partial`]). Resolved once per solve; the rule never
     /// changes *which* optimum is found, only the pivot path to it.
     pub pricing: Option<PricingRule>,
+    /// Run the crash-basis constructor ([`crate::crash`]) before phase 1
+    /// of every cold node LP: rows whose slack cannot absorb the starting
+    /// residual try a singleton structural column before an artificial, so
+    /// fewer rows feed phase 1. `None` (default) defers to the
+    /// `LETDMA_CRASH` environment variable, else **off** — the crash
+    /// changes pivot paths and possibly which optimal vertex is returned
+    /// (never the objective), so the byte-identical trajectory regressions
+    /// pin the crash-free default. Resolved once per solve.
+    pub crash: Option<bool>,
     /// Absolute wall-clock deadline for the whole solve. Checked before
     /// any presolve or simplex work: an already-expired deadline returns
     /// [`SolveError::DeadlineExpired`] without touching the model.
@@ -169,6 +178,7 @@ impl Default for SolveOptions {
             basis: None,
             refactor_interval: None,
             pricing: None,
+            crash: None,
             deadline: None,
         }
     }
@@ -296,6 +306,15 @@ impl SolveOptions {
         self
     }
 
+    /// Explicitly enables or disables the crash-basis constructor
+    /// (overriding the `LETDMA_CRASH` environment variable; see
+    /// [`crash`](Self::crash)).
+    #[must_use]
+    pub fn with_crash(mut self, crash: bool) -> Self {
+        self.crash = Some(crash);
+        self
+    }
+
     /// Sets an absolute wall-clock deadline (see
     /// [`deadline`](Self::deadline)).
     #[must_use]
@@ -313,6 +332,7 @@ struct LpConfig {
     basis: BasisKind,
     pricing: PricingRule,
     refactor_interval: u64,
+    crash: bool,
 }
 
 impl LpConfig {
@@ -321,22 +341,115 @@ impl LpConfig {
         let pricing = PricingRule::resolve(options.pricing);
         let refactor_interval = resolve_override(REFACTOR_ENV, options.refactor_interval)
             .unwrap_or_else(|| basis.instantiate().default_refactor_interval());
+        let crash = resolve_flag(CRASH_ENV, options.crash, false);
         Self {
             basis,
             pricing,
             refactor_interval,
+            crash,
         }
     }
 
     /// Builds a node LP solver on this configuration.
     fn solver(&self, model: &Model) -> SimplexSolver {
-        SimplexSolver::from_model_configured(
+        let mut solver = SimplexSolver::from_model_configured(
             model,
             self.basis,
             self.pricing,
             Some(self.refactor_interval),
-        )
+        );
+        solver.crash = self.crash;
+        solver
     }
+}
+
+/// A once-written, many-read slot through which sibling scenarios share a
+/// root-basis snapshot (the cross-scenario rung of the warm ladder; see
+/// DESIGN.md §"Warm-start architecture").
+///
+/// The **donor** solve publishes its root LP's optimal basis through
+/// [`Solver::root_export`] (or `publish(None)` when the root never reached
+/// an exportable basis — the owner of the slot must guarantee a publish so
+/// waiters cannot hang). **Beneficiary** solves pass the published basis to
+/// [`Solver::root_import`], after reading it with [`wait`](Self::wait)
+/// (deterministic batch pipelines, where the donor is known to be running)
+/// or [`get`](Self::get) (opportunistic serve reuse, which never blocks a
+/// request on another one).
+///
+/// The first publish wins and later publishes are ignored, so racing
+/// donors are harmless: every reader observes the same basis forever.
+pub struct RootBasisSlot {
+    state: std::sync::Mutex<Option<Option<Arc<WarmBasis>>>>,
+    cond: std::sync::Condvar,
+}
+
+impl fmt::Debug for RootBasisSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = self.state.lock().expect("slot poisoned");
+        f.debug_struct("RootBasisSlot")
+            .field("published", &state.is_some())
+            .field(
+                "basis",
+                &state.as_ref().map(|b| b.is_some()).unwrap_or(false),
+            )
+            .finish()
+    }
+}
+
+impl Default for RootBasisSlot {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RootBasisSlot {
+    /// An empty (unpublished) slot.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            state: std::sync::Mutex::new(None),
+            cond: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Publishes the donor's root basis (or `None` when the donor's root
+    /// LP produced no exportable basis) and wakes every waiter. The first
+    /// publish wins; later calls are ignored.
+    pub fn publish(&self, basis: Option<Arc<WarmBasis>>) {
+        let mut state = self.state.lock().expect("slot poisoned");
+        if state.is_none() {
+            *state = Some(basis);
+            self.cond.notify_all();
+        }
+    }
+
+    /// Non-blocking read: `None` while unpublished, otherwise the
+    /// published value (which is itself `None` for a failed donor).
+    #[must_use]
+    pub fn get(&self) -> Option<Option<Arc<WarmBasis>>> {
+        self.state.lock().expect("slot poisoned").clone()
+    }
+
+    /// Blocks until the donor publishes, then returns the published basis
+    /// (`None` for a failed donor). Only safe where the donor is known to
+    /// be running or finished — the deterministic batch pipeline
+    /// guarantees this by dispensing the donor before its beneficiaries.
+    #[must_use]
+    pub fn wait(&self) -> Option<Arc<WarmBasis>> {
+        let mut state = self.state.lock().expect("slot poisoned");
+        while state.is_none() {
+            state = self.cond.wait(state).expect("slot poisoned");
+        }
+        state.as_ref().expect("just checked").clone()
+    }
+}
+
+/// The cross-scenario root hooks of one solve, threaded from the
+/// [`Solver`] builder down to the branch-and-bound root node.
+#[derive(Default)]
+struct RootHooks {
+    import: Option<Arc<WarmBasis>>,
+    export: Option<Arc<RootBasisSlot>>,
 }
 
 /// How good the returned solution is.
@@ -668,6 +781,8 @@ impl Model {
             options: SolveOptions::default(),
             instrument: None,
             reduction: None,
+            root_import: None,
+            root_export: None,
         }
     }
 }
@@ -712,6 +827,7 @@ fn solve_entry(
     model: &Model,
     options: &SolveOptions,
     reduction: Option<&presolve::Presolved>,
+    root: RootHooks,
     instrument: &mut dyn Instrument,
 ) -> Result<MilpSolution, SolveError> {
     let adjusted;
@@ -735,7 +851,7 @@ fn solve_entry(
         }
         None => {
             if !resolve_flag(PRESOLVE_ENV, options.presolve, true) {
-                return BranchAndBound::new(model, options, instrument).run();
+                return BranchAndBound::new(model, options, root, instrument).run();
             }
             live = match timed_phase(instrument, "presolve", |_| {
                 presolve::presolve(model, options.integrality_tol)
@@ -785,7 +901,7 @@ fn solve_entry(
         .warm_start
         .as_ref()
         .and_then(|w| red.lift.project_values(w, options.integrality_tol));
-    let sol = BranchAndBound::new(&red.model, &reduced_options, instrument).run()?;
+    let sol = BranchAndBound::new(&red.model, &reduced_options, root, instrument).run()?;
     let values = red.lift.lift_values(&sol.values);
     // Re-evaluate on the original objective: bit-equal to the reduced
     // objective up to the substituted constant, and exact in the caller's
@@ -835,6 +951,8 @@ pub struct Solver<'m, 'i> {
     options: SolveOptions,
     instrument: Option<&'i mut dyn Instrument>,
     reduction: Option<Arc<presolve::Presolved>>,
+    root_import: Option<Arc<WarmBasis>>,
+    root_export: Option<Arc<RootBasisSlot>>,
 }
 
 impl fmt::Debug for Solver<'_, '_> {
@@ -843,6 +961,8 @@ impl fmt::Debug for Solver<'_, '_> {
             .field("options", &self.options)
             .field("instrumented", &self.instrument.is_some())
             .field("cached_reduction", &self.reduction.is_some())
+            .field("root_import", &self.root_import.is_some())
+            .field("root_export", &self.root_export.is_some())
             .finish_non_exhaustive()
     }
 }
@@ -935,6 +1055,37 @@ impl<'m, 'i> Solver<'m, 'i> {
         self
     }
 
+    /// Attempts a cross-scenario **primal warm start of the root LP** from
+    /// a sibling scenario's exported basis (see [`RootBasisSlot`]): the
+    /// donor basis is installed on the (presolved) root, and — when it is
+    /// primal feasible on this model's data — phase 2 runs directly from
+    /// it, skipping phase 1 entirely. An install that fails for any reason
+    /// (shape mismatch, infeasibility, numerics) falls back to the cold
+    /// primal root, so the returned *solution* is identical either way;
+    /// the *pivot path* (and hence the trajectory) differs, which is why
+    /// the reuse layers expose an off switch that restores byte-identical
+    /// cold trajectories.
+    ///
+    /// The snapshot must come from a solve of a model with the same
+    /// (presolved) shape — in practice, from a [`Solver::root_export`] of
+    /// a sibling prepared under the same presolve resolution.
+    pub fn root_import(mut self, basis: Arc<WarmBasis>) -> Self {
+        self.root_import = Some(basis);
+        self
+    }
+
+    /// Publishes this solve's optimal root basis into `slot` right after
+    /// the root LP solves (before any branching), making this solve the
+    /// **donor** of a cross-scenario reuse group. When the root never
+    /// reaches an exportable basis (infeasible, unbounded, timed out, or
+    /// basis capture disabled) nothing is published — the slot's owner
+    /// must seal it with [`RootBasisSlot::publish`]`(None)` after the
+    /// solve returns so waiters cannot hang.
+    pub fn root_export(mut self, slot: Arc<RootBasisSlot>) -> Self {
+        self.root_export = Some(slot);
+        self
+    }
+
     /// Attaches a progress observer (counters, node events, the incumbent
     /// timeline).
     pub fn instrument<'j>(self, instrument: &'j mut dyn Instrument) -> Solver<'m, 'j> {
@@ -943,6 +1094,8 @@ impl<'m, 'i> Solver<'m, 'i> {
             options: self.options,
             instrument: Some(instrument),
             reduction: self.reduction,
+            root_import: self.root_import,
+            root_export: self.root_export,
         }
     }
 
@@ -967,6 +1120,10 @@ impl<'m, 'i> Solver<'m, 'i> {
             self.model,
             &self.options,
             self.reduction.as_deref(),
+            RootHooks {
+                import: self.root_import,
+                export: self.root_export,
+            },
             instrument,
         )
     }
@@ -1015,6 +1172,16 @@ struct LpShard {
     warm_iterations_saved: u64,
     tolerance_escalations: u64,
     numerical_recoveries: u64,
+    /// LP solves whose phase-1 start installed at least one crash column
+    /// (see [`crate::crash`]; zero unless the crash is enabled).
+    crash_used: u64,
+    /// Cross-scenario root warm starts: attempts to start the root LP from
+    /// a donor scenario's optimal basis, how many settled the root without
+    /// phase 1, and the donor's phase-1 iteration bill that each hit
+    /// avoided (see [`Solver::root_import`]).
+    cross_attempts: u64,
+    cross_hits: u64,
+    phase1_saved: u64,
     ftran_calls: u64,
     btran_calls: u64,
     pricing_candidates: u64,
@@ -1171,6 +1338,7 @@ fn solve_node_lp(
     shard.pivots += lp.pivots();
     shard.bound_flips += lp.bound_flips;
     shard.refactorizations += lp.refactorizations();
+    shard.crash_used += u64::from(lp.crash_columns > 0);
     shard.absorb_lp(&lp);
     if matches!(outcome, LpOutcome::Numerical) {
         // Numerical recovery: rebuild the solver from scratch (which *is*
@@ -1195,6 +1363,7 @@ fn solve_node_lp(
         shard.pivots += retry.pivots();
         shard.bound_flips += retry.bound_flips;
         shard.refactorizations += retry.refactorizations();
+        shard.crash_used += u64::from(retry.crash_columns > 0);
         shard.absorb_lp(&retry);
         if !matches!(outcome, LpOutcome::Numerical) {
             shard.numerical_recoveries = 1;
@@ -1279,12 +1448,19 @@ struct BranchAndBound<'a> {
     worker_loads: Vec<WorkerLoad>,
     /// Panics caught by the worker-isolation guards during this solve.
     panics: u64,
+    /// Cross-scenario root warm start: a donor scenario's optimal root
+    /// basis to try before the cold root solve, and the slot (if any) to
+    /// publish this solve's own root basis into. See
+    /// [`Solver::root_import`] / [`Solver::root_export`].
+    root_import: Option<Arc<WarmBasis>>,
+    root_export: Option<Arc<RootBasisSlot>>,
 }
 
 impl<'a> BranchAndBound<'a> {
     fn new(
         model: &'a Model,
         options: &'a SolveOptions,
+        root: RootHooks,
         instrument: &'a mut dyn Instrument,
     ) -> Self {
         let scale = match model.objective_sense() {
@@ -1321,6 +1497,8 @@ impl<'a> BranchAndBound<'a> {
             node_seq: 0,
             worker_loads: Vec::new(),
             panics: 0,
+            root_import: root.import,
+            root_export: root.export,
         }
     }
 
@@ -1452,7 +1630,7 @@ impl<'a> BranchAndBound<'a> {
         self.pivots += shard.pivots;
         self.bound_flips += shard.bound_flips;
         self.refactorizations += shard.refactorizations;
-        if shard.lp_solves > 0 || shard.warm_attempts > 0 {
+        if shard.lp_solves > 0 || shard.warm_attempts > 0 || shard.cross_attempts > 0 {
             self.instrument.count(Counter::LpSolves, shard.lp_solves);
             self.instrument
                 .count(Counter::SimplexIterations, shard.iterations);
@@ -1497,6 +1675,16 @@ impl<'a> BranchAndBound<'a> {
             self.instrument
                 .count(Counter::WarmIterationsSaved, shard.warm_iterations_saved);
         }
+        if shard.crash_used > 0 {
+            self.instrument
+                .count(Counter::CrashBasisUsed, shard.crash_used);
+        }
+        if shard.cross_attempts > 0 {
+            self.instrument
+                .count(Counter::CrossScenarioWarmStarts, shard.cross_hits);
+            self.instrument
+                .count(Counter::Phase1IterationsSaved, shard.phase1_saved);
+        }
     }
 
     /// Solves one node LP inline on the coordinator, charging the work to
@@ -1527,6 +1715,65 @@ impl<'a> BranchAndBound<'a> {
         load.refactorizations += shard.refactorizations;
         load.busy += t0.elapsed();
         (lp, shard)
+    }
+
+    /// Attempts the cross-scenario *primal* warm start at the root:
+    /// install a donor scenario's optimal basis on this model, verify the
+    /// implied point is primal feasible under this model's bounds, and run
+    /// phase 2 only (see [`SimplexSolver::solve_from_basis`]).
+    ///
+    /// `None` means the basis did not transfer — shape mismatch, a bound
+    /// change made the donor vertex infeasible, a singular
+    /// refactorization, or a numerical breakdown in phase 2 — and the
+    /// caller must run the cold root solve exactly as if no donor existed,
+    /// so the search *consequences* of a failed import are identical to
+    /// never attempting it. The attempt is recorded in the returned shard
+    /// either way.
+    fn solve_root_import(&mut self, basis: &WarmBasis) -> (Option<PureLp>, LpShard) {
+        let t0 = Instant::now();
+        let mut shard = LpShard {
+            cross_attempts: 1,
+            ..LpShard::default()
+        };
+        let mut lp = self.lp_config.solver(self.model);
+        lp.deadline = self.deadline();
+        let outcome = lp.solve_from_basis(basis);
+        shard.lp_solves = u64::from(outcome.is_some());
+        shard.iterations = lp.iterations;
+        shard.phase1_iterations = lp.phase1_iterations;
+        shard.pivots = lp.pivots();
+        shard.bound_flips = lp.bound_flips;
+        shard.refactorizations = lp.refactorizations();
+        shard.absorb_lp(&lp);
+        let settled = match outcome {
+            Some(LpOutcome::Optimal { values, objective }) => {
+                shard.cross_hits = 1;
+                // What the hit avoided: the donor's phase-1 bill for the
+                // same structure (phase 2 still ran, and is counted).
+                shard.phase1_saved = basis.phase1_iterations();
+                Some(PureLp::Solved {
+                    values,
+                    min_obj: self.scale * objective,
+                    warm: self.options.warm_basis.then(|| lp.snapshot()),
+                })
+            }
+            // A genuine phase-2 certificate or brake from a feasible
+            // start: as trustworthy as the cold path's.
+            Some(LpOutcome::Unbounded) => Some(PureLp::Unbounded),
+            Some(LpOutcome::TimedOut) => Some(PureLp::TimedOut),
+            // Install failure, iteration limit, numerical breakdown, or an
+            // (unreachable from a feasible start) infeasibility claim:
+            // distrust the import and fall back cold.
+            _ => None,
+        };
+        let load = self.worker_load_mut(0);
+        load.jobs += 1;
+        load.lp_iterations += shard.iterations;
+        load.pivots += shard.pivots;
+        load.bound_flips += shard.bound_flips;
+        load.refactorizations += shard.refactorizations;
+        load.busy += t0.elapsed();
+        (settled, shard)
     }
 
     fn run(mut self) -> Result<MilpSolution, SolveError> {
@@ -1570,7 +1817,21 @@ impl<'a> BranchAndBound<'a> {
         } else {
             self.nodes += 1;
             self.instrument.count(Counter::Nodes, 1);
-            let (lp, shard) = self.solve_inline(&[], None);
+            let (lp, shard) = match self.root_import.take() {
+                Some(basis) => {
+                    let (settled, import_shard) = self.solve_root_import(&basis);
+                    match settled {
+                        Some(lp) => (lp, import_shard),
+                        None => {
+                            // Count the failed attempt, then run the cold
+                            // root exactly as a donor-less solve would.
+                            self.absorb_shard(&import_shard);
+                            self.solve_inline(&[], None)
+                        }
+                    }
+                }
+                None => self.solve_inline(&[], None),
+            };
             self.absorb_shard(&shard);
             match lp {
                 PureLp::Infeasible => {
@@ -1610,6 +1871,13 @@ impl<'a> BranchAndBound<'a> {
                     min_obj,
                     warm,
                 } => {
+                    // Publish the optimal root basis for sibling scenarios
+                    // of the same structure. `None` (warm capture off)
+                    // still seals the slot so beneficiaries fall back to
+                    // cold solves instead of blocking.
+                    if let Some(slot) = &self.root_export {
+                        slot.publish(warm.as_ref().map(|w| Arc::new(w.clone())));
+                    }
                     self.root_bound = Some(min_obj);
                     self.process_lp(values, min_obj, Vec::new(), 0, warm);
                 }
@@ -2457,14 +2725,162 @@ mod tests {
             .with_threads(0)
             .with_deterministic(false)
             .with_speculation(0)
-            .with_warm_basis(false);
+            .with_warm_basis(false)
+            .with_crash(true);
         assert_eq!(o.time_limit, Some(Duration::from_secs(7)));
         assert_eq!(o.node_limit, Some(9));
         assert_eq!(o.threads, Some(1), "threads clamp to ≥ 1");
         assert_eq!(o.speculation, 1, "speculation clamps to ≥ 1");
         assert!(!o.deterministic);
         assert!(!o.warm_basis);
+        assert_eq!(o.crash, Some(true));
         assert!(SolveOptions::new().warm_basis, "warm re-solves default on");
+        assert_eq!(SolveOptions::new().crash, None, "crash defers to the env");
+    }
+
+    /// A model whose `≥` rows feed phase 1 from a cold start but carry
+    /// singleton structural columns the crash can settle instead: `x`
+    /// appears only in `r1`, `z` only in `r2`.
+    fn crashable_model() -> Model {
+        let mut m = Model::new();
+        let x = m.add_continuous("x", 0.0, 10.0);
+        let y = m.add_integer("y", 0.0, 10.0);
+        let z = m.add_continuous("z", 0.0, 10.0);
+        m.add_constraint("r1", (2.0 * x + y).ge(4.0));
+        m.add_constraint("r2", (y + 3.0 * z).ge(6.0));
+        m.set_objective(ObjectiveSense::Minimize, x + y + z);
+        m
+    }
+
+    #[test]
+    fn crash_changes_work_not_values() {
+        let m = crashable_model();
+        let mut cold_stats = letdma_core::SolverStats::new();
+        let cold = m
+            .solver()
+            .presolve(false)
+            .instrument(&mut cold_stats)
+            .run()
+            .unwrap();
+        let mut crash_stats = letdma_core::SolverStats::new();
+        let crash = m
+            .solver()
+            .options(SolveOptions::new().with_presolve(false).with_crash(true))
+            .instrument(&mut crash_stats)
+            .run()
+            .unwrap();
+        assert_eq!(cold.objective().to_bits(), crash.objective().to_bits());
+        assert_eq!(cold.status(), crash.status());
+        assert_eq!(
+            cold_stats.counter(Counter::CrashBasisUsed),
+            0,
+            "crash defaults off"
+        );
+        assert!(
+            crash_stats.counter(Counter::CrashBasisUsed) > 0,
+            "the singleton columns must actually be crashed"
+        );
+        assert!(
+            crash_stats.counter(Counter::Phase1Iterations)
+                < cold_stats.counter(Counter::Phase1Iterations),
+            "crash {} < cold {}",
+            crash_stats.counter(Counter::Phase1Iterations),
+            cold_stats.counter(Counter::Phase1Iterations)
+        );
+    }
+
+    #[test]
+    fn root_import_round_trip_skips_phase1() {
+        // A donor solve exports its optimal root basis; resubmitting the
+        // same structure imports it, settles the root without phase 1, and
+        // reaches the identical optimum.
+        let m = crashable_model();
+        let slot = Arc::new(RootBasisSlot::new());
+        let mut donor_stats = letdma_core::SolverStats::new();
+        let donor = m
+            .solver()
+            .presolve(false)
+            .root_export(Arc::clone(&slot))
+            .instrument(&mut donor_stats)
+            .run()
+            .unwrap();
+        assert!(
+            donor_stats.counter(Counter::Phase1Iterations) > 0,
+            "the donor must have paid a phase-1 bill worth saving"
+        );
+        let basis = slot
+            .wait()
+            .expect("donor solved, so the slot holds a basis");
+        let mut imp_stats = letdma_core::SolverStats::new();
+        let imported = m
+            .solver()
+            .presolve(false)
+            .root_import(basis)
+            .instrument(&mut imp_stats)
+            .run()
+            .unwrap();
+        assert_eq!(donor.values(), imported.values());
+        assert_eq!(donor.objective().to_bits(), imported.objective().to_bits());
+        assert_eq!(imp_stats.counter(Counter::CrossScenarioWarmStarts), 1);
+        assert!(imp_stats.counter(Counter::Phase1IterationsSaved) > 0);
+        assert_eq!(
+            imp_stats.counter(Counter::Phase1Iterations),
+            0,
+            "an imported root runs phase 2 only"
+        );
+    }
+
+    #[test]
+    fn root_import_shape_mismatch_falls_back_cold() {
+        // Export from a 3-var model, import into a different model: the
+        // basis cannot transfer, and the fallback must match a plain cold
+        // solve bit for bit.
+        let slot = Arc::new(RootBasisSlot::new());
+        crashable_model()
+            .solver()
+            .presolve(false)
+            .root_export(Arc::clone(&slot))
+            .run()
+            .unwrap();
+        let basis = slot.wait().expect("donor solved");
+        let (other, _) = assignment_model(3);
+        let cold = other.solver().presolve(false).run().unwrap();
+        let mut stats = letdma_core::SolverStats::new();
+        let s = other
+            .solver()
+            .presolve(false)
+            .root_import(basis)
+            .instrument(&mut stats)
+            .run()
+            .unwrap();
+        assert_eq!(cold.values(), s.values());
+        assert_eq!(cold.objective().to_bits(), s.objective().to_bits());
+        assert_eq!(cold.stats().nodes, s.stats().nodes);
+        assert_eq!(
+            stats.counter(Counter::CrossScenarioWarmStarts),
+            0,
+            "a rejected import is an attempt, not a hit"
+        );
+    }
+
+    #[test]
+    fn root_basis_slot_first_publish_wins() {
+        let slot = RootBasisSlot::new();
+        assert!(slot.get().is_none(), "unpublished reads as None");
+        slot.publish(None);
+        assert!(matches!(slot.get(), Some(None)), "sealed empty");
+        // A later publish must not overwrite the seal.
+        let m = crashable_model();
+        let export = Arc::new(RootBasisSlot::new());
+        m.solver()
+            .presolve(false)
+            .root_export(Arc::clone(&export))
+            .run()
+            .unwrap();
+        let basis = export.wait().expect("donor solved");
+        slot.publish(Some(Arc::clone(&basis)));
+        assert!(matches!(slot.get(), Some(None)), "first publish wins");
+        assert!(slot.wait().is_none(), "wait observes the sealed value");
     }
 
     #[test]

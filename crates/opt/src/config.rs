@@ -94,6 +94,23 @@ pub struct OptConfig {
     /// the coordinator before any worker spawns, so the search trajectory
     /// stays byte-identical at any thread count either way.
     pub presolve: Option<bool>,
+    /// Crash-basis construction for simplex phase 1 — see
+    /// [`milp::SolveOptions::with_crash`]. `None` (the default) defers to
+    /// the `LETDMA_CRASH` environment variable and falls back to *off*;
+    /// `Some(_)` overrides both. The crash changes pivot paths (and
+    /// possibly which optimal vertex is reported), never objective values;
+    /// it stays off by default so the byte-identical trajectory
+    /// regressions keep pinning the canonical cold path.
+    pub crash: Option<bool>,
+    /// Cross-scenario root-basis reuse (default on): sibling solves of the
+    /// same model structure start their root LP from the first solve's
+    /// optimal basis, skipping phase 1 — see
+    /// [`Counter::CrossScenarioWarmStarts`](letdma_core::Counter::CrossScenarioWarmStarts).
+    /// Reuse changes the work spent, and may change *which* optimal vertex
+    /// a sibling reports, but never objective values or validity; disable
+    /// it to reproduce cold solver trajectories byte-for-byte (pinned by
+    /// the batch determinism regression).
+    pub reuse_basis: bool,
     /// Solve the root LP of both the original and the presolved model and
     /// report the relative tightening under
     /// [`Counter::RootGapBps`](letdma_core::Counter::RootGapBps) (default
@@ -128,6 +145,8 @@ impl Default for OptConfig {
             deterministic: true,
             warm_basis: true,
             presolve: None,
+            crash: None,
+            reuse_basis: true,
             measure_root_gap: false,
             deadline: None,
         }
@@ -232,6 +251,23 @@ impl OptConfig {
         self
     }
 
+    /// Forces the simplex crash-basis constructor on or off, overriding
+    /// the `LETDMA_CRASH` environment variable (see [`OptConfig::crash`];
+    /// unset defaults to off).
+    #[must_use]
+    pub fn with_crash(mut self, crash: bool) -> Self {
+        self.crash = Some(crash);
+        self
+    }
+
+    /// Enables or disables cross-scenario root-basis reuse (see
+    /// [`OptConfig::reuse_basis`]; default on).
+    #[must_use]
+    pub fn with_reuse_basis(mut self, reuse_basis: bool) -> Self {
+        self.reuse_basis = reuse_basis;
+        self
+    }
+
     /// Enables or disables the root-gap measurement (see
     /// [`OptConfig::measure_root_gap`]; default off).
     #[must_use]
@@ -283,9 +319,22 @@ mod tests {
             .with_deterministic(false)
             .with_warm_basis(false)
             .with_presolve(false)
+            .with_crash(true)
+            .with_reuse_basis(false)
             .with_measure_root_gap(true);
         assert!(!c.warm_basis);
         assert!(OptConfig::new().warm_basis, "warm re-solves default on");
+        assert_eq!(c.crash, Some(true));
+        assert_eq!(
+            OptConfig::new().crash,
+            None,
+            "crash defers to LETDMA_CRASH by default"
+        );
+        assert!(!c.reuse_basis);
+        assert!(
+            OptConfig::new().reuse_basis,
+            "cross-scenario root reuse defaults on"
+        );
         assert_eq!(c.presolve, Some(false));
         assert!(c.measure_root_gap);
         assert_eq!(

@@ -3,12 +3,13 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use letdma_core::instrument::{timed_phase, Counter, Instrument, NoopInstrument};
 use letdma_model::conformance::{verify, VerifyOptions, Violation};
 use letdma_model::System;
-use milp::{SolveError, SolveOptions};
+use milp::{RootBasisSlot, SolveError, SolveOptions};
 
 use crate::config::{Objective, OptConfig};
 use crate::formulation;
@@ -84,6 +85,47 @@ impl Error for OptError {
             Self::Solver(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+/// How one pipeline run participates in cross-scenario root-basis reuse
+/// (the top rung of the warm-start ladder, DESIGN.md §"Warm-start
+/// architecture").
+///
+/// Crate-private: callers select reuse through
+/// [`OptConfig::reuse_basis`]; the batch and serve layers pick the
+/// concrete role per solve.
+pub(crate) enum RootReuse {
+    /// No cross-scenario reuse: the canonical cold pipeline.
+    Off,
+    /// Consult the slot without blocking: unpublished → this solve becomes
+    /// the donor (exports its root basis), published → import it, sealed
+    /// empty → solve cold. The serve cache's per-structure policy — job
+    /// timing decides the donor, and nobody ever waits.
+    Slot(Arc<RootBasisSlot>),
+    /// Export this solve's optimal root basis into the slot (a batch
+    /// donor). The slot is *always* resolved by the end of the pipeline:
+    /// if the root never reaches a basis (deadline, infeasibility, panic)
+    /// the guard below seals it empty so waiters fall back cold instead of
+    /// blocking forever.
+    Export(Arc<RootBasisSlot>),
+    /// Block until the slot resolves, then import the donor basis (or
+    /// solve cold when the donor sealed it empty) — a batch beneficiary.
+    /// Deterministic at any worker count: the import depends only on the
+    /// donor's (deterministic) solve, never on scheduling timing.
+    WaitOn(Arc<RootBasisSlot>),
+}
+
+/// Seals a [`RootBasisSlot`] empty on drop (publish is first-wins, so a
+/// donor that already exported its basis is unaffected). Held across the
+/// whole pipeline of an [`RootReuse::Export`] solve, including the early
+/// error returns and unwinding — the no-deadlock guarantee for
+/// [`RootReuse::WaitOn`] beneficiaries.
+struct SealOnDrop(Arc<RootBasisSlot>);
+
+impl Drop for SealOnDrop {
+    fn drop(&mut self) {
+        self.0.publish(None);
     }
 }
 
@@ -224,6 +266,22 @@ impl<'s, 'i> Optimizer<'s, 'i> {
         self
     }
 
+    /// Forces the simplex crash-basis constructor on or off, overriding
+    /// the `LETDMA_CRASH` environment variable (see [`OptConfig::crash`];
+    /// unset defaults to off).
+    pub fn crash(mut self, crash: bool) -> Self {
+        self.config = self.config.with_crash(crash);
+        self
+    }
+
+    /// Enables or disables cross-scenario root-basis reuse for
+    /// [`run_prepared`](Optimizer::run_prepared) (see
+    /// [`OptConfig::reuse_basis`]; default on).
+    pub fn reuse_basis(mut self, reuse_basis: bool) -> Self {
+        self.config = self.config.with_reuse_basis(reuse_basis);
+        self
+    }
+
     /// Enables or disables the presolve root-gap measurement (see
     /// [`OptConfig::measure_root_gap`]; default off).
     pub fn measure_root_gap(mut self, measure: bool) -> Self {
@@ -288,8 +346,16 @@ impl<'s, 'i> Optimizer<'s, 'i> {
     ///    the caller.
     pub fn run(self) -> Result<LetDmaSolution, OptError> {
         match self.instrument {
-            Some(instrument) => run_pipeline(self.system, &self.config, None, instrument),
-            None => run_pipeline(self.system, &self.config, None, &mut NoopInstrument),
+            Some(instrument) => {
+                run_pipeline(self.system, &self.config, None, RootReuse::Off, instrument)
+            }
+            None => run_pipeline(
+                self.system,
+                &self.config,
+                None,
+                RootReuse::Off,
+                &mut NoopInstrument,
+            ),
         }
     }
 
@@ -299,11 +365,20 @@ impl<'s, 'i> Optimizer<'s, 'i> {
     ///
     /// Everything request-specific still runs per call: the constructive
     /// heuristic, the warm-start translation, the search itself and the
-    /// conformance validation. The reuse is observably identical to a cold
-    /// [`run`](Optimizer::run) — same solution, same counters, same phase
-    /// entries — because the cached reduction replays its recorded
-    /// presolve tallies through the instrument (pinned by the serve
-    /// determinism regression). Only the wall clock shrinks.
+    /// conformance validation. With
+    /// [`reuse_basis`](OptConfig::reuse_basis) **off**, the reuse is
+    /// observably identical to a cold [`run`](Optimizer::run) — same
+    /// solution, same counters, same phase entries — because the cached
+    /// reduction replays its recorded presolve tallies through the
+    /// instrument (pinned by the serve determinism regression); only the
+    /// wall clock shrinks. With it **on** (the default), the first solve
+    /// of this `Prepared` additionally publishes its optimal root basis
+    /// into the preparation's slot, and later solves start from it,
+    /// skipping simplex phase 1
+    /// ([`Counter::CrossScenarioWarmStarts`](letdma_core::Counter::CrossScenarioWarmStarts) /
+    /// [`Counter::Phase1IterationsSaved`](letdma_core::Counter::Phase1IterationsSaved)) —
+    /// same objective values, less work, but a warm trajectory is *not*
+    /// byte-identical to a cold one.
     ///
     /// # Errors
     ///
@@ -311,15 +386,35 @@ impl<'s, 'i> Optimizer<'s, 'i> {
     /// different system or configuration (checked via
     /// [`structure_key`]); otherwise as [`run`](Optimizer::run).
     pub fn run_prepared(self, prepared: &Prepared) -> Result<LetDmaSolution, OptError> {
+        let root = if self.config.reuse_basis {
+            RootReuse::Slot(Arc::clone(&prepared.root_slot))
+        } else {
+            RootReuse::Off
+        };
+        self.run_prepared_with_root(prepared, root)
+    }
+
+    /// [`run_prepared`](Optimizer::run_prepared) with an explicit reuse
+    /// role — the batch layer assigns donor ([`RootReuse::Export`]) and
+    /// beneficiary ([`RootReuse::WaitOn`]) roles itself to keep its
+    /// outcomes deterministic at any worker count.
+    pub(crate) fn run_prepared_with_root(
+        self,
+        prepared: &Prepared,
+        root: RootReuse,
+    ) -> Result<LetDmaSolution, OptError> {
         if prepared.key() != structure_key(self.system, &self.config) {
             return Err(OptError::PreparedMismatch);
         }
         match self.instrument {
-            Some(instrument) => run_pipeline(self.system, &self.config, Some(prepared), instrument),
+            Some(instrument) => {
+                run_pipeline(self.system, &self.config, Some(prepared), root, instrument)
+            }
             None => run_pipeline(
                 self.system,
                 &self.config,
                 Some(prepared),
+                root,
                 &mut NoopInstrument,
             ),
         }
@@ -330,8 +425,18 @@ fn run_pipeline(
     system: &System,
     config: &OptConfig,
     prepared: Option<&Prepared>,
+    root: RootReuse,
     instrument: &mut dyn Instrument,
 ) -> Result<LetDmaSolution, OptError> {
+    // A batch donor must resolve its slot no matter how this pipeline
+    // exits — early typed errors, a panic unwinding through, or a search
+    // that never reaches an optimal root — or its beneficiaries would
+    // block forever. The guard's seal is first-wins, so a successful
+    // export wins over it.
+    let _seal = match &root {
+        RootReuse::Export(slot) => Some(SealOnDrop(Arc::clone(slot))),
+        _ => None,
+    };
     // An already-expired deadline fails before any work — the serve layer
     // relies on this to reject queue-expired jobs without simplex effort.
     if let Some(deadline) = config.deadline {
@@ -424,6 +529,7 @@ fn run_pipeline(
         };
         solve_options.measure_root_gap = config.measure_root_gap;
         solve_options.deadline = config.deadline;
+        solve_options.crash = config.crash;
         (built, solve_options)
     });
     let f = match (built.as_ref(), prepared) {
@@ -438,6 +544,27 @@ fn run_pipeline(
         let mut solver = f.model.solver().options(solve_options.clone());
         if let Some(red) = reduction.clone() {
             solver = solver.reduction(red);
+        }
+        // Cross-scenario root reuse: attach the import/export hooks to the
+        // *first* search only — the panic-retry below always solves cold
+        // (it already strips the intra-search warm path, and a donor that
+        // panicked has its slot sealed by the guard above).
+        match &root {
+            RootReuse::Off => {}
+            RootReuse::Slot(slot) => match slot.get() {
+                None => solver = solver.root_export(Arc::clone(slot)),
+                Some(Some(basis)) => solver = solver.root_import(basis),
+                Some(None) => {}
+            },
+            RootReuse::Export(slot) => solver = solver.root_export(Arc::clone(slot)),
+            RootReuse::WaitOn(slot) => {
+                // Blocks until the donor publishes or seals; `None` means
+                // the donor never reached an optimal root basis — solve
+                // cold, exactly like a donor-less run.
+                if let Some(basis) = slot.wait() {
+                    solver = solver.root_import(basis);
+                }
+            }
         }
         solver.instrument(ins).run()
     });

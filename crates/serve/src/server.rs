@@ -18,8 +18,13 @@
 //!   [`prepare`] (formulation + presolve) and populates the shared
 //!   [`SolveCache`]; later jobs with the same structure reuse it
 //!   ([`Counter::CacheHits`]) via
-//!   [`Optimizer::run_prepared`](letdma_opt::Optimizer::run_prepared),
-//!   with a solver trajectory byte-identical to a cold solve.
+//!   [`Optimizer::run_prepared`](letdma_opt::Optimizer::run_prepared).
+//!   The entry also carries the first solve's optimal root basis, so later
+//!   jobs of the same structure skip simplex phase 1
+//!   ([`Counter::CrossScenarioWarmStarts`]); disable
+//!   [`OptConfig::reuse_basis`](letdma_opt::OptConfig::reuse_basis) per
+//!   request to make a cache hit's trajectory byte-identical to the cold
+//!   solve.
 //! * [`Server::shutdown`] drains the queue, joins the workers and returns
 //!   the server's aggregate [`SolverStats`] (including the queue-depth
 //!   high watermark under [`Counter::QueueDepth`]).
@@ -90,7 +95,11 @@ impl ServeConfig {
 /// Cheap to clone (an `Arc` around the map): hand the same cache to
 /// several servers — or to successive server generations, as the loopback
 /// transport does — and re-submissions of an already-seen model structure
-/// skip formulation and presolve entirely.
+/// skip formulation and presolve entirely. Each entry also holds the
+/// structure's cross-scenario root-basis slot (DESIGN.md §"Warm-start
+/// architecture"), so re-submissions additionally skip simplex phase 1
+/// unless the request disables
+/// [`reuse_basis`](letdma_opt::OptConfig::reuse_basis).
 #[derive(Debug, Clone, Default)]
 pub struct SolveCache {
     entries: Arc<Mutex<HashMap<u64, Arc<Prepared>>>>,

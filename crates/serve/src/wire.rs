@@ -286,6 +286,8 @@ fn config_json(config: &OptConfig) -> Json {
         ("warm_basis", Json::Bool(config.warm_basis)),
         ("presolve", config.presolve.map_or(Json::Null, Json::Bool)),
         ("measure_root_gap", Json::Bool(config.measure_root_gap)),
+        ("crash", config.crash.map_or(Json::Null, Json::Bool)),
+        ("reuse_basis", Json::Bool(config.reuse_basis)),
     ])
 }
 
@@ -312,6 +314,12 @@ fn config_from(value: &Json) -> Result<OptConfig, String> {
         _ => return Err("field `presolve` is not null or a boolean".to_owned()),
     };
     config.measure_root_gap = bool_field(value, "measure_root_gap")?;
+    config.crash = match field(value, "crash")? {
+        Json::Null => None,
+        Json::Bool(b) => Some(*b),
+        _ => return Err("field `crash` is not null or a boolean".to_owned()),
+    };
+    config.reuse_basis = bool_field(value, "reuse_basis")?;
     Ok(config)
 }
 

@@ -220,8 +220,10 @@ fn in_flight_deadline_returns_best_incumbent() {
 // ---------------------------------------------------------------------------
 
 /// Re-submitting the same model structure hits the formulation/presolve
-/// cache: the second job is flagged, the server counts the hit, and the
-/// solve result is identical to the cold one.
+/// cache: the second job is flagged, the server counts the hit, and —
+/// because the cache entry also carries the first job's optimal root basis
+/// — the second solve imports it, skipping simplex phase 1 while reporting
+/// the same optimum.
 #[test]
 fn cache_hit_on_resubmission() {
     let mut server = Server::start(ServeConfig::new().with_workers(1));
@@ -250,10 +252,47 @@ fn cache_hit_on_resubmission() {
         warm.objective_value.map(f64::to_bits),
         cold.objective_value.map(f64::to_bits)
     );
-    assert_eq!(trajectory(&warm.stats), trajectory(&cold.stats));
+    assert_eq!(
+        cold.stats.counter(Counter::CrossScenarioWarmStarts),
+        0,
+        "the first job solves cold and donates its root basis"
+    );
+    assert_eq!(
+        warm.stats.counter(Counter::CrossScenarioWarmStarts),
+        1,
+        "the resubmission imports the cached root basis"
+    );
+    assert!(
+        warm.stats.counter(Counter::Phase1IterationsSaved) > 0,
+        "the import skips the donor's phase-1 work"
+    );
 
     let stats = server.shutdown();
     assert_eq!(stats.counter(Counter::CacheHits), 1);
+}
+
+/// With cross-scenario basis reuse disabled, a cache hit is *observably
+/// identical* to the cold solve: the cached reduction replays its presolve
+/// tallies and the search trajectory is byte-for-byte the same.
+#[test]
+fn cache_hit_without_reuse_matches_cold_trajectory() {
+    let mut server = Server::start(ServeConfig::new().with_workers(1));
+    let system = comm_system(5);
+    let config = base_config().with_reuse_basis(false);
+    server
+        .submit(SolveRequest::new(system.clone(), config.clone()))
+        .expect("admitted");
+    server
+        .submit(SolveRequest::new(system, config))
+        .expect("admitted");
+    let mut responses = [server.recv(), server.recv()];
+    responses.sort_by_key(|r| r.job);
+
+    let cold = responses[0].outcome.as_ref().expect("cold solve");
+    let warm = responses[1].outcome.as_ref().expect("warm solve");
+    assert!(warm.cache_hit);
+    assert_eq!(trajectory(&warm.stats), trajectory(&cold.stats));
+    drop(server);
 }
 
 /// Different model structures do not collide in the cache.

@@ -48,7 +48,7 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
 
 echo "== bench-milp smoke (BENCH_milp.json) =="
 # A tiny node budget keeps this fast; the run itself validates the JSON
-# against the letdma-bench-milp/3 schema before writing (milp_bench::validate)
+# against the letdma-bench-milp/4 schema before writing (milp_bench::validate)
 # and asserts warm/cold trajectory agreement, so a nonzero exit or a missing
 # file is the failure signal. The committed BENCH_milp.json serves as the
 # warm-fathom and wall-clock baseline, exercising the Json::parse + delta
@@ -58,8 +58,10 @@ trap 'rm -f "$smoke_out"' EXIT
 cargo run --release -p letdma-bench --bin repro --offline -- \
   bench-milp --nodes 2 --baseline BENCH_milp.json --out "$smoke_out"
 test -s "$smoke_out" || { echo "bench-milp produced no BENCH_milp.json"; exit 1; }
-grep -q '"schema": "letdma-bench-milp/3"' "$smoke_out" || {
+grep -q '"schema": "letdma-bench-milp/4"' "$smoke_out" || {
   echo "bench-milp output lacks the schema tag"; exit 1; }
+grep -q '"phase1_iterations_saved"' "$smoke_out" || {
+  echo "bench-milp output lacks the reuse phase-1 block"; exit 1; }
 grep -q '"root_gap_bps"' "$smoke_out" || {
   echo "bench-milp output lacks the presolve root-gap field"; exit 1; }
 grep -q '"time_breakdown"' "$smoke_out" || {

@@ -4,6 +4,12 @@
 //! wall-clock measurements (`elapsed`) and the per-worker load breakdown
 //! (which worker happened to grab which node) — everything decision-
 //! relevant (layout, schedule, latencies, search counters) is pinned.
+//!
+//! Cross-scenario root-basis reuse is disabled here: with it on, a
+//! same-shape sibling that imports the donor's root basis follows a
+//! different (still deterministic) trajectory than a cold solve. The
+//! reuse-on guarantees — identical optima, thread-count invariance,
+//! Properties 1–3 — are pinned separately in `cross_scenario_reuse.rs`.
 
 use letdma::model::{System, SystemBuilder};
 use letdma::opt::{
@@ -39,25 +45,24 @@ fn pipeline_system(flip: bool) -> System {
 fn scenarios() -> Vec<(System, OptConfig)> {
     // No time limits: every scenario must run to a deterministic stopping
     // point (proved optimum / first incumbent), otherwise the comparison
-    // against the sequential loop would depend on machine load.
+    // against the sequential loop would depend on machine load. Reuse off:
+    // see the module docs.
+    let base = || {
+        OptConfig::new()
+            .without_time_limit()
+            .with_reuse_basis(false)
+    };
     vec![
         (
             pipeline_system(false),
-            OptConfig::new()
-                .with_objective(Objective::MinTransfers)
-                .without_time_limit(),
+            base().with_objective(Objective::MinTransfers),
         ),
         (
             pipeline_system(true),
-            OptConfig::new()
-                .with_objective(Objective::MinTransfers)
-                .without_time_limit(),
+            base().with_objective(Objective::MinTransfers),
         ),
-        (
-            pipeline_system(false),
-            OptConfig::new().without_time_limit(),
-        ),
-        (pipeline_system(true), OptConfig::new().without_time_limit()),
+        (pipeline_system(false), base()),
+        (pipeline_system(true), base()),
     ]
 }
 
