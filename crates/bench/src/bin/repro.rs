@@ -51,6 +51,13 @@
 //! DESIGN.md §"Service architecture"). `serve` is the CI smoke: the same
 //! batch at workers 1 and 4, asserting every response is a full MILP
 //! solve and the warm round hits the cache, without writing a file.
+//! `--tcp` switches either command onto a real `TcpServer` over OS
+//! loopback (length-prefixed frames, retrying client, per-request
+//! idempotency keys; DESIGN.md §"Network transport & failure model") —
+//! combined with `LETDMA_FAULTS="net-…:max=2"` this is the CI chaos
+//! smoke, and `--stats` then also reports the transport counters
+//! (retries attempted, frames dropped, drain rejections, idempotent
+//! hits).
 //!
 //! `fault-smoke` arms every deterministic fault site in turn against the
 //! WATERS case study and checks the resilience contract (valid solution
@@ -83,6 +90,7 @@ fn main() -> ExitCode {
     let mut out_path: Option<String> = None;
     let mut baseline_path = String::from("BENCH_milp.json");
     let mut workers: Vec<usize> = vec![1, 4, 16];
+    let mut tcp = false;
     let mut command: Option<String> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -114,6 +122,7 @@ fn main() -> ExitCode {
                 }
             }
             "--stats" => stats = true,
+            "--tcp" => tcp = true,
             "--nodes" => {
                 let Some(value) = iter.next() else {
                     eprintln!("--nodes needs a node budget");
@@ -208,10 +217,13 @@ fn main() -> ExitCode {
         "serve" => {
             // CI smoke: the six-scenario WATERS batch through the
             // in-process service at 1 worker (cold cache) and 4 workers
-            // (warm). `serve_bench::run` panics on any broken service
-            // invariant; the explicit checks below keep the failure a
-            // clean nonzero exit with a message.
-            let bench = serve_bench::run(nodes, &[1, 4]);
+            // (warm); with `--tcp` the same batch crosses a real socket
+            // (and `LETDMA_FAULTS="net-…:max=2"` turns it into the chaos
+            // smoke — fire caps below the retry budget keep it
+            // deterministic). `serve_bench::run_over` panics on any
+            // broken service invariant; the explicit checks below keep
+            // the failure a clean nonzero exit with a message.
+            let bench = serve_bench::run_over(nodes, &[1, 4], tcp);
             print!("{}", bench.render());
             if let Err(problem) = serve_bench::validate(&bench.to_json()) {
                 eprintln!("serve smoke: report fails its own schema: {problem}");
@@ -222,10 +234,14 @@ fn main() -> ExitCode {
                 eprintln!("serve smoke: warm round produced no cache hits");
                 return ExitCode::FAILURE;
             }
+            if stats {
+                println!("\n== Serve statistics — {} transport", bench.transport);
+                print!("{}", bench.stats.render());
+            }
             println!("serve smoke OK ({warm_hits} cache hits on the warm round)");
         }
         "serve-bench" => {
-            let bench = serve_bench::run(nodes, &workers);
+            let bench = serve_bench::run_over(nodes, &workers, tcp);
             print!("{}", bench.render());
             let value = bench.to_json();
             if let Err(problem) = serve_bench::validate(&value) {
@@ -236,6 +252,10 @@ fn main() -> ExitCode {
             if let Err(e) = std::fs::write(&out_path, value.render()) {
                 eprintln!("cannot write `{out_path}`: {e}");
                 return ExitCode::FAILURE;
+            }
+            if stats {
+                println!("\n== Serve statistics — {} transport", bench.transport);
+                print!("{}", bench.stats.render());
             }
             println!("wrote {out_path}");
         }

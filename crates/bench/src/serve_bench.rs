@@ -20,15 +20,25 @@
 
 use std::time::{Duration, Instant};
 
-use letdma::core::Counter;
+use letdma::core::{Counter, SolverStats};
 use letdma::opt::{Objective, OptConfig, Resolution};
-use letdma::serve::{Client, LoopbackTransport, ServeConfig, SolveCache, SolveRequest};
+use letdma::serve::{
+    Client, LoopbackTransport, ServeConfig, SolveCache, SolveRequest, SolveResponse, TcpServer,
+    TcpTransport,
+};
 
 use crate::json::Json;
 use crate::waters_with_alpha;
 
 /// Schema tag written into `BENCH_serve.json`.
 pub const SCHEMA: &str = "letdma-bench-serve/1";
+
+/// Interpretation warning embedded in every report: the throughput curve
+/// is not a sharding measurement on a small host, and over TCP it also
+/// carries constant framing overhead.
+pub const CAVEAT: &str = "flat curve expected: workers beyond host_parallelism timeshare the same \
+     cores, and the tcp transport runs over OS loopback, adding constant per-batch \
+     framing/connection overhead on top — neither slope measures sharding";
 
 /// One round: the six-scenario WATERS batch through a server with a fixed
 /// worker count.
@@ -85,10 +95,20 @@ pub struct ServeBench {
     /// `std::thread::available_parallelism()` on the machine that produced
     /// the numbers. Worker counts beyond this cannot show wall-clock
     /// scaling (they timeshare one core set), so a flat throughput curve
-    /// on a small host is expected, not a sharding regression.
+    /// on a small host is expected, not a sharding regression (see
+    /// [`CAVEAT`]).
     pub host_parallelism: usize,
+    /// Which transport carried the batches: `"loopback"` (in-process) or
+    /// `"tcp"` (a real `TcpServer` on OS loopback).
+    pub transport: &'static str,
     /// Per-worker-count rounds, in request order.
     pub rounds: Vec<RoundReport>,
+    /// Aggregate service statistics over every round: admission counters,
+    /// cache hits, and — over TCP — the transport counters
+    /// (`RetriesAttempted`, `FramesDropped`, `DrainRejections`,
+    /// `IdempotentHits`). Printed by `repro serve[-bench] --stats`, not
+    /// serialized into the report file.
+    pub stats: SolverStats,
 }
 
 /// The six Table I scenarios as service requests.
@@ -112,9 +132,9 @@ fn table1_requests(node_limit: u64) -> Vec<SolveRequest> {
     requests
 }
 
-/// Runs the benchmark: for each entry of `workers`, the six-scenario
-/// WATERS batch through a fresh loopback server sharing one
-/// [`SolveCache`].
+/// Runs the benchmark over the in-process loopback transport: for each
+/// entry of `workers`, the six-scenario WATERS batch through a fresh
+/// server sharing one [`SolveCache`].
 ///
 /// # Panics
 ///
@@ -124,19 +144,61 @@ fn table1_requests(node_limit: u64) -> Vec<SolveRequest> {
 /// cache-hit count is not exactly the scenario count.
 #[must_use]
 pub fn run(node_limit: u64, workers: &[usize]) -> ServeBench {
+    run_over(node_limit, workers, false)
+}
+
+/// Runs the benchmark over loopback (`tcp == false`) or over a real
+/// [`TcpServer`] on OS loopback (`tcp == true`). Over TCP every request
+/// carries a deterministic idempotency key, so an armed `net-*` fault
+/// campaign (`LETDMA_FAULTS`, the CI chaos smoke) can force retries
+/// without ever double-admitting a job — the round invariants (every
+/// scenario Milp, exact cache-hit counts) hold under bounded chaos too.
+///
+/// # Panics
+///
+/// As [`run`]; additionally panics if the TCP listener cannot bind.
+#[must_use]
+pub fn run_over(node_limit: u64, workers: &[usize], tcp: bool) -> ServeBench {
     let cache = SolveCache::new();
     let mut rounds = Vec::new();
+    let mut stats = SolverStats::new();
     for (round, &w) in workers.iter().enumerate() {
-        let mut client = Client::new(LoopbackTransport::with_cache(
-            ServeConfig::new().with_workers(w),
-            cache.clone(),
-        ));
-        let requests = table1_requests(node_limit);
+        let mut requests = table1_requests(node_limit);
         let scenarios = requests.len();
-        let started = Instant::now();
-        let responses = client
-            .solve_batch(&requests)
-            .unwrap_or_else(|e| panic!("serve round (workers={w}) failed: {e}"));
+        if tcp {
+            for (i, request) in requests.iter_mut().enumerate() {
+                request.request_key = Some(((round as u64) << 8) | i as u64);
+            }
+        }
+
+        let started;
+        let responses: Vec<SolveResponse>;
+        let round_stats: SolverStats;
+        if tcp {
+            let server = TcpServer::bind_with_cache(
+                "127.0.0.1:0",
+                ServeConfig::new().with_workers(w),
+                cache.clone(),
+            )
+            .unwrap_or_else(|e| panic!("serve round (workers={w}): bind failed: {e}"));
+            let mut client = Client::new(TcpTransport::connect(server.local_addr()));
+            started = Instant::now();
+            responses = client
+                .solve_batch(&requests)
+                .unwrap_or_else(|e| panic!("serve round (workers={w}) failed: {e}"));
+            stats.absorb(client.transport().stats());
+            round_stats = server.shutdown();
+        } else {
+            let mut client = Client::new(LoopbackTransport::with_cache(
+                ServeConfig::new().with_workers(w),
+                cache.clone(),
+            ));
+            started = Instant::now();
+            responses = client
+                .solve_batch(&requests)
+                .unwrap_or_else(|e| panic!("serve round (workers={w}) failed: {e}"));
+            round_stats = client.transport().stats().clone();
+        }
         let wall_clock = started.elapsed();
 
         let milp = responses
@@ -147,8 +209,7 @@ pub fn run(node_limit: u64, workers: &[usize]) -> ServeBench {
             milp, scenarios,
             "every WATERS scenario must solve as Milp (workers={w})"
         );
-        let stats = client.transport().stats();
-        let cache_hits = stats.counter(Counter::CacheHits);
+        let cache_hits = round_stats.counter(Counter::CacheHits);
         let expected_hits = if round == 0 { 0 } else { scenarios as u64 };
         assert_eq!(
             cache_hits, expected_hits,
@@ -159,14 +220,17 @@ pub fn run(node_limit: u64, workers: &[usize]) -> ServeBench {
             scenarios,
             milp,
             cache_hits,
-            jobs_admitted: stats.counter(Counter::JobsAdmitted),
+            jobs_admitted: round_stats.counter(Counter::JobsAdmitted),
             wall_clock,
         });
+        stats.absorb(&round_stats);
     }
     ServeBench {
         node_limit,
         host_parallelism: std::thread::available_parallelism().map_or(1, usize::from),
+        transport: if tcp { "tcp" } else { "loopback" },
         rounds,
+        stats,
     }
 }
 
@@ -180,6 +244,8 @@ impl ServeBench {
             ("generated_by", Json::str("repro serve-bench")),
             ("node_limit", Json::Int(self.node_limit as i64)),
             ("host_parallelism", Json::Int(self.host_parallelism as i64)),
+            ("transport", Json::str(self.transport)),
+            ("caveat", Json::str(CAVEAT)),
             (
                 "rounds",
                 Json::Arr(self.rounds.iter().map(RoundReport::to_json).collect()),
@@ -192,8 +258,8 @@ impl ServeBench {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "Solve service throughput — six Table I scenarios per round, node budget {}, host parallelism {}\n",
-            self.node_limit, self.host_parallelism
+            "Solve service throughput — six Table I scenarios per round over {}, node budget {}, host parallelism {}\n",
+            self.transport, self.node_limit, self.host_parallelism
         ));
         out.push_str("workers   scenarios/sec   wall clock      cache hits   milp\n");
         for round in &self.rounds {
@@ -231,6 +297,13 @@ pub fn validate(value: &Json) -> Result<(), String> {
             return Err(format!("{key} must be an integer"));
         };
     }
+    match need(value, "transport")? {
+        Json::Str(t) if t == "loopback" || t == "tcp" => {}
+        other => return Err(format!("bad transport {other:?}")),
+    }
+    let Json::Str(_) = need(value, "caveat")? else {
+        return Err("caveat must be a string".into());
+    };
     let Json::Arr(rounds) = need(value, "rounds")? else {
         return Err("rounds must be an array".into());
     };
@@ -268,6 +341,8 @@ mod tests {
         let bench = ServeBench {
             node_limit: 4,
             host_parallelism: 1,
+            transport: "loopback",
+            stats: SolverStats::new(),
             rounds: vec![RoundReport {
                 workers: 2,
                 scenarios: 6,

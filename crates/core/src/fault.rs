@@ -51,15 +51,40 @@ pub enum FaultSite {
     WorkerPanic,
     /// A deadline check reports the budget exhausted early.
     DeadlineExhausted,
+    /// The network transport silently drops an outgoing frame (the peer
+    /// sees a clean EOF instead of the payload).
+    NetDropFrame,
+    /// The network transport stalls a frame for a bounded delay before
+    /// delivering it intact.
+    NetDelay,
+    /// The network transport delivers only a prefix of a frame, then
+    /// closes the connection.
+    NetTruncate,
+    /// The network transport flips one byte of a frame's payload (length
+    /// prefix intact, body corrupt).
+    NetCorruptByte,
 }
 
 impl FaultSite {
     /// Every site, in arming-mask bit order.
-    pub const ALL: [FaultSite; 4] = [
+    pub const ALL: [FaultSite; 8] = [
         FaultSite::SimplexNumerical,
         FaultSite::SingularRefactor,
         FaultSite::WorkerPanic,
         FaultSite::DeadlineExhausted,
+        FaultSite::NetDropFrame,
+        FaultSite::NetDelay,
+        FaultSite::NetTruncate,
+        FaultSite::NetCorruptByte,
+    ];
+
+    /// The four network sites polled by the serve TCP framing layer, in
+    /// arming-mask bit order (the chaos campaign iterates exactly these).
+    pub const NET: [FaultSite; 4] = [
+        FaultSite::NetDropFrame,
+        FaultSite::NetDelay,
+        FaultSite::NetTruncate,
+        FaultSite::NetCorruptByte,
     ];
 
     /// Stable kebab-case name (used by `LETDMA_FAULTS` and the smoke
@@ -71,6 +96,10 @@ impl FaultSite {
             Self::SingularRefactor => "singular-refactor",
             Self::WorkerPanic => "worker-panic",
             Self::DeadlineExhausted => "deadline-exhausted",
+            Self::NetDropFrame => "net-drop-frame",
+            Self::NetDelay => "net-delay",
+            Self::NetTruncate => "net-truncate",
+            Self::NetCorruptByte => "net-corrupt-byte",
         }
     }
 
@@ -86,6 +115,10 @@ impl FaultSite {
             Self::SingularRefactor => 1,
             Self::WorkerPanic => 2,
             Self::DeadlineExhausted => 3,
+            Self::NetDropFrame => 4,
+            Self::NetDelay => 5,
+            Self::NetTruncate => 6,
+            Self::NetCorruptByte => 7,
         }
     }
 
@@ -163,7 +196,11 @@ impl SiteState {
 /// path: `should_fire` loads this one value and returns.
 static ARMED: AtomicU64 = AtomicU64::new(0);
 
-static SITES: [SiteState; 4] = [
+static SITES: [SiteState; 8] = [
+    SiteState::new(),
+    SiteState::new(),
+    SiteState::new(),
+    SiteState::new(),
     SiteState::new(),
     SiteState::new(),
     SiteState::new(),

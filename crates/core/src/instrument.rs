@@ -135,6 +135,22 @@ pub enum Counter {
     /// [`WarmIterationsSaved`](Self::WarmIterationsSaved); the exact
     /// reduction is measured by the `reuse` block in `BENCH_milp.json`).
     Phase1IterationsSaved,
+    /// Transport round trips re-attempted by the serve TCP client after a
+    /// connect/write/read failure (each retry re-sends the whole batch
+    /// under its idempotency keys, so none of them double-admits work).
+    RetriesAttempted,
+    /// Frames the network fault plane destroyed before the peer could read
+    /// them (a `net-drop-frame` or `net-truncate` fire; counted at the
+    /// injection site, so client- and server-side drops both show up).
+    FramesDropped,
+    /// Queued jobs rejected with the typed `ShuttingDown` error because
+    /// the server began a graceful drain before a worker picked them up
+    /// (in-flight solves are never counted here — they run to completion).
+    DrainRejections,
+    /// Submissions answered from the idempotency store instead of being
+    /// admitted again: a retried batch re-sent an already-seen request key
+    /// and got the original job's response (or waited for it to finish).
+    IdempotentHits,
 }
 
 impl Counter {
@@ -177,6 +193,10 @@ impl Counter {
             Self::CrashBasisUsed => "crash bases used",
             Self::CrossScenarioWarmStarts => "cross-scenario warm starts",
             Self::Phase1IterationsSaved => "phase-1 iterations saved",
+            Self::RetriesAttempted => "retries attempted",
+            Self::FramesDropped => "frames dropped",
+            Self::DrainRejections => "drain rejections",
+            Self::IdempotentHits => "idempotent hits",
         }
     }
 
@@ -222,6 +242,10 @@ impl Counter {
         Self::CrashBasisUsed,
         Self::CrossScenarioWarmStarts,
         Self::Phase1IterationsSaved,
+        Self::RetriesAttempted,
+        Self::FramesDropped,
+        Self::DrainRejections,
+        Self::IdempotentHits,
     ];
 }
 
@@ -715,7 +739,7 @@ mod tests {
         }
         // Spot-pin the endpoints so an accidental truncation is loud.
         assert_eq!(Counter::ALL.first(), Some(&Counter::SimplexIterations));
-        assert_eq!(Counter::ALL.last(), Some(&Counter::Phase1IterationsSaved));
+        assert_eq!(Counter::ALL.last(), Some(&Counter::IdempotentHits));
         assert_eq!(NodeEvent::ALL.last(), Some(&NodeEvent::Unresolved));
     }
 

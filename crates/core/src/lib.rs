@@ -54,6 +54,6 @@ pub use env::resolve_flag;
 pub use fault::{FaultSite, FaultSpec};
 pub use hash::{fnv1a_64, Fnv64};
 pub use instrument::{Counter, Instrument, NodeEvent, NoopInstrument, SolverStats};
-pub use json::Json;
+pub use json::{Json, JsonError, JsonLimits};
 pub use parallel::resolve_threads;
 pub use rng::{Rng, SplitMix64, Xoshiro256};

@@ -169,8 +169,8 @@ pub mod prelude {
         Optimizer, Resolution,
     };
     pub use letdma_serve::{
-        Client, LoopbackTransport, ServeConfig, ServeError, Server, SolveRequest, SolveResponse,
-        Transport,
+        Client, LoopbackTransport, RetryPolicy, ServeConfig, ServeError, Server, SolveRequest,
+        SolveResponse, TcpServer, TcpTransport, Transport,
     };
     pub use letdma_sim::{simulate, Approach, SimConfig, SimReport};
 }

@@ -51,16 +51,29 @@ pub struct SolveRequest {
     /// work; a deadline that expires mid-solve degrades to anytime
     /// behavior (the best incumbent is returned).
     pub deadline: Option<Duration>,
+    /// Idempotency key for at-most-once admission over a lossy transport.
+    ///
+    /// A server that keeps an idempotency store (the TCP listener does;
+    /// the in-process [`Server`](crate::Server) does not need one) treats
+    /// two submissions with the same key as *one* job: the retry is
+    /// answered with the original job's response — waiting for it if the
+    /// original is still solving — instead of being admitted again. `None`
+    /// (the default) opts out: every submission is its own job.
+    ///
+    /// Keys are chosen by the client and must be unique per logical
+    /// request (the TCP quickstart derives them from a batch seed).
+    pub request_key: Option<u64>,
 }
 
 impl SolveRequest {
-    /// A request with no deadline.
+    /// A request with no deadline and no idempotency key.
     #[must_use]
     pub fn new(system: System, config: OptConfig) -> Self {
         Self {
             system,
             config,
             deadline: None,
+            request_key: None,
         }
     }
 
@@ -68,6 +81,14 @@ impl SolveRequest {
     #[must_use]
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the idempotency key (see
+    /// [`request_key`](Self::request_key)).
+    #[must_use]
+    pub fn with_request_key(mut self, key: u64) -> Self {
+        self.request_key = Some(key);
         self
     }
 }
@@ -151,6 +172,11 @@ pub enum ServeError {
     /// started. A deadline expiring *mid-solve* never produces this
     /// error; the anytime search returns its best incumbent instead.
     DeadlineExpired,
+    /// The server began a graceful drain before a worker picked this job
+    /// up: in-flight solves run to completion, but queued work — and any
+    /// submission arriving after the drain started — is rejected with this
+    /// error. Resubmit to another server (the job did no solver work).
+    ShuttingDown,
     /// The solve itself failed; carries the rendered
     /// [`OptError`](letdma_opt::OptError) message.
     Solve(String),
@@ -166,6 +192,7 @@ impl fmt::Display for ServeError {
                 write!(f, "admission queue full ({capacity} jobs)")
             }
             Self::DeadlineExpired => write!(f, "deadline expired before the solve started"),
+            Self::ShuttingDown => write!(f, "server is draining; job rejected before any work"),
             Self::Solve(message) => write!(f, "solve failed: {message}"),
             Self::Transport(message) => write!(f, "transport failed: {message}"),
         }

@@ -51,8 +51,10 @@
 pub mod api;
 mod client;
 mod server;
+pub mod tcp;
 pub mod wire;
 
 pub use api::{JobId, JobStatus, ServeError, SolveReport, SolveRequest, SolveResponse, PROTOCOL};
 pub use client::{Client, LoopbackTransport, Transport};
-pub use server::{ServeConfig, Server, SolveCache};
+pub use server::{DrainHandle, ServeConfig, Server, SolveCache};
+pub use tcp::{RetryPolicy, TcpServer, TcpTransport};

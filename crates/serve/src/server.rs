@@ -25,9 +25,13 @@
 //!   [`OptConfig::reuse_basis`](letdma_opt::OptConfig::reuse_basis) per
 //!   request to make a cache hit's trajectory byte-identical to the cold
 //!   solve.
+//! * [`Server::drain`] (or a [`DrainHandle`] from another thread) starts a
+//!   graceful drain: queued jobs are rejected immediately with
+//!   [`ServeError::ShuttingDown`] ([`Counter::DrainRejections`]),
+//!   in-flight solves run to completion, later submissions are refused.
 //! * [`Server::shutdown`] drains the queue, joins the workers and returns
-//!   the server's aggregate [`SolverStats`] (including the queue-depth
-//!   high watermark under [`Counter::QueueDepth`]).
+//!   the server's aggregate [`SolverStats`] (including the high watermark
+//!   of the live [`Server::depth`] gauge under [`Counter::QueueDepth`]).
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::mpsc;
@@ -141,6 +145,15 @@ struct Job {
 struct QueueState {
     queue: VecDeque<Job>,
     shutdown: bool,
+    /// Graceful-drain mode: in-flight solves finish, queued jobs were
+    /// flushed with [`ServeError::ShuttingDown`] rejections when the drain
+    /// began, and new submissions are refused (see [`Server::drain`]).
+    draining: bool,
+    /// Live queue-depth gauge: incremented at admission, decremented on
+    /// every exit path — dispatch to a worker (including jobs whose queued
+    /// deadline then expires) and drain rejection — so it reads zero
+    /// exactly when no admitted job is still waiting.
+    depth: usize,
     high_watermark: usize,
     status: BTreeMap<JobId, JobStatus>,
 }
@@ -150,6 +163,10 @@ struct Shared {
     available: Condvar,
     stats: Mutex<SolverStats>,
     cache: SolveCache,
+    /// The response stream's sender. Lives here (not only in the worker
+    /// threads) so a [`DrainHandle`] can stream drain rejections for
+    /// flushed jobs without going through a worker.
+    responses: mpsc::Sender<SolveResponse>,
 }
 
 impl Shared {
@@ -166,6 +183,54 @@ impl Shared {
             .lock()
             .expect("server stats lock")
             .count(counter, n);
+    }
+
+    /// Switches the server into drain mode and flushes the queue: every
+    /// queued job is rejected with [`ServeError::ShuttingDown`] right now
+    /// (not when a worker would have reached it), counted under
+    /// [`Counter::DrainRejections`]. In-flight solves are untouched.
+    /// Idempotent.
+    fn drain(&self) {
+        let flushed: Vec<JobId> = {
+            let mut state = self.state.lock().expect("server state lock");
+            state.draining = true;
+            let jobs: Vec<JobId> = state.queue.drain(..).map(|job| job.id).collect();
+            state.depth -= jobs.len();
+            for id in &jobs {
+                state.status.insert(*id, JobStatus::Rejected);
+            }
+            jobs
+        };
+        if !flushed.is_empty() {
+            self.count(Counter::DrainRejections, flushed.len() as u64);
+            for id in flushed {
+                let _ = self.responses.send(SolveResponse {
+                    job: id,
+                    outcome: Err(ServeError::ShuttingDown),
+                });
+            }
+        }
+    }
+}
+
+/// A cloneable handle that can start a graceful drain of its [`Server`]
+/// from another thread (see [`Server::drain_handle`]).
+///
+/// The TCP listener hands one to its shutdown path so connection handlers
+/// blocked in [`Server::recv`] still get every owed response: queued jobs
+/// are flushed as typed [`ServeError::ShuttingDown`] rejections, in-flight
+/// solves run to completion.
+#[derive(Debug, Clone)]
+pub struct DrainHandle {
+    shared: Arc<Shared>,
+}
+
+impl DrainHandle {
+    /// Starts the drain (idempotent): rejects all queued jobs immediately
+    /// and makes every later submission fail with
+    /// [`ServeError::ShuttingDown`].
+    pub fn drain(&self) {
+        self.shared.drain();
     }
 }
 
@@ -209,18 +274,21 @@ impl Server {
     #[must_use]
     pub fn start_with_cache(config: ServeConfig, cache: SolveCache) -> Self {
         let workers = resolve_size(THREADS_ENV, config.workers, 1);
+        let (tx, rx) = mpsc::channel();
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState {
                 queue: VecDeque::new(),
                 shutdown: false,
+                draining: false,
+                depth: 0,
                 high_watermark: 0,
                 status: BTreeMap::new(),
             }),
             available: Condvar::new(),
             stats: Mutex::new(SolverStats::new()),
             cache,
+            responses: tx.clone(),
         });
-        let (tx, rx) = mpsc::channel();
         let handles = (0..workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
@@ -250,7 +318,8 @@ impl Server {
     /// # Errors
     ///
     /// [`ServeError::QueueFull`] when the queue already holds
-    /// `queue_capacity` jobs.
+    /// `queue_capacity` jobs; [`ServeError::ShuttingDown`] when a drain
+    /// has started (see [`drain`](Server::drain)).
     ///
     /// # Panics
     ///
@@ -264,13 +333,20 @@ impl Server {
         // against the request's budget.
         let deadline = request.deadline.map(|d| Instant::now() + d);
         let mut state = self.shared.state.lock().expect("server state lock");
-        if state.queue.len() >= self.capacity {
-            state.status.insert(id, JobStatus::Rejected);
-            drop(state);
+        let refusal = if state.draining {
+            Some((ServeError::ShuttingDown, Counter::DrainRejections))
+        } else if state.queue.len() >= self.capacity {
             let error = ServeError::QueueFull {
                 capacity: self.capacity,
             };
-            self.shared.count(Counter::JobsRejected, 1);
+            Some((error, Counter::JobsRejected))
+        } else {
+            None
+        };
+        if let Some((error, counter)) = refusal {
+            state.status.insert(id, JobStatus::Rejected);
+            drop(state);
+            self.shared.count(counter, 1);
             let _ = self.rejects.send(SolveResponse {
                 job: id,
                 outcome: Err(error.clone()),
@@ -283,7 +359,8 @@ impl Server {
             config: request.config,
             deadline,
         });
-        state.high_watermark = state.high_watermark.max(state.queue.len());
+        state.depth += 1;
+        state.high_watermark = state.high_watermark.max(state.depth);
         state.status.insert(id, JobStatus::Queued);
         drop(state);
         self.shared.count(Counter::JobsAdmitted, 1);
@@ -336,6 +413,48 @@ impl Server {
             .expect("server state lock")
             .queue
             .len()
+    }
+
+    /// The live queue-depth gauge: jobs admitted but not yet handed to a
+    /// worker. Returns to zero once every admitted job has been dispatched,
+    /// expired in the queue, or been drain-rejected (the high watermark of
+    /// this gauge is what [`shutdown`](Server::shutdown) reports under
+    /// [`Counter::QueueDepth`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same (impossible) poisoned-lock condition as
+    /// [`submit`](Server::submit).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.shared.state.lock().expect("server state lock").depth
+    }
+
+    /// Starts a graceful drain: every job still queued is rejected *now*
+    /// with [`ServeError::ShuttingDown`] (streamed like any other
+    /// response and counted under [`Counter::DrainRejections`]), in-flight
+    /// solves run to completion, and every later [`submit`](Server::submit)
+    /// fails with the same typed error. Idempotent; the response contract
+    /// — exactly one response per submission attempt — is preserved, so
+    /// keep calling [`recv`](Server::recv) until all owed responses
+    /// arrived, then [`shutdown`](Server::shutdown) as usual.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same (impossible) poisoned-lock condition as
+    /// [`submit`](Server::submit).
+    pub fn drain(&self) {
+        self.shared.drain();
+    }
+
+    /// A cloneable [`DrainHandle`] for triggering the drain from another
+    /// thread (the TCP listener's shutdown path uses this while the
+    /// connection handler owns the server).
+    #[must_use]
+    pub fn drain_handle(&self) -> DrainHandle {
+        DrainHandle {
+            shared: Arc::clone(&self.shared),
+        }
     }
 
     /// Drains the queue, joins the workers and returns the server's
@@ -395,6 +514,10 @@ fn worker_loop(shared: &Shared, tx: &mpsc::Sender<SolveResponse>) {
             let mut state = shared.state.lock().expect("server state lock");
             loop {
                 if let Some(job) = state.queue.pop_front() {
+                    // Dispatch decrements the live gauge; the queued-expiry
+                    // check inside `run_job` is part of this same exit path
+                    // (the job left the queue either way).
+                    state.depth -= 1;
                     break job;
                 }
                 if state.shutdown {

@@ -432,6 +432,7 @@ fn request_json(request: &SolveRequest) -> Json {
                 .deadline
                 .map_or(Json::Null, |d| Json::Int(d.as_nanos() as i64)),
         ),
+        ("request_key", opt_u64_json(request.request_key)),
     ])
 }
 
@@ -441,6 +442,7 @@ fn request_from(value: &Json) -> Result<SolveRequest, String> {
         config_from(field(value, "config")?)?,
     );
     request.deadline = opt_u64_field(value, "deadline_ns")?.map(Duration::from_nanos);
+    request.request_key = opt_u64_field(value, "request_key")?;
     Ok(request)
 }
 
@@ -504,6 +506,7 @@ fn error_json(error: &ServeError) -> Json {
             ("capacity", Json::Int(*capacity as i64)),
         ]),
         ServeError::DeadlineExpired => Json::obj(vec![("kind", Json::str("deadline-expired"))]),
+        ServeError::ShuttingDown => Json::obj(vec![("kind", Json::str("shutting-down"))]),
         ServeError::Solve(message) => Json::obj(vec![
             ("kind", Json::str("solve")),
             ("message", Json::str(message.clone())),
@@ -521,6 +524,7 @@ fn error_from(value: &Json) -> Result<ServeError, String> {
             capacity: usize_field(value, "capacity")?,
         },
         "deadline-expired" => ServeError::DeadlineExpired,
+        "shutting-down" => ServeError::ShuttingDown,
         "solve" => ServeError::Solve(str_field(value, "message")?.to_owned()),
         "transport" => ServeError::Transport(str_field(value, "message")?.to_owned()),
         other => return Err(format!("unknown error kind `{other}`")),
@@ -590,14 +594,35 @@ pub fn encode_responses(responses: &[SolveResponse]) -> String {
     .render()
 }
 
+/// Encodes the whole-batch failure document a server answers with when the
+/// *request document itself* could not be decoded (syntax error, protocol
+/// mismatch, schema drift — possibly a frame corrupted in flight): there
+/// are no per-job ids to attach typed errors to, so the server describes
+/// the decode failure once for the whole batch. [`decode_responses`] turns
+/// it back into an error, which a retrying transport treats like any other
+/// bad reply.
+#[must_use]
+pub fn encode_batch_error(message: &str) -> String {
+    Json::obj(vec![
+        ("protocol", Json::str(PROTOCOL)),
+        ("batch_error", Json::str(message)),
+    ])
+    .render()
+}
+
 /// Decodes a response batch.
 ///
 /// # Errors
 ///
-/// A description of the first syntax, protocol or schema problem.
+/// A description of the first syntax, protocol or schema problem; a
+/// [`encode_batch_error`] document decodes to an error carrying the
+/// server's message.
 pub fn decode_responses(text: &str) -> Result<Vec<SolveResponse>, String> {
     let value = Json::parse(text)?;
     check_protocol(&value)?;
+    if let Some(Json::Str(message)) = value.get("batch_error") {
+        return Err(format!("server rejected the batch: {message}"));
+    }
     arr_field(&value, "responses")?
         .iter()
         .map(response_from)

@@ -316,6 +316,128 @@ fn distinct_structures_do_not_collide() {
 }
 
 // ---------------------------------------------------------------------------
+// Graceful drain and the queue-depth gauge (satellites)
+// ---------------------------------------------------------------------------
+
+/// A drain never loses a response: every submission before the drain gets
+/// either its solve report (it was in flight) or the typed shutdown
+/// rejection (it was still queued), every submission after the drain is
+/// refused with the same typed error, and each rejection is counted under
+/// `DrainRejections`. The live depth gauge reads zero afterwards.
+#[test]
+fn drain_rejects_queued_and_later_submissions_typed() {
+    let mut server = Server::start(ServeConfig::new().with_workers(1));
+    let ids: Vec<_> = (0..4)
+        .map(|_| {
+            server
+                .submit(SolveRequest::new(comm_system(5), base_config()))
+                .expect("admitted")
+        })
+        .collect();
+    server.drain();
+
+    // One response per pre-drain submission, each a typed outcome: which
+    // jobs solved versus drained depends on how far the worker got, but
+    // nothing may hang or come back untyped.
+    let mut drained = 0;
+    for _ in &ids {
+        let response = server.recv();
+        match response.outcome {
+            Ok(report) => assert_eq!(report.resolution, Resolution::Milp),
+            Err(ServeError::ShuttingDown) => {
+                drained += 1;
+                assert_eq!(server.status(response.job), Some(JobStatus::Rejected));
+            }
+            other => panic!("expected a report or ShuttingDown, got {other:?}"),
+        }
+    }
+    assert_eq!(server.depth(), 0, "the gauge must return to zero");
+
+    // Post-drain submissions are refused before any work — and still get
+    // their streamed response.
+    let late = match server.submit(SolveRequest::new(comm_system(5), base_config())) {
+        Err(ServeError::ShuttingDown) => letdma_serve::JobId(ids.len() as u64),
+        other => panic!("expected ShuttingDown, got {other:?}"),
+    };
+    let response = server.recv();
+    assert_eq!(response.job, late);
+    assert_eq!(response.outcome, Err(ServeError::ShuttingDown));
+    assert_eq!(server.status(late), Some(JobStatus::Rejected));
+
+    let stats = server.shutdown();
+    assert_eq!(stats.counter(Counter::JobsAdmitted), ids.len() as u64);
+    assert_eq!(stats.counter(Counter::DrainRejections), drained + 1);
+    assert_eq!(stats.counter(Counter::JobsRejected), 0);
+}
+
+/// Draining twice is idempotent, and a `DrainHandle` works from another
+/// thread while the owner is blocked receiving.
+#[test]
+fn drain_handle_drains_from_another_thread() {
+    let mut server = Server::start(ServeConfig::new().with_workers(1));
+    let handle = server.drain_handle();
+    let id = server
+        .submit(SolveRequest::new(comm_system(5), base_config()))
+        .expect("admitted");
+    let drainer = std::thread::spawn(move || {
+        handle.drain();
+        handle.drain(); // idempotent
+    });
+    // Whether the drain flushed the job or the worker solved it first, the
+    // owed response arrives.
+    let response = server.recv();
+    assert_eq!(response.job, id);
+    assert!(matches!(
+        response.outcome,
+        Ok(_) | Err(ServeError::ShuttingDown)
+    ));
+    drainer.join().expect("drainer thread");
+    assert!(matches!(
+        server.submit(SolveRequest::new(comm_system(5), base_config())),
+        Err(ServeError::ShuttingDown)
+    ));
+    let _ = server.recv();
+    assert_eq!(server.depth(), 0);
+    drop(server);
+}
+
+/// The queue-depth gauge is a true gauge: it rises at admission, falls on
+/// every exit path — dispatch, queued-deadline expiry and drain rejection
+/// — and the high watermark it reached is what `shutdown` reports under
+/// `QueueDepth`.
+#[test]
+fn depth_gauge_returns_to_zero_on_every_exit_path() {
+    let mut server = Server::start(ServeConfig::new().with_workers(1));
+    // A mix of exit paths: a normal solve, a queued expiry (zero deadline)
+    // and another normal solve.
+    server
+        .submit(SolveRequest::new(comm_system(5), base_config()))
+        .expect("admitted");
+    server
+        .submit(SolveRequest::new(comm_system(10), base_config()).with_deadline(Duration::ZERO))
+        .expect("admitted");
+    server
+        .submit(SolveRequest::new(comm_system(5), base_config()))
+        .expect("admitted");
+
+    let mut expired = 0;
+    for _ in 0..3 {
+        if server.recv().outcome == Err(ServeError::DeadlineExpired) {
+            expired += 1;
+        }
+    }
+    assert_eq!(expired, 1, "exactly the zero-deadline job expires queued");
+    assert_eq!(server.depth(), 0, "all exit paths must decrement the gauge");
+
+    let stats = server.shutdown();
+    let watermark = stats.counter(Counter::QueueDepth);
+    assert!(
+        (1..=3).contains(&watermark),
+        "watermark must reflect the deepest the queue actually got, got {watermark}"
+    );
+}
+
+// ---------------------------------------------------------------------------
 // Determinism regression (acceptance criterion)
 // ---------------------------------------------------------------------------
 

@@ -79,6 +79,29 @@ echo "== serve smoke (workers 1 and 4, BENCH_serve schema) =="
 # budget keeps this fast.
 cargo run --release -p letdma-bench --bin repro --offline -- serve --nodes 2
 
+echo "== serve TCP smoke (LETDMA_THREADS=1 and 4) =="
+# The same batch over a real TCP socket on OS loopback: length-prefixed
+# frames, retrying client, per-request idempotency keys (DESIGN.md
+# §"Network transport & failure model"). Faults off, the TCP trajectory
+# must match loopback byte for byte, so the same asserts apply.
+LETDMA_THREADS=1 cargo run --release -p letdma-bench --bin repro --offline -- serve --tcp --nodes 2
+LETDMA_THREADS=4 cargo run --release -p letdma-bench --bin repro --offline -- serve --tcp --nodes 2
+
+echo "== serve TCP chaos smoke (each net-* fault site) =="
+# Each network fault site armed with a fire cap (max=2) strictly below the
+# client's retry budget (4 attempts), so the run is deterministic: the
+# faults fire, the retry/idempotency machinery absorbs them, and the smoke
+# must still end green with warm cache hits. net-delay gets no cap — a
+# 25ms stall per frame must be invisible under the default io timeout.
+LETDMA_FAULTS="net-drop-frame:p=1.0:seed=11:max=2" \
+  cargo run --release -p letdma-bench --bin repro --offline -- serve --tcp --nodes 2
+LETDMA_FAULTS="net-truncate:p=1.0:seed=12:max=2" \
+  cargo run --release -p letdma-bench --bin repro --offline -- serve --tcp --nodes 2
+LETDMA_FAULTS="net-corrupt-byte:p=1.0:seed=13:max=2" \
+  cargo run --release -p letdma-bench --bin repro --offline -- serve --tcp --nodes 2
+LETDMA_FAULTS="net-delay:p=0.5:seed=14" \
+  cargo run --release -p letdma-bench --bin repro --offline -- serve --tcp --nodes 2
+
 echo "== fault-injection smoke (LETDMA_THREADS=1 and 4) =="
 # Arms every deterministic fault site in turn against the WATERS case and
 # asserts the resilience contract — a conformance-valid solution or a typed
