@@ -7,6 +7,7 @@
 //! cargo run --release -p letdma-bench --bin repro -- table1 --budget 120 --stats
 //! cargo run --release -p letdma-bench --bin repro -- alpha-sweep
 //! cargo run --release -p letdma-bench --bin repro -- bench-milp --nodes 12 --out BENCH_milp.json
+//! cargo run --release -p letdma-bench --bin repro -- corpus --scenarios 64 --out BENCH_corpus.json
 //! cargo run --release -p letdma-bench --bin repro -- fault-smoke --budget 5
 //! cargo run --release -p letdma-bench --bin repro -- serve
 //! cargo run --release -p letdma-bench --bin repro -- serve-bench --workers 1,4,16 --out BENCH_serve.json
@@ -43,6 +44,18 @@
 //! "certificates essentially never fire" observation, and the basis
 //! swap's wall-clock claim, respectively.
 //!
+//! `corpus` runs the scenario-diversity campaign: `--scenarios` (default
+//! 64) specs expanded from `--seed` (default `0xDAC22021`), each solved
+//! end-to-end — constructive heuristic, MILP under the `--nodes` budget
+//! (default 200 for this command), Properties-1–3 conformance on both
+//! solutions — and simulated under every protocol variant (the four §VII
+//! approaches plus the triple-buffered pipeline with its rotation
+//! counters). The report (schema `letdma-bench-corpus/1`, default out
+//! `BENCH_corpus.json`) carries no timing fields and every inner solve is
+//! node-limited and single-threaded, so the file is byte-identical across
+//! reruns and thread counts; a Properties-1–3 violation or a
+//! worse-than-heuristic MILP objective is a nonzero exit.
+//!
 //! `serve-bench` pushes the six Table I scenarios through the in-process
 //! solve service (wire codec, admission queue, worker shards, shared
 //! formulation/presolve cache) once per `--workers` entry (comma list,
@@ -73,7 +86,9 @@ use std::time::Duration;
 use letdma::core::fault;
 use letdma::core::Counter;
 use letdma_bench::json::Json;
-use letdma_bench::{alpha_sweep, fault_smoke, fig2, milp_bench, serve_bench, table1, Session};
+use letdma_bench::{
+    alpha_sweep, corpus_bench, fault_smoke, fig2, milp_bench, serve_bench, table1, Session,
+};
 
 fn main() -> ExitCode {
     // Arm the deterministic fault plane from `LETDMA_FAULTS` (if set) —
@@ -86,7 +101,9 @@ fn main() -> ExitCode {
     let mut budget = Duration::from_secs(30);
     let mut threads: Option<usize> = None;
     let mut stats = false;
-    let mut nodes: u64 = 12;
+    let mut nodes: Option<u64> = None;
+    let mut scenarios: usize = 64;
+    let mut seed: u64 = 0xDAC2_2021;
     let mut out_path: Option<String> = None;
     let mut baseline_path = String::from("BENCH_milp.json");
     let mut workers: Vec<usize> = vec![1, 4, 16];
@@ -129,9 +146,38 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 };
                 match value.parse::<u64>() {
-                    Ok(n) if n >= 1 => nodes = n,
+                    Ok(n) if n >= 1 => nodes = Some(n),
                     _ => {
                         eprintln!("invalid node budget `{value}`");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--scenarios" => {
+                let Some(value) = iter.next() else {
+                    eprintln!("--scenarios needs a scenario count");
+                    return ExitCode::FAILURE;
+                };
+                match value.parse::<usize>() {
+                    Ok(n) if n >= 1 => scenarios = n,
+                    _ => {
+                        eprintln!("invalid scenario count `{value}`");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--seed" => {
+                let Some(value) = iter.next() else {
+                    eprintln!("--seed needs a value (decimal, or hex with 0x)");
+                    return ExitCode::FAILURE;
+                };
+                let parsed = value
+                    .strip_prefix("0x")
+                    .map_or_else(|| value.parse::<u64>(), |hex| u64::from_str_radix(hex, 16));
+                match parsed {
+                    Ok(n) => seed = n,
+                    Err(_) => {
+                        eprintln!("invalid seed `{value}`");
                         return ExitCode::FAILURE;
                     }
                 }
@@ -200,7 +246,7 @@ fn main() -> ExitCode {
                         None
                     }
                 });
-            let bench = milp_bench::run(nodes, baseline.as_ref());
+            let bench = milp_bench::run(nodes.unwrap_or(12), baseline.as_ref());
             print!("{}", bench.render());
             let value = bench.to_json();
             if let Err(problem) = milp_bench::validate(&value) {
@@ -223,7 +269,7 @@ fn main() -> ExitCode {
             // deterministic). `serve_bench::run_over` panics on any
             // broken service invariant; the explicit checks below keep
             // the failure a clean nonzero exit with a message.
-            let bench = serve_bench::run_over(nodes, &[1, 4], tcp);
+            let bench = serve_bench::run_over(nodes.unwrap_or(12), &[1, 4], tcp);
             print!("{}", bench.render());
             if let Err(problem) = serve_bench::validate(&bench.to_json()) {
                 eprintln!("serve smoke: report fails its own schema: {problem}");
@@ -241,7 +287,7 @@ fn main() -> ExitCode {
             println!("serve smoke OK ({warm_hits} cache hits on the warm round)");
         }
         "serve-bench" => {
-            let bench = serve_bench::run_over(nodes, &workers, tcp);
+            let bench = serve_bench::run_over(nodes.unwrap_or(12), &workers, tcp);
             print!("{}", bench.render());
             let value = bench.to_json();
             if let Err(problem) = serve_bench::validate(&value) {
@@ -256,6 +302,35 @@ fn main() -> ExitCode {
             if stats {
                 println!("\n== Serve statistics — {} transport", bench.transport);
                 print!("{}", bench.stats.render());
+            }
+            println!("wrote {out_path}");
+        }
+        "corpus" => {
+            // The scenario-corpus campaign: every generated scenario solved
+            // end-to-end (heuristic → node-limited MILP → conformance) and
+            // simulated under every protocol variant. The report carries no
+            // timing fields and every inner solve is node-limited and pinned
+            // to one thread, so the written file is byte-identical across
+            // reruns and thread counts (the CI smoke `cmp`s two runs).
+            let bench = corpus_bench::run(scenarios, seed, nodes.unwrap_or(200), threads);
+            print!("{}", bench.render());
+            let value = bench.to_json();
+            if let Err(problem) = corpus_bench::validate(&value) {
+                eprintln!("internal error: corpus report fails its own schema: {problem}");
+                return ExitCode::FAILURE;
+            }
+            if !bench.all_properties_pass() {
+                eprintln!("corpus: a scenario violates Properties 1-3 (see table above)");
+                return ExitCode::FAILURE;
+            }
+            if !bench.milp_never_worse() {
+                eprintln!("corpus: the MILP returned a worse objective than the heuristic");
+                return ExitCode::FAILURE;
+            }
+            let out_path = out_path.unwrap_or_else(|| "BENCH_corpus.json".to_owned());
+            if let Err(e) = std::fs::write(&out_path, value.render()) {
+                eprintln!("cannot write `{out_path}`: {e}");
+                return ExitCode::FAILURE;
             }
             println!("wrote {out_path}");
         }
@@ -278,7 +353,7 @@ fn main() -> ExitCode {
         }
         other => {
             eprintln!(
-                "unknown command `{other}` (use fig1|fig2|table1|alpha-sweep|bench-milp|serve|serve-bench|fault-smoke|all)"
+                "unknown command `{other}` (use fig1|fig2|table1|alpha-sweep|bench-milp|corpus|serve|serve-bench|fault-smoke|all)"
             );
             return ExitCode::FAILURE;
         }

@@ -13,7 +13,11 @@
 //! * the **α sensitivity sweep** described in the §VII text
 //!   ([`Session::alpha_sweep`]);
 //! * the **MILP warm-start A/B** ([`milp_bench`]) behind
-//!   `repro bench-milp` and the committed `BENCH_milp.json` baseline.
+//!   `repro bench-milp` and the committed `BENCH_milp.json` baseline;
+//! * the **scenario-corpus campaign** ([`corpus_bench`]) behind
+//!   `repro corpus` and the committed `BENCH_corpus.json` artifact —
+//!   every generated scenario solved end-to-end (heuristic → MILP →
+//!   conformance) with the protocol variants compared per scenario.
 //!
 //! All experiments run through one [`Session`], which owns the solve
 //! budget, the thread count and the per-scenario [`SolverStats`] shards
@@ -26,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod corpus_bench;
 pub mod fault_smoke;
 pub mod harness;
 pub mod json;
@@ -67,28 +72,30 @@ pub fn waters_with_alpha(alpha_pct: u32) -> (System, WatersTasks) {
     (system, tasks)
 }
 
-/// Simulates all four §VII approaches; returns reports keyed like Fig. 2.
+/// Simulates every protocol variant (the four §VII approaches plus the
+/// triple-buffered pipeline); returns reports keyed like Fig. 2.
 ///
 /// # Panics
 ///
 /// Panics if the schedule is inconsistent with the system (cannot happen
 /// for schedules produced by `letdma-opt` on the same system).
 #[must_use]
-pub fn simulate_all(system: &System, solution: &LetDmaSolution) -> FourWay {
+pub fn simulate_all(system: &System, solution: &LetDmaSolution) -> ApproachReports {
     let run = |approach: Approach, schedule: Option<&_>| {
         simulate(system, schedule, &SimConfig::for_approach(approach)).expect("consistent")
     };
-    FourWay {
+    ApproachReports {
         proposed: run(Approach::ProposedDma, Some(&solution.schedule)),
         giotto_cpu: run(Approach::GiottoCpu, None),
         giotto_dma_a: run(Approach::GiottoDmaA, None),
         giotto_dma_b: run(Approach::GiottoDmaB, Some(&solution.schedule)),
+        triple_buffered: run(Approach::TripleBuffered, Some(&solution.schedule)),
     }
 }
 
-/// Simulation reports of the four approaches.
+/// Simulation reports of every protocol variant, one per [`Approach`].
 #[derive(Debug, Clone)]
-pub struct FourWay {
+pub struct ApproachReports {
     /// The proposed protocol.
     pub proposed: SimReport,
     /// Giotto with CPU copies.
@@ -97,6 +104,8 @@ pub struct FourWay {
     pub giotto_dma_a: SimReport,
     /// Giotto with grouped DMA transfers.
     pub giotto_dma_b: SimReport,
+    /// The triple-buffered work/pre-fetch/commit pipeline.
+    pub triple_buffered: SimReport,
 }
 
 /// A benchmark session: one budget/thread configuration plus the solver

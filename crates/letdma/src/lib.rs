@@ -20,9 +20,9 @@
 //! | [`milp`] | A self-contained MILP solver (simplex + branch and bound) replacing the paper's CPLEX |
 //! | [`opt`] | The §VI formulation (Constraints 1–10, three objectives), a constructive heuristic and solution validation |
 //! | [`serve`] | Solve-as-a-service: sharded batch server, formulation cache, transport-agnostic typed protocol |
-//! | [`sim`] | Discrete-event simulation of the proposed protocol and the three Giotto baselines |
+//! | [`sim`] | Discrete-event simulation of the proposed protocol, the three Giotto baselines and the triple-buffered pipeline |
 //! | [`analysis`] | Response-time analysis with jitter and the §VII sensitivity procedure |
-//! | [`waters`] | The WATERS 2019 case study (synthetic reconstruction) and a random workload generator |
+//! | [`waters`] | The WATERS 2019 case study (synthetic reconstruction), a scenario-diversity generator and the seeded corpus |
 //!
 //! # Quickstart
 //!

@@ -35,6 +35,10 @@ pub enum ModelError {
     },
     /// The system has no tasks.
     EmptySystem,
+    /// The DMA-cluster configuration is inconsistent: bad cluster count, a
+    /// per-cluster cost-model list of the wrong length, or a cluster engine
+    /// that the system-level worst-case envelope does not dominate.
+    ClusterConfig(String),
 }
 
 impl fmt::Display for ModelError {
@@ -52,6 +56,7 @@ impl fmt::Display for ModelError {
                 write!(f, "task {task} listed twice as reader of label {label}")
             }
             Self::EmptySystem => write!(f, "the system declares no tasks"),
+            Self::ClusterConfig(msg) => write!(f, "invalid DMA cluster configuration: {msg}"),
         }
     }
 }

@@ -27,10 +27,12 @@ use crate::time::TimeNs;
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Platform {
     core_count: u16,
+    cluster_count: u16,
 }
 
 impl Platform {
-    /// Creates a platform with `core_count` identical cores.
+    /// Creates a platform with `core_count` identical cores and a single
+    /// DMA cluster (the paper's topology: one shared DMA engine).
     ///
     /// # Panics
     ///
@@ -38,7 +40,54 @@ impl Platform {
     #[must_use]
     pub fn new(core_count: u16) -> Self {
         assert!(core_count > 0, "a platform needs at least one core");
-        Self { core_count }
+        Self {
+            core_count,
+            cluster_count: 1,
+        }
+    }
+
+    /// Creates a platform whose cores are partitioned into `cluster_count`
+    /// contiguous blocks, each served by its own DMA engine (XDMA-style
+    /// multi-accelerator SoCs). Cluster `j` owns cores
+    /// `j·⌈N/C⌉ .. (j+1)·⌈N/C⌉`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::ModelError::ClusterConfig`] if `cluster_count` is
+    /// zero or exceeds `core_count`, or if `core_count == 0`.
+    pub fn with_clusters(core_count: u16, cluster_count: u16) -> Result<Self, crate::ModelError> {
+        if core_count == 0 {
+            return Err(crate::ModelError::ClusterConfig(
+                "a platform needs at least one core".into(),
+            ));
+        }
+        if cluster_count == 0 || cluster_count > core_count {
+            return Err(crate::ModelError::ClusterConfig(format!(
+                "cluster count {cluster_count} must be in 1..={core_count} (one DMA engine per non-empty core block)"
+            )));
+        }
+        Ok(Self {
+            core_count,
+            cluster_count,
+        })
+    }
+
+    /// Number of DMA clusters `C` (1 on the paper's single-engine platform).
+    #[must_use]
+    pub fn cluster_count(&self) -> usize {
+        usize::from(self.cluster_count)
+    }
+
+    /// The cluster that owns `core` (contiguous block partition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` does not exist on this platform.
+    #[must_use]
+    pub fn cluster_of(&self, core: CoreId) -> usize {
+        assert!(self.contains_core(core), "core {core} not on this platform");
+        let per = self.core_count().div_ceil(self.cluster_count());
+        core.index() / per
     }
 
     /// Number of cores `N`.
@@ -150,6 +199,13 @@ impl CopyCost {
     pub const fn as_ratio(self) -> (u64, u64) {
         (self.num, self.den)
     }
+
+    /// `true` when this per-byte cost is at least as large as `other`
+    /// (exact rational comparison, no rounding).
+    #[must_use]
+    pub fn dominates(self, other: Self) -> bool {
+        u128::from(self.num) * u128::from(other.den) >= u128::from(other.num) * u128::from(self.den)
+    }
 }
 
 impl fmt::Display for CopyCost {
@@ -248,6 +304,19 @@ impl CostModel {
     pub fn transfer_duration(&self, bytes: u64) -> TimeNs {
         self.lambda_o() + self.omega_c.cost_of(bytes)
     }
+
+    /// `true` when every component of this model is at least as large as
+    /// the corresponding component of `other` — i.e. this model is a sound
+    /// worst-case envelope for `other`. The analysis and the MILP always
+    /// use the system-level envelope; per-cluster engines may only be
+    /// *faster*, so timing guarantees proved against the envelope carry
+    /// over to every cluster.
+    #[must_use]
+    pub fn dominates(&self, other: &Self) -> bool {
+        self.o_dp >= other.o_dp
+            && self.o_isr >= other.o_isr
+            && self.omega_c.dominates(other.omega_c)
+    }
 }
 
 impl Default for CostModel {
@@ -275,6 +344,32 @@ mod tests {
     #[should_panic(expected = "at least one core")]
     fn zero_core_platform_panics() {
         let _ = Platform::new(0);
+    }
+
+    #[test]
+    fn single_cluster_by_default() {
+        let p = Platform::new(4);
+        assert_eq!(p.cluster_count(), 1);
+        for core in p.cores() {
+            assert_eq!(p.cluster_of(core), 0);
+        }
+    }
+
+    #[test]
+    fn cluster_block_partition() {
+        // 5 cores in 2 clusters: blocks of ⌈5/2⌉ = 3 → {0,1,2}, {3,4}.
+        let p = Platform::with_clusters(5, 2).unwrap();
+        assert_eq!(p.cluster_count(), 2);
+        let clusters: Vec<usize> = p.cores().map(|c| p.cluster_of(c)).collect();
+        assert_eq!(clusters, vec![0, 0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn cluster_config_rejected() {
+        assert!(Platform::with_clusters(0, 1).is_err());
+        assert!(Platform::with_clusters(4, 0).is_err());
+        assert!(Platform::with_clusters(2, 3).is_err());
+        assert!(Platform::with_clusters(2, 2).is_ok());
     }
 
     #[test]
@@ -322,5 +417,34 @@ mod tests {
     fn zero_copy_cost_isolates_overheads() {
         let m = CostModel::new(TimeNs::from_us(1), TimeNs::from_us(2), CopyCost::ZERO);
         assert_eq!(m.transfer_duration(1 << 20), TimeNs::from_us(3));
+    }
+
+    #[test]
+    fn copy_cost_dominance_is_exact() {
+        let a = CopyCost::per_byte(5, 1).unwrap();
+        let b = CopyCost::per_byte(9, 2).unwrap(); // 4.5 ns/B
+        assert!(a.dominates(b));
+        assert!(!b.dominates(a));
+        assert!(a.dominates(a));
+        assert!(b.dominates(CopyCost::ZERO));
+    }
+
+    #[test]
+    fn cost_model_dominance_is_componentwise() {
+        let envelope = CostModel::paper_section_vii();
+        let faster = CostModel::new(
+            TimeNs::from_ns(3_000),
+            TimeNs::from_us(9),
+            CopyCost::per_byte(4, 1).unwrap(),
+        );
+        assert!(envelope.dominates(&faster));
+        assert!(!faster.dominates(&envelope));
+        // One larger component breaks dominance.
+        let slower_isr = CostModel::new(
+            TimeNs::from_ns(3_000),
+            TimeNs::from_us(11),
+            CopyCost::per_byte(4, 1).unwrap(),
+        );
+        assert!(!envelope.dominates(&slower_isr));
     }
 }

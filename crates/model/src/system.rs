@@ -39,6 +39,10 @@ pub struct System {
     tasks: Vec<Task>,
     labels: Vec<Label>,
     costs: CostModel,
+    /// Per-cluster DMA engines, indexed by [`Platform::cluster_of`]. Empty
+    /// on single-engine platforms; when present, every entry is dominated
+    /// by the system-level envelope `costs` (validated at build time).
+    cluster_costs: Vec<CostModel>,
 }
 
 impl System {
@@ -60,10 +64,37 @@ impl System {
         &self.labels
     }
 
-    /// The DMA timing parameters.
+    /// The DMA timing parameters: the system-level **worst-case envelope**.
+    ///
+    /// The MILP formulation and the conformance checker always use this
+    /// envelope; on multi-engine platforms every per-cluster engine is
+    /// dominated by it, so guarantees proved here carry over per cluster.
     #[must_use]
     pub fn costs(&self) -> &CostModel {
         &self.costs
+    }
+
+    /// The per-cluster DMA engines (empty on single-engine platforms).
+    #[must_use]
+    pub fn cluster_costs(&self) -> &[CostModel] {
+        &self.cluster_costs
+    }
+
+    /// The DMA engine serving `core`: its cluster's cost model when
+    /// per-cluster engines were declared, the system envelope otherwise.
+    /// Simulation uses this (the engine that actually moves the data);
+    /// analysis keeps the envelope via [`System::costs`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` does not exist on this platform.
+    #[must_use]
+    pub fn costs_for(&self, core: CoreId) -> &CostModel {
+        if self.cluster_costs.is_empty() {
+            &self.costs
+        } else {
+            &self.cluster_costs[self.platform.cluster_of(core)]
+        }
     }
 
     /// Looks up one task.
@@ -259,6 +290,7 @@ pub struct SystemBuilder {
     tasks: Vec<Task>,
     labels: Vec<Label>,
     costs: CostModel,
+    cluster_costs: Vec<CostModel>,
     explicit_priorities: bool,
     any_task_added: bool,
 }
@@ -272,11 +304,19 @@ impl SystemBuilder {
     /// Panics if `core_count == 0`.
     #[must_use]
     pub fn new(core_count: u16) -> Self {
+        Self::on_platform(Platform::new(core_count))
+    }
+
+    /// Starts building a system on an explicit platform (e.g. one created
+    /// with [`Platform::with_clusters`]) and the paper's default cost model.
+    #[must_use]
+    pub fn on_platform(platform: Platform) -> Self {
         Self {
-            platform: Platform::new(core_count),
+            platform,
             tasks: Vec::new(),
             labels: Vec::new(),
             costs: CostModel::default(),
+            cluster_costs: Vec::new(),
             explicit_priorities: false,
             any_task_added: false,
         }
@@ -293,6 +333,16 @@ impl SystemBuilder {
     /// Sets the DMA cost model in place (for use after other `&mut` calls).
     pub fn set_costs(&mut self, costs: CostModel) -> &mut Self {
         self.costs = costs;
+        self
+    }
+
+    /// Declares one DMA engine per platform cluster, indexed by
+    /// [`Platform::cluster_of`]. [`SystemBuilder::build`] validates that
+    /// the list matches the platform's cluster count and that the
+    /// system-level envelope ([`SystemBuilder::set_costs`]) dominates every
+    /// engine componentwise.
+    pub fn set_cluster_costs(&mut self, engines: Vec<CostModel>) -> &mut Self {
+        self.cluster_costs = engines;
         self
     }
 
@@ -380,10 +430,29 @@ impl SystemBuilder {
     ///
     /// # Errors
     ///
-    /// Returns [`ModelError::EmptySystem`] if no task was declared.
+    /// Returns [`ModelError::EmptySystem`] if no task was declared, and
+    /// [`ModelError::ClusterConfig`] if per-cluster engines were declared
+    /// but their count does not match the platform's cluster count or the
+    /// system-level envelope fails to dominate one of them.
     pub fn build(mut self) -> Result<System, ModelError> {
         if self.tasks.is_empty() {
             return Err(ModelError::EmptySystem);
+        }
+        if !self.cluster_costs.is_empty() {
+            if self.cluster_costs.len() != self.platform.cluster_count() {
+                return Err(ModelError::ClusterConfig(format!(
+                    "{} engines declared for {} clusters",
+                    self.cluster_costs.len(),
+                    self.platform.cluster_count()
+                )));
+            }
+            for (k, engine) in self.cluster_costs.iter().enumerate() {
+                if !self.costs.dominates(engine) {
+                    return Err(ModelError::ClusterConfig(format!(
+                        "the system cost envelope does not dominate the engine of cluster {k}"
+                    )));
+                }
+            }
         }
         if !self.explicit_priorities {
             let mut order: Vec<usize> = (0..self.tasks.len()).collect();
@@ -397,6 +466,7 @@ impl SystemBuilder {
             tasks: self.tasks,
             labels: self.labels,
             costs: self.costs,
+            cluster_costs: self.cluster_costs,
         })
     }
 }
@@ -496,6 +566,59 @@ mod tests {
         assert!(sys.task_by_name("ghost").is_none());
         assert_eq!(sys.label_by_name("shared").unwrap().size(), 128);
         assert!(sys.label_by_name("ghost").is_none());
+    }
+
+    #[test]
+    fn cluster_engines_validated_and_resolved_per_core() {
+        use crate::platform::CopyCost;
+
+        let platform = Platform::with_clusters(4, 2).unwrap();
+        let envelope = CostModel::paper_section_vii();
+        let fast = CostModel::new(
+            TimeNs::from_ns(2_000),
+            TimeNs::from_us(8),
+            CopyCost::per_byte(3, 1).unwrap(),
+        );
+        let mut b = SystemBuilder::on_platform(platform.clone());
+        b.set_costs(envelope);
+        b.set_cluster_costs(vec![envelope, fast]);
+        b.task("t").period_ms(10).core_index(0).add().unwrap();
+        let sys = b.build().unwrap();
+        assert_eq!(sys.cluster_costs().len(), 2);
+        assert_eq!(sys.costs_for(CoreId::new(0)), &envelope);
+        assert_eq!(sys.costs_for(CoreId::new(3)), &fast);
+
+        // Wrong engine count is rejected.
+        let mut b = SystemBuilder::on_platform(platform.clone());
+        b.set_cluster_costs(vec![envelope]);
+        b.task("t").period_ms(10).core_index(0).add().unwrap();
+        assert!(matches!(
+            b.build().unwrap_err(),
+            ModelError::ClusterConfig(_)
+        ));
+
+        // An engine the envelope does not dominate is rejected.
+        let slower = CostModel::new(
+            TimeNs::from_ns(4_000),
+            TimeNs::from_us(10),
+            CopyCost::per_byte(5, 1).unwrap(),
+        );
+        let mut b = SystemBuilder::on_platform(platform);
+        b.set_costs(envelope);
+        b.set_cluster_costs(vec![envelope, slower]);
+        b.task("t").period_ms(10).core_index(0).add().unwrap();
+        assert!(matches!(
+            b.build().unwrap_err(),
+            ModelError::ClusterConfig(_)
+        ));
+    }
+
+    #[test]
+    fn single_engine_systems_resolve_to_envelope() {
+        let (sys, ..) = sample();
+        assert!(sys.cluster_costs().is_empty());
+        assert_eq!(sys.costs_for(CoreId::new(0)), sys.costs());
+        assert_eq!(sys.costs_for(CoreId::new(1)), sys.costs());
     }
 
     #[test]

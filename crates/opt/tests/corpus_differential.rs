@@ -1,0 +1,92 @@
+//! Heuristic-vs-MILP differential campaign over a small-instance slice of
+//! the scenario corpus.
+//!
+//! For every scenario: the heuristic and the MILP must agree that the
+//! instance is feasible, the MILP objective (transfer count under
+//! OBJ-DMAT) must never be worse than the heuristic's, and **both**
+//! solutions must pass the independent Properties-1–3 conformance checker.
+//! The suite runs under the CI thread matrix (`LETDMA_THREADS=1` and `=4`)
+//! with a node limit instead of a wall-clock limit, so verdicts are
+//! deterministic at any thread count.
+
+use letdma_model::conformance::{verify, VerifyOptions};
+use letdma_opt::{heuristic_solution, Objective, OptConfig, Optimizer};
+use waters2019::corpus::corpus;
+use waters2019::gen::try_generate;
+
+/// Small-instance slice: 12 scenarios cover all three topology classes
+/// and all period/size combos at 2–4 cores.
+const SLICE: usize = 12;
+const SEED: u64 = 0xDAC2_2021;
+
+/// Node budget per MILP solve. Deliberately small: the heuristic seeds the
+/// incumbent, so the differential contract (feasibility agreement,
+/// objective never worse, conformance) holds at *any* budget, and a tight
+/// one keeps the debug-mode suite fast across the CI matrix. 16 nodes is
+/// already enough for the search to strictly improve on the heuristic in
+/// some scenarios (e.g. s000), so the comparison is not vacuous.
+const NODE_LIMIT: u64 = 16;
+
+fn milp_config() -> OptConfig {
+    OptConfig::new()
+        .with_objective(Objective::MinTransfers)
+        .with_node_limit(NODE_LIMIT)
+        .without_time_limit()
+}
+
+#[test]
+fn feasibility_verdicts_agree_and_milp_never_worse() {
+    for spec in corpus(SLICE, SEED) {
+        let sys = try_generate(&spec.config).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+
+        let heuristic = heuristic_solution(&sys, false)
+            .unwrap_or_else(|e| panic!("{}: heuristic infeasible: {e}", spec.name));
+        let milp = Optimizer::new(&sys)
+            .config(milp_config())
+            .run()
+            .unwrap_or_else(|e| {
+                panic!(
+                    "{}: MILP verdict differs from heuristic (heuristic feasible): {e}",
+                    spec.name
+                )
+            });
+
+        assert!(
+            milp.num_transfers() <= heuristic.num_transfers(),
+            "{}: MILP uses {} transfers, heuristic {}",
+            spec.name,
+            milp.num_transfers(),
+            heuristic.num_transfers()
+        );
+
+        for (tag, solution) in [("heuristic", &heuristic), ("milp", &milp)] {
+            let violations = verify(
+                &sys,
+                &solution.layout,
+                &solution.schedule,
+                VerifyOptions::default(),
+            );
+            assert!(
+                violations.is_empty(),
+                "{}: {tag} solution violates conformance: {violations:?}",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn milp_verdicts_are_deterministic_across_runs() {
+    for spec in corpus(3, SEED) {
+        let sys = try_generate(&spec.config).unwrap();
+        let a = Optimizer::new(&sys).config(milp_config()).run().unwrap();
+        let b = Optimizer::new(&sys).config(milp_config()).run().unwrap();
+        assert_eq!(
+            a.num_transfers(),
+            b.num_transfers(),
+            "{}: nondeterministic objective",
+            spec.name
+        );
+        assert_eq!(a.schedule, b.schedule, "{}", spec.name);
+    }
+}

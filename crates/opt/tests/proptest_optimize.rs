@@ -12,7 +12,7 @@ use std::time::Duration;
 use letdma_core::{Cases, Rng, Xoshiro256};
 use letdma_model::conformance::{verify, VerifyOptions};
 use letdma_opt::{heuristic_solution, Objective, OptConfig, OptError, Optimizer};
-use waters2019::gen::{generate, GenConfig};
+use waters2019::gen::{generate, GenConfig, PeriodMenu};
 
 fn random_config(rng: &mut Xoshiro256) -> GenConfig {
     let cores = u16::try_from(rng.usize_range(2, 5)).unwrap();
@@ -20,13 +20,13 @@ fn random_config(rng: &mut Xoshiro256) -> GenConfig {
     let labels = rng.usize_range(1, 9);
     let seed = rng.next_u64();
     let menus: [&[u64]; 3] = [&[5, 10, 20], &[5, 15, 33], &[10, 33, 66, 100]];
-    let period_menu_ms = rng.choose(&menus).expect("nonempty").to_vec();
+    let menu = rng.choose(&menus).expect("nonempty").to_vec();
     GenConfig {
         cores,
         tasks: tasks.max(usize::from(cores)), // every core populated
         labels,
         seed,
-        period_menu_ms,
+        periods: PeriodMenu::Custom(menu),
         ..GenConfig::default()
     }
 }

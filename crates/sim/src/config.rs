@@ -1,9 +1,11 @@
-//! Simulation configuration: the four communication approaches of §VII and
-//! the CPU-copy cost model used by the Giotto-CPU baseline.
+//! Simulation configuration: the four communication approaches of §VII, the
+//! triple-buffered protocol variant, and the CPU-copy cost model used by the
+//! Giotto-CPU baseline.
 
 use letdma_model::{CopyCost, TimeNs};
 
-/// The four LET communication approaches compared in §VII of the paper.
+/// The four LET communication approaches compared in §VII of the paper,
+/// plus the triple-buffered pipelined variant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Approach {
     /// (i) This paper's protocol: DMA transfers from the optimized schedule,
@@ -21,6 +23,14 @@ pub enum Approach {
     /// grouped transfers — but Giotto readiness: tasks wait for all
     /// transfers.
     GiottoDmaB,
+    /// (v) The triple-buffered variant of (i) (`DmaBuf`-style work /
+    /// pre-fetch / commit rounds): transfers of one instant still use the
+    /// optimized schedule and R1–R3 readiness, but DMA programming is
+    /// pipelined ahead of the data movement through three rotating buffer
+    /// slots. A copy into slot `k mod 3` never starts before the
+    /// completion ISR of round `k − 3` has retired, so a buffer is never
+    /// written while still being read (see [`crate::rotation`]).
+    TripleBuffered,
 }
 
 impl std::fmt::Display for Approach {
@@ -30,6 +40,7 @@ impl std::fmt::Display for Approach {
             Self::GiottoCpu => write!(f, "Giotto-CPU"),
             Self::GiottoDmaA => write!(f, "Giotto-DMA-A"),
             Self::GiottoDmaB => write!(f, "Giotto-DMA-B"),
+            Self::TripleBuffered => write!(f, "Triple-Buffered"),
         }
     }
 }
@@ -115,6 +126,7 @@ mod tests {
         assert_eq!(Approach::GiottoCpu.to_string(), "Giotto-CPU");
         assert_eq!(Approach::GiottoDmaA.to_string(), "Giotto-DMA-A");
         assert_eq!(Approach::GiottoDmaB.to_string(), "Giotto-DMA-B");
+        assert_eq!(Approach::TripleBuffered.to_string(), "Triple-Buffered");
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Discrete-event simulation engine: per-core preemptive fixed-priority
 //! scheduling, a single shared DMA engine, and the LET communication chains
-//! of the four approaches.
+//! of the five approaches (the paper's four plus the triple-buffered
+//! pipelined variant).
 //!
 //! The engine simulates one hyperperiod (by default) of:
 //!
@@ -24,6 +25,10 @@ use letdma_model::{CommKind, CoreId, System, TaskId, TimeNs, TransferSchedule};
 
 use crate::config::{Approach, SimConfig, SimError};
 use crate::report::SimReport;
+use crate::rotation::BufferRotation;
+
+/// Number of rotating buffer slots of [`Approach::TripleBuffered`].
+const TB_SLOTS: usize = 3;
 
 /// One step of a communication chain.
 #[derive(Debug, Clone)]
@@ -111,6 +116,51 @@ struct Core {
     version: u64,
 }
 
+/// Per-chain progress of the triple-buffered pipeline.
+///
+/// Programming runs ahead of the data movement: the DMA-programming job of
+/// step `k + 1` is enqueued as soon as step `k`'s programming completes
+/// (pre-fetch), while copies stay strictly sequential on the single DMA
+/// engine (Property 2). The copy of round `k` targets buffer slot
+/// `k mod TB_SLOTS` and is gated on the completion ISR of round
+/// `k − TB_SLOTS` (the slot's previous occupant) having retired.
+#[derive(Debug, Default)]
+struct TbState {
+    /// Programming of step `k` has completed (the descriptor is queued).
+    programmed: Vec<bool>,
+    /// Time the DMA finished moving round `k`'s data (copy end).
+    done_at: Vec<TimeNs>,
+    /// Completion ISR of round `k` has retired.
+    isr_done: Vec<bool>,
+    /// Round `k` was held back by the rotation gate at least once.
+    stalled: Vec<bool>,
+    /// Next round whose copy may start (copies are issued in order).
+    next_copy: usize,
+    /// The DMA is currently moving data for this chain.
+    copy_busy: bool,
+    /// Rounds whose ISR has retired.
+    finished: usize,
+}
+
+impl TbState {
+    fn for_steps(n: usize) -> Self {
+        Self {
+            programmed: vec![false; n],
+            done_at: vec![TimeNs::ZERO; n],
+            isr_done: vec![false; n],
+            stalled: vec![false; n],
+            next_copy: 0,
+            copy_busy: false,
+            finished: 0,
+        }
+    }
+}
+
+/// Globally unique round identifier for the rotation checker.
+fn tb_round(chain: usize, step: usize) -> u64 {
+    ((chain as u64) << 32) | step as u64
+}
+
 /// The simulation engine.
 pub(crate) struct Engine<'a> {
     system: &'a System,
@@ -125,6 +175,11 @@ pub(crate) struct Engine<'a> {
     jobs: Vec<Job>,
     now: TimeNs,
     report: SimReport,
+    /// Per-chain pipeline state; empty unless the approach is
+    /// [`Approach::TripleBuffered`].
+    tb: Vec<TbState>,
+    /// Independent rotation checker fed by the triple-buffered path.
+    rotation: BufferRotation,
 }
 
 impl std::fmt::Debug for Engine<'_> {
@@ -145,6 +200,14 @@ impl<'a> Engine<'a> {
         let horizon = config.horizon.unwrap_or_else(|| system.hyperperiod());
         let chains = build_chains(system, schedule, config, horizon)?;
         let n_cores = system.platform().core_count();
+        let tb = if config.approach == Approach::TripleBuffered {
+            chains
+                .iter()
+                .map(|c| TbState::for_steps(c.steps.len()))
+                .collect()
+        } else {
+            Vec::new()
+        };
         let mut engine = Self {
             system,
             config,
@@ -158,6 +221,8 @@ impl<'a> Engine<'a> {
             jobs: Vec::new(),
             now: TimeNs::ZERO,
             report: SimReport::new(system),
+            tb,
+            rotation: BufferRotation::new(TB_SLOTS),
         };
         engine.seed_events(config);
         Ok(engine)
@@ -207,6 +272,7 @@ impl<'a> Engine<'a> {
                 EventKind::Completion(core, version) => self.on_completion(core, version),
             }
         }
+        self.report.buffer_hazards = self.rotation.hazards();
         self.report
     }
 
@@ -336,13 +402,28 @@ impl<'a> Engine<'a> {
                 }
             }
             Payload::DmaProgram(chain, step) => {
-                // DMA engine now moves the data (in parallel with the CPUs).
-                let copy = self.chains[chain].steps[step].copy;
-                self.report.dma_busy += copy;
-                self.push_event(self.now + copy, EventKind::DmaDone(chain, step));
+                if self.config.approach == Approach::TripleBuffered {
+                    self.tb[chain].programmed[step] = true;
+                    // Pre-fetch: pipeline the next round's programming while
+                    // this round's data still moves.
+                    if step + 1 < self.chains[chain].steps.len() {
+                        self.tb_launch_program(chain, step + 1);
+                    }
+                    self.tb_try_copy(chain);
+                } else {
+                    // DMA engine now moves the data (in parallel with the
+                    // CPUs).
+                    let copy = self.chains[chain].steps[step].copy;
+                    self.report.dma_busy += copy;
+                    self.push_event(self.now + copy, EventKind::DmaDone(chain, step));
+                }
             }
             Payload::DmaIsr(chain, step) => {
-                self.finish_step(chain, step);
+                if self.config.approach == Approach::TripleBuffered {
+                    self.tb_finish_isr(chain, step);
+                } else {
+                    self.finish_step(chain, step);
+                }
             }
             Payload::CpuCopy(chain, step) => {
                 self.report.cpu_copy_time += self.chains[chain].steps[step].copy;
@@ -371,6 +452,8 @@ impl<'a> Engine<'a> {
         // their release events.
         if self.chains[chain].steps.is_empty() {
             self.complete_chain(chain);
+        } else if self.config.approach == Approach::TripleBuffered {
+            self.tb_launch_program(chain, 0);
         } else {
             self.launch_step(chain, 0);
         }
@@ -381,7 +464,7 @@ impl<'a> Engine<'a> {
         let (core, copy, dma) = (s.core, s.copy, s.dma);
         if dma {
             self.report.transfers_issued += 1;
-            let o_dp = self.system.costs().o_dp();
+            let o_dp = self.system.costs_for(core).o_dp();
             self.enqueue_overhead_job(core, o_dp, Payload::DmaProgram(chain, step));
         } else {
             let duration = self.config.cpu_label_overhead + copy;
@@ -391,8 +474,83 @@ impl<'a> Engine<'a> {
 
     fn on_dma_done(&mut self, chain: usize, step: usize) {
         let core = self.chains[chain].steps[step].core;
-        let o_isr = self.system.costs().o_isr();
-        self.enqueue_overhead_job(core, o_isr, Payload::DmaIsr(chain, step));
+        let o_isr = self.system.costs_for(core).o_isr();
+        if self.config.approach == Approach::TripleBuffered {
+            self.tb[chain].copy_busy = false;
+            self.tb[chain].next_copy = step + 1;
+            self.enqueue_overhead_job(core, o_isr, Payload::DmaIsr(chain, step));
+            // The next round's copy may start while this ISR is still
+            // pending — that is the whole point of the extra buffer slots.
+            self.tb_try_copy(chain);
+        } else {
+            self.enqueue_overhead_job(core, o_isr, Payload::DmaIsr(chain, step));
+        }
+    }
+
+    // ----- triple-buffered pipeline ---------------------------------------
+
+    /// Enqueues the DMA-programming job of round `step`.
+    fn tb_launch_program(&mut self, chain: usize, step: usize) {
+        let core = self.chains[chain].steps[step].core;
+        self.report.transfers_issued += 1;
+        let o_dp = self.system.costs_for(core).o_dp();
+        self.enqueue_overhead_job(core, o_dp, Payload::DmaProgram(chain, step));
+    }
+
+    /// Starts the next in-order copy if the DMA is idle, the round is
+    /// programmed, and its buffer slot's previous occupant has retired.
+    fn tb_try_copy(&mut self, chain: usize) {
+        let n = self.chains[chain].steps.len();
+        let k = {
+            let st = &self.tb[chain];
+            if st.copy_busy || st.next_copy >= n {
+                return;
+            }
+            st.next_copy
+        };
+        if !self.tb[chain].programmed[k] {
+            return;
+        }
+        if k >= TB_SLOTS && !self.tb[chain].isr_done[k - TB_SLOTS] {
+            // Rotation gate: slot `k % TB_SLOTS` is still owned by round
+            // `k − TB_SLOTS`.
+            self.tb[chain].stalled[k] = true;
+            return;
+        }
+        if self.tb[chain].stalled[k] {
+            self.report.rotation_stalls += 1;
+        }
+        let copy = self.chains[chain].steps[k].copy;
+        let end = self.now + copy;
+        self.tb[chain].copy_busy = true;
+        self.tb[chain].done_at[k] = end;
+        self.report.dma_busy += copy;
+        self.rotation
+            .record_write(k % TB_SLOTS, self.now, end, tb_round(chain, k));
+        self.push_event(end, EventKind::DmaDone(chain, k));
+    }
+
+    /// The completion ISR of round `step` retired: the slot's data is
+    /// published, gated tasks become ready, and the slot may be reused.
+    fn tb_finish_isr(&mut self, chain: usize, step: usize) {
+        let instant = self.chains[chain].instant;
+        // The buffer is "being read" from copy end until the ISR retires
+        // (publication drains the slot into the local memories).
+        let read_start = self.tb[chain].done_at[step];
+        self.rotation
+            .record_read(step % TB_SLOTS, read_start, self.now, tb_round(chain, step));
+        self.tb[chain].isr_done[step] = true;
+        self.tb[chain].finished += 1;
+        let readies = self.chains[chain].steps[step].readies.clone();
+        for task in readies {
+            let latency = self.now - instant;
+            self.report.record_latency(task, latency);
+            self.enqueue_task_job(task, instant);
+        }
+        self.tb_try_copy(chain);
+        if self.tb[chain].finished == self.chains[chain].steps.len() {
+            self.complete_chain(chain);
+        }
     }
 
     /// The step (including its ISR / CPU copy) has fully completed: ready
@@ -458,7 +616,7 @@ fn build_chains(
             .map(letdma_model::Task::id)
             .collect();
         let chain = match config.approach {
-            Approach::ProposedDma => {
+            Approach::ProposedDma | Approach::TripleBuffered => {
                 let schedule = schedule.ok_or(SimError::MissingSchedule)?;
                 let issued = schedule.transfers_at(system, t);
                 let mut covered: usize = 0;
@@ -479,15 +637,18 @@ fn build_chains(
                 let steps: Vec<Step> = issued
                     .iter()
                     .enumerate()
-                    .map(|(k, (_, tr))| Step {
-                        core: tr.local_memory().core().expect("local side"),
-                        copy: system.costs().omega_c().cost_of(tr.bytes(system)),
-                        readies: last_step
-                            .iter()
-                            .filter(|&(task, &s)| s == k && released.contains(task))
-                            .map(|(&task, _)| task)
-                            .collect(),
-                        dma: true,
+                    .map(|(k, (_, tr))| {
+                        let core = tr.local_memory().core().expect("local side");
+                        Step {
+                            core,
+                            copy: system.costs_for(core).omega_c().cost_of(tr.bytes(system)),
+                            readies: last_step
+                                .iter()
+                                .filter(|&(task, &s)| s == k && released.contains(task))
+                                .map(|(&task, _)| task)
+                                .collect(),
+                            dma: true,
+                        }
                     })
                     .collect();
                 // Under R1, released tasks without any communication at t
@@ -518,11 +679,14 @@ fn build_chains(
                         ordered.sort_by_key(|c| (c.kind, c.task, c.label));
                         ordered
                             .iter()
-                            .map(|c| Step {
-                                core: c.local_memory(system).core().expect("local side"),
-                                copy: system.costs().omega_c().cost_of(c.bytes(system)),
-                                readies: Vec::new(),
-                                dma: true,
+                            .map(|c| {
+                                let core = c.local_memory(system).core().expect("local side");
+                                Step {
+                                    core,
+                                    copy: system.costs_for(core).omega_c().cost_of(c.bytes(system)),
+                                    readies: Vec::new(),
+                                    dma: true,
+                                }
                             })
                             .collect()
                     }
@@ -531,11 +695,17 @@ fn build_chains(
                         schedule
                             .transfers_at(system, t)
                             .iter()
-                            .map(|(_, tr)| Step {
-                                core: tr.local_memory().core().expect("local side"),
-                                copy: system.costs().omega_c().cost_of(tr.bytes(system)),
-                                readies: Vec::new(),
-                                dma: true,
+                            .map(|(_, tr)| {
+                                let core = tr.local_memory().core().expect("local side");
+                                Step {
+                                    core,
+                                    copy: system
+                                        .costs_for(core)
+                                        .omega_c()
+                                        .cost_of(tr.bytes(system)),
+                                    readies: Vec::new(),
+                                    dma: true,
+                                }
                             })
                             .collect()
                     }
@@ -559,7 +729,7 @@ fn build_chains(
                             })
                             .collect()
                     }
-                    Approach::ProposedDma => unreachable!(),
+                    Approach::ProposedDma | Approach::TripleBuffered => unreachable!(),
                 };
                 // Every released task becomes ready after the last step.
                 if let Some(last) = steps.last_mut() {

@@ -13,11 +13,24 @@
 //! * **Giotto-DMA-B** — DMA with the optimized memory layout (grouped
 //!   transfers) but Giotto readiness.
 //!
+//! On top of the paper's four, the crate simulates a **Triple-Buffered**
+//! variant (work/pre-fetch/commit rounds through three rotating buffer
+//! slots, after the XDMA-style `DmaBuf` designs): same optimized schedule
+//! and R1–R3 readiness as *Proposed*, but DMA programming is pipelined
+//! ahead of the data movement. The [`rotation`] module independently checks
+//! the rotation invariant — a buffer slot is never written while another
+//! round still reads it — and [`SimReport::buffer_hazards`] reports
+//! violations.
+//!
 //! The engine simulates per-core preemptive fixed-priority execution (task
 //! jobs plus DMA-programming/ISR overheads at the highest priority), a
 //! single shared DMA, and the gating of job readiness by communication
 //! completion. It measures worst-case data-acquisition latencies, response
-//! times, deadline misses and DMA utilization over one hyperperiod.
+//! times, deadline misses and DMA utilization over one hyperperiod. On
+//! systems with per-cluster DMA engines
+//! ([`letdma_model::System::cluster_costs`]), each step is charged the cost
+//! model of the cluster serving its core
+//! ([`letdma_model::System::costs_for`]).
 //!
 //! # Examples
 //!
@@ -49,6 +62,7 @@
 mod config;
 mod engine;
 mod report;
+pub mod rotation;
 
 pub use config::{Approach, SimConfig, SimError};
 pub use report::SimReport;
@@ -57,9 +71,9 @@ use letdma_model::{System, TransferSchedule};
 
 /// Simulates one horizon of `system` under the given approach.
 ///
-/// `schedule` is required for [`Approach::ProposedDma`] and
-/// [`Approach::GiottoDmaB`] (both use the optimized transfer grouping);
-/// the other approaches ignore it.
+/// `schedule` is required for [`Approach::ProposedDma`],
+/// [`Approach::GiottoDmaB`] and [`Approach::TripleBuffered`] (all use the
+/// optimized transfer grouping); the other approaches ignore it.
 ///
 /// # Errors
 ///

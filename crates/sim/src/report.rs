@@ -22,6 +22,16 @@ pub struct SimReport {
     /// Number of instants whose communications were still in flight when
     /// the next instant arrived (Property 3 violations).
     pub property3_overruns: u64,
+    /// Buffer-rotation hazards detected by the independent
+    /// [`crate::rotation::BufferRotation`] checker: a triple-buffer slot
+    /// written while still being read (or written) by another round.
+    /// Always zero for the non-buffered approaches; a correct
+    /// [`crate::Approach::TripleBuffered`] run keeps it zero too.
+    pub buffer_hazards: u64,
+    /// Times a triple-buffered copy was ready to start but had to wait for
+    /// its buffer slot's previous occupant to retire (rotation back-pressure;
+    /// purely informational).
+    pub rotation_stalls: u64,
     /// Total simulator events processed.
     pub events_processed: u64,
     /// The simulated horizon.
@@ -43,6 +53,8 @@ impl SimReport {
             dma_busy: TimeNs::ZERO,
             cpu_copy_time: TimeNs::ZERO,
             property3_overruns: 0,
+            buffer_hazards: 0,
+            rotation_stalls: 0,
             events_processed: 0,
             horizon: TimeNs::ZERO,
         }
@@ -82,9 +94,12 @@ impl SimReport {
             .unwrap_or(TimeNs::ZERO)
     }
 
-    /// `true` when no deadline was missed and Property 3 always held.
+    /// `true` when no deadline was missed, Property 3 always held, and no
+    /// buffer-rotation hazard occurred.
     #[must_use]
     pub fn is_clean(&self) -> bool {
-        self.deadline_misses.values().all(|&c| c == 0) && self.property3_overruns == 0
+        self.deadline_misses.values().all(|&c| c == 0)
+            && self.property3_overruns == 0
+            && self.buffer_hazards == 0
     }
 }

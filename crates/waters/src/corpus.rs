@@ -1,0 +1,168 @@
+//! The seeded scenario corpus: a deterministic sweep over DMA topologies,
+//! hyperperiod ratios and label-size regimes.
+//!
+//! [`corpus`] expands one master seed into a list of [`ScenarioSpec`]s that
+//! cycle through three topology classes ([`Topology::SharedDma`],
+//! [`Topology::Clustered`], [`Topology::AcceleratorStar`]), the three
+//! period-menu presets and the label-size presets, at growing core/task
+//! counts. Period/size combinations are chosen so every scenario admits a
+//! Property-3-feasible schedule: the large [`SizeDist::SensorBuffers`]
+//! labels (hundreds of µs of DMA time each) only pair with the
+//! [`PeriodMenu::Harmonic`] menu, whose 5 ms instant gaps absorb them; the
+//! instant-dense semi-harmonic and co-prime menus carry command-word-sized
+//! labels.
+//!
+//! The expansion consumes one [`Xoshiro256`] stream seeded from the master
+//! seed, so the corpus — like each scenario within it — is byte-identical
+//! across reruns, platforms and thread counts.
+
+use letdma_core::{Rng, Xoshiro256};
+
+use crate::gen::{GenConfig, PeriodMenu, SizeDist, Topology};
+
+/// One generated scenario of the corpus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Stable scenario name: index, topology, period and size classes.
+    pub name: String,
+    /// Topology class tag (`"shared-dma"`, `"clustered"`,
+    /// `"accelerator-star"`).
+    pub topology_class: &'static str,
+    /// Period-menu class tag (`"harmonic"`, `"semi-harmonic"`,
+    /// `"co-prime"`).
+    pub period_class: &'static str,
+    /// Size-distribution class tag (`"command-words"`, `"sensor-buffers"`,
+    /// `"mixed"`).
+    pub size_class: &'static str,
+    /// The full generator configuration (seed included).
+    pub config: GenConfig,
+}
+
+/// Period/size menu combinations that keep every scenario
+/// Property-3-feasible (see the module docs).
+const COMBOS: [(&str, &str); 5] = [
+    ("harmonic", "command-words"),
+    ("harmonic", "sensor-buffers"),
+    ("semi-harmonic", "command-words"),
+    ("semi-harmonic", "mixed"),
+    ("co-prime", "command-words"),
+];
+
+fn period_menu(class: &str) -> PeriodMenu {
+    match class {
+        "harmonic" => PeriodMenu::Harmonic,
+        "semi-harmonic" => PeriodMenu::SemiHarmonic,
+        "co-prime" => PeriodMenu::CoPrime,
+        other => unreachable!("unknown period class {other}"),
+    }
+}
+
+fn size_dist(class: &str) -> SizeDist {
+    match class {
+        "command-words" => SizeDist::CommandWords,
+        "sensor-buffers" => SizeDist::SensorBuffers,
+        "mixed" => SizeDist::LogUniform { lo: 32, hi: 4096 },
+        other => unreachable!("unknown size class {other}"),
+    }
+}
+
+/// Expands `seed` into `scenarios` deterministic scenario specs cycling
+/// through the three topology classes and the feasible period/size
+/// combinations.
+///
+/// # Examples
+///
+/// ```
+/// use waters2019::corpus::corpus;
+///
+/// let specs = corpus(8, 0xDAC2_2021);
+/// assert_eq!(specs.len(), 8);
+/// // The three topology classes all appear within any 3 consecutive specs.
+/// let classes: std::collections::BTreeSet<_> =
+///     specs.iter().take(3).map(|s| s.topology_class).collect();
+/// assert_eq!(classes.len(), 3);
+/// // Same seed, same corpus.
+/// assert_eq!(specs, corpus(8, 0xDAC2_2021));
+/// ```
+#[must_use]
+pub fn corpus(scenarios: usize, seed: u64) -> Vec<ScenarioSpec> {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut specs = Vec::with_capacity(scenarios);
+    for i in 0..scenarios {
+        let scenario_seed = rng.next_u64();
+        let (topology_class, topology) = match i % 3 {
+            0 => ("shared-dma", Topology::SharedDma),
+            1 => ("clustered", Topology::Clustered { clusters: 2 }),
+            _ => ("accelerator-star", Topology::AcceleratorStar),
+        };
+        let (period_class, size_class) = COMBOS[(i / 3) % COMBOS.len()];
+        let cores = 2 + u16::try_from((i / 3) % 3).expect("small");
+        let tasks = 2 * usize::from(cores);
+        let labels = 3 + (i % 4);
+        let config = GenConfig {
+            cores,
+            tasks,
+            labels,
+            topology,
+            periods: period_menu(period_class),
+            sizes: size_dist(size_class),
+            utilization: 0.3,
+            seed: scenario_seed,
+        };
+        specs.push(ScenarioSpec {
+            name: format!("s{i:03}-{topology_class}-{period_class}-{size_class}"),
+            topology_class,
+            period_class,
+            size_class,
+            config,
+        });
+    }
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::BTreeSet;
+
+    use super::*;
+    use crate::gen::{system_fingerprint, try_generate};
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let a = corpus(64, 7);
+        let b = corpus(64, 7);
+        assert_eq!(a, b);
+        assert_ne!(a, corpus(64, 8), "different seed, different corpus");
+    }
+
+    #[test]
+    fn covers_three_topology_classes() {
+        let specs = corpus(64, 0xDAC2_2021);
+        let classes: BTreeSet<_> = specs.iter().map(|s| s.topology_class).collect();
+        assert_eq!(classes.len(), 3);
+        let periods: BTreeSet<_> = specs.iter().map(|s| s.period_class).collect();
+        assert_eq!(periods.len(), 3);
+    }
+
+    #[test]
+    fn every_scenario_generates() {
+        for spec in corpus(64, 0xDAC2_2021) {
+            let sys = try_generate(&spec.config).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            assert!(system_fingerprint(&sys) != 0, "{}", spec.name);
+            assert_eq!(sys.tasks().len(), spec.config.tasks, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_stable() {
+        let specs = corpus(64, 0xDAC2_2021);
+        let names: BTreeSet<_> = specs.iter().map(|s| s.name.clone()).collect();
+        assert_eq!(names.len(), specs.len());
+        assert_eq!(specs[0].name, "s000-shared-dma-harmonic-command-words");
+        assert_eq!(specs[1].name, "s001-clustered-harmonic-command-words");
+        assert_eq!(
+            specs[2].name,
+            "s002-accelerator-star-harmonic-command-words"
+        );
+    }
+}

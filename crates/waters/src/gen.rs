@@ -1,13 +1,128 @@
-//! Seeded random workload generation for scaling studies and property
-//! tests.
+//! Seeded random workload generation for scaling studies, property tests
+//! and the scenario corpus.
 //!
 //! Workloads follow the structure of automotive LET applications: periods
-//! drawn from a harmonic-leaning menu, producer/consumer edges across
-//! cores, and log-uniform label sizes spanning command words to sensor
-//! buffers.
+//! drawn from a configurable menu ([`PeriodMenu`]), producer/consumer edges
+//! across cores, and label sizes from a distribution preset ([`SizeDist`]).
+//! The [`Topology`] knob additionally selects the DMA fabric: the paper's
+//! single shared engine, per-cluster engines with distinct cost models
+//! (XDMA-style), or a star of per-core accelerator engines around a host
+//! core.
+//!
+//! Generation is fully deterministic given the seed (the in-tree
+//! [`Xoshiro256`] stream), and [`try_generate`] rejects degenerate
+//! configurations with a typed [`GenError`] instead of panicking.
 
-use letdma_core::{Rng, Xoshiro256};
-use letdma_model::{CopyCost, CostModel, System, SystemBuilder, TimeNs};
+use std::fmt::Write as _;
+
+use letdma_core::{Fnv64, Rng, Xoshiro256};
+use letdma_model::{CopyCost, CostModel, ModelError, Platform, System, SystemBuilder, TimeNs};
+
+/// DMA-fabric topology of the generated platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// The paper's platform: one DMA engine shared by all cores.
+    SharedDma,
+    /// Cores partitioned into `clusters` blocks, each served by its own
+    /// DMA engine with a distinct [`CostModel`] (XDMA-style). Labels are
+    /// biased toward intra-cluster producer/consumer pairs.
+    Clustered {
+        /// Number of DMA clusters (`1 ≤ clusters ≤ cores`).
+        clusters: u16,
+    },
+    /// A host core (core 0) exchanging data with per-core accelerator
+    /// engines: every label connects the host to an accelerator core, and
+    /// every core has its own engine.
+    AcceleratorStar,
+}
+
+/// Period-menu presets controlling the hyperperiod-to-period ratio.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PeriodMenu {
+    /// Powers-of-two multiples of 5 ms: the hyperperiod equals the largest
+    /// period (ratio 1).
+    Harmonic,
+    /// The automotive-flavoured default menu (5–100 ms with 33/66 ms
+    /// outliers): hyperperiod 3300 ms, ratio 33.
+    SemiHarmonic,
+    /// Pairwise co-prime periods (7/11/13 ms): hyperperiod 1001 ms,
+    /// ratio 77 — the stress case for instant-dense schedules.
+    CoPrime,
+    /// An explicit menu in milliseconds.
+    Custom(Vec<u64>),
+}
+
+impl PeriodMenu {
+    /// The menu in milliseconds.
+    #[must_use]
+    pub fn menu_ms(&self) -> &[u64] {
+        match self {
+            Self::Harmonic => &[5, 10, 20, 40, 80],
+            Self::SemiHarmonic => &[5, 10, 15, 20, 33, 50, 66, 100],
+            Self::CoPrime => &[7, 11, 13],
+            Self::Custom(menu) => menu,
+        }
+    }
+
+    /// Hyperperiod of the full menu divided by its largest period — 1 for
+    /// a harmonic menu, growing with period incompatibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the menu is empty or contains a zero period (callers go
+    /// through [`try_generate`], which rejects both first).
+    #[must_use]
+    pub fn hyperperiod_ratio(&self) -> u64 {
+        let menu = self.menu_ms();
+        assert!(!menu.is_empty(), "empty period menu");
+        let lcm = menu.iter().copied().fold(1u64, lcm);
+        lcm / menu.iter().copied().max().expect("nonempty")
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn lcm(a: u64, b: u64) -> u64 {
+    assert!(a > 0 && b > 0, "zero period");
+    a / gcd(a, b) * b
+}
+
+/// Label-size distribution presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SizeDist {
+    /// Log-uniform between the bounds (bytes).
+    LogUniform {
+        /// Smallest label size in bytes (≥ 1).
+        lo: u64,
+        /// Largest label size in bytes (≥ `lo`).
+        hi: u64,
+    },
+    /// Small command/status words: log-uniform over 4–256 B.
+    CommandWords,
+    /// Large sensor/camera buffers: log-uniform over 1 KiB–64 KiB.
+    SensorBuffers,
+    /// Every label has exactly this size in bytes.
+    Fixed(u64),
+}
+
+impl SizeDist {
+    /// `(lo, hi)` bounds of the distribution in bytes.
+    #[must_use]
+    pub fn bounds(&self) -> (u64, u64) {
+        match *self {
+            Self::LogUniform { lo, hi } => (lo, hi),
+            Self::CommandWords => (4, 256),
+            Self::SensorBuffers => (1024, 64 * 1024),
+            Self::Fixed(bytes) => (bytes, bytes),
+        }
+    }
+}
 
 /// Parameters of the random workload generator.
 #[derive(Debug, Clone, PartialEq)]
@@ -18,11 +133,13 @@ pub struct GenConfig {
     pub tasks: usize,
     /// Number of inter-core labels to create.
     pub labels: usize,
-    /// Period menu in milliseconds.
-    pub period_menu_ms: Vec<u64>,
-    /// Label sizes: log-uniform between these bounds (bytes).
-    pub size_range: (u64, u64),
-    /// Per-core utilization target for WCET assignment.
+    /// DMA-fabric topology.
+    pub topology: Topology,
+    /// Period menu preset.
+    pub periods: PeriodMenu,
+    /// Label-size distribution preset.
+    pub sizes: SizeDist,
+    /// Per-core utilization target for WCET assignment (`0 < u < 1`).
     pub utilization: f64,
     /// RNG seed (generation is fully deterministic given the seed: the
     /// in-tree [`Xoshiro256`] stream makes equal seeds produce
@@ -36,56 +153,227 @@ impl Default for GenConfig {
             cores: 2,
             tasks: 6,
             labels: 6,
-            period_menu_ms: vec![5, 10, 15, 20, 33, 50, 66, 100],
-            size_range: (32, 64 * 1024),
+            topology: Topology::SharedDma,
+            periods: PeriodMenu::SemiHarmonic,
+            sizes: SizeDist::LogUniform {
+                lo: 32,
+                hi: 64 * 1024,
+            },
             utilization: 0.4,
             seed: 0xDAC2_2021,
         }
     }
 }
 
-/// Generates a random system.
+/// Error produced by [`try_generate`] for degenerate configurations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GenError {
+    /// `tasks == 0`.
+    NoTasks,
+    /// `cores == 0`.
+    NoCores,
+    /// `labels > 0` with a single core: every generated label is an
+    /// inter-core communication.
+    SingleCoreWithLabels,
+    /// `labels > 0` with a single task: a label needs a writer and a
+    /// reader on different cores.
+    LabelsNeedTwoTasks,
+    /// The utilization target is outside `(0, 1)`.
+    UtilizationOutOfRange(f64),
+    /// The size distribution is empty or inverted (`lo == 0` or
+    /// `lo > hi`).
+    InvertedSizeRange {
+        /// Lower bound in bytes.
+        lo: u64,
+        /// Upper bound in bytes.
+        hi: u64,
+    },
+    /// The period menu has no entries.
+    EmptyPeriodMenu,
+    /// The period menu contains a zero period.
+    ZeroPeriod,
+    /// A clustered topology with `clusters == 0` or more clusters than
+    /// cores.
+    BadClusterCount {
+        /// Requested cluster count.
+        clusters: u16,
+        /// Available cores.
+        cores: u16,
+    },
+    /// The (validated) configuration still produced an invalid system.
+    Build(ModelError),
+}
+
+impl std::fmt::Display for GenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoTasks => write!(f, "need at least one task"),
+            Self::NoCores => write!(f, "need at least one core"),
+            Self::SingleCoreWithLabels => {
+                write!(f, "inter-core labels need at least two cores")
+            }
+            Self::LabelsNeedTwoTasks => {
+                write!(f, "inter-core labels need at least two tasks")
+            }
+            Self::UtilizationOutOfRange(u) => {
+                write!(f, "utilization target {u} is outside (0, 1)")
+            }
+            Self::InvertedSizeRange { lo, hi } => {
+                write!(f, "size range [{lo}, {hi}] is empty or inverted")
+            }
+            Self::EmptyPeriodMenu => write!(f, "period menu has no entries"),
+            Self::ZeroPeriod => write!(f, "period menu contains a zero period"),
+            Self::BadClusterCount { clusters, cores } => {
+                write!(f, "cannot split {cores} cores into {clusters} DMA clusters")
+            }
+            Self::Build(e) => write!(f, "generated system is invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GenError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Build(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for GenError {
+    fn from(e: ModelError) -> Self {
+        Self::Build(e)
+    }
+}
+
+/// The per-cluster DMA engine of cluster `k`: later clusters are farther
+/// from the memory controller, so programming, ISR, and streaming all get
+/// slightly slower. The sequence is monotone, which makes the last engine
+/// a valid system-level worst-case envelope.
+fn cluster_engine(k: u16) -> CostModel {
+    CostModel::new(
+        TimeNs::from_ns(3_360 + 480 * u64::from(k)),
+        TimeNs::from_ns(10_000 + 1_000 * u64::from(k)),
+        CopyCost::per_byte(4 + u64::from(k), 1).expect("static ratio"),
+    )
+}
+
+fn validate(config: &GenConfig) -> Result<(), GenError> {
+    if config.cores == 0 {
+        return Err(GenError::NoCores);
+    }
+    if config.tasks == 0 {
+        return Err(GenError::NoTasks);
+    }
+    if config.labels > 0 {
+        if config.cores < 2 {
+            return Err(GenError::SingleCoreWithLabels);
+        }
+        if config.tasks < 2 {
+            return Err(GenError::LabelsNeedTwoTasks);
+        }
+    }
+    if !(config.utilization > 0.0 && config.utilization < 1.0) {
+        return Err(GenError::UtilizationOutOfRange(config.utilization));
+    }
+    let (lo, hi) = config.sizes.bounds();
+    if lo == 0 || lo > hi {
+        return Err(GenError::InvertedSizeRange { lo, hi });
+    }
+    let menu = config.periods.menu_ms();
+    if menu.is_empty() {
+        return Err(GenError::EmptyPeriodMenu);
+    }
+    if menu.contains(&0) {
+        return Err(GenError::ZeroPeriod);
+    }
+    if let Topology::Clustered { clusters } = config.topology {
+        if clusters == 0 || clusters > config.cores {
+            return Err(GenError::BadClusterCount {
+                clusters,
+                cores: config.cores,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Generates a random system, rejecting degenerate configurations.
 ///
 /// Tasks are placed round-robin on the cores; each label picks a writer and
 /// a reader on *different* cores, so every label is an inter-core LET
 /// communication. WCETs are scaled to hit the per-core utilization target.
+/// Under [`Topology::Clustered`] every even-indexed label prefers a
+/// producer/consumer pair within one cluster (served by that cluster's
+/// engine); under [`Topology::AcceleratorStar`] every label connects the
+/// host core to an accelerator core.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the configuration is degenerate (no tasks, no cores, or a
-/// single core with `labels > 0`).
+/// A typed [`GenError`] for degenerate configurations: no tasks or cores,
+/// labels on a single core or single task, a utilization target outside
+/// `(0, 1)`, an empty/inverted size range, an empty or zero-containing
+/// period menu, or a bad cluster count.
 ///
 /// # Examples
 ///
 /// ```
-/// use waters2019::gen::{generate, GenConfig};
+/// use waters2019::gen::{try_generate, GenConfig, GenError, Topology};
 ///
-/// let system = generate(&GenConfig { tasks: 8, labels: 10, ..GenConfig::default() });
-/// assert_eq!(system.tasks().len(), 8);
-/// assert_eq!(system.inter_core_shared_labels().count(), 10);
+/// let sys = try_generate(&GenConfig {
+///     cores: 4,
+///     tasks: 8,
+///     labels: 6,
+///     topology: Topology::Clustered { clusters: 2 },
+///     ..GenConfig::default()
+/// })?;
+/// assert_eq!(sys.cluster_costs().len(), 2);
+///
+/// let err = try_generate(&GenConfig {
+///     utilization: 1.5,
+///     ..GenConfig::default()
+/// });
+/// assert_eq!(err, Err(GenError::UtilizationOutOfRange(1.5)));
+/// # Ok::<(), waters2019::gen::GenError>(())
 /// ```
-#[must_use]
-pub fn generate(config: &GenConfig) -> System {
-    assert!(config.tasks > 0, "need at least one task");
-    assert!(
-        config.cores >= 2 || config.labels == 0,
-        "inter-core labels need at least two cores"
-    );
+pub fn try_generate(config: &GenConfig) -> Result<System, GenError> {
+    validate(config)?;
     let mut rng = Xoshiro256::seed_from_u64(config.seed);
-    let mut b = SystemBuilder::new(config.cores);
-    b.set_costs(CostModel::new(
-        TimeNs::from_ns(3_360),
-        TimeNs::from_us(10),
-        CopyCost::per_byte(5, 1).expect("static ratio"),
-    ));
+
+    // Platform + DMA fabric.
+    let clusters: u16 = match config.topology {
+        Topology::SharedDma => 1,
+        Topology::Clustered { clusters } => clusters,
+        Topology::AcceleratorStar => config.cores,
+    };
+    let mut b = match config.topology {
+        Topology::SharedDma => {
+            let mut b = SystemBuilder::new(config.cores);
+            // The paper's §VII-A measured costs.
+            b.set_costs(CostModel::new(
+                TimeNs::from_ns(3_360),
+                TimeNs::from_us(10),
+                CopyCost::per_byte(5, 1).expect("static ratio"),
+            ));
+            b
+        }
+        Topology::Clustered { .. } | Topology::AcceleratorStar => {
+            let platform = Platform::with_clusters(config.cores, clusters)?;
+            let mut b = SystemBuilder::on_platform(platform);
+            // Envelope: the slowest (last) engine dominates all of them.
+            b.set_costs(cluster_engine(clusters - 1));
+            b.set_cluster_costs((0..clusters).map(cluster_engine).collect());
+            b
+        }
+    };
 
     // Tasks, round-robin over cores, random periods; WCET fills the
     // per-core utilization budget proportionally.
+    let menu = config.periods.menu_ms();
     let mut periods = Vec::with_capacity(config.tasks);
     for i in 0..config.tasks {
-        let &ms = rng
-            .choose(&config.period_menu_ms)
-            .expect("nonempty period menu");
+        let &ms = rng.choose(menu).expect("nonempty period menu");
         periods.push((i, ms));
     }
     let tasks_per_core = config.tasks.div_ceil(usize::from(config.cores));
@@ -101,42 +389,110 @@ pub fn generate(config: &GenConfig) -> System {
             .period_ms(*ms)
             .core_index(core)
             .wcet(TimeNs::from_ns(wcet_ns.max(1_000)))
-            .add()
-            .expect("valid generated task");
+            .add()?;
         ids.push(id);
     }
 
-    // Labels: writer and reader on different cores; log-uniform size.
+    // Labels: writer and reader on different cores; sizes from the preset.
     let core_of = |idx: usize| idx / tasks_per_core;
-    let (lo, hi) = config.size_range;
+    let cores_per_cluster = usize::from(config.cores).div_ceil(usize::from(clusters));
+    let cluster_of = |idx: usize| core_of(idx) / cores_per_cluster;
+    let (lo, hi) = config.sizes.bounds();
     let (log_lo, log_hi) = ((lo as f64).ln(), (hi as f64).ln());
     for l in 0..config.labels {
-        // Rejection-sample a cross-core pair (bounded retries, then scan).
-        let mut pair = None;
-        for _ in 0..64 {
-            let w = rng.usize_below(config.tasks);
-            let r = rng.usize_below(config.tasks);
-            if core_of(w) != core_of(r) {
-                pair = Some((w, r));
-                break;
+        let (w, r) = match config.topology {
+            Topology::AcceleratorStar => {
+                // Host ↔ accelerator only: pick the endpoints, then the
+                // direction.
+                let host: Vec<usize> = (0..config.tasks).filter(|&i| core_of(i) == 0).collect();
+                let accel: Vec<usize> = (0..config.tasks).filter(|&i| core_of(i) != 0).collect();
+                let h = host[rng.usize_below(host.len())];
+                let a = accel[rng.usize_below(accel.len())];
+                if rng.bool() {
+                    (h, a)
+                } else {
+                    (a, h)
+                }
             }
-        }
-        let (w, r) = pair.unwrap_or_else(|| {
-            let w = 0;
-            let r = (0..config.tasks)
-                .find(|&r| core_of(r) != core_of(0))
-                .expect("at least two populated cores");
-            (w, r)
-        });
-        let size = rng.f64_range(log_lo, log_hi).exp() as u64;
+            Topology::SharedDma | Topology::Clustered { .. } => {
+                // Rejection-sample a cross-core pair (bounded retries, then
+                // scan). Under a clustered fabric, even-indexed labels also
+                // prefer an intra-cluster pair so each engine sees local
+                // traffic.
+                let want_intra_cluster =
+                    matches!(config.topology, Topology::Clustered { .. }) && l % 2 == 0;
+                let mut pair = None;
+                for attempt in 0..64 {
+                    let w = rng.usize_below(config.tasks);
+                    let r = rng.usize_below(config.tasks);
+                    if core_of(w) == core_of(r) {
+                        continue;
+                    }
+                    if want_intra_cluster && attempt < 32 && cluster_of(w) != cluster_of(r) {
+                        continue;
+                    }
+                    pair = Some((w, r));
+                    break;
+                }
+                pair.unwrap_or_else(|| {
+                    let w = 0;
+                    let r = (0..config.tasks)
+                        .find(|&r| core_of(r) != core_of(0))
+                        .expect("at least two populated cores");
+                    (w, r)
+                })
+            }
+        };
+        let size = match config.sizes {
+            SizeDist::Fixed(bytes) => bytes,
+            _ => (rng.f64_range(log_lo, log_hi).exp() as u64)
+                .clamp(lo, hi)
+                .max(1),
+        };
         b.label(format!("l{l}"))
-            .size(size.clamp(lo, hi).max(1))
+            .size(size)
             .writer(ids[w])
             .reader(ids[r])
-            .add()
-            .expect("valid generated label");
+            .add()?;
     }
-    b.build().expect("generated system is valid")
+    Ok(b.build()?)
+}
+
+/// Generates a random system, panicking on degenerate configurations.
+///
+/// Thin wrapper over [`try_generate`] for tests and benches that control
+/// their configurations.
+///
+/// # Panics
+///
+/// Panics with the [`GenError`] message if the configuration is degenerate
+/// (no tasks, no cores, or a single core with `labels > 0`, …).
+///
+/// # Examples
+///
+/// ```
+/// use waters2019::gen::{generate, GenConfig};
+///
+/// let system = generate(&GenConfig { tasks: 8, labels: 10, ..GenConfig::default() });
+/// assert_eq!(system.tasks().len(), 8);
+/// assert_eq!(system.inter_core_shared_labels().count(), 10);
+/// ```
+#[must_use]
+pub fn generate(config: &GenConfig) -> System {
+    try_generate(config).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// A stable 64-bit fingerprint of a system, for hash-pinning generated
+/// workloads in tests and the corpus report.
+///
+/// Hashes the full `Debug` rendering (tasks, labels, platform, cost
+/// models) with the in-tree FNV-1a, so byte-identical systems — and only
+/// those — collide.
+#[must_use]
+pub fn system_fingerprint(system: &System) -> u64 {
+    let mut h = Fnv64::new();
+    write!(h, "{system:?}").expect("fmt::Write to a hasher is infallible");
+    h.finish()
 }
 
 #[cfg(test)]
@@ -149,6 +505,7 @@ mod tests {
         let a = generate(&c);
         let b = generate(&c);
         assert_eq!(a, b);
+        assert_eq!(system_fingerprint(&a), system_fingerprint(&b));
     }
 
     #[test]
@@ -159,6 +516,7 @@ mod tests {
             ..GenConfig::default()
         });
         assert_ne!(a, b);
+        assert_ne!(system_fingerprint(&a), system_fingerprint(&b));
     }
 
     #[test]
@@ -175,13 +533,35 @@ mod tests {
     #[test]
     fn sizes_within_range() {
         let cfg = GenConfig {
-            size_range: (100, 1_000),
+            sizes: SizeDist::LogUniform { lo: 100, hi: 1_000 },
             labels: 20,
             ..GenConfig::default()
         };
         let sys = generate(&cfg);
         for l in sys.labels() {
             assert!((100..=1_000).contains(&l.size()), "size {}", l.size());
+        }
+    }
+
+    #[test]
+    fn size_presets_respect_bounds() {
+        for (sizes, lo, hi) in [
+            (SizeDist::CommandWords, 4, 256),
+            (SizeDist::SensorBuffers, 1024, 64 * 1024),
+            (SizeDist::Fixed(777), 777, 777),
+        ] {
+            let sys = generate(&GenConfig {
+                labels: 10,
+                sizes,
+                ..GenConfig::default()
+            });
+            for l in sys.labels() {
+                assert!(
+                    (lo..=hi).contains(&l.size()),
+                    "{sizes:?}: size {}",
+                    l.size()
+                );
+            }
         }
     }
 
@@ -203,6 +583,57 @@ mod tests {
     }
 
     #[test]
+    fn hyperperiod_ratios_match_presets() {
+        assert_eq!(PeriodMenu::Harmonic.hyperperiod_ratio(), 1);
+        assert_eq!(PeriodMenu::SemiHarmonic.hyperperiod_ratio(), 33);
+        assert_eq!(PeriodMenu::CoPrime.hyperperiod_ratio(), 77);
+        assert_eq!(PeriodMenu::Custom(vec![4, 6]).hyperperiod_ratio(), 2);
+    }
+
+    #[test]
+    fn clustered_topology_builds_per_cluster_engines() {
+        let sys = generate(&GenConfig {
+            cores: 4,
+            tasks: 8,
+            labels: 8,
+            topology: Topology::Clustered { clusters: 2 },
+            ..GenConfig::default()
+        });
+        assert_eq!(sys.cluster_costs().len(), 2);
+        // The envelope must dominate every engine (build() enforces this;
+        // double-check the generator's choice).
+        for engine in sys.cluster_costs() {
+            assert!(sys.costs().dominates(engine));
+        }
+    }
+
+    #[test]
+    fn accelerator_star_labels_touch_the_host() {
+        let sys = generate(&GenConfig {
+            cores: 4,
+            tasks: 8,
+            labels: 10,
+            topology: Topology::AcceleratorStar,
+            ..GenConfig::default()
+        });
+        assert_eq!(sys.cluster_costs().len(), 4);
+        let host = sys.platform().cores().next().unwrap();
+        for label in sys.labels() {
+            let writer_core = sys.task(label.writer()).core();
+            let reader_cores: Vec<_> = label
+                .readers()
+                .iter()
+                .map(|&r| sys.task(r).core())
+                .collect();
+            assert!(
+                writer_core == host || reader_cores.contains(&host),
+                "label {} does not touch the host",
+                label.name()
+            );
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "at least two cores")]
     fn single_core_with_labels_panics() {
         let _ = generate(&GenConfig {
@@ -210,5 +641,98 @@ mod tests {
             labels: 1,
             ..GenConfig::default()
         });
+    }
+
+    #[test]
+    fn degenerate_configs_return_typed_errors() {
+        let base = GenConfig::default;
+        assert_eq!(
+            try_generate(&GenConfig { tasks: 0, ..base() }),
+            Err(GenError::NoTasks)
+        );
+        assert_eq!(
+            try_generate(&GenConfig { cores: 0, ..base() }),
+            Err(GenError::NoCores)
+        );
+        assert_eq!(
+            try_generate(&GenConfig {
+                cores: 1,
+                labels: 1,
+                ..base()
+            }),
+            Err(GenError::SingleCoreWithLabels)
+        );
+        assert_eq!(
+            try_generate(&GenConfig {
+                tasks: 1,
+                labels: 1,
+                ..base()
+            }),
+            Err(GenError::LabelsNeedTwoTasks)
+        );
+        assert_eq!(
+            try_generate(&GenConfig {
+                utilization: 1.0,
+                ..base()
+            }),
+            Err(GenError::UtilizationOutOfRange(1.0))
+        );
+        assert_eq!(
+            try_generate(&GenConfig {
+                sizes: SizeDist::LogUniform { lo: 500, hi: 100 },
+                ..base()
+            }),
+            Err(GenError::InvertedSizeRange { lo: 500, hi: 100 })
+        );
+        assert_eq!(
+            try_generate(&GenConfig {
+                sizes: SizeDist::Fixed(0),
+                ..base()
+            }),
+            Err(GenError::InvertedSizeRange { lo: 0, hi: 0 })
+        );
+        assert_eq!(
+            try_generate(&GenConfig {
+                periods: PeriodMenu::Custom(Vec::new()),
+                ..base()
+            }),
+            Err(GenError::EmptyPeriodMenu)
+        );
+        assert_eq!(
+            try_generate(&GenConfig {
+                periods: PeriodMenu::Custom(vec![5, 0]),
+                ..base()
+            }),
+            Err(GenError::ZeroPeriod)
+        );
+        assert_eq!(
+            try_generate(&GenConfig {
+                topology: Topology::Clustered { clusters: 3 },
+                ..base()
+            }),
+            Err(GenError::BadClusterCount {
+                clusters: 3,
+                cores: 2
+            })
+        );
+    }
+
+    #[test]
+    fn error_display_is_lowercase_without_trailing_punctuation() {
+        let messages = [
+            GenError::NoTasks.to_string(),
+            GenError::SingleCoreWithLabels.to_string(),
+            GenError::UtilizationOutOfRange(1.5).to_string(),
+            GenError::InvertedSizeRange { lo: 9, hi: 1 }.to_string(),
+            GenError::BadClusterCount {
+                clusters: 9,
+                cores: 2,
+            }
+            .to_string(),
+        ];
+        for m in messages {
+            assert!(!m.ends_with('.'), "no trailing period: {m}");
+            assert!(m.chars().next().unwrap().is_lowercase(), "lowercase: {m}");
+        }
     }
 }

@@ -10,7 +10,11 @@
 //!   published orders of magnitude and a partitioned four-core mapping in
 //!   the spirit of the challenge solution \[16\];
 //! * [`gen`] — a seeded random workload generator with the same structure,
-//!   for scaling studies and property-based testing.
+//!   for scaling studies and property-based testing, with topology
+//!   ([`gen::Topology`]), period-menu ([`gen::PeriodMenu`]) and label-size
+//!   ([`gen::SizeDist`]) knobs;
+//! * [`corpus`] — a deterministic ≥ 64-scenario diversity sweep over those
+//!   knobs, feeding the `repro corpus` validation campaign.
 //!
 //! # Examples
 //!
@@ -33,6 +37,7 @@
 #![warn(missing_debug_implementations)]
 
 mod case_study;
+pub mod corpus;
 pub mod gen;
 
 pub use case_study::{waters_system, WatersTasks};

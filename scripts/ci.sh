@@ -69,6 +69,30 @@ grep -q '"time_breakdown"' "$smoke_out" || {
 grep -q '"factorize_ms"' "$smoke_out" || {
   echo "bench-milp time_breakdown lacks the factorize split"; exit 1; }
 
+echo "== corpus smoke (8 scenarios, LETDMA_THREADS=1 and 4, byte-identical) =="
+# The scenario-corpus campaign end-to-end on a small slice: generator →
+# heuristic → node-limited MILP → Properties-1–3 conformance → all five
+# protocol simulations. The run validates the letdma-bench-corpus/1 schema
+# before writing and exits nonzero on any Properties-1–3 violation or a
+# worse-than-heuristic MILP objective. The report carries no timing fields
+# and pins every inner solve to one thread, so the two runs below must be
+# byte-identical — `cmp` enforces the thread-count-invariance claim.
+corpus_t1="$(mktemp -t bench_corpus_t1.XXXXXX.json)"
+corpus_t4="$(mktemp -t bench_corpus_t4.XXXXXX.json)"
+trap 'rm -f "$smoke_out" "$corpus_t1" "$corpus_t4"' EXIT
+LETDMA_THREADS=1 cargo run --release -p letdma-bench --bin repro --offline -- \
+  corpus --scenarios 8 --nodes 8 --out "$corpus_t1"
+LETDMA_THREADS=4 cargo run --release -p letdma-bench --bin repro --offline -- \
+  corpus --scenarios 8 --nodes 8 --out "$corpus_t4"
+cmp "$corpus_t1" "$corpus_t4" || {
+  echo "corpus report differs across thread counts"; exit 1; }
+grep -q '"schema": "letdma-bench-corpus/1"' "$corpus_t1" || {
+  echo "corpus output lacks the schema tag"; exit 1; }
+grep -q '"all_properties_pass": true' "$corpus_t1" || {
+  echo "corpus smoke has failing Properties-1-3 scenarios"; exit 1; }
+grep -q '"triple_buffered"' "$corpus_t1" || {
+  echo "corpus output lacks the triple-buffered latency column"; exit 1; }
+
 echo "== serve smoke (workers 1 and 4, BENCH_serve schema) =="
 # The WATERS batch through the in-process solve service at 1 worker (cold
 # cache) and 4 workers (warm). `repro serve` asserts every response is a
